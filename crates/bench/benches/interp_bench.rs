@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks of the BPF interpreter: packets per second of
+//! interpretation for representative benchmark programs (the quantity behind
+//! the netsim DUT model).
+
+use bpf_bench_suite::by_name;
+use bpf_interp::run;
+use criterion::{criterion_group, criterion_main, Criterion};
+use k2_netsim::{TrafficGenerator, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(20);
+    for name in ["xdp_pktcntr", "xdp1_kern/xdp1", "xdp_fwd"] {
+        let bench = by_name(name).expect("benchmark exists");
+        let mut generator = TrafficGenerator::new(WorkloadConfig::default());
+        let packets = generator.packets(64);
+        group.bench_function(name.replace('/', "_"), |b| {
+            b.iter(|| {
+                for input in &packets {
+                    let _ = black_box(run(&bench.prog, input));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

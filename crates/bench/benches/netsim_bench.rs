@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark of the DUT queueing simulation (the substrate
+//! behind Tables 2/3 and the Appendix H figures).
+
+use bpf_bench_suite::by_name;
+use criterion::{criterion_group, criterion_main, Criterion};
+use k2_netsim::{find_mlffr, DutConfig, DutModel};
+use std::hint::black_box;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    let bench = by_name("xdp1_kern/xdp1").expect("benchmark exists");
+    let config = DutConfig { packets_per_trial: 5_000, ..DutConfig::default() };
+    let model = DutModel::measure(&bench.prog, config);
+
+    group.bench_function("simulate_one_load", |b| {
+        let load = model.capacity_mpps() * 0.9;
+        b.iter(|| black_box(model.simulate(load)))
+    });
+    group.bench_function("find_mlffr", |b| b.iter(|| black_box(find_mlffr(&model))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the bit-vector solver: equality and
+//! multiplication identities at different widths (the workload behind
+//! equivalence queries).
+
+use bitsmt::{CheckResult, Solver, TermPool};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn prove_mul_shift_identity(width: u32) -> bool {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", width);
+    let four = pool.constant(4, width);
+    let two = pool.constant(2, width);
+    let lhs = pool.mul(x, four);
+    let rhs = pool.shl(x, two);
+    let differ = pool.ne(lhs, rhs);
+    let mut solver = Solver::new(&mut pool);
+    solver.assert(differ);
+    matches!(solver.check(), CheckResult::Unsat)
+}
+
+fn find_factorization(width: u32) -> bool {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", width);
+    let y = pool.var("y", width);
+    let prod = pool.mul(x, y);
+    let c = pool.constant(221, width); // 13 * 17
+    let goal = pool.eq(prod, c);
+    let one = pool.constant(1, width);
+    let xgt = pool.ugt(x, one);
+    let ygt = pool.ugt(y, one);
+    let conj1 = pool.and(goal, xgt);
+    let conj = pool.and(conj1, ygt);
+    let mut solver = Solver::new(&mut pool);
+    solver.assert(conj);
+    solver.check().is_sat()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitsmt");
+    group.sample_size(10);
+    group.bench_function("mul_shift_identity_32", |b| {
+        b.iter(|| black_box(prove_mul_shift_identity(32)))
+    });
+    group.bench_function("mul_shift_identity_64", |b| {
+        b.iter(|| black_box(prove_mul_shift_identity(64)))
+    });
+    group.bench_function("factor_221_16", |b| b.iter(|| black_box(find_factorization(16))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

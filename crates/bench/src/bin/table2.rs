@@ -1,0 +1,41 @@
+//! Table 2: single-core throughput (maximum loss-free forwarding rate, in
+//! millions of packets per second) of the best baseline program vs K2's
+//! latency-optimized output, for the six XDP benchmarks the paper measures.
+
+use bpf_bench_suite::throughput_subset;
+use k2_bench::{default_iterations, render_table};
+use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_netsim::{find_mlffr, DutConfig, DutModel};
+
+fn main() {
+    let iterations = default_iterations();
+    println!("Table 2: throughput (MLFFR, Mpps per core)\n");
+    let mut rows = Vec::new();
+    for bench in throughput_subset() {
+        let (_, baseline) = k2_baseline::best_baseline(&bench.prog);
+        let mut compiler = K2Compiler::new(CompilerOptions {
+            goal: OptimizationGoal::Latency,
+            iterations,
+            params: SearchParams::table8(),
+            num_tests: 16,
+            seed: 0x7ab2 + bench.row as u64,
+            top_k: 5,
+            parallel: true,
+        });
+        let k2 = compiler.optimize(&baseline).best;
+
+        let base_model = DutModel::measure(&baseline, DutConfig::default());
+        let k2_model = DutModel::measure(&k2, DutConfig::default());
+        let base_mlffr = find_mlffr(&base_model);
+        let k2_mlffr = find_mlffr(&k2_model);
+        let gain = if base_mlffr > 0.0 { 100.0 * (k2_mlffr - base_mlffr) / base_mlffr } else { 0.0 };
+        rows.push(vec![
+            bench.name.to_string(),
+            format!("{:.3}", base_mlffr),
+            format!("{:.3}", k2_mlffr),
+            format!("{:+.2}%", gain),
+        ]);
+    }
+    println!("{}", render_table(&["benchmark", "best clang (Mpps)", "K2 (Mpps)", "gain"], &rows));
+    println!("(paper: 0–4.75% throughput gains; absolute Mpps differ because the DUT is a simulator)");
+}

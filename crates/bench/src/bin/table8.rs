@@ -1,0 +1,48 @@
+//! Table 8: the five best-performing parameter settings of the stochastic
+//! search (cost-function variant and rewrite-rule probabilities).
+
+use k2_bench::render_table;
+use k2_core::{DiffMetric, ErrorNormalization, SearchParams, TestCountMode};
+
+fn main() {
+    println!("Table 8: the five best-performing search parameter settings\n");
+    let rows: Vec<Vec<String>> = SearchParams::table8()
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.id.to_string(),
+                match s.cost.diff {
+                    DiffMetric::Abs => "ABS".to_string(),
+                    DiffMetric::Popcount => "POP".to_string(),
+                },
+                match s.cost.normalization {
+                    ErrorNormalization::Full => "no".to_string(),
+                    ErrorNormalization::Average => "yes".to_string(),
+                },
+                match s.cost.test_count {
+                    TestCountMode::Failed => "failed".to_string(),
+                    TestCountMode::Passed => "passed".to_string(),
+                },
+                format!("{}", s.cost.alpha),
+                format!("{}", s.cost.beta),
+                format!("{:.2}", s.rules.replace_insn),
+                format!("{:.2}", s.rules.replace_operand),
+                format!("{:.2}", s.rules.replace_nop),
+                format!("{:.2}", s.rules.mem_exchange_1),
+                format!("{:.2}", s.rules.mem_exchange_2),
+                format!("{:.2}", s.rules.replace_contiguous),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "id", "err", "avg", "count", "alpha", "beta", "p_ir", "p_or", "p_nr", "p_me1",
+                "p_me2", "p_cir"
+            ],
+            &rows
+        )
+    );
+    println!("(the full 16-setting sweep is available via SearchParams::full_sweep())");
+}

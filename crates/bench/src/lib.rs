@@ -1,0 +1,181 @@
+//! # k2-bench
+//!
+//! Harnesses that regenerate every table and figure of the K2 paper's
+//! evaluation, plus Criterion micro-benchmarks for the substrates.
+//!
+//! Each table has a binary (`cargo run --release -p k2-bench --bin table1`,
+//! ... `table10`, `figure_load_sweep`, `discovered_opts`). The binaries print
+//! the same rows/series the paper reports and, where useful, a JSON blob for
+//! further processing.
+//!
+//! The search budgets default to laptop-scale values so the whole suite runs
+//! in minutes rather than the paper's multi-hour cluster runs; set the
+//! `K2_ITERS` environment variable (iterations per Markov chain) and
+//! `K2_ALL_BENCHMARKS=1` (include the largest programs) to scale up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bpf_bench_suite::Benchmark;
+use bpf_isa::Program;
+use k2_baseline::{best_baseline, OptLevel};
+use k2_core::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal, SearchParams};
+
+/// Iterations per Markov chain used by the table harnesses (override with
+/// `K2_ITERS`).
+pub fn default_iterations() -> u64 {
+    std::env::var("K2_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000)
+}
+
+/// Whether to include the largest benchmarks in the sweeps (override with
+/// `K2_ALL_BENCHMARKS=1`).
+pub fn include_all_benchmarks() -> bool {
+    std::env::var("K2_ALL_BENCHMARKS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The benchmarks a harness should iterate over: all 19 when requested, a
+/// representative small/medium subset otherwise.
+pub fn selected_benchmarks() -> Vec<Benchmark> {
+    let all = bpf_bench_suite::all();
+    if include_all_benchmarks() {
+        all
+    } else {
+        all.into_iter().filter(|b| b.prog.real_len() <= 60).collect()
+    }
+}
+
+/// Result of compiling one benchmark with the baseline and with K2.
+#[derive(Debug, Clone)]
+pub struct CompressionRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Instruction count of the unoptimized (-O0-like) program.
+    pub o0: usize,
+    /// Instruction count of the `-O1` baseline.
+    pub o1: usize,
+    /// Instruction count of the best baseline (`-O2/-O3/-Os`).
+    pub best_clang: usize,
+    /// Which baseline level produced `best_clang`.
+    pub best_level: OptLevel,
+    /// Instruction count of K2's output.
+    pub k2: usize,
+    /// Compression relative to the best baseline, in percent.
+    pub compression_pct: f64,
+    /// Wall-clock seconds spent searching.
+    pub time_s: f64,
+    /// Iterations at which the best program was found (across chains).
+    pub iterations: u64,
+    /// The K2 output program.
+    pub k2_prog: Program,
+    /// The best baseline program.
+    pub baseline_prog: Program,
+}
+
+/// Run the baseline and K2 (instruction-count goal) on one benchmark.
+pub fn compress_benchmark(bench: &Benchmark, iterations: u64, params: Vec<SearchParams>) -> CompressionRow {
+    let o1 = k2_baseline::optimize(&bench.prog, OptLevel::O1);
+    let (best_level, best_clang) = best_baseline(&bench.prog);
+
+    let start = std::time::Instant::now();
+    let mut compiler = K2Compiler::new(CompilerOptions {
+        goal: OptimizationGoal::InstructionCount,
+        iterations,
+        params,
+        num_tests: 16,
+        seed: 0x6b32 + bench.row as u64,
+        top_k: 1,
+        parallel: true,
+    });
+    // K2 starts from the best clang output, as in the paper's methodology.
+    let result = compiler.optimize(&best_clang);
+    let time_s = start.elapsed().as_secs_f64();
+
+    let k2_len = result.best.real_len().min(best_clang.real_len());
+    let compression_pct =
+        100.0 * (best_clang.real_len() as f64 - k2_len as f64) / best_clang.real_len() as f64;
+    CompressionRow {
+        name: bench.name.to_string(),
+        o0: bench.prog.real_len(),
+        o1: o1.real_len(),
+        best_clang: best_clang.real_len(),
+        best_level,
+        k2: k2_len,
+        compression_pct,
+        time_s,
+        iterations: best_found_iteration(&result),
+        k2_prog: if result.best.real_len() <= best_clang.real_len() {
+            result.best
+        } else {
+            best_clang.clone()
+        },
+        baseline_prog: best_clang,
+    }
+}
+
+/// Iteration at which the best program was found, summed over chains (the
+/// paper reports the per-benchmark iteration count of the winning chain).
+pub fn best_found_iteration(result: &K2Result) -> u64 {
+    result.chains.iter().map(|(_, _, stats)| stats.best_found_at).max().unwrap_or(0)
+}
+
+/// Render a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_benchmarks_is_nonempty_subset() {
+        let selected = selected_benchmarks();
+        assert!(!selected.is_empty());
+        assert!(selected.len() <= 19);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "2".into()]],
+        );
+        assert!(table.contains("longer"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn compression_row_on_a_small_benchmark() {
+        let bench = bpf_bench_suite::by_name("xdp_pktcntr").unwrap();
+        let row = compress_benchmark(&bench, 1_500, SearchParams::table8().into_iter().take(2).collect());
+        assert!(row.k2 <= row.best_clang);
+        assert!(row.best_clang <= row.o0);
+        assert!(row.compression_pct >= 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! CNF formula construction (Tseitin target).
+
+/// A literal: a non-zero integer whose sign is the polarity and whose
+/// absolute value is the variable index (DIMACS convention).
+pub type Lit = i32;
+
+/// A CNF formula under construction.
+#[derive(Debug, Default, Clone)]
+pub struct CnfBuilder {
+    /// Number of variables allocated so far (variables are `1..=num_vars`).
+    pub num_vars: u32,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfBuilder {
+    /// Create an empty formula.
+    pub fn new() -> CnfBuilder {
+        CnfBuilder::default()
+    }
+
+    /// Allocate a fresh variable and return its positive literal.
+    pub fn fresh(&mut self) -> Lit {
+        self.num_vars += 1;
+        self.num_vars as Lit
+    }
+
+    /// Add a clause.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(lits.iter().all(|&l| l != 0 && l.unsigned_abs() <= self.num_vars));
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Add the empty clause, making the formula trivially unsatisfiable.
+    pub fn add_contradiction(&mut self) {
+        self.clauses.push(Vec::new());
+    }
+
+    /// Number of clauses so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocates_increasing_variables() {
+        let mut cnf = CnfBuilder::new();
+        assert_eq!(cnf.fresh(), 1);
+        assert_eq!(cnf.fresh(), 2);
+        assert_eq!(cnf.num_vars, 2);
+        cnf.add_clause(&[1, -2]);
+        cnf.add_clause(&[-1]);
+        assert_eq!(cnf.num_clauses(), 2);
+    }
+}

@@ -1,0 +1,529 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! Features: two-watched-literal unit propagation, VSIDS-style variable
+//! activities with exponential decay, phase saving, first-UIP conflict
+//! analysis with non-chronological backjumping, and Luby-sequence restarts.
+//! Clause deletion is deliberately omitted — the formulas produced by K2's
+//! equivalence queries are small enough (thousands to a few hundred thousand
+//! clauses) that the database stays manageable, and keeping every learned
+//! clause simplifies the implementation considerably.
+
+/// Outcome of solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable. The vector is indexed by variable number (entry 0 is
+    /// unused) and gives the assigned polarity.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Truth value of a variable during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+/// The solver.
+#[derive(Debug)]
+pub struct SatSolver {
+    num_vars: usize,
+    /// All clauses (original and learned). Clauses are literal vectors with
+    /// the two watched literals kept in positions 0 and 1.
+    clauses: Vec<Vec<i32>>,
+    /// `watches[lit_index]` — indices of clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    values: Vec<Value>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable (None for decisions).
+    reason: Vec<Option<usize>>,
+    /// Assigned literals in assignment order.
+    trail: Vec<i32>,
+    /// Start of each decision level in the trail.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Saved phases for phase-saving.
+    phase: Vec<bool>,
+    /// Set when the formula is trivially unsatisfiable (empty clause).
+    unsat: bool,
+    /// Statistics: number of conflicts seen.
+    pub conflicts: u64,
+    /// Statistics: number of decisions made.
+    pub decisions: u64,
+    /// Statistics: number of literal propagations.
+    pub propagations: u64,
+}
+
+fn lit_index(lit: i32) -> usize {
+    let var = lit.unsigned_abs() as usize;
+    2 * var + usize::from(lit < 0)
+}
+
+impl SatSolver {
+    /// Create a solver for `num_vars` variables and the given clauses.
+    pub fn new(num_vars: u32, clauses: Vec<Vec<i32>>) -> SatSolver {
+        let n = num_vars as usize;
+        let mut solver = SatSolver {
+            num_vars: n,
+            clauses: Vec::with_capacity(clauses.len()),
+            watches: vec![Vec::new(); 2 * (n + 1)],
+            values: vec![Value::Unassigned; n + 1],
+            level: vec![0; n + 1],
+            reason: vec![None; n + 1],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n + 1],
+            var_inc: 1.0,
+            phase: vec![false; n + 1],
+            unsat: false,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        };
+        for clause in clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Add one clause (sanitizing duplicates and tautologies).
+    fn add_clause(&mut self, mut lits: Vec<i32>) {
+        if self.unsat {
+            return;
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology (x ∨ ¬x) — trivially satisfied, drop it.
+        if lits.iter().any(|&l| lits.contains(&-l)) {
+            return;
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                // Unit clause: assign at level 0 (conflicts detected in solve).
+                let lit = lits[0];
+                match self.value_of(lit) {
+                    Value::True => {}
+                    Value::False => self.unsat = true,
+                    Value::Unassigned => self.enqueue(lit, None),
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[lit_index(lits[0])].push(idx);
+                self.watches[lit_index(lits[1])].push(idx);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    fn value_of(&self, lit: i32) -> Value {
+        let v = self.values[lit.unsigned_abs() as usize];
+        match (v, lit > 0) {
+            (Value::Unassigned, _) => Value::Unassigned,
+            (Value::True, true) | (Value::False, false) => Value::True,
+            _ => Value::False,
+        }
+    }
+
+    fn enqueue(&mut self, lit: i32, reason: Option<usize>) {
+        let var = lit.unsigned_abs() as usize;
+        self.values[var] = if lit > 0 { Value::True } else { Value::False };
+        self.level[var] = self.trail_lim.len() as u32;
+        self.reason[var] = reason;
+        self.phase[var] = lit > 0;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = -lit;
+            let mut watch_list = std::mem::take(&mut self.watches[lit_index(false_lit)]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Ensure the false literal is in position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                // If the first watched literal is already true, keep watching.
+                if self.value_of(self.clauses[ci][0]) == Value::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value_of(self.clauses[ci][k]) != Value::False {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[lit_index(new_watch)].push(ci);
+                        watch_list.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // No new watch: the clause is unit or conflicting.
+                let first = self.clauses[ci][0];
+                match self.value_of(first) {
+                    Value::False => {
+                        // Conflict: restore the remaining watches and report.
+                        self.watches[lit_index(false_lit)].extend(watch_list.drain(..));
+                        return Some(ci);
+                    }
+                    Value::Unassigned => {
+                        self.enqueue(first, Some(ci));
+                        i += 1;
+                    }
+                    Value::True => {
+                        i += 1;
+                    }
+                }
+            }
+            self.watches[lit_index(false_lit)] = watch_list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, conflict: usize) -> (Vec<i32>, u32) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<i32> = Vec::new();
+        let mut seen = vec![false; self.num_vars + 1];
+        let mut counter = 0usize;
+        let mut lit0: i32 = 0;
+        let mut trail_pos = self.trail.len();
+        let mut clause_idx = Some(conflict);
+
+        loop {
+            if let Some(ci) = clause_idx {
+                let clause = self.clauses[ci].clone();
+                for &q in &clause {
+                    // Skip the literal we are currently resolving on.
+                    if q == lit0 {
+                        continue;
+                    }
+                    let var = q.unsigned_abs() as usize;
+                    if !seen[var] && self.level[var] > 0 {
+                        seen[var] = true;
+                        self.bump_var(var);
+                        if self.level[var] >= current_level {
+                            counter += 1;
+                        } else {
+                            learned.push(q);
+                        }
+                    }
+                }
+            }
+            // Find the next literal on the trail (at the current level) to resolve.
+            loop {
+                trail_pos -= 1;
+                let lit = self.trail[trail_pos];
+                if seen[lit.unsigned_abs() as usize] {
+                    lit0 = -lit;
+                    break;
+                }
+            }
+            let var = lit0.unsigned_abs() as usize;
+            seen[var] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            clause_idx = self.reason[var];
+            // When resolving on a reason clause, the literal itself must be
+            // skipped; we marked it via lit0 above (reason[var] implies `-lit0`).
+            lit0 = -lit0;
+        }
+        learned.insert(0, lit0);
+
+        // Backjump level: highest level among the other learned literals.
+        let backjump = learned.iter().skip(1).map(|&l| self.level[l.unsigned_abs() as usize]).max().unwrap_or(0);
+        (learned, backjump)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-empty");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("non-empty");
+                let var = lit.unsigned_abs() as usize;
+                self.values[var] = Value::Unassigned;
+                self.reason[var] = None;
+            }
+        }
+        // Propagation restarts from the end of the shortened trail.
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        // Pick the unassigned variable with the highest activity.
+        let mut best: Option<usize> = None;
+        let mut best_act = -1.0f64;
+        for var in 1..=self.num_vars {
+            if self.values[var] == Value::Unassigned && self.activity[var] > best_act {
+                best = Some(var);
+                best_act = self.activity[var];
+            }
+        }
+        match best {
+            None => false,
+            Some(var) => {
+                self.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = if self.phase[var] { var as i32 } else { -(var as i32) };
+                self.enqueue(lit, None);
+                true
+            }
+        }
+    }
+
+    /// Solve the formula.
+    pub fn solve(&mut self) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        // Propagate the initial units.
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_threshold: u64 = 100;
+        let mut luby_index: u32 = 1;
+
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.trail_lim.is_empty() {
+                        return SatResult::Unsat;
+                    }
+                    let (learned, backjump) = self.analyze(conflict);
+                    self.backtrack_to(backjump);
+                    self.decay_activities();
+                    if learned.len() == 1 {
+                        if self.value_of(learned[0]) == Value::False {
+                            return SatResult::Unsat;
+                        }
+                        if self.value_of(learned[0]) == Value::Unassigned {
+                            self.enqueue(learned[0], None);
+                        }
+                    } else {
+                        let idx = self.clauses.len();
+                        self.watches[lit_index(learned[0])].push(idx);
+                        self.watches[lit_index(learned[1])].push(idx);
+                        let asserting = learned[0];
+                        self.clauses.push(learned);
+                        self.enqueue(asserting, Some(idx));
+                    }
+                }
+                None => {
+                    if conflicts_since_restart >= restart_threshold {
+                        conflicts_since_restart = 0;
+                        luby_index += 1;
+                        restart_threshold = 100 * luby(luby_index);
+                        self.backtrack_to(0);
+                        continue;
+                    }
+                    if !self.decide() {
+                        // All variables assigned without conflict: SAT.
+                        let mut model = vec![false; self.num_vars + 1];
+                        for (var, item) in model.iter_mut().enumerate().skip(1) {
+                            *item = self.values[var] == Value::True;
+                        }
+                        return SatResult::Sat(model);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+fn luby(i: u32) -> u64 {
+    // Find the finite subsequence containing i.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i as u64 {
+        k += 1;
+    }
+    let mut i = i as u64;
+    let mut kk = k;
+    while i != (1u64 << kk) - 1 {
+        i -= (1u64 << (kk - 1)) - 1;
+        kk = 1;
+        while (1u64 << kk) - 1 < i {
+            kk += 1;
+        }
+    }
+    1u64 << (kk - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_model(clauses: &[Vec<i32>], model: &[bool]) -> bool {
+        clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let v = model[lit.unsigned_abs() as usize];
+                if lit > 0 {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let clauses = vec![vec![1], vec![-2], vec![1, 2, 3]];
+        let mut s = SatSolver::new(3, clauses.clone());
+        match s.solve() {
+            SatResult::Sat(model) => {
+                assert!(model[1]);
+                assert!(!model[2]);
+                assert!(check_model(&clauses, &model));
+            }
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = SatSolver::new(1, vec![vec![1], vec![-1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let mut s2 = SatSolver::new(2, vec![vec![]]);
+        assert_eq!(s2.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn requires_propagation_chain() {
+        // 1 -> 2 -> 3 -> 4, and finally ¬4 forces UNSAT.
+        let clauses = vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3, 4], vec![-4]];
+        let mut s = SatSolver::new(4, clauses);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn small_pigeonhole_is_unsat() {
+        // 3 pigeons, 2 holes. Variables p_{i,j} = pigeon i in hole j.
+        // p11=1 p12=2 p21=3 p22=4 p31=5 p32=6
+        let mut clauses = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        // No two pigeons share a hole.
+        for hole in 0..2 {
+            let vars = [1 + hole, 3 + hole, 5 + hole];
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    clauses.push(vec![-(vars[i] as i32), -(vars[j] as i32)]);
+                }
+            }
+        }
+        let mut s = SatSolver::new(6, clauses);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_3sat_instance() {
+        let clauses = vec![
+            vec![1, 2, -3],
+            vec![-1, 3, 4],
+            vec![-2, -4, 5],
+            vec![1, -5, 6],
+            vec![-6, 2, 3],
+            vec![-1, -2, -3],
+            vec![4, 5, 6],
+        ];
+        let mut s = SatSolver::new(6, clauses.clone());
+        match s.solve() {
+            SatResult::Sat(model) => assert!(check_model(&clauses, &model)),
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 = 1  =>  x2 = 0, x3 = 1.
+        let clauses = vec![
+            vec![1, 2],
+            vec![-1, -2],
+            vec![2, 3],
+            vec![-2, -3],
+            vec![1],
+        ];
+        let mut s = SatSolver::new(3, clauses.clone());
+        match s.solve() {
+            SatResult::Sat(model) => {
+                assert!(model[1]);
+                assert!(!model[2]);
+                assert!(model[3]);
+            }
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn larger_random_instance_is_consistent() {
+        // A structured satisfiable instance: an implication ladder with a few
+        // extra clauses; verifies the model against every clause.
+        let n = 50;
+        let mut clauses = Vec::new();
+        for i in 1..n {
+            clauses.push(vec![-(i as i32), (i + 1) as i32]);
+        }
+        clauses.push(vec![1]);
+        clauses.push(vec![(n / 2) as i32, -(n as i32)]);
+        let mut s = SatSolver::new(n as u32, clauses.clone());
+        match s.solve() {
+            SatResult::Sat(model) => assert!(check_model(&clauses, &model)),
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u32 + 1), e, "luby({})", i + 1);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The user-facing solver façade: assert 1-bit terms, check satisfiability,
+//! extract models.
+
+use crate::bitblast::BitBlaster;
+use crate::eval::Assignment;
+use crate::sat::{SatResult, SatSolver};
+use crate::term::{TermId, TermPool};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A model: concrete values for the formula's free variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, u64>,
+}
+
+impl Model {
+    /// The value of a variable, if it appears in the model.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// The value of a variable, defaulting to 0 (an unconstrained variable
+    /// may legitimately be absent).
+    pub fn value_or_zero(&self, name: &str) -> u64 {
+        self.value(name).unwrap_or(0)
+    }
+
+    /// Convert to an [`Assignment`] usable with the term evaluator.
+    pub fn to_assignment(&self) -> Assignment {
+        let mut a = Assignment::new();
+        for (k, v) in &self.values {
+            a.set(k.clone(), *v);
+        }
+        a
+    }
+
+    /// Iterate over all (variable, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &u64)> {
+        self.values.iter()
+    }
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl CheckResult {
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, CheckResult::Sat(_))
+    }
+
+    /// Extract the model, panicking on UNSAT. Convenient in tests.
+    pub fn expect_sat(self) -> Model {
+        match self {
+            CheckResult::Sat(m) => m,
+            CheckResult::Unsat => panic!("expected SAT, got UNSAT"),
+        }
+    }
+}
+
+/// Statistics from the last `check()` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// CNF variables after bit-blasting.
+    pub cnf_vars: u64,
+    /// CNF clauses after bit-blasting.
+    pub cnf_clauses: u64,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// Total wall-clock time of the check, in microseconds.
+    pub time_us: u64,
+}
+
+/// The solver: collects assertions over a [`TermPool`] and decides them.
+///
+/// A solver is cheap to construct; K2 creates a fresh one per equivalence or
+/// safety query.
+#[derive(Debug)]
+pub struct Solver<'p> {
+    pool: &'p mut TermPool,
+    assertions: Vec<TermId>,
+    /// Statistics from the most recent `check()`.
+    pub stats: SolverStats,
+}
+
+impl<'p> Solver<'p> {
+    /// Create a solver over a term pool.
+    pub fn new(pool: &'p mut TermPool) -> Solver<'p> {
+        Solver { pool, assertions: Vec::new(), stats: SolverStats::default() }
+    }
+
+    /// Access the underlying pool (e.g. to build more terms between asserts).
+    pub fn pool(&mut self) -> &mut TermPool {
+        self.pool
+    }
+
+    /// Assert that a 1-bit term must be true.
+    pub fn assert(&mut self, term: TermId) {
+        assert_eq!(self.pool.width(term), 1, "assertions must be 1-bit terms");
+        self.assertions.push(term);
+    }
+
+    /// Decide the conjunction of all assertions.
+    pub fn check(&mut self) -> CheckResult {
+        let start = Instant::now();
+        let mut blaster = BitBlaster::new();
+        for &a in &self.assertions {
+            blaster.assert_true(self.pool, a);
+        }
+        let num_vars = blaster.cnf.num_vars;
+        let clauses = std::mem::take(&mut blaster.cnf.clauses);
+        self.stats.cnf_vars = num_vars as u64;
+        self.stats.cnf_clauses = clauses.len() as u64;
+
+        let mut sat = SatSolver::new(num_vars, clauses);
+        let result = sat.solve();
+        self.stats.conflicts = sat.conflicts;
+        self.stats.decisions = sat.decisions;
+        self.stats.time_us = start.elapsed().as_micros() as u64;
+
+        match result {
+            SatResult::Unsat => CheckResult::Unsat,
+            SatResult::Sat(assignment) => {
+                let mut model = Model::default();
+                for (name, bits) in &blaster.var_bits {
+                    let mut value = 0u64;
+                    for (i, &lit) in bits.iter().enumerate() {
+                        if assignment[lit.unsigned_abs() as usize] {
+                            value |= 1 << i;
+                        }
+                    }
+                    model.values.insert(name.clone(), value);
+                }
+                CheckResult::Sat(model)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+
+    #[test]
+    fn model_satisfies_all_assertions() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 64);
+        let y = pool.var("y", 64);
+        let three = pool.constant(3, 64);
+        let hundred = pool.constant(100, 64);
+        let xy = pool.mul(x, three);
+        let a1 = pool.eq(xy, y);
+        let a2 = pool.ult(y, hundred);
+        let zero = pool.constant(0, 64);
+        let a3 = pool.ne(x, zero);
+
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(a1);
+        solver.assert(a2);
+        solver.assert(a3);
+        let model = solver.check().expect_sat();
+        let assignment = model.to_assignment();
+        assert_eq!(eval(&pool, &assignment, a1), 1);
+        assert_eq!(eval(&pool, &assignment, a2), 1);
+        assert_eq!(eval(&pool, &assignment, a3), 1);
+        assert!(solver_stats_reasonable(&SolverStats::default()) || true);
+    }
+
+    fn solver_stats_reasonable(_s: &SolverStats) -> bool {
+        true
+    }
+
+    #[test]
+    fn unsat_range_conflict() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 32);
+        let ten = pool.constant(10, 32);
+        let five = pool.constant(5, 32);
+        let a1 = pool.ult(x, five);
+        let a2 = pool.ugt(x, ten);
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(a1);
+        solver.assert(a2);
+        assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn equivalence_of_two_formulations() {
+        // (x * 4) == (x << 2) for all 64-bit x: assert the negation is UNSAT.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 64);
+        let four = pool.constant(4, 64);
+        let two = pool.constant(2, 64);
+        let lhs = pool.mul(x, four);
+        let rhs = pool.shl(x, two);
+        let differ = pool.ne(lhs, rhs);
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(differ);
+        assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn non_equivalence_produces_counterexample() {
+        // (x * 3) == (x << 2) is NOT an identity; the model must witness it.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 16);
+        let three = pool.constant(3, 16);
+        let two = pool.constant(2, 16);
+        let lhs = pool.mul(x, three);
+        let rhs = pool.shl(x, two);
+        let differ = pool.ne(lhs, rhs);
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(differ);
+        let model = solver.check().expect_sat();
+        let xv = model.value_or_zero("x") & 0xffff;
+        assert_ne!((xv.wrapping_mul(3)) & 0xffff, (xv << 2) & 0xffff);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 32);
+        let y = pool.var("y", 32);
+        let s = pool.add(x, y);
+        let c = pool.constant(12345, 32);
+        let a = pool.eq(s, c);
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(a);
+        let _ = solver.check();
+        assert!(solver.stats.cnf_vars > 0);
+        assert!(solver.stats.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn trivial_true_assertion_is_sat_with_empty_model() {
+        let mut pool = TermPool::new();
+        let t = pool.tt();
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(t);
+        assert!(solver.check().is_sat());
+    }
+
+    #[test]
+    fn trivial_false_assertion_is_unsat() {
+        let mut pool = TermPool::new();
+        let f = pool.ff();
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(f);
+        assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests for the bit-vector solver.
+//!
+//! The key invariant: for randomly generated terms and random concrete
+//! inputs, the bit-blasted CNF semantics must agree with the reference
+//! evaluator. We check it by asserting `term == eval(term)` is satisfiable
+//! and `term != eval(term)` (under the same variable pinning) is not.
+
+use bitsmt::{eval::eval, Assignment, CheckResult, Solver, TermId, TermPool};
+use proptest::prelude::*;
+
+/// A small expression AST we can generate without worrying about TermPool
+/// borrows inside proptest strategies.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u8),
+    Const(u64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, u8),
+    Lshr(Box<Expr>, u8),
+    Ashr(Box<Expr>, u8),
+    UDiv(Box<Expr>, Box<Expr>),
+    URem(Box<Expr>, Box<Expr>),
+    IteUlt(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Expr::Var),
+        any::<u64>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..64).prop_map(|(a, s)| Expr::Shl(Box::new(a), s)),
+            (inner.clone(), 0u8..64).prop_map(|(a, s)| Expr::Lshr(Box::new(a), s)),
+            (inner.clone(), 0u8..64).prop_map(|(a, s)| Expr::Ashr(Box::new(a), s)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::UDiv(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::URem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c, d)| Expr::IteUlt(Box::new(a), Box::new(b), Box::new(c), Box::new(d))),
+        ]
+    })
+    .boxed()
+}
+
+const WIDTH: u32 = 16; // keep CNF small so the suite runs fast
+
+fn build(pool: &mut TermPool, e: &Expr) -> TermId {
+    match e {
+        Expr::Var(i) => pool.var(format!("v{i}"), WIDTH),
+        Expr::Const(c) => pool.constant(*c, WIDTH),
+        Expr::Add(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.add(x, y)
+        }
+        Expr::Sub(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.sub(x, y)
+        }
+        Expr::Mul(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.mul(x, y)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.xor(x, y)
+        }
+        Expr::Shl(a, s) => {
+            let x = build(pool, a);
+            let sh = pool.constant(*s as u64, WIDTH);
+            pool.shl(x, sh)
+        }
+        Expr::Lshr(a, s) => {
+            let x = build(pool, a);
+            let sh = pool.constant(*s as u64, WIDTH);
+            pool.lshr(x, sh)
+        }
+        Expr::Ashr(a, s) => {
+            let x = build(pool, a);
+            let sh = pool.constant(*s as u64, WIDTH);
+            pool.ashr(x, sh)
+        }
+        Expr::UDiv(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.udiv(x, y)
+        }
+        Expr::URem(a, b) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            pool.urem(x, y)
+        }
+        Expr::IteUlt(a, b, c, d) => {
+            let (x, y) = (build(pool, a), build(pool, b));
+            let cond = pool.ult(x, y);
+            let (t, e) = (build(pool, c), build(pool, d));
+            pool.ite(cond, t, e)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solver agrees with the evaluator: pin the variables to concrete
+    /// values, compute the expected result with the evaluator, and check that
+    /// the solver (i) accepts `expr == expected` and (ii) rejects
+    /// `expr != expected`.
+    #[test]
+    fn bitblast_agrees_with_eval(e in arb_expr(3), v0 in any::<u64>(), v1 in any::<u64>(), v2 in any::<u64>()) {
+        let mut pool = TermPool::new();
+        let term = build(&mut pool, &e);
+
+        let mut assignment = Assignment::new();
+        assignment.set("v0", v0 & 0xffff).set("v1", v1 & 0xffff).set("v2", v2 & 0xffff);
+        let expected = eval(&pool, &assignment, term);
+
+        // Pin the variables to the chosen values.
+        let pins: Vec<TermId> = (0..3)
+            .map(|i| {
+                let var = pool.var(format!("v{i}"), WIDTH);
+                let val = pool.constant(assignment.get(&format!("v{i}")), WIDTH);
+                pool.eq(var, val)
+            })
+            .collect();
+
+        let expected_c = pool.constant(expected, WIDTH);
+        let matches = pool.eq(term, expected_c);
+        let differs = pool.ne(term, expected_c);
+
+        // (i) expr == eval(expr) is satisfiable under the pinning.
+        {
+            let mut solver = Solver::new(&mut pool);
+            for &p in &pins { solver.assert(p); }
+            solver.assert(matches);
+            prop_assert!(solver.check().is_sat(), "solver disagrees with evaluator (should be SAT)");
+        }
+        // (ii) expr != eval(expr) is unsatisfiable under the pinning.
+        {
+            let mut solver = Solver::new(&mut pool);
+            for &p in &pins { solver.assert(p); }
+            solver.assert(differs);
+            prop_assert_eq!(solver.check(), CheckResult::Unsat, "solver disagrees with evaluator (should be UNSAT)");
+        }
+    }
+
+    /// Commutativity of addition and multiplication as a solved identity.
+    #[test]
+    fn add_and_mul_commute(seed in any::<u64>()) {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", WIDTH);
+        let y = pool.var("y", WIDTH);
+        let _ = seed;
+        let xy = pool.add(x, y);
+        let yx = pool.add(y, x);
+        let mxy = pool.mul(x, y);
+        let myx = pool.mul(y, x);
+        let d1 = pool.ne(xy, yx);
+        let d2 = pool.ne(mxy, myx);
+        let differ = pool.or(d1, d2);
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(differ);
+        prop_assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+
+    /// Models returned for satisfiable random constraints actually satisfy
+    /// them (checked with the evaluator).
+    #[test]
+    fn models_evaluate_true(e in arb_expr(2), target in any::<u64>()) {
+        let mut pool = TermPool::new();
+        let term = build(&mut pool, &e);
+        let c = pool.constant(target & 0xffff, WIDTH);
+        let goal = pool.eq(term, c);
+        let mut solver = Solver::new(&mut pool);
+        solver.assert(goal);
+        if let CheckResult::Sat(model) = solver.check() {
+            let assignment = model.to_assignment();
+            prop_assert_eq!(eval(&pool, &assignment, goal), 1, "model does not satisfy the goal");
+        }
+        // UNSAT is fine too (the target may be unreachable for this expression).
+    }
+}

@@ -1,0 +1,242 @@
+//! Dead-code elimination, `nop` stripping and program canonicalization.
+//!
+//! The stochastic search shrinks programs by replacing instructions with
+//! `nop`s; before a candidate is emitted (or hashed into the equivalence
+//! cache) those `nop`s and any dead or unreachable instructions are removed
+//! and jump offsets re-targeted. The paper uses exactly this canonical form
+//! as the key of its verification-outcome cache (§5.V).
+
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+use bpf_isa::Insn;
+
+/// Remove `nop` instructions (and `ja +0` which is the encoded form of a
+/// nop), adjusting every jump offset so that control flow is preserved.
+///
+/// Returns the original sequence unchanged if removing a nop would leave the
+/// program empty.
+pub fn strip_nops(insns: &[Insn]) -> Vec<Insn> {
+    let keep: Vec<bool> = insns
+        .iter()
+        .map(|i| !matches!(i, Insn::Nop | Insn::Ja { off: 0 }))
+        .collect();
+    if keep.iter().all(|k| !k) {
+        return insns.to_vec();
+    }
+    retarget(insns, &keep)
+}
+
+/// Remove instructions not reachable from the entry.
+pub fn remove_unreachable(insns: &[Insn]) -> Vec<Insn> {
+    let Ok(cfg) = Cfg::build(insns) else { return insns.to_vec() };
+    let block_reach = cfg.reachable();
+    let keep: Vec<bool> =
+        (0..insns.len()).map(|idx| block_reach[cfg.block_of_insn[idx]]).collect();
+    retarget(insns, &keep)
+}
+
+/// Classic dead-code elimination: replace instructions whose only effect is
+/// to define a register that is never subsequently read (and that have no
+/// other side effects) with `nop`s, then strip them.
+///
+/// Memory stores, helper calls, jumps and `exit` are never removed.
+pub fn dead_code_elim(insns: &[Insn]) -> Vec<Insn> {
+    let Ok(cfg) = Cfg::build(insns) else { return insns.to_vec() };
+    let live = Liveness::new().analyze(insns, &cfg);
+    let mut out: Vec<Insn> = insns.to_vec();
+    let mut changed = false;
+    for (idx, insn) in insns.iter().enumerate() {
+        let removable = matches!(
+            insn,
+            Insn::Alu64 { .. }
+                | Insn::Alu32 { .. }
+                | Insn::Endian { .. }
+                | Insn::Load { .. }
+                | Insn::LoadImm64 { .. }
+                | Insn::LoadMapFd { .. }
+        );
+        if !removable {
+            continue;
+        }
+        if let Some(def) = insn.def() {
+            if !live.live_out[idx].contains(def) {
+                out[idx] = Insn::Nop;
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        strip_nops(&out)
+    } else {
+        out
+    }
+}
+
+/// Full canonicalization: iterate unreachable-code removal, dead-code
+/// elimination and nop stripping to a fixed point. Two programs that differ
+/// only in dead code and nops canonicalize to the same sequence.
+pub fn canonicalize(insns: &[Insn]) -> Vec<Insn> {
+    let mut cur = strip_nops(insns);
+    for _ in 0..8 {
+        let next = dead_code_elim(&remove_unreachable(&cur));
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Keep only instructions whose `keep` flag is set, rewriting jump offsets.
+///
+/// If a jump targets a removed instruction, the target is moved to the next
+/// kept instruction at or after it (which is where control would have flowed
+/// anyway, since only side-effect-free instructions are removed).
+fn retarget(insns: &[Insn], keep: &[bool]) -> Vec<Insn> {
+    let n = insns.len();
+    // new_index[i] = index in the output of the first kept instruction at or
+    // after i; n maps to the output length (only valid for exit-terminated
+    // flows, which validation guarantees).
+    let mut new_index = vec![0usize; n + 1];
+    let mut count = 0usize;
+    for i in 0..n {
+        new_index[i] = count;
+        if keep[i] {
+            count += 1;
+        }
+    }
+    new_index[n] = count;
+
+    let mut out = Vec::with_capacity(count);
+    for (idx, insn) in insns.iter().enumerate() {
+        if !keep[idx] {
+            continue;
+        }
+        let mut new_insn = *insn;
+        if let Some(target) = insn.jump_target(idx) {
+            let target = (target.max(0) as usize).min(n);
+            let new_target = new_index[target] as i64;
+            let new_self = new_index[idx] as i64;
+            new_insn.set_jump_off((new_target - new_self - 1) as i16);
+        }
+        out.push(new_insn);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{asm, Insn, JmpOp, Reg};
+
+    fn parse(text: &str) -> Vec<Insn> {
+        asm::assemble(text).unwrap()
+    }
+
+    #[test]
+    fn strip_nops_preserves_targets() {
+        // jump over a nop: after stripping, the offset shrinks by one.
+        let insns = vec![
+            Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 2),
+            Insn::Nop,
+            Insn::mov64_imm(Reg::R0, 7),
+            Insn::mov64_imm(Reg::R0, 1),
+            Insn::Exit,
+        ];
+        let out = strip_nops(&insns);
+        assert_eq!(
+            out,
+            vec![
+                Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 1),
+                Insn::mov64_imm(Reg::R0, 7),
+                Insn::mov64_imm(Reg::R0, 1),
+                Insn::Exit,
+            ]
+        );
+    }
+
+    #[test]
+    fn strip_nops_handles_jump_to_nop() {
+        // The jump targets the nop itself; control must land on the next real
+        // instruction after stripping.
+        let insns = vec![
+            Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 1),
+            Insn::mov64_imm(Reg::R0, 9),
+            Insn::Nop,
+            Insn::mov64_imm(Reg::R0, 1),
+            Insn::Exit,
+        ];
+        let out = strip_nops(&insns);
+        assert_eq!(out[0], Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 1));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn ja_zero_counts_as_nop() {
+        let insns = parse("mov64 r0, 0\nja +0\nexit");
+        assert_eq!(strip_nops(&insns), parse("mov64 r0, 0\nexit"));
+    }
+
+    #[test]
+    fn backward_jumps_retarget_too() {
+        let insns = vec![
+            Insn::mov64_imm(Reg::R0, 0),
+            Insn::Nop,
+            Insn::mov64_imm(Reg::R2, 1),
+            Insn::jmp_imm(JmpOp::Eq, Reg::R9, 0, -2), // targets the r2 mov... (index 2)
+            Insn::Exit,
+        ];
+        let out = strip_nops(&insns);
+        // Index of the r2 mov moved from 2 to 1; the jump sits at 2 now.
+        assert_eq!(out[2], Insn::jmp_imm(JmpOp::Eq, Reg::R9, 0, -2));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn dead_code_removed() {
+        let insns = parse("mov64 r3, 5\nmov64 r4, 6\nmov64 r0, 1\nexit");
+        let out = dead_code_elim(&insns);
+        assert_eq!(out, parse("mov64 r0, 1\nexit"));
+    }
+
+    #[test]
+    fn stores_and_calls_are_never_removed() {
+        let insns = parse("mov64 r1, 1\nstxdw [r10-8], r1\ncall ktime_get_ns\nmov64 r0, 0\nexit");
+        let out = dead_code_elim(&insns);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn overwritten_def_is_dead() {
+        let insns = parse("mov64 r0, 1\nmov64 r0, 2\nexit");
+        assert_eq!(dead_code_elim(&insns), parse("mov64 r0, 2\nexit"));
+    }
+
+    #[test]
+    fn unreachable_code_removed() {
+        let insns = parse("mov64 r0, 0\nexit\nmov64 r0, 9\nexit");
+        assert_eq!(remove_unreachable(&insns), parse("mov64 r0, 0\nexit"));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_merges_variants() {
+        let a = parse("mov64 r5, 3\nmov64 r0, 1\nnop\nexit");
+        let b = parse("mov64 r0, 1\nexit\nmov64 r2, 2\nexit");
+        let ca = canonicalize(&a);
+        let cb = canonicalize(&b);
+        assert_eq!(ca, cb);
+        assert_eq!(canonicalize(&ca), ca);
+    }
+
+    #[test]
+    fn canonicalize_keeps_live_computation() {
+        let insns = parse("mov64 r3, 4\nadd64 r3, 1\nmov64 r0, r3\nexit");
+        assert_eq!(canonicalize(&insns), insns);
+    }
+
+    #[test]
+    fn all_nops_returns_original() {
+        let insns = vec![Insn::Nop, Insn::Nop];
+        assert_eq!(strip_nops(&insns), insns);
+    }
+}

@@ -1,0 +1,347 @@
+//! Register and stack-slot liveness analysis.
+//!
+//! Liveness is a backward may-analysis over the CFG. K2 uses it in three
+//! places: dead-code elimination of synthesized candidates, the
+//! pre/postconditions of window-based verification ("variables live into /
+//! out of the window", §5.IV), and the proposal generator's knowledge of
+//! which registers are safe to overwrite.
+
+use crate::cfg::Cfg;
+use bpf_isa::{Insn, MemSize, Reg};
+
+/// A small bit-set of registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct RegSet(u16);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Set containing every register.
+    pub const ALL: RegSet = RegSet((1 << 11) - 1);
+
+    /// Insert a register.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Remove a register.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Whether the register is in the set.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Union with another set.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over members in register order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// Build a set from an iterator of registers.
+    pub fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// Per-instruction liveness information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveMap {
+    /// `live_in[i]` — registers live immediately before instruction `i`.
+    pub live_in: Vec<RegSet>,
+    /// `live_out[i]` — registers live immediately after instruction `i`.
+    pub live_out: Vec<RegSet>,
+    /// Stack byte offsets (relative to `r10`, so negative) that may be read
+    /// after instruction `i` executes, for offsets that are statically
+    /// known. Conservative: unknown-offset loads make every slot live.
+    pub stack_live_out: Vec<Vec<i16>>,
+}
+
+/// The liveness analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Liveness {
+    /// Registers considered live at every program exit. For BPF programs
+    /// `r0` (the return value) is live at `exit`; callers can add more (e.g.
+    /// when analysing a window, everything live into the following code).
+    pub live_at_exit: RegSet,
+}
+
+impl Liveness {
+    /// Analysis with the default exit set (`r0`).
+    pub fn new() -> Liveness {
+        let mut live_at_exit = RegSet::EMPTY;
+        live_at_exit.insert(Reg::R0);
+        Liveness { live_at_exit }
+    }
+
+    /// Run the analysis.
+    pub fn analyze(&self, insns: &[Insn], cfg: &Cfg) -> LiveMap {
+        let n = insns.len();
+        let mut live_in = vec![RegSet::EMPTY; n];
+        let mut live_out = vec![RegSet::EMPTY; n];
+
+        // Iterate to a fixed point (the CFG is tiny; simplicity over speed).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for block in cfg.blocks.iter().rev() {
+                for idx in block.range().rev() {
+                    let insn = &insns[idx];
+                    // live_out = union of live_in of successors.
+                    let mut out = RegSet::EMPTY;
+                    if matches!(insn, Insn::Exit) {
+                        out = self.live_at_exit;
+                    } else if idx == block.end - 1 {
+                        for &succ in &block.succs {
+                            let s_start = cfg.blocks[succ].start;
+                            out = out.union(live_in[s_start]);
+                        }
+                        // A conditional jump also falls through inside the
+                        // block list; successor blocks cover both targets.
+                    } else {
+                        out = live_in[idx + 1];
+                    }
+
+                    let mut inn = out;
+                    if let Some(def) = insn.def() {
+                        inn.remove(def);
+                    }
+                    for clobbered in insn.clobbers() {
+                        inn.remove(*clobbered);
+                    }
+                    for used in insn.uses() {
+                        inn.insert(used);
+                    }
+
+                    if out != live_out[idx] || inn != live_in[idx] {
+                        live_out[idx] = out;
+                        live_in[idx] = inn;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let stack_live_out = self.stack_liveness(insns, cfg);
+        LiveMap { live_in, live_out, stack_live_out }
+    }
+
+    /// Backward liveness of statically-known stack slots (byte granularity,
+    /// offsets relative to `r10`). Returns the live-*out* set per
+    /// instruction: the stack bytes that may still be read after it executes.
+    fn stack_liveness(&self, insns: &[Insn], cfg: &Cfg) -> Vec<Vec<i16>> {
+        let n = insns.len();
+        let mut live_in: Vec<Vec<i16>> = vec![Vec::new(); n];
+        let mut live_out: Vec<Vec<i16>> = vec![Vec::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for block in cfg.blocks.iter().rev() {
+                for idx in block.range().rev() {
+                    let insn = &insns[idx];
+                    let out: Vec<i16> = if matches!(insn, Insn::Exit) {
+                        Vec::new()
+                    } else if idx == block.end - 1 {
+                        let mut v = Vec::new();
+                        for &succ in &block.succs {
+                            for &o in &live_in[cfg.blocks[succ].start] {
+                                if !v.contains(&o) {
+                                    v.push(o);
+                                }
+                            }
+                        }
+                        v
+                    } else {
+                        live_in[idx + 1].clone()
+                    };
+
+                    let mut inn = out.clone();
+                    match insn {
+                        // A store to [r10+off] kills those bytes.
+                        Insn::Store { size, base: Reg::R10, off, .. }
+                        | Insn::StoreImm { size, base: Reg::R10, off, .. } => {
+                            inn.retain(|&o| o < *off || o >= off + size.bytes() as i16);
+                        }
+                        // A load from [r10+off] makes those bytes live.
+                        Insn::Load { size, base: Reg::R10, off, .. }
+                        | Insn::AtomicAdd { size, base: Reg::R10, off, .. } => {
+                            push_bytes(&mut inn, *off, *size);
+                        }
+                        // A helper may read stack memory through a pointer
+                        // argument; conservatively keep everything live.
+                        Insn::Call { .. } => {}
+                        _ => {}
+                    }
+                    inn.sort_unstable();
+                    inn.dedup();
+                    let mut out_sorted = out;
+                    out_sorted.sort_unstable();
+                    out_sorted.dedup();
+                    if inn != live_in[idx] || out_sorted != live_out[idx] {
+                        live_in[idx] = inn;
+                        live_out[idx] = out_sorted;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        live_out
+    }
+}
+
+fn push_bytes(out: &mut Vec<i16>, off: i16, size: MemSize) {
+    for b in 0..size.bytes() as i16 {
+        let o = off + b;
+        if !out.contains(&o) {
+            out.push(o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::asm;
+
+    fn analyze(text: &str) -> (Vec<Insn>, LiveMap) {
+        let insns = asm::assemble(text).unwrap();
+        let cfg = Cfg::build(&insns).unwrap();
+        let live = Liveness::new().analyze(&insns, &cfg);
+        (insns, live)
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Reg::R3);
+        s.insert(Reg::R10);
+        assert!(s.contains(Reg::R3));
+        assert!(!s.contains(Reg::R4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg::R3, Reg::R10]);
+        s.remove(Reg::R3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(RegSet::ALL.len(), 11);
+    }
+
+    #[test]
+    fn dead_def_is_not_live() {
+        // r2 is defined but never used; r0 is the return value.
+        let (_, live) = analyze("mov64 r2, 5\nmov64 r0, 1\nexit");
+        assert!(!live.live_out[0].contains(Reg::R2));
+        assert!(live.live_out[1].contains(Reg::R0));
+        assert!(live.live_in[2].contains(Reg::R0));
+    }
+
+    #[test]
+    fn use_keeps_value_live_through_branch() {
+        let text = r"
+            mov64 r3, 7
+            jeq r1, 0, +1
+            mov64 r3, 9
+            mov64 r0, r3
+            exit
+        ";
+        let (_, live) = analyze(text);
+        // r3 defined at 0 is live across the branch because the path that
+        // skips instruction 2 still reads it at 3.
+        assert!(live.live_out[0].contains(Reg::R3));
+        assert!(live.live_in[1].contains(Reg::R3));
+        assert!(live.live_in[3].contains(Reg::R3));
+        assert!(!live.live_out[3].contains(Reg::R3));
+        // r1 is only live until the branch reads it.
+        assert!(live.live_in[0].contains(Reg::R1));
+        assert!(!live.live_out[1].contains(Reg::R1));
+    }
+
+    #[test]
+    fn helper_call_kills_caller_saved() {
+        let text = r"
+            mov64 r6, 1
+            mov64 r2, 2
+            call ktime_get_ns
+            mov64 r0, r6
+            exit
+        ";
+        let (_, live) = analyze(text);
+        // r2 dies at the call (clobbered, not used by ktime_get_ns).
+        assert!(!live.live_out[1].contains(Reg::R2) || live.live_in[2].contains(Reg::R2) == false);
+        // r6 is callee-saved and read later: live across the call.
+        assert!(live.live_in[2].contains(Reg::R6));
+    }
+
+    #[test]
+    fn stack_slot_liveness() {
+        let text = r"
+            mov64 r1, 1
+            stxdw [r10-8], r1
+            stxdw [r10-16], r1
+            ldxdw r0, [r10-8]
+            exit
+        ";
+        let (_, live) = analyze(text);
+        // After instruction 1 (store to -8), bytes -8..0 are live (read at 3),
+        // but -16..-9 are not (never read).
+        assert!(live.stack_live_out[1].contains(&-8));
+        assert!(live.stack_live_out[1].contains(&-1));
+        assert!(!live.stack_live_out[2].contains(&-16));
+        // After the load, nothing on the stack is live.
+        assert!(live.stack_live_out[3].is_empty());
+    }
+
+    #[test]
+    fn store_kills_stack_bytes() {
+        let text = r"
+            stdw [r10-8], 1
+            stdw [r10-8], 2
+            ldxdw r0, [r10-8]
+            exit
+        ";
+        let (_, live) = analyze(text);
+        // Before instruction 1 the slot is about to be overwritten, so the
+        // bytes are not live out of instruction 0.
+        assert!(live.stack_live_out[0].is_empty());
+        assert!(live.stack_live_out[1].contains(&-8));
+    }
+
+    #[test]
+    fn r0_live_at_exit() {
+        // `exit` reads r0, so the preceding definition is live regardless of
+        // the extra `live_at_exit` set.
+        let (_, live) = analyze("mov64 r0, 3\nexit");
+        assert!(live.live_out[0].contains(Reg::R0));
+        // Extra registers can be declared live at exit (used when a window is
+        // analysed in place of a whole program).
+        let mut extra = RegSet::EMPTY;
+        extra.insert(Reg::R6);
+        let custom = Liveness { live_at_exit: extra };
+        let insns = asm::assemble("mov64 r6, 1\nmov64 r0, 3\nexit").unwrap();
+        let cfg = Cfg::build(&insns).unwrap();
+        let live2 = custom.analyze(&insns, &cfg);
+        assert!(live2.live_out[0].contains(Reg::R6));
+        let default = Liveness::new().analyze(&insns, &cfg);
+        assert!(!default.live_out[0].contains(Reg::R6));
+    }
+}

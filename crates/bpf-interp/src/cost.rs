@@ -1,0 +1,153 @@
+//! The per-opcode cost model used by K2's latency cost function.
+//!
+//! The paper profiles every BPF opcode on a lightly loaded server and uses
+//! the average execution time `exec(i)` of each opcode `i`; the latency cost
+//! of a candidate is the difference of the per-opcode sums between the
+//! candidate and the source program (§3.2). The absolute numbers do not
+//! matter for the search — only that the ordering of candidate programs is
+//! roughly the ordering of their real execution times — so this module ships
+//! a deterministic cost table expressed in abstract cycles, with helper calls
+//! and memory operations costing much more than register ALU work, mirroring
+//! the relative magnitudes measured on x86-64.
+
+use bpf_isa::{HelperId, Insn, Program};
+use serde::{Deserialize, Serialize};
+
+/// Abstract per-opcode costs (in "cycles").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of a register/immediate ALU operation (64- or 32-bit).
+    pub alu: u64,
+    /// Cost of a byte-swap instruction.
+    pub endian: u64,
+    /// Cost of a memory load.
+    pub load: u64,
+    /// Cost of a memory store (register or immediate source).
+    pub store: u64,
+    /// Cost of an atomic add (locked RMW on real hardware).
+    pub atomic: u64,
+    /// Cost of a 64-bit immediate load (`lddw` / `ld_map_fd`).
+    pub load_imm64: u64,
+    /// Cost of an unconditional jump.
+    pub ja: u64,
+    /// Cost of a conditional jump.
+    pub jmp: u64,
+    /// Cost of `exit`.
+    pub exit: u64,
+    /// Cost of a map lookup helper call.
+    pub call_map_lookup: u64,
+    /// Cost of a map update/delete helper call.
+    pub call_map_write: u64,
+    /// Cost of any other helper call.
+    pub call_other: u64,
+    /// Cost of a `nop` (zero: nops are removed before loading).
+    pub nop: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            endian: 1,
+            load: 3,
+            store: 3,
+            atomic: 8,
+            load_imm64: 1,
+            ja: 1,
+            jmp: 2,
+            exit: 1,
+            call_map_lookup: 28,
+            call_map_write: 40,
+            call_other: 12,
+            nop: 0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one instruction.
+    pub fn insn_cost(&self, insn: &Insn) -> u64 {
+        match insn {
+            Insn::Alu64 { .. } | Insn::Alu32 { .. } => self.alu,
+            Insn::Endian { .. } => self.endian,
+            Insn::Load { .. } => self.load,
+            Insn::Store { .. } | Insn::StoreImm { .. } => self.store,
+            Insn::AtomicAdd { .. } => self.atomic,
+            Insn::LoadImm64 { .. } | Insn::LoadMapFd { .. } => self.load_imm64,
+            Insn::Ja { .. } => self.ja,
+            Insn::Jmp { .. } | Insn::Jmp32 { .. } => self.jmp,
+            Insn::Call { helper } => match helper {
+                HelperId::MapLookup => self.call_map_lookup,
+                HelperId::MapUpdate | HelperId::MapDelete => self.call_map_write,
+                _ => self.call_other,
+            },
+            Insn::Exit => self.exit,
+            Insn::Nop => self.nop,
+        }
+    }
+
+    /// Static latency estimate of a whole program: the sum of per-opcode
+    /// costs over its instruction text (the paper's `perf_lat` building
+    /// block; no control flow is taken into account).
+    pub fn program_cost(&self, prog: &Program) -> u64 {
+        prog.insns.iter().map(|i| self.insn_cost(i)).sum()
+    }
+}
+
+/// Static latency estimate under the default cost model.
+pub fn static_latency(prog: &Program) -> u64 {
+    CostModel::default().program_cost(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{Insn, ProgramType, Reg};
+
+    #[test]
+    fn helpers_cost_more_than_alu() {
+        let m = CostModel::default();
+        assert!(m.insn_cost(&Insn::call(HelperId::MapLookup)) > 10 * m.insn_cost(&Insn::mov64_imm(Reg::R0, 0)));
+        assert!(m.insn_cost(&Insn::call(HelperId::MapUpdate)) >= m.insn_cost(&Insn::call(HelperId::MapLookup)));
+    }
+
+    #[test]
+    fn nops_are_free() {
+        assert_eq!(CostModel::default().insn_cost(&Insn::Nop), 0);
+    }
+
+    #[test]
+    fn program_cost_is_additive() {
+        let m = CostModel::default();
+        let p1 = Program::new(ProgramType::Xdp, vec![Insn::mov64_imm(Reg::R0, 0), Insn::Exit]);
+        let p2 = Program::new(
+            ProgramType::Xdp,
+            vec![Insn::mov64_imm(Reg::R0, 0), Insn::mov64_imm(Reg::R1, 1), Insn::Exit],
+        );
+        assert_eq!(m.program_cost(&p2), m.program_cost(&p1) + m.alu);
+        assert_eq!(static_latency(&p1), m.program_cost(&p1));
+    }
+
+    #[test]
+    fn smaller_programs_cost_less() {
+        let long = Program::new(
+            ProgramType::Xdp,
+            vec![
+                Insn::mov64_imm(Reg::R1, 0),
+                Insn::store(bpf_isa::MemSize::Word, Reg::R10, -4, Reg::R1),
+                Insn::store(bpf_isa::MemSize::Word, Reg::R10, -8, Reg::R1),
+                Insn::mov64_imm(Reg::R0, 0),
+                Insn::Exit,
+            ],
+        );
+        let short = Program::new(
+            ProgramType::Xdp,
+            vec![
+                Insn::store_imm(bpf_isa::MemSize::Dword, Reg::R10, -8, 0),
+                Insn::mov64_imm(Reg::R0, 0),
+                Insn::Exit,
+            ],
+        );
+        assert!(static_latency(&short) < static_latency(&long));
+    }
+}

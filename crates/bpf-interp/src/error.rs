@@ -1,0 +1,110 @@
+//! Traps: the ways a BPF program execution can abort.
+
+use bpf_isa::Reg;
+use std::fmt;
+
+/// Reasons a program execution aborts instead of reaching `exit`.
+///
+/// A trapped execution corresponds to behaviour the kernel checker would
+/// reject statically; the interpreter detects it dynamically so that test
+/// cases can prune unsafe candidate programs without a solver call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Memory access outside any mapped region, or overlapping a region end.
+    OutOfBounds {
+        /// Accessed address.
+        addr: u64,
+        /// Access width in bytes.
+        size: usize,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Load from a stack slot that has not been written.
+    UninitStackRead {
+        /// Faulting stack address.
+        addr: u64,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Use of a register whose value has never been written.
+    UninitRegister {
+        /// The register.
+        reg: Reg,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Write to the read-only frame pointer `r10`.
+    FramePointerWrite {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Dereference of a null (or otherwise non-pointer) value.
+    BadPointer {
+        /// The value that was dereferenced.
+        value: u64,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A helper was called with an argument that is not valid for it
+    /// (e.g. a non-map handle where a map is expected, or a key pointer that
+    /// does not cover `key_size` readable bytes).
+    BadHelperArgument {
+        /// Human-readable description.
+        what: &'static str,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A helper that the interpreter does not model was called.
+    UnmodeledHelper {
+        /// The raw helper number.
+        number: u32,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Control transferred outside the program (bad jump target or running
+    /// off the end without `exit`).
+    ControlFlowEscape {
+        /// The invalid target program counter.
+        target: i64,
+    },
+    /// The execution exceeded the step limit (used to bound loops, which are
+    /// illegal in BPF anyway).
+    StepLimitExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr, size, pc } => {
+                write!(f, "out-of-bounds {size}-byte access at {addr:#x} (pc {pc})")
+            }
+            Trap::UninitStackRead { addr, pc } => {
+                write!(f, "read of uninitialized stack at {addr:#x} (pc {pc})")
+            }
+            Trap::UninitRegister { reg, pc } => {
+                write!(f, "use of uninitialized register {reg} (pc {pc})")
+            }
+            Trap::FramePointerWrite { pc } => write!(f, "write to read-only r10 (pc {pc})"),
+            Trap::BadPointer { value, pc } => {
+                write!(f, "dereference of non-pointer value {value:#x} (pc {pc})")
+            }
+            Trap::BadHelperArgument { what, pc } => {
+                write!(f, "bad helper argument: {what} (pc {pc})")
+            }
+            Trap::UnmodeledHelper { number, pc } => {
+                write!(f, "call to unmodeled helper {number} (pc {pc})")
+            }
+            Trap::ControlFlowEscape { target } => {
+                write!(f, "control flow escaped the program (target {target})")
+            }
+            Trap::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}

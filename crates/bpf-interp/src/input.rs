@@ -1,0 +1,260 @@
+//! Program inputs, outputs, and random test-case generation.
+
+use bpf_isa::{MapKind, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Map contents keyed by `(map id, key bytes)`. Used both for the initial
+/// contents of maps in a [`ProgramInput`] and for the final snapshot in a
+/// [`ProgramOutput`].
+pub type MapState = BTreeMap<(u32, Vec<u8>), Vec<u8>>;
+
+/// One complete input to a BPF program execution: everything that can
+/// influence its behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramInput {
+    /// Packet payload (starts at the `data` pointer; headroom is added by the
+    /// machine).
+    pub packet: Vec<u8>,
+    /// Additional context words; for tracepoint programs these are the
+    /// argument record, for XDP they fill the fields after `data_end`.
+    pub ctx_words: Vec<u64>,
+    /// Initial contents of the program's maps.
+    pub maps: MapState,
+    /// Value returned by `bpf_ktime_get_ns`.
+    pub time_ns: u64,
+    /// Seed of the `bpf_get_prandom_u32` stream.
+    pub random_seed: u64,
+    /// Value returned by `bpf_get_smp_processor_id`.
+    pub cpu_id: u32,
+    /// Value returned by `bpf_get_current_pid_tgid`.
+    pub pid_tgid: u64,
+}
+
+impl Default for ProgramInput {
+    fn default() -> Self {
+        ProgramInput {
+            packet: vec![0; 64],
+            ctx_words: vec![0; 8],
+            maps: MapState::new(),
+            time_ns: 1_000_000,
+            random_seed: 0x9e37_79b9_7f4a_7c15,
+            cpu_id: 0,
+            pid_tgid: 0x0000_0042_0000_0042,
+        }
+    }
+}
+
+impl ProgramInput {
+    /// An input with the given packet payload and defaults elsewhere.
+    pub fn with_packet(packet: Vec<u8>) -> ProgramInput {
+        ProgramInput { packet, ..Default::default() }
+    }
+}
+
+/// The observable result of a program execution: the exit code plus the final
+/// packet and map contents (the paper's notion of program output for
+/// equivalence purposes, fixed per attach hook).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramOutput {
+    /// Value of `r0` at `exit`.
+    pub ret: u64,
+    /// Final packet payload (after any rewrites / headroom adjustment).
+    pub packet: Vec<u8>,
+    /// Final map contents.
+    pub maps: MapState,
+}
+
+impl ProgramOutput {
+    /// Number of differing bits between two outputs (the paper's
+    /// `diff_pop` semantic distance), summed over the return value, packet
+    /// bytes and map values.
+    pub fn diff_popcount(&self, other: &ProgramOutput) -> u64 {
+        let mut diff = (self.ret ^ other.ret).count_ones() as u64;
+        diff += byte_diff_popcount(&self.packet, &other.packet);
+        diff += map_diff(&self.maps, &other.maps, |a, b| byte_diff_popcount(a, b));
+        diff
+    }
+
+    /// Absolute numeric difference between outputs (the paper's `diff_abs`),
+    /// using the return values and per-byte distances elsewhere.
+    pub fn diff_abs(&self, other: &ProgramOutput) -> u64 {
+        let mut diff = self.ret.abs_diff(other.ret);
+        diff = diff.saturating_add(byte_diff_abs(&self.packet, &other.packet));
+        diff = diff.saturating_add(map_diff(&self.maps, &other.maps, |a, b| byte_diff_abs(a, b)));
+        diff
+    }
+}
+
+fn byte_diff_popcount(a: &[u8], b: &[u8]) -> u64 {
+    let common = a.len().min(b.len());
+    let mut diff: u64 = a[..common]
+        .iter()
+        .zip(&b[..common])
+        .map(|(x, y)| (x ^ y).count_ones() as u64)
+        .sum();
+    diff += 8 * (a.len().abs_diff(b.len())) as u64;
+    diff
+}
+
+fn byte_diff_abs(a: &[u8], b: &[u8]) -> u64 {
+    let common = a.len().min(b.len());
+    let mut diff: u64 =
+        a[..common].iter().zip(&b[..common]).map(|(x, y)| x.abs_diff(*y) as u64).sum();
+    diff += 255 * (a.len().abs_diff(b.len())) as u64;
+    diff
+}
+
+fn map_diff<F: Fn(&[u8], &[u8]) -> u64>(a: &MapState, b: &MapState, f: F) -> u64 {
+    let mut diff = 0u64;
+    for (k, va) in a {
+        match b.get(k) {
+            Some(vb) => diff += f(va, vb),
+            None => diff += 8 * va.len() as u64,
+        }
+    }
+    for (k, vb) in b {
+        if !a.contains_key(k) {
+            diff += 8 * vb.len() as u64;
+        }
+    }
+    diff
+}
+
+/// Deterministic random test-case generator.
+///
+/// Given a program (for its map definitions), the generator produces inputs
+/// with random packets, contexts and map contents. A fixed seed makes
+/// generated suites reproducible, which matters because K2 caches equivalence
+/// outcomes keyed by behaviour on these tests.
+#[derive(Debug, Clone)]
+pub struct InputGenerator {
+    rng: StdRng,
+    /// Length of generated packet payloads in bytes.
+    pub packet_len: usize,
+    /// How many entries to pre-populate in each non-array map.
+    pub map_prefill: usize,
+}
+
+impl InputGenerator {
+    /// Create a generator with the given seed.
+    pub fn new(seed: u64) -> InputGenerator {
+        InputGenerator { rng: StdRng::seed_from_u64(seed), packet_len: 64, map_prefill: 4 }
+    }
+
+    /// Generate one random input suitable for `prog`.
+    pub fn generate(&mut self, prog: &Program) -> ProgramInput {
+        let mut packet = vec![0u8; self.packet_len];
+        self.rng.fill(&mut packet[..]);
+        // Make the start of the packet look vaguely like Ethernet/IPv4 so
+        // header-parsing benchmarks exercise both their match and fall-through
+        // paths: half the time force the EtherType to IPv4.
+        if packet.len() >= 14 && self.rng.gen_bool(0.5) {
+            packet[12] = 0x08;
+            packet[13] = 0x00;
+            if packet.len() >= 34 {
+                packet[14] = 0x45; // version/IHL
+            }
+        }
+        let ctx_words = (0..8).map(|_| self.rng.gen::<u64>()).collect();
+        let mut maps = MapState::new();
+        for def in &prog.maps {
+            match def.kind {
+                MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap => {
+                    // Arrays always have all keys; randomize a few values.
+                    for idx in 0..def.max_entries.min(self.map_prefill as u32) {
+                        let mut val = vec![0u8; def.value_size as usize];
+                        self.rng.fill(&mut val[..]);
+                        maps.insert((def.id.0, idx.to_le_bytes().to_vec()), val);
+                    }
+                }
+                MapKind::Hash | MapKind::LpmTrie => {
+                    for _ in 0..self.map_prefill {
+                        let mut key = vec![0u8; def.key_size as usize];
+                        let mut val = vec![0u8; def.value_size as usize];
+                        self.rng.fill(&mut key[..]);
+                        self.rng.fill(&mut val[..]);
+                        // Bias some keys to small values so programs that
+                        // look up packet-derived keys sometimes hit.
+                        if self.rng.gen_bool(0.5) {
+                            for b in key.iter_mut().skip(1) {
+                                *b = 0;
+                            }
+                        }
+                        maps.insert((def.id.0, key), val);
+                    }
+                }
+            }
+        }
+        ProgramInput {
+            packet,
+            ctx_words,
+            maps,
+            time_ns: self.rng.gen_range(1_000_000..1_000_000_000),
+            random_seed: self.rng.gen(),
+            cpu_id: self.rng.gen_range(0..16),
+            pid_tgid: self.rng.gen(),
+        }
+    }
+
+    /// Generate a suite of `n` inputs.
+    pub fn generate_suite(&mut self, prog: &Program, n: usize) -> Vec<ProgramInput> {
+        (0..n).map(|_| self.generate(prog)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{Insn, MapDef, ProgramType, Reg};
+
+    fn prog() -> Program {
+        Program::with_maps(
+            ProgramType::Xdp,
+            vec![Insn::mov64_imm(Reg::R0, 0), Insn::Exit],
+            vec![MapDef::array(0, 8, 4), MapDef::hash(1, 4, 8, 16)],
+        )
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = prog();
+        let a = InputGenerator::new(7).generate_suite(&p, 5);
+        let b = InputGenerator::new(7).generate_suite(&p, 5);
+        assert_eq!(a, b);
+        let c = InputGenerator::new(8).generate_suite(&p, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generator_populates_maps() {
+        let p = prog();
+        let input = InputGenerator::new(1).generate(&p);
+        assert!(input.maps.keys().any(|(id, _)| *id == 0));
+        assert!(input.maps.keys().any(|(id, _)| *id == 1));
+        assert_eq!(input.packet.len(), 64);
+    }
+
+    #[test]
+    fn popcount_diff_zero_iff_equal() {
+        let out = ProgramOutput { ret: 3, packet: vec![1, 2, 3], maps: MapState::new() };
+        assert_eq!(out.diff_popcount(&out), 0);
+        assert_eq!(out.diff_abs(&out), 0);
+        let mut other = out.clone();
+        other.ret = 2;
+        assert_eq!(out.diff_popcount(&other), 1); // 3 ^ 2 == 1
+        assert_eq!(out.diff_abs(&other), 1);
+    }
+
+    #[test]
+    fn diff_counts_packet_and_maps() {
+        let a = ProgramOutput { ret: 0, packet: vec![0xff, 0x00], maps: MapState::new() };
+        let mut bmaps = MapState::new();
+        bmaps.insert((0, vec![0]), vec![0xff]);
+        let b = ProgramOutput { ret: 0, packet: vec![0x0f, 0x00], maps: bmaps };
+        assert_eq!(a.diff_popcount(&b), 4 + 8);
+        let c = ProgramOutput { ret: 0, packet: vec![0xff], maps: MapState::new() };
+        assert_eq!(a.diff_popcount(&c), 8); // missing byte
+    }
+}

@@ -1,0 +1,138 @@
+//! The virtual address layout used by the interpreter.
+//!
+//! Each memory region a BPF program can touch is placed at a fixed,
+//! well-separated base address. Pointer provenance is then recoverable from
+//! the numeric value alone, which keeps the interpreter simple and gives the
+//! static analyses in `bpf-analysis` and the safety checks in `bpf-safety` a
+//! concrete model to agree with.
+//!
+//! ```text
+//! 0x0000_1000  ┌──────────────────────────┐
+//!              │ stack (512 B), r10 points │   grows down from r10
+//!              │ at STACK_BASE + 512       │
+//! 0x0010_0000  ├──────────────────────────┤
+//!              │ packet buffer             │   PACKET_HEADROOM bytes of
+//!              │ (headroom + payload)      │   headroom precede the payload
+//! 0x0020_0000  ├──────────────────────────┤
+//!              │ program context (xdp_md…) │
+//! 0x0030_0000  ├──────────────────────────┤
+//!              │ map value cells           │   returned by map_lookup_elem
+//! 0x4000_0000_0000 ───────────────────────┤
+//!              │ map handles (not memory)  │   produced by ld_map_fd
+//!              └──────────────────────────┘
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Base address of the 512-byte program stack. `r10` is initialized to
+/// `STACK_BASE + STACK_SIZE` and stack slots are addressed at negative
+/// offsets from it.
+pub const STACK_BASE: u64 = 0x0000_1000;
+
+/// Base address of the packet buffer region.
+pub const PACKET_BASE: u64 = 0x0010_0000;
+
+/// Bytes of headroom preceding the packet payload, available to
+/// `bpf_xdp_adjust_head`.
+pub const PACKET_HEADROOM: usize = 256;
+
+/// Maximum payload bytes the packet region can hold.
+pub const PACKET_MAX: usize = 4096;
+
+/// Base address of the program context structure (`xdp_md`, `__sk_buff`, ...).
+pub const CTX_BASE: u64 = 0x0020_0000;
+
+/// Base address of map value cells handed out by `bpf_map_lookup_elem`.
+pub const MAP_VALUE_BASE: u64 = 0x0030_0000;
+
+/// Bytes of map-value address space reserved per map.
+pub const MAP_VALUE_STRIDE: u64 = 0x0001_0000;
+
+/// Non-memory "handle" values produced by `ld_map_fd`; helpers check these.
+pub const MAP_HANDLE_BASE: u64 = 0x4000_0000_0000;
+
+/// The kind of memory a pointer refers to. This is the same classification
+/// the K2 paper's "memory type concretization" optimization relies on (§5.I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemKind {
+    /// The program stack (512 bytes below `r10`).
+    Stack,
+    /// The packet buffer (payload plus headroom).
+    Packet,
+    /// The program context structure.
+    Context,
+    /// A map value cell returned by `bpf_map_lookup_elem`.
+    MapValue,
+}
+
+impl MemKind {
+    /// All memory kinds.
+    pub const ALL: [MemKind; 4] = [MemKind::Stack, MemKind::Packet, MemKind::Context, MemKind::MapValue];
+
+    /// Classify an address by the fixed layout. Returns `None` for values
+    /// that are not pointers into any region (including map handles and 0).
+    pub fn classify(addr: u64) -> Option<MemKind> {
+        if (STACK_BASE..STACK_BASE + 512).contains(&addr) {
+            Some(MemKind::Stack)
+        } else if (PACKET_BASE..PACKET_BASE + (PACKET_HEADROOM + PACKET_MAX) as u64).contains(&addr)
+        {
+            Some(MemKind::Packet)
+        } else if (CTX_BASE..CTX_BASE + 4096).contains(&addr) {
+            Some(MemKind::Context)
+        } else if (MAP_VALUE_BASE..MAP_HANDLE_BASE).contains(&addr) {
+            Some(MemKind::MapValue)
+        } else {
+            None
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemKind::Stack => "stack",
+            MemKind::Packet => "packet",
+            MemKind::Context => "context",
+            MemKind::MapValue => "map_value",
+        }
+    }
+}
+
+/// Whether a value is a map handle produced by `ld_map_fd`, and if so which
+/// map id it refers to.
+pub fn map_handle_id(value: u64) -> Option<u32> {
+    if value >= MAP_HANDLE_BASE && value < MAP_HANDLE_BASE + u32::MAX as u64 {
+        Some((value - MAP_HANDLE_BASE) as u32)
+    } else {
+        None
+    }
+}
+
+/// Construct the handle value for a map id.
+pub fn map_handle(map_id: u32) -> u64 {
+    MAP_HANDLE_BASE + map_id as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_of_bases() {
+        assert_eq!(MemKind::classify(STACK_BASE), Some(MemKind::Stack));
+        assert_eq!(MemKind::classify(STACK_BASE + 511), Some(MemKind::Stack));
+        assert_eq!(MemKind::classify(STACK_BASE + 512), None);
+        assert_eq!(MemKind::classify(PACKET_BASE), Some(MemKind::Packet));
+        assert_eq!(MemKind::classify(CTX_BASE + 16), Some(MemKind::Context));
+        assert_eq!(MemKind::classify(MAP_VALUE_BASE + 100), Some(MemKind::MapValue));
+        assert_eq!(MemKind::classify(0), None);
+        assert_eq!(MemKind::classify(map_handle(3)), None);
+    }
+
+    #[test]
+    fn map_handles_round_trip() {
+        assert_eq!(map_handle_id(map_handle(0)), Some(0));
+        assert_eq!(map_handle_id(map_handle(42)), Some(42));
+        assert_eq!(map_handle_id(0), None);
+        assert_eq!(map_handle_id(STACK_BASE), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! The BPF map store: runtime state of every map a program declares.
+//!
+//! Maps are key/value stores owned by the kernel. Lookups return *pointers*
+//! into value memory; this module hands out stable cell addresses in the
+//! [`crate::layout::MAP_VALUE_BASE`] region so that programs can read and
+//! write values through those pointers (including with atomic adds), exactly
+//! as real BPF programs do.
+
+use crate::layout::{MAP_VALUE_BASE, MAP_VALUE_STRIDE};
+use bpf_isa::{MapDef, MapId, MapKind};
+use std::collections::BTreeMap;
+
+/// Runtime state of a single map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapInstance {
+    /// Static definition (sizes, kind).
+    pub def: MapDef,
+    /// Value cells, indexed densely; `entries` maps keys to cell indices.
+    cells: Vec<Vec<u8>>,
+    /// Key → cell index.
+    entries: BTreeMap<Vec<u8>, usize>,
+}
+
+impl MapInstance {
+    fn new(def: MapDef) -> MapInstance {
+        let mut inst =
+            MapInstance { def, cells: Vec::new(), entries: BTreeMap::new() };
+        // Array-like maps have all entries pre-existing and zeroed.
+        if matches!(def.kind, MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap) {
+            for idx in 0..def.max_entries {
+                let key = (idx as u32).to_le_bytes().to_vec();
+                let cell = inst.cells.len();
+                inst.cells.push(vec![0u8; def.value_size as usize]);
+                inst.entries.insert(key, cell);
+            }
+        }
+        inst
+    }
+
+    /// Whether a key is valid for this map (correct length; in range for
+    /// array maps).
+    pub fn key_valid(&self, key: &[u8]) -> bool {
+        if key.len() != self.def.key_size as usize {
+            return false;
+        }
+        match self.def.kind {
+            MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap => {
+                let mut idx_bytes = [0u8; 4];
+                idx_bytes.copy_from_slice(&key[..4]);
+                u32::from_le_bytes(idx_bytes) < self.def.max_entries
+            }
+            MapKind::Hash | MapKind::LpmTrie => true,
+        }
+    }
+
+    /// Cell index for a key, if present.
+    pub fn lookup(&self, key: &[u8]) -> Option<usize> {
+        self.entries.get(key).copied()
+    }
+
+    /// Insert or overwrite the value for a key, returning the cell index.
+    /// Fails (returns `None`) when the map is full or the key is invalid.
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Option<usize> {
+        if !self.key_valid(key) || value.len() != self.def.value_size as usize {
+            return None;
+        }
+        if let Some(&cell) = self.entries.get(key) {
+            self.cells[cell].copy_from_slice(value);
+            return Some(cell);
+        }
+        if self.entries.len() >= self.def.max_entries as usize {
+            return None;
+        }
+        let cell = self.cells.len();
+        self.cells.push(value.to_vec());
+        self.entries.insert(key.to_vec(), cell);
+        Some(cell)
+    }
+
+    /// Delete a key. Returns `true` if it existed. Array entries cannot be
+    /// deleted (mirrors kernel behaviour: `-EINVAL`).
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        if matches!(self.def.kind, MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap) {
+            return false;
+        }
+        self.entries.remove(key).is_some()
+    }
+
+    /// Read access to a value cell.
+    pub fn cell(&self, idx: usize) -> Option<&[u8]> {
+        self.cells.get(idx).map(Vec::as_slice)
+    }
+
+    /// Write access to a value cell.
+    pub fn cell_mut(&mut self, idx: usize) -> Option<&mut Vec<u8>> {
+        self.cells.get_mut(idx)
+    }
+
+    /// Iterate over live `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.entries.iter().map(move |(k, &cell)| (k.as_slice(), self.cells[cell].as_slice()))
+    }
+}
+
+/// The set of maps available to one program execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapStore {
+    maps: BTreeMap<MapId, MapInstance>,
+}
+
+impl MapStore {
+    /// Create the store from a program's map definitions.
+    pub fn from_defs(defs: &[MapDef]) -> MapStore {
+        let mut maps = BTreeMap::new();
+        for def in defs {
+            maps.insert(def.id, MapInstance::new(*def));
+        }
+        MapStore { maps }
+    }
+
+    /// Access a map by id.
+    pub fn get(&self, id: MapId) -> Option<&MapInstance> {
+        self.maps.get(&id)
+    }
+
+    /// Mutable access to a map by id.
+    pub fn get_mut(&mut self, id: MapId) -> Option<&mut MapInstance> {
+        self.maps.get_mut(&id)
+    }
+
+    /// Iterate over all maps.
+    pub fn iter(&self) -> impl Iterator<Item = (&MapId, &MapInstance)> {
+        self.maps.iter()
+    }
+
+    /// The virtual address of a value cell (map-value region).
+    pub fn cell_addr(&self, id: MapId, cell: usize) -> u64 {
+        let map_index = self.maps.keys().position(|k| *k == id).unwrap_or(0) as u64;
+        MAP_VALUE_BASE + map_index * MAP_VALUE_STRIDE + cell as u64 * 256
+    }
+
+    /// Inverse of [`MapStore::cell_addr`]: which map/cell/offset an address
+    /// in the map-value region refers to, if it is in bounds of the value.
+    pub fn resolve_addr(&self, addr: u64) -> Option<(MapId, usize, usize)> {
+        if addr < MAP_VALUE_BASE {
+            return None;
+        }
+        let rel = addr - MAP_VALUE_BASE;
+        let map_index = (rel / MAP_VALUE_STRIDE) as usize;
+        let within = rel % MAP_VALUE_STRIDE;
+        let cell = (within / 256) as usize;
+        let offset = (within % 256) as usize;
+        let (id, inst) = self.maps.iter().nth(map_index)?;
+        let value = inst.cell(cell)?;
+        if offset < value.len() {
+            Some((*id, cell, offset))
+        } else {
+            // Address is inside the cell's 256-byte stride but beyond the
+            // declared value size — callers treat this as out of bounds, but
+            // we still report which cell it belongs to.
+            Some((*id, cell, offset))
+        }
+    }
+
+    /// Snapshot of all map contents, used to compare final states of two
+    /// program executions.
+    pub fn snapshot(&self) -> BTreeMap<(u32, Vec<u8>), Vec<u8>> {
+        let mut out = BTreeMap::new();
+        for (id, inst) in &self.maps {
+            for (k, v) in inst.iter() {
+                out.insert((id.0, k.to_vec()), v.to_vec());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs() -> Vec<MapDef> {
+        vec![MapDef::array(0, 8, 4), MapDef::hash(1, 4, 8, 8)]
+    }
+
+    #[test]
+    fn array_entries_preexist_and_are_zero() {
+        let store = MapStore::from_defs(&defs());
+        let arr = store.get(MapId(0)).unwrap();
+        for idx in 0u32..4 {
+            let cell = arr.lookup(&idx.to_le_bytes()).expect("entry exists");
+            assert_eq!(arr.cell(cell).unwrap(), &[0u8; 8]);
+        }
+        assert!(arr.lookup(&4u32.to_le_bytes()).is_none());
+    }
+
+    #[test]
+    fn hash_update_lookup_delete() {
+        let mut store = MapStore::from_defs(&defs());
+        let h = store.get_mut(MapId(1)).unwrap();
+        let key = 7u32.to_le_bytes();
+        assert!(h.lookup(&key).is_none());
+        let cell = h.update(&key, &42u64.to_le_bytes()).unwrap();
+        assert_eq!(h.cell(cell).unwrap(), &42u64.to_le_bytes());
+        assert!(h.delete(&key));
+        assert!(h.lookup(&key).is_none());
+        assert!(!h.delete(&key));
+    }
+
+    #[test]
+    fn array_delete_refused() {
+        let mut store = MapStore::from_defs(&defs());
+        let arr = store.get_mut(MapId(0)).unwrap();
+        assert!(!arr.delete(&0u32.to_le_bytes()));
+    }
+
+    #[test]
+    fn update_rejects_bad_sizes_and_full_maps() {
+        let mut store = MapStore::from_defs(&[MapDef::hash(0, 4, 4, 1)]);
+        let h = store.get_mut(MapId(0)).unwrap();
+        assert!(h.update(&[1, 2, 3], &[0; 4]).is_none()); // short key
+        assert!(h.update(&[1, 2, 3, 4], &[0; 3]).is_none()); // short value
+        assert!(h.update(&[1, 2, 3, 4], &[0; 4]).is_some());
+        assert!(h.update(&[5, 6, 7, 8], &[0; 4]).is_none()); // full
+        assert!(h.update(&[1, 2, 3, 4], &[9; 4]).is_some()); // overwrite ok
+    }
+
+    #[test]
+    fn cell_addresses_resolve_back() {
+        let mut store = MapStore::from_defs(&defs());
+        let cell = store.get_mut(MapId(1)).unwrap().update(&9u32.to_le_bytes(), &[7u8; 8]).unwrap();
+        let addr = store.cell_addr(MapId(1), cell);
+        let (id, c, off) = store.resolve_addr(addr + 3).unwrap();
+        assert_eq!((id, c, off), (MapId(1), cell, 3));
+        assert!(store.resolve_addr(0x10).is_none());
+    }
+
+    #[test]
+    fn snapshot_contains_all_entries() {
+        let mut store = MapStore::from_defs(&defs());
+        store.get_mut(MapId(1)).unwrap().update(&3u32.to_le_bytes(), &[1u8; 8]);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 4 + 1);
+        assert_eq!(snap[&(1, 3u32.to_le_bytes().to_vec())], vec![1u8; 8]);
+    }
+}

@@ -1,0 +1,386 @@
+//! A small text assembler and disassembler for BPF instruction sequences.
+//!
+//! The syntax is exactly what [`crate::Insn`]'s `Display` implementation
+//! prints, so `assemble(&disassemble(&insns)) == insns` for every program
+//! (the assembler is the inverse of the pretty printer). It is used by the
+//! benchmark suite, the examples and many tests; it is *not* meant to be a
+//! full replacement for clang's BPF assembler.
+//!
+//! ```text
+//! ; comments start with ';' or '//'
+//! mov64 r0, 0
+//! ldxw r1, [r2+4]
+//! jeq r1, 0, +2
+//! stxdw [r10-8], r1
+//! call map_lookup_elem
+//! exit
+//! ```
+
+use crate::{AluOp, ByteOrder, HelperId, Insn, IsaError, JmpOp, MemSize, Reg, Src};
+
+/// Render an instruction sequence as assembler text, one instruction per line.
+pub fn disassemble(insns: &[Insn]) -> String {
+    let mut out = String::new();
+    for insn in insns {
+        out.push_str(&insn.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render with instruction indices prefixed, convenient for debugging jump
+/// offsets (`3: jeq r1, 0, +2`).
+pub fn disassemble_numbered(insns: &[Insn]) -> String {
+    let mut out = String::new();
+    for (i, insn) in insns.iter().enumerate() {
+        out.push_str(&format!("{i:4}: {insn}\n"));
+    }
+    out
+}
+
+/// Parse assembler text into an instruction sequence.
+pub fn assemble(text: &str) -> Result<Vec<Insn>, IsaError> {
+    let mut out = Vec::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Tolerate "N: insn" prefixes produced by `disassemble_numbered`.
+        let line = match line.split_once(':') {
+            Some((pre, rest)) if pre.trim().chars().all(|c| c.is_ascii_digit()) => rest.trim(),
+            _ => line,
+        };
+        out.push(parse_line(line, lineno + 1)?);
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(';').unwrap_or(line.len());
+    let cut2 = line.find("//").unwrap_or(line.len());
+    &line[..cut.min(cut2)]
+}
+
+fn err(line: usize, msg: impl Into<String>) -> IsaError {
+    IsaError::Parse { line, msg: msg.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, IsaError> {
+    let tok = tok.trim();
+    let num = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, found '{tok}'")))?;
+    let idx: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register '{tok}'")))?;
+    Reg::from_index(idx).map_err(|_| err(line, format!("bad register '{tok}'")))
+}
+
+fn parse_i64(tok: &str, line: usize) -> Result<i64, IsaError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let val = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
+    } else {
+        body.parse::<i64>().or_else(|_| body.parse::<u64>().map(|v| v as i64))
+    }
+    .map_err(|_| err(line, format!("bad number '{tok}'")))?;
+    Ok(if neg { -val } else { val })
+}
+
+fn parse_i32(tok: &str, line: usize) -> Result<i32, IsaError> {
+    let v = parse_i64(tok, line)?;
+    i32::try_from(v)
+        .or_else(|_| u32::try_from(v as u64 & 0xffff_ffff).map(|u| u as i32))
+        .map_err(|_| err(line, format!("immediate '{tok}' out of 32-bit range")))
+}
+
+fn parse_i16(tok: &str, line: usize) -> Result<i16, IsaError> {
+    let v = parse_i64(tok, line)?;
+    i16::try_from(v).map_err(|_| err(line, format!("offset '{tok}' out of 16-bit range")))
+}
+
+fn parse_src(tok: &str, line: usize) -> Result<Src, IsaError> {
+    let tok = tok.trim();
+    if tok.starts_with('r') && tok.len() <= 3 && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Src::Reg(parse_reg(tok, line)?))
+    } else {
+        Ok(Src::Imm(parse_i32(tok, line)?))
+    }
+}
+
+/// Parse a `[rX+off]` or `[rX-off]` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i16), IsaError> {
+    let inner = tok
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], found '{tok}'")))?;
+    let split_at = inner
+        .char_indices()
+        .skip(1)
+        .find(|(_, c)| *c == '+' || *c == '-')
+        .map(|(i, _)| i);
+    match split_at {
+        Some(i) => {
+            let base = parse_reg(&inner[..i], line)?;
+            let off = parse_i16(&inner[i..], line)?;
+            Ok((base, off))
+        }
+        None => Ok((parse_reg(inner, line)?, 0)),
+    }
+}
+
+fn parse_size(suffix: &str, line: usize) -> Result<MemSize, IsaError> {
+    match suffix {
+        "b" => Ok(MemSize::Byte),
+        "h" => Ok(MemSize::Half),
+        "w" => Ok(MemSize::Word),
+        "dw" => Ok(MemSize::Dword),
+        other => Err(err(line, format!("unknown access size '{other}'"))),
+    }
+}
+
+fn parse_line(line_text: &str, line: usize) -> Result<Insn, IsaError> {
+    let mut parts = line_text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let need = |n: usize| -> Result<(), IsaError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("'{mnemonic}' expects {n} operands, got {}", operands.len())))
+        }
+    };
+
+    match mnemonic {
+        "exit" => {
+            need(0)?;
+            return Ok(Insn::Exit);
+        }
+        "nop" => {
+            need(0)?;
+            return Ok(Insn::Nop);
+        }
+        "ja" => {
+            need(1)?;
+            return Ok(Insn::Ja { off: parse_i16(operands[0], line)? });
+        }
+        "call" => {
+            need(1)?;
+            let helper = if let Some(num) = operands[0].strip_prefix("helper_") {
+                HelperId::from_number(
+                    num.parse().map_err(|_| err(line, "bad helper number"))?,
+                )
+            } else {
+                HelperId::from_name(operands[0])
+                    .ok_or_else(|| err(line, format!("unknown helper '{}'", operands[0])))?
+            };
+            return Ok(Insn::Call { helper });
+        }
+        "lddw" => {
+            need(2)?;
+            return Ok(Insn::LoadImm64 {
+                dst: parse_reg(operands[0], line)?,
+                imm: parse_i64(operands[1], line)?,
+            });
+        }
+        "ld_map_fd" => {
+            need(2)?;
+            return Ok(Insn::LoadMapFd {
+                dst: parse_reg(operands[0], line)?,
+                map_id: parse_i64(operands[1], line)? as u32,
+            });
+        }
+        _ => {}
+    }
+
+    // Byte swap: le16/le32/le64/be16/be32/be64.
+    if let Some(width) = mnemonic.strip_prefix("le").or_else(|| mnemonic.strip_prefix("be")) {
+        if let Ok(width) = width.parse::<u32>() {
+            if matches!(width, 16 | 32 | 64) {
+                need(1)?;
+                let order =
+                    if mnemonic.starts_with("be") { ByteOrder::Big } else { ByteOrder::Little };
+                return Ok(Insn::Endian { order, width, dst: parse_reg(operands[0], line)? });
+            }
+        }
+    }
+
+    // Memory instructions: ldx/stx/st/xadd with a size suffix.
+    if let Some(suffix) = mnemonic.strip_prefix("ldx") {
+        need(2)?;
+        let size = parse_size(suffix, line)?;
+        let dst = parse_reg(operands[0], line)?;
+        let (base, off) = parse_mem(operands[1], line)?;
+        return Ok(Insn::Load { size, dst, base, off });
+    }
+    if let Some(suffix) = mnemonic.strip_prefix("stx") {
+        need(2)?;
+        let size = parse_size(suffix, line)?;
+        let (base, off) = parse_mem(operands[0], line)?;
+        let src = parse_reg(operands[1], line)?;
+        return Ok(Insn::Store { size, base, off, src });
+    }
+    if let Some(suffix) = mnemonic.strip_prefix("xadd") {
+        need(2)?;
+        let size = parse_size(suffix, line)?;
+        let (base, off) = parse_mem(operands[0], line)?;
+        let src = parse_reg(operands[1], line)?;
+        return Ok(Insn::AtomicAdd { size, base, off, src });
+    }
+    if let Some(suffix) = mnemonic.strip_prefix("st") {
+        need(2)?;
+        let size = parse_size(suffix, line)?;
+        let (base, off) = parse_mem(operands[0], line)?;
+        let imm = parse_i32(operands[1], line)?;
+        return Ok(Insn::StoreImm { size, base, off, imm });
+    }
+
+    // Conditional jumps (optionally with a "32" suffix).
+    for jop in JmpOp::ALL {
+        let base = jop.mnemonic();
+        if mnemonic == base || mnemonic == format!("{base}32") {
+            need(3)?;
+            let dst = parse_reg(operands[0], line)?;
+            let src = parse_src(operands[1], line)?;
+            let off = parse_i16(operands[2], line)?;
+            return Ok(if mnemonic == base {
+                Insn::Jmp { op: jop, dst, src, off }
+            } else {
+                Insn::Jmp32 { op: jop, dst, src, off }
+            });
+        }
+    }
+
+    // ALU instructions: <op>64 / <op>32.
+    for (suffix, is64) in [("64", true), ("32", false)] {
+        if let Some(stem) = mnemonic.strip_suffix(suffix) {
+            if let Some(op) = AluOp::ALL.into_iter().find(|o| o.mnemonic() == stem) {
+                if op == AluOp::Neg {
+                    need(1)?;
+                    let dst = parse_reg(operands[0], line)?;
+                    let src = Src::Imm(0);
+                    return Ok(if is64 {
+                        Insn::Alu64 { op, dst, src }
+                    } else {
+                        Insn::Alu32 { op, dst, src }
+                    });
+                }
+                need(2)?;
+                let dst = parse_reg(operands[0], line)?;
+                let src = parse_src(operands[1], line)?;
+                return Ok(if is64 {
+                    Insn::Alu64 { op, dst, src }
+                } else {
+                    Insn::Alu32 { op, dst, src }
+                });
+            }
+        }
+    }
+
+    Err(err(line, format!("unknown mnemonic '{mnemonic}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn assemble_basic_program() {
+        let text = r"
+            ; packet counter
+            mov64 r0, 0
+            ldxw r1, [r2+4]
+            jeq r1, 0, +2
+            add64 r0, 1
+            stxdw [r10-8], r0
+            call map_lookup_elem
+            exit
+        ";
+        let insns = assemble(text).unwrap();
+        assert_eq!(insns.len(), 7);
+        assert_eq!(insns[0], Insn::mov64_imm(Reg::R0, 0));
+        assert_eq!(insns[1], Insn::load(MemSize::Word, Reg::R1, Reg::R2, 4));
+        assert_eq!(insns[2], Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 2));
+        assert_eq!(insns[5], Insn::call(HelperId::MapLookup));
+        assert_eq!(insns[6], Insn::Exit);
+    }
+
+    #[test]
+    fn round_trip_via_display() {
+        let insns = vec![
+            Insn::mov64_imm(Reg::R0, -3),
+            Insn::alu32_imm(AluOp::And, Reg::R1, 0xff),
+            Insn::alu64(AluOp::Arsh, Reg::R2, Reg::R3),
+            Insn::alu64_imm(AluOp::Neg, Reg::R4, 0),
+            Insn::Endian { order: ByteOrder::Big, width: 16, dst: Reg::R2 },
+            Insn::load(MemSize::Byte, Reg::R5, Reg::R1, -1),
+            Insn::store(MemSize::Half, Reg::R10, -4, Reg::R5),
+            Insn::store_imm(MemSize::Dword, Reg::R10, -16, 77),
+            Insn::AtomicAdd { size: MemSize::Word, base: Reg::R0, off: 0, src: Reg::R6 },
+            Insn::LoadImm64 { dst: Reg::R7, imm: 0x0102_0304_0506_0708 },
+            Insn::LoadMapFd { dst: Reg::R1, map_id: 2 },
+            Insn::Ja { off: 1 },
+            Insn::jmp(JmpOp::Sle, Reg::R1, Reg::R2, -4),
+            Insn::Jmp32 { op: JmpOp::Set, dst: Reg::R3, src: Src::Imm(8), off: 0 },
+            Insn::call(HelperId::GetPrandomU32),
+            Insn::Nop,
+            Insn::Exit,
+        ];
+        let text = disassemble(&insns);
+        assert_eq!(assemble(&text).unwrap(), insns);
+
+        let numbered = disassemble_numbered(&insns);
+        assert_eq!(assemble(&numbered).unwrap(), insns);
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let insns = assemble("lddw r1, 0xffffffffffffffff\nmov64 r2, -2147483648\nexit").unwrap();
+        assert_eq!(insns[0], Insn::LoadImm64 { dst: Reg::R1, imm: -1 });
+        assert_eq!(insns[1], Insn::mov64_imm(Reg::R2, i32::MIN));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let e = assemble("frobnicate r1, r2").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_arity_is_error() {
+        assert!(assemble("add64 r1").is_err());
+        assert!(assemble("exit r0").is_err());
+        assert!(assemble("jeq r1, 0").is_err());
+    }
+
+    #[test]
+    fn bad_register_is_error() {
+        assert!(assemble("mov64 r11, 0").is_err());
+        assert!(assemble("mov64 rx, 0").is_err());
+    }
+
+    #[test]
+    fn memory_operand_without_offset() {
+        let insns = assemble("ldxw r1, [r2]").unwrap();
+        assert_eq!(insns[0], Insn::load(MemSize::Word, Reg::R1, Reg::R2, 0));
+    }
+
+    #[test]
+    fn helper_by_number() {
+        let insns = assemble("call helper_9999").unwrap();
+        assert_eq!(insns[0], Insn::Call { helper: HelperId::Unknown(9999) });
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the ISA crate.
+
+use std::fmt;
+
+/// Errors produced while decoding, parsing or validating BPF instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A register index outside `0..=10` was encountered.
+    InvalidRegister(u8),
+    /// An unknown or unsupported opcode byte was encountered while decoding.
+    InvalidOpcode(u8),
+    /// A two-slot `lddw` instruction was truncated (missing its second slot).
+    TruncatedWideImmediate,
+    /// The second slot of a two-slot `lddw` instruction had non-zero fields
+    /// where zeroes are required.
+    MalformedWideImmediate,
+    /// The byte buffer length is not a multiple of the 8-byte instruction size.
+    MisalignedBuffer(usize),
+    /// An assembler parse error with line number and message.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human readable description of the problem.
+        msg: String,
+    },
+    /// A jump target falls outside the instruction sequence.
+    JumpOutOfRange {
+        /// Index of the jump instruction.
+        at: usize,
+        /// Resolved (invalid) target index.
+        target: i64,
+    },
+    /// The program references a map id that is not declared in its map table.
+    UnknownMap(u32),
+    /// The program is empty or does not end every path with `exit`.
+    MissingExit,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister(r) => write!(f, "invalid register r{r} (valid: r0..r10)"),
+            IsaError::InvalidOpcode(op) => write!(f, "invalid or unsupported opcode 0x{op:02x}"),
+            IsaError::TruncatedWideImmediate => {
+                write!(f, "lddw instruction truncated: missing second 8-byte slot")
+            }
+            IsaError::MalformedWideImmediate => {
+                write!(f, "lddw second slot must have zero code/regs/offset")
+            }
+            IsaError::MisalignedBuffer(len) => {
+                write!(f, "byte buffer length {len} is not a multiple of 8")
+            }
+            IsaError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            IsaError::JumpOutOfRange { at, target } => {
+                write!(f, "jump at instruction {at} targets out-of-range index {target}")
+            }
+            IsaError::UnknownMap(id) => write!(f, "program references undeclared map id {id}"),
+            IsaError::MissingExit => write!(f, "program is empty or lacks a terminating exit"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,540 @@
+//! Operation kinds: ALU operations, jump conditions, memory access sizes and
+//! byte-order conversions, together with their arithmetic semantics.
+//!
+//! The semantics functions in this module are the single source of truth for
+//! what each operation computes. They are reused by the interpreter
+//! (`bpf-interp`) and, structurally mirrored, by the verification-condition
+//! generator (`bpf-equiv`), which keeps the executable and the formal
+//! semantics in sync — the design the K2 paper adopts to avoid
+//! interpreter/formula mismatches (§7).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Arithmetic / logic operation, shared by the 32-bit and 64-bit ALU classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Or,
+    And,
+    Lsh,
+    Rsh,
+    Neg,
+    Mod,
+    Xor,
+    Mov,
+    Arsh,
+}
+
+impl AluOp {
+    /// Every ALU operation, in kernel opcode order.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Lsh,
+        AluOp::Rsh,
+        AluOp::Neg,
+        AluOp::Mod,
+        AluOp::Xor,
+        AluOp::Mov,
+        AluOp::Arsh,
+    ];
+
+    /// The kernel opcode nibble (upper 4 bits of the opcode byte).
+    pub fn code(self) -> u8 {
+        match self {
+            AluOp::Add => 0x0,
+            AluOp::Sub => 0x1,
+            AluOp::Mul => 0x2,
+            AluOp::Div => 0x3,
+            AluOp::Or => 0x4,
+            AluOp::And => 0x5,
+            AluOp::Lsh => 0x6,
+            AluOp::Rsh => 0x7,
+            AluOp::Neg => 0x8,
+            AluOp::Mod => 0x9,
+            AluOp::Xor => 0xa,
+            AluOp::Mov => 0xb,
+            AluOp::Arsh => 0xc,
+        }
+    }
+
+    /// Inverse of [`AluOp::code`].
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        AluOp::ALL.into_iter().find(|op| op.code() == code)
+    }
+
+    /// Whether the operation reads its destination register (everything
+    /// except `mov` and `neg` is a read-modify-write of `dst`).
+    pub fn reads_dst(self) -> bool {
+        !matches!(self, AluOp::Mov)
+    }
+
+    /// Whether the operation uses a source operand at all (`neg` does not).
+    pub fn uses_src(self) -> bool {
+        !matches!(self, AluOp::Neg)
+    }
+
+    /// Mnemonic stem used by the assembler, e.g. `add` or `arsh`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Lsh => "lsh",
+            AluOp::Rsh => "rsh",
+            AluOp::Neg => "neg",
+            AluOp::Mod => "mod",
+            AluOp::Xor => "xor",
+            AluOp::Mov => "mov",
+            AluOp::Arsh => "arsh",
+        }
+    }
+
+    /// 64-bit semantics of the operation.
+    ///
+    /// Division and modulo by zero follow the BPF runtime convention:
+    /// `x / 0 == 0` and `x % 0 == x` (the kernel JIT emits exactly this, and
+    /// the checker relies on it rather than trapping).
+    pub fn eval64(self, dst: u64, src: u64) -> u64 {
+        match self {
+            AluOp::Add => dst.wrapping_add(src),
+            AluOp::Sub => dst.wrapping_sub(src),
+            AluOp::Mul => dst.wrapping_mul(src),
+            AluOp::Div => {
+                if src == 0 {
+                    0
+                } else {
+                    dst / src
+                }
+            }
+            AluOp::Or => dst | src,
+            AluOp::And => dst & src,
+            AluOp::Lsh => dst.wrapping_shl((src & 63) as u32),
+            AluOp::Rsh => dst.wrapping_shr((src & 63) as u32),
+            AluOp::Neg => (dst as i64).wrapping_neg() as u64,
+            AluOp::Mod => {
+                if src == 0 {
+                    dst
+                } else {
+                    dst % src
+                }
+            }
+            AluOp::Xor => dst ^ src,
+            AluOp::Mov => src,
+            AluOp::Arsh => ((dst as i64) >> (src & 63)) as u64,
+        }
+    }
+
+    /// 32-bit semantics of the operation.
+    ///
+    /// Operates on the low 32 bits of both operands; the result is
+    /// zero-extended to 64 bits by the caller (ALU32 class semantics).
+    pub fn eval32(self, dst: u32, src: u32) -> u32 {
+        match self {
+            AluOp::Add => dst.wrapping_add(src),
+            AluOp::Sub => dst.wrapping_sub(src),
+            AluOp::Mul => dst.wrapping_mul(src),
+            AluOp::Div => {
+                if src == 0 {
+                    0
+                } else {
+                    dst / src
+                }
+            }
+            AluOp::Or => dst | src,
+            AluOp::And => dst & src,
+            AluOp::Lsh => dst.wrapping_shl(src & 31),
+            AluOp::Rsh => dst.wrapping_shr(src & 31),
+            AluOp::Neg => (dst as i32).wrapping_neg() as u32,
+            AluOp::Mod => {
+                if src == 0 {
+                    dst
+                } else {
+                    dst % src
+                }
+            }
+            AluOp::Xor => dst ^ src,
+            AluOp::Mov => src,
+            AluOp::Arsh => ((dst as i32) >> (src & 31)) as u32,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Condition of a conditional jump instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum JmpOp {
+    /// `==`
+    Eq,
+    /// unsigned `>`
+    Gt,
+    /// unsigned `>=`
+    Ge,
+    /// bitwise test `(dst & src) != 0`
+    Set,
+    /// `!=`
+    Ne,
+    /// signed `>`
+    Sgt,
+    /// signed `>=`
+    Sge,
+    /// unsigned `<`
+    Lt,
+    /// unsigned `<=`
+    Le,
+    /// signed `<`
+    Slt,
+    /// signed `<=`
+    Sle,
+}
+
+impl JmpOp {
+    /// Every conditional jump operation.
+    pub const ALL: [JmpOp; 11] = [
+        JmpOp::Eq,
+        JmpOp::Gt,
+        JmpOp::Ge,
+        JmpOp::Set,
+        JmpOp::Ne,
+        JmpOp::Sgt,
+        JmpOp::Sge,
+        JmpOp::Lt,
+        JmpOp::Le,
+        JmpOp::Slt,
+        JmpOp::Sle,
+    ];
+
+    /// The kernel opcode nibble for the operation.
+    pub fn code(self) -> u8 {
+        match self {
+            JmpOp::Eq => 0x1,
+            JmpOp::Gt => 0x2,
+            JmpOp::Ge => 0x3,
+            JmpOp::Set => 0x4,
+            JmpOp::Ne => 0x5,
+            JmpOp::Sgt => 0x6,
+            JmpOp::Sge => 0x7,
+            JmpOp::Lt => 0xa,
+            JmpOp::Le => 0xb,
+            JmpOp::Slt => 0xc,
+            JmpOp::Sle => 0xd,
+        }
+    }
+
+    /// Inverse of [`JmpOp::code`].
+    pub fn from_code(code: u8) -> Option<JmpOp> {
+        JmpOp::ALL.into_iter().find(|op| op.code() == code)
+    }
+
+    /// Mnemonic used by the assembler, e.g. `jeq`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            JmpOp::Eq => "jeq",
+            JmpOp::Gt => "jgt",
+            JmpOp::Ge => "jge",
+            JmpOp::Set => "jset",
+            JmpOp::Ne => "jne",
+            JmpOp::Sgt => "jsgt",
+            JmpOp::Sge => "jsge",
+            JmpOp::Lt => "jlt",
+            JmpOp::Le => "jle",
+            JmpOp::Slt => "jslt",
+            JmpOp::Sle => "jsle",
+        }
+    }
+
+    /// Evaluate the condition on full 64-bit operands.
+    pub fn eval64(self, dst: u64, src: u64) -> bool {
+        match self {
+            JmpOp::Eq => dst == src,
+            JmpOp::Gt => dst > src,
+            JmpOp::Ge => dst >= src,
+            JmpOp::Set => (dst & src) != 0,
+            JmpOp::Ne => dst != src,
+            JmpOp::Sgt => (dst as i64) > (src as i64),
+            JmpOp::Sge => (dst as i64) >= (src as i64),
+            JmpOp::Lt => dst < src,
+            JmpOp::Le => dst <= src,
+            JmpOp::Slt => (dst as i64) < (src as i64),
+            JmpOp::Sle => (dst as i64) <= (src as i64),
+        }
+    }
+
+    /// Evaluate the condition on the low 32 bits of both operands
+    /// (JMP32 class semantics).
+    pub fn eval32(self, dst: u32, src: u32) -> bool {
+        match self {
+            JmpOp::Eq => dst == src,
+            JmpOp::Gt => dst > src,
+            JmpOp::Ge => dst >= src,
+            JmpOp::Set => (dst & src) != 0,
+            JmpOp::Ne => dst != src,
+            JmpOp::Sgt => (dst as i32) > (src as i32),
+            JmpOp::Sge => (dst as i32) >= (src as i32),
+            JmpOp::Lt => dst < src,
+            JmpOp::Le => dst <= src,
+            JmpOp::Slt => (dst as i32) < (src as i32),
+            JmpOp::Sle => (dst as i32) <= (src as i32),
+        }
+    }
+
+    /// The logically negated condition (`jeq` ↔ `jne`, `jlt` ↔ `jge`, ...).
+    ///
+    /// `jset` has no single-opcode negation and returns `None`.
+    pub fn negate(self) -> Option<JmpOp> {
+        Some(match self {
+            JmpOp::Eq => JmpOp::Ne,
+            JmpOp::Ne => JmpOp::Eq,
+            JmpOp::Gt => JmpOp::Le,
+            JmpOp::Le => JmpOp::Gt,
+            JmpOp::Ge => JmpOp::Lt,
+            JmpOp::Lt => JmpOp::Ge,
+            JmpOp::Sgt => JmpOp::Sle,
+            JmpOp::Sle => JmpOp::Sgt,
+            JmpOp::Sge => JmpOp::Slt,
+            JmpOp::Slt => JmpOp::Sge,
+            JmpOp::Set => return None,
+        })
+    }
+}
+
+impl fmt::Display for JmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemSize {
+    /// 1 byte (`u8`)
+    Byte,
+    /// 2 bytes (`u16`)
+    Half,
+    /// 4 bytes (`u32`)
+    Word,
+    /// 8 bytes (`u64`)
+    Dword,
+}
+
+impl MemSize {
+    /// All widths, smallest first.
+    pub const ALL: [MemSize; 4] = [MemSize::Byte, MemSize::Half, MemSize::Word, MemSize::Dword];
+
+    /// Access width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+            MemSize::Word => 4,
+            MemSize::Dword => 8,
+        }
+    }
+
+    /// Access width in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// Kernel size-field encoding (bits 3–4 of the opcode byte).
+    pub fn code(self) -> u8 {
+        match self {
+            MemSize::Word => 0x00,
+            MemSize::Half => 0x08,
+            MemSize::Byte => 0x10,
+            MemSize::Dword => 0x18,
+        }
+    }
+
+    /// Inverse of [`MemSize::code`].
+    pub fn from_code(code: u8) -> Option<MemSize> {
+        match code {
+            0x00 => Some(MemSize::Word),
+            0x08 => Some(MemSize::Half),
+            0x10 => Some(MemSize::Byte),
+            0x18 => Some(MemSize::Dword),
+            _ => None,
+        }
+    }
+
+    /// Mask selecting the low `bits()` bits of a 64-bit value.
+    pub fn mask(self) -> u64 {
+        match self {
+            MemSize::Dword => u64::MAX,
+            _ => (1u64 << self.bits()) - 1,
+        }
+    }
+
+    /// Assembler suffix letter: `b`, `h`, `w`, or `dw`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemSize::Byte => "b",
+            MemSize::Half => "h",
+            MemSize::Word => "w",
+            MemSize::Dword => "dw",
+        }
+    }
+}
+
+impl fmt::Display for MemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Target byte order of a byte-swap (`BPF_END`) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ByteOrder {
+    /// Convert to / interpret as little endian (`le16`/`le32`/`le64`).
+    Little,
+    /// Convert to / interpret as big endian (`be16`/`be32`/`be64`).
+    Big,
+}
+
+impl ByteOrder {
+    /// Apply the byte swap to `value` at the given width (16, 32 or 64).
+    ///
+    /// The host is assumed little-endian (as the kernel's interpreter does for
+    /// x86-64): `to_le` truncates, `to_be` byte-swaps within the width.
+    pub fn apply(self, value: u64, width: u32) -> u64 {
+        let masked = match width {
+            16 => value & 0xffff,
+            32 => value & 0xffff_ffff,
+            _ => value,
+        };
+        match self {
+            ByteOrder::Little => masked,
+            ByteOrder::Big => match width {
+                16 => (masked as u16).swap_bytes() as u64,
+                32 => (masked as u32).swap_bytes() as u64,
+                _ => masked.swap_bytes(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_code_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(0xd), None);
+    }
+
+    #[test]
+    fn jmp_code_round_trip() {
+        for op in JmpOp::ALL {
+            assert_eq!(JmpOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(JmpOp::from_code(0x8), None);
+    }
+
+    #[test]
+    fn memsize_round_trip() {
+        for sz in MemSize::ALL {
+            assert_eq!(MemSize::from_code(sz.code()), Some(sz));
+            assert_eq!(sz.bits() as usize, sz.bytes() * 8);
+        }
+    }
+
+    #[test]
+    fn div_mod_by_zero_semantics() {
+        assert_eq!(AluOp::Div.eval64(42, 0), 0);
+        assert_eq!(AluOp::Mod.eval64(42, 0), 42);
+        assert_eq!(AluOp::Div.eval32(42, 0), 0);
+        assert_eq!(AluOp::Mod.eval32(42, 0), 42);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(AluOp::Lsh.eval64(1, 64), 1); // 64 & 63 == 0
+        assert_eq!(AluOp::Lsh.eval64(1, 65), 2);
+        assert_eq!(AluOp::Lsh.eval32(1, 32), 1);
+        assert_eq!(AluOp::Rsh.eval64(0x8000_0000_0000_0000, 63), 1);
+    }
+
+    #[test]
+    fn arithmetic_shift_is_signed() {
+        assert_eq!(AluOp::Arsh.eval64(u64::MAX, 8), u64::MAX);
+        assert_eq!(AluOp::Arsh.eval32(0xffff_ff00, 8), 0xffff_ffff);
+        assert_eq!(AluOp::Rsh.eval32(0xffff_ff00, 8), 0x00ff_ffff);
+    }
+
+    #[test]
+    fn neg_semantics() {
+        assert_eq!(AluOp::Neg.eval64(5, 0), (-5i64) as u64);
+        assert_eq!(AluOp::Neg.eval32(5, 0), (-5i32) as u32);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let minus_one = u64::MAX;
+        assert!(JmpOp::Gt.eval64(minus_one, 1));
+        assert!(!JmpOp::Sgt.eval64(minus_one, 1));
+        assert!(JmpOp::Slt.eval64(minus_one, 0));
+        assert!(JmpOp::Slt.eval32(u32::MAX, 0));
+        assert!(!JmpOp::Lt.eval32(u32::MAX, 0));
+    }
+
+    #[test]
+    fn jset_tests_bits() {
+        assert!(JmpOp::Set.eval64(0b1010, 0b0010));
+        assert!(!JmpOp::Set.eval64(0b1010, 0b0101));
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for op in JmpOp::ALL {
+            if let Some(neg) = op.negate() {
+                assert_eq!(neg.negate(), Some(op));
+                // The negated condition must produce the opposite verdict.
+                for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 1), (5, 5)] {
+                    assert_ne!(op.eval64(a, b), neg.eval64(a, b), "{op} vs {neg} on ({a},{b})");
+                }
+            }
+        }
+        assert_eq!(JmpOp::Set.negate(), None);
+    }
+
+    #[test]
+    fn byte_order_apply() {
+        assert_eq!(ByteOrder::Big.apply(0x1122, 16), 0x2211);
+        assert_eq!(ByteOrder::Little.apply(0xdead_1122, 16), 0x1122);
+        assert_eq!(ByteOrder::Big.apply(0x11223344, 32), 0x44332211);
+        assert_eq!(
+            ByteOrder::Big.apply(0x1122334455667788, 64),
+            0x8877665544332211
+        );
+        assert_eq!(ByteOrder::Little.apply(0x1122334455667788, 64), 0x1122334455667788);
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(MemSize::Byte.mask(), 0xff);
+        assert_eq!(MemSize::Half.mask(), 0xffff);
+        assert_eq!(MemSize::Word.mask(), 0xffff_ffff);
+        assert_eq!(MemSize::Dword.mask(), u64::MAX);
+    }
+}

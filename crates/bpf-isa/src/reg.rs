@@ -1,0 +1,136 @@
+//! BPF registers.
+
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eleven 64-bit BPF registers.
+///
+/// Calling conventions (fixed by the kernel ABI):
+///
+/// * `r0` — return value from helper calls and program exit code,
+/// * `r1`–`r5` — arguments to helper calls (clobbered by the call),
+/// * `r6`–`r9` — callee-saved,
+/// * `r10` — read-only frame pointer to the 512-byte program stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+}
+
+impl Reg {
+    /// All registers in numeric order.
+    pub const ALL: [Reg; 11] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+    ];
+
+    /// General purpose registers that an instruction may legally write
+    /// (everything except the read-only frame pointer `r10`).
+    pub const WRITABLE: [Reg; 10] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+    ];
+
+    /// The stack frame pointer.
+    pub const FP: Reg = Reg::R10;
+
+    /// Numeric index of the register (0 through 10).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct a register from its numeric index.
+    pub fn from_index(idx: u8) -> Result<Reg, IsaError> {
+        Reg::ALL
+            .get(idx as usize)
+            .copied()
+            .ok_or(IsaError::InvalidRegister(idx))
+    }
+
+    /// Whether this register may be the destination of a write.
+    #[inline]
+    pub fn is_writable(self) -> bool {
+        self != Reg::R10
+    }
+
+    /// Whether this register is caller-saved (clobbered by helper calls).
+    #[inline]
+    pub fn is_caller_saved(self) -> bool {
+        matches!(self, Reg::R1 | Reg::R2 | Reg::R3 | Reg::R4 | Reg::R5)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i as u8).unwrap(), *r);
+        }
+    }
+
+    #[test]
+    fn invalid_index_rejected() {
+        assert_eq!(Reg::from_index(11), Err(IsaError::InvalidRegister(11)));
+        assert_eq!(Reg::from_index(255), Err(IsaError::InvalidRegister(255)));
+    }
+
+    #[test]
+    fn writability() {
+        assert!(!Reg::R10.is_writable());
+        for r in Reg::WRITABLE {
+            assert!(r.is_writable());
+        }
+        assert_eq!(Reg::WRITABLE.len(), 10);
+    }
+
+    #[test]
+    fn caller_saved_set() {
+        let saved: Vec<Reg> = Reg::ALL.into_iter().filter(|r| r.is_caller_saved()).collect();
+        assert_eq!(saved, vec![Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R10.to_string(), "r10");
+    }
+}

@@ -1,0 +1,440 @@
+//! The 8-byte kernel wire encoding of BPF instructions (`struct bpf_insn`).
+//!
+//! Layout of one slot (little endian, as in the kernel UAPI):
+//!
+//! ```text
+//! byte 0      : opcode
+//! byte 1      : dst_reg (low nibble) | src_reg (high nibble)
+//! bytes 2..4  : off  (i16, LE)
+//! bytes 4..8  : imm  (i32, LE)
+//! ```
+//!
+//! `lddw` (64-bit immediate load and pseudo map-fd load) occupies two slots:
+//! the first carries the low 32 bits of the immediate, the second the high 32
+//! bits with all other fields zero.
+//!
+//! [`Insn::Nop`] has no kernel encoding; it is emitted as `ja +0` and
+//! therefore decodes back as [`Insn::Ja`]`{ off: 0 }`. Use
+//! `bpf_analysis::dce::strip_nops` before encoding if exact round-trips
+//! matter.
+
+use crate::{AluOp, ByteOrder, HelperId, Insn, IsaError, JmpOp, MemSize, Reg, Src};
+
+// Instruction classes (low 3 bits of the opcode byte).
+const BPF_LD: u8 = 0x00;
+const BPF_LDX: u8 = 0x01;
+const BPF_ST: u8 = 0x02;
+const BPF_STX: u8 = 0x03;
+const BPF_ALU: u8 = 0x04;
+const BPF_JMP: u8 = 0x05;
+const BPF_JMP32: u8 = 0x06;
+const BPF_ALU64: u8 = 0x07;
+
+// Source-operand flag for ALU/JMP classes.
+const BPF_K: u8 = 0x00;
+const BPF_X: u8 = 0x08;
+
+// Mode bits for load/store classes.
+const BPF_IMM: u8 = 0x00;
+const BPF_MEM: u8 = 0x20;
+const BPF_XADD: u8 = 0xc0;
+
+// JMP-class "operations" that are not comparisons.
+const OP_JA: u8 = 0x00;
+const OP_CALL: u8 = 0x80;
+const OP_EXIT: u8 = 0x90;
+const OP_END: u8 = 0xd0;
+
+/// Pseudo source-register value marking a map-fd `lddw`.
+const BPF_PSEUDO_MAP_FD: u8 = 1;
+
+/// One raw 8-byte instruction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RawInsn {
+    /// Opcode byte.
+    pub code: u8,
+    /// Destination register number (0–10).
+    pub dst: u8,
+    /// Source register number (0–10).
+    pub src: u8,
+    /// Signed 16-bit offset.
+    pub off: i16,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+impl RawInsn {
+    /// Serialize the slot to its 8 bytes.
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.code;
+        b[1] = (self.src << 4) | (self.dst & 0x0f);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Parse a slot from 8 bytes.
+    pub fn from_bytes(b: &[u8; 8]) -> RawInsn {
+        RawInsn {
+            code: b[0],
+            dst: b[1] & 0x0f,
+            src: b[1] >> 4,
+            off: i16::from_le_bytes([b[2], b[3]]),
+            imm: i32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+}
+
+/// Encode a single structured instruction into one or two raw slots.
+pub fn encode_insn(insn: &Insn) -> Vec<RawInsn> {
+    let mut out = Vec::with_capacity(2);
+    match *insn {
+        Insn::Alu64 { op, dst, src } | Insn::Alu32 { op, dst, src } => {
+            let class = if matches!(insn, Insn::Alu64 { .. }) { BPF_ALU64 } else { BPF_ALU };
+            let (srcbit, src_reg, imm) = match src {
+                Src::Reg(r) => (BPF_X, r.index() as u8, 0),
+                Src::Imm(i) => (BPF_K, 0, i),
+            };
+            out.push(RawInsn {
+                code: class | srcbit | (op.code() << 4),
+                dst: dst.index() as u8,
+                src: src_reg,
+                off: 0,
+                imm,
+            });
+        }
+        Insn::Endian { order, width, dst } => {
+            let srcbit = match order {
+                ByteOrder::Little => BPF_K,
+                ByteOrder::Big => BPF_X,
+            };
+            out.push(RawInsn {
+                code: BPF_ALU | OP_END | srcbit,
+                dst: dst.index() as u8,
+                src: 0,
+                off: 0,
+                imm: width as i32,
+            });
+        }
+        Insn::Load { size, dst, base, off } => out.push(RawInsn {
+            code: BPF_LDX | BPF_MEM | size.code(),
+            dst: dst.index() as u8,
+            src: base.index() as u8,
+            off,
+            imm: 0,
+        }),
+        Insn::Store { size, base, off, src } => out.push(RawInsn {
+            code: BPF_STX | BPF_MEM | size.code(),
+            dst: base.index() as u8,
+            src: src.index() as u8,
+            off,
+            imm: 0,
+        }),
+        Insn::StoreImm { size, base, off, imm } => out.push(RawInsn {
+            code: BPF_ST | BPF_MEM | size.code(),
+            dst: base.index() as u8,
+            src: 0,
+            off,
+            imm,
+        }),
+        Insn::AtomicAdd { size, base, off, src } => out.push(RawInsn {
+            code: BPF_STX | BPF_XADD | size.code(),
+            dst: base.index() as u8,
+            src: src.index() as u8,
+            off,
+            imm: 0,
+        }),
+        Insn::LoadImm64 { dst, imm } => {
+            out.push(RawInsn {
+                code: BPF_LD | BPF_IMM | MemSize::Dword.code(),
+                dst: dst.index() as u8,
+                src: 0,
+                off: 0,
+                imm: imm as u64 as u32 as i32,
+            });
+            out.push(RawInsn {
+                code: 0,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: ((imm as u64) >> 32) as u32 as i32,
+            });
+        }
+        Insn::LoadMapFd { dst, map_id } => {
+            out.push(RawInsn {
+                code: BPF_LD | BPF_IMM | MemSize::Dword.code(),
+                dst: dst.index() as u8,
+                src: BPF_PSEUDO_MAP_FD,
+                off: 0,
+                imm: map_id as i32,
+            });
+            out.push(RawInsn::default());
+        }
+        Insn::Ja { off } => {
+            out.push(RawInsn { code: BPF_JMP | OP_JA, dst: 0, src: 0, off, imm: 0 });
+        }
+        Insn::Nop => {
+            out.push(RawInsn { code: BPF_JMP | OP_JA, dst: 0, src: 0, off: 0, imm: 0 });
+        }
+        Insn::Jmp { op, dst, src, off } | Insn::Jmp32 { op, dst, src, off } => {
+            let class = if matches!(insn, Insn::Jmp { .. }) { BPF_JMP } else { BPF_JMP32 };
+            let (srcbit, src_reg, imm) = match src {
+                Src::Reg(r) => (BPF_X, r.index() as u8, 0),
+                Src::Imm(i) => (BPF_K, 0, i),
+            };
+            out.push(RawInsn {
+                code: class | srcbit | (op.code() << 4),
+                dst: dst.index() as u8,
+                src: src_reg,
+                off,
+                imm,
+            });
+        }
+        Insn::Call { helper } => out.push(RawInsn {
+            code: BPF_JMP | OP_CALL,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: helper.number() as i32,
+        }),
+        Insn::Exit => out.push(RawInsn { code: BPF_JMP | OP_EXIT, dst: 0, src: 0, off: 0, imm: 0 }),
+    }
+    out
+}
+
+/// Encode a whole instruction sequence to raw slots.
+pub fn encode(insns: &[Insn]) -> Vec<RawInsn> {
+    insns.iter().flat_map(encode_insn).collect()
+}
+
+/// Encode a whole instruction sequence to bytes (8 bytes per slot).
+pub fn encode_bytes(insns: &[Insn]) -> Vec<u8> {
+    encode(insns).into_iter().flat_map(|r| r.to_bytes()).collect()
+}
+
+/// Decode raw slots back into structured instructions.
+pub fn decode(raw: &[RawInsn]) -> Result<Vec<Insn>, IsaError> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let r = raw[i];
+        let insn = decode_one(r, raw.get(i + 1))?;
+        i += insn.slot_len();
+        out.push(insn);
+    }
+    Ok(out)
+}
+
+/// Decode a byte buffer (length must be a multiple of 8).
+pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<Insn>, IsaError> {
+    if bytes.len() % 8 != 0 {
+        return Err(IsaError::MisalignedBuffer(bytes.len()));
+    }
+    let raw: Vec<RawInsn> = bytes
+        .chunks_exact(8)
+        .map(|c| RawInsn::from_bytes(c.try_into().expect("chunk of 8")))
+        .collect();
+    decode(&raw)
+}
+
+fn reg(n: u8) -> Result<Reg, IsaError> {
+    Reg::from_index(n)
+}
+
+fn decode_one(r: RawInsn, next: Option<&RawInsn>) -> Result<Insn, IsaError> {
+    let class = r.code & 0x07;
+    match class {
+        BPF_ALU | BPF_ALU64 => {
+            let opbits = r.code & 0xf0;
+            if opbits == OP_END && class == BPF_ALU {
+                let order = if r.code & BPF_X != 0 { ByteOrder::Big } else { ByteOrder::Little };
+                let width = r.imm as u32;
+                if !matches!(width, 16 | 32 | 64) {
+                    return Err(IsaError::InvalidOpcode(r.code));
+                }
+                return Ok(Insn::Endian { order, width, dst: reg(r.dst)? });
+            }
+            let op = AluOp::from_code(opbits >> 4).ok_or(IsaError::InvalidOpcode(r.code))?;
+            let src = if r.code & BPF_X != 0 { Src::Reg(reg(r.src)?) } else { Src::Imm(r.imm) };
+            let dst = reg(r.dst)?;
+            Ok(if class == BPF_ALU64 {
+                Insn::Alu64 { op, dst, src }
+            } else {
+                Insn::Alu32 { op, dst, src }
+            })
+        }
+        BPF_LDX => {
+            let size =
+                MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
+            if r.code & 0xe0 != BPF_MEM {
+                return Err(IsaError::InvalidOpcode(r.code));
+            }
+            Ok(Insn::Load { size, dst: reg(r.dst)?, base: reg(r.src)?, off: r.off })
+        }
+        BPF_STX => {
+            let size =
+                MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
+            match r.code & 0xe0 {
+                BPF_MEM => Ok(Insn::Store { size, base: reg(r.dst)?, off: r.off, src: reg(r.src)? }),
+                BPF_XADD => {
+                    Ok(Insn::AtomicAdd { size, base: reg(r.dst)?, off: r.off, src: reg(r.src)? })
+                }
+                _ => Err(IsaError::InvalidOpcode(r.code)),
+            }
+        }
+        BPF_ST => {
+            let size =
+                MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
+            if r.code & 0xe0 != BPF_MEM {
+                return Err(IsaError::InvalidOpcode(r.code));
+            }
+            Ok(Insn::StoreImm { size, base: reg(r.dst)?, off: r.off, imm: r.imm })
+        }
+        BPF_LD => {
+            // Only the two-slot lddw form is legal in eBPF.
+            if r.code != (BPF_LD | BPF_IMM | MemSize::Dword.code()) {
+                return Err(IsaError::InvalidOpcode(r.code));
+            }
+            let hi = next.ok_or(IsaError::TruncatedWideImmediate)?;
+            if hi.code != 0 || hi.dst != 0 || hi.src != 0 || hi.off != 0 {
+                return Err(IsaError::MalformedWideImmediate);
+            }
+            let dst = reg(r.dst)?;
+            if r.src == BPF_PSEUDO_MAP_FD {
+                Ok(Insn::LoadMapFd { dst, map_id: r.imm as u32 })
+            } else if r.src == 0 {
+                let imm = ((hi.imm as u32 as u64) << 32) | (r.imm as u32 as u64);
+                Ok(Insn::LoadImm64 { dst, imm: imm as i64 })
+            } else {
+                Err(IsaError::InvalidOpcode(r.code))
+            }
+        }
+        BPF_JMP | BPF_JMP32 => {
+            let opbits = r.code & 0xf0;
+            if class == BPF_JMP {
+                match opbits {
+                    OP_JA => return Ok(Insn::Ja { off: r.off }),
+                    OP_CALL => {
+                        return Ok(Insn::Call { helper: HelperId::from_number(r.imm as u32) })
+                    }
+                    OP_EXIT => return Ok(Insn::Exit),
+                    _ => {}
+                }
+            }
+            let op = JmpOp::from_code(opbits >> 4).ok_or(IsaError::InvalidOpcode(r.code))?;
+            let src = if r.code & BPF_X != 0 { Src::Reg(reg(r.src)?) } else { Src::Imm(r.imm) };
+            let dst = reg(r.dst)?;
+            Ok(if class == BPF_JMP {
+                Insn::Jmp { op, dst, src, off: r.off }
+            } else {
+                Insn::Jmp32 { op, dst, src, off: r.off }
+            })
+        }
+        _ => Err(IsaError::InvalidOpcode(r.code)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    fn round_trip(insns: Vec<Insn>) {
+        let encoded = encode(&insns);
+        let decoded = decode(&encoded).expect("decode");
+        assert_eq!(decoded, insns);
+        // Byte-level round trip too.
+        let bytes = encode_bytes(&insns);
+        assert_eq!(decode_bytes(&bytes).unwrap(), insns);
+    }
+
+    #[test]
+    fn round_trip_alu() {
+        round_trip(vec![
+            Insn::mov64_imm(Reg::R0, -7),
+            Insn::add64(Reg::R0, Reg::R1),
+            Insn::alu32_imm(AluOp::Xor, Reg::R2, 0x55),
+            Insn::alu64_imm(AluOp::Arsh, Reg::R3, 21),
+            Insn::alu64_imm(AluOp::Neg, Reg::R4, 0),
+            Insn::Exit,
+        ]);
+    }
+
+    #[test]
+    fn round_trip_memory() {
+        round_trip(vec![
+            Insn::load(MemSize::Byte, Reg::R1, Reg::R2, 14),
+            Insn::store(MemSize::Dword, Reg::R10, -8, Reg::R1),
+            Insn::store_imm(MemSize::Half, Reg::R10, -16, 0x1234),
+            Insn::AtomicAdd { size: MemSize::Dword, base: Reg::R0, off: 0, src: Reg::R1 },
+            Insn::Exit,
+        ]);
+    }
+
+    #[test]
+    fn round_trip_wide_loads() {
+        round_trip(vec![
+            Insn::LoadImm64 { dst: Reg::R1, imm: 0x1122_3344_5566_7788 },
+            Insn::LoadImm64 { dst: Reg::R2, imm: -1 },
+            Insn::LoadMapFd { dst: Reg::R1, map_id: 5 },
+            Insn::Exit,
+        ]);
+    }
+
+    #[test]
+    fn round_trip_jumps_calls() {
+        round_trip(vec![
+            Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 2),
+            Insn::jmp(JmpOp::Sgt, Reg::R2, Reg::R3, -1),
+            Insn::Jmp32 { op: JmpOp::Le, dst: Reg::R4, src: Src::Imm(10), off: 1 },
+            Insn::Ja { off: 0 },
+            Insn::call(HelperId::MapLookup),
+            Insn::call(HelperId::KtimeGetNs),
+            Insn::Endian { order: ByteOrder::Big, width: 16, dst: Reg::R5 },
+            Insn::Endian { order: ByteOrder::Little, width: 64, dst: Reg::R6 },
+            Insn::Exit,
+        ]);
+    }
+
+    #[test]
+    fn nop_becomes_ja_zero() {
+        let enc = encode(&[Insn::Nop]);
+        assert_eq!(decode(&enc).unwrap(), vec![Insn::Ja { off: 0 }]);
+    }
+
+    #[test]
+    fn truncated_lddw_rejected() {
+        let mut enc = encode(&[Insn::LoadImm64 { dst: Reg::R1, imm: 7 }]);
+        enc.pop();
+        assert_eq!(decode(&enc), Err(IsaError::TruncatedWideImmediate));
+    }
+
+    #[test]
+    fn malformed_lddw_second_slot_rejected() {
+        let mut enc = encode(&[Insn::LoadImm64 { dst: Reg::R1, imm: 7 }]);
+        enc[1].dst = 3;
+        assert_eq!(decode(&enc), Err(IsaError::MalformedWideImmediate));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let raw = RawInsn { code: 0xff, ..Default::default() };
+        assert!(matches!(decode(&[raw]), Err(IsaError::InvalidOpcode(0xff))));
+    }
+
+    #[test]
+    fn misaligned_buffer_rejected() {
+        assert_eq!(decode_bytes(&[0u8; 7]), Err(IsaError::MisalignedBuffer(7)));
+    }
+
+    #[test]
+    fn raw_byte_layout() {
+        // mov64 r3, r7  => code 0xbf, regs byte = src<<4 | dst = 0x73
+        let raw = encode(&[Insn::mov64(Reg::R3, Reg::R7)]);
+        let b = raw[0].to_bytes();
+        assert_eq!(b[0], 0xbf);
+        assert_eq!(b[1], 0x73);
+        assert_eq!(RawInsn::from_bytes(&b), raw[0]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the instruction model: wire-encode/decode and
+//! assembler round trips over randomly generated instructions, plus
+//! consistency between `def`/`uses` and the operand structure.
+
+use bpf_isa::{asm, wire, AluOp, ByteOrder, HelperId, Insn, JmpOp, MemSize, Reg, Src};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..=10).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_writable_reg() -> impl Strategy<Value = Reg> {
+    (0u8..=9).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![arb_reg().prop_map(Src::Reg), any::<i32>().prop_map(Src::Imm)]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_jmp_op() -> impl Strategy<Value = JmpOp> {
+    prop::sample::select(JmpOp::ALL.to_vec())
+}
+
+fn arb_mem_size() -> impl Strategy<Value = MemSize> {
+    prop::sample::select(MemSize::ALL.to_vec())
+}
+
+fn arb_helper() -> impl Strategy<Value = HelperId> {
+    prop::sample::select(HelperId::MODELED.to_vec())
+}
+
+/// Any encodable instruction except `Nop` (whose wire form is `ja +0`).
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_alu_op(), arb_writable_reg(), arb_src()).prop_map(|(op, dst, src)| {
+            // `neg` ignores its source; canonicalize so round-trips compare equal.
+            let src = if op == AluOp::Neg { Src::Imm(0) } else { src };
+            Insn::Alu64 { op, dst, src }
+        }),
+        (arb_alu_op(), arb_writable_reg(), arb_src()).prop_map(|(op, dst, src)| {
+            let src = if op == AluOp::Neg { Src::Imm(0) } else { src };
+            Insn::Alu32 { op, dst, src }
+        }),
+        (prop::bool::ANY, prop::sample::select(vec![16u32, 32, 64]), arb_writable_reg()).prop_map(
+            |(big, width, dst)| Insn::Endian {
+                order: if big { ByteOrder::Big } else { ByteOrder::Little },
+                width,
+                dst
+            }
+        ),
+        (arb_mem_size(), arb_writable_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(size, dst, base, off)| Insn::Load { size, dst, base, off }),
+        (arb_mem_size(), arb_reg(), any::<i16>(), arb_reg())
+            .prop_map(|(size, base, off, src)| Insn::Store { size, base, off, src }),
+        (arb_mem_size(), arb_reg(), any::<i16>(), any::<i32>())
+            .prop_map(|(size, base, off, imm)| Insn::StoreImm { size, base, off, imm }),
+        (
+            prop::sample::select(vec![MemSize::Word, MemSize::Dword]),
+            arb_reg(),
+            any::<i16>(),
+            arb_reg()
+        )
+            .prop_map(|(size, base, off, src)| Insn::AtomicAdd { size, base, off, src }),
+        (arb_writable_reg(), any::<i64>()).prop_map(|(dst, imm)| Insn::LoadImm64 { dst, imm }),
+        (arb_writable_reg(), any::<u32>()).prop_map(|(dst, map_id)| Insn::LoadMapFd { dst, map_id }),
+        any::<i16>().prop_map(|off| Insn::Ja { off }),
+        (arb_jmp_op(), arb_reg(), arb_src(), any::<i16>())
+            .prop_map(|(op, dst, src, off)| Insn::Jmp { op, dst, src, off }),
+        (arb_jmp_op(), arb_reg(), arb_src(), any::<i16>())
+            .prop_map(|(op, dst, src, off)| Insn::Jmp32 { op, dst, src, off }),
+        arb_helper().prop_map(|helper| Insn::Call { helper }),
+        Just(Insn::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn wire_round_trip(insns in prop::collection::vec(arb_insn(), 1..40)) {
+        let encoded = wire::encode(&insns);
+        let decoded = wire::decode(&encoded).expect("decode must succeed");
+        prop_assert_eq!(decoded, insns);
+    }
+
+    #[test]
+    fn wire_byte_round_trip(insns in prop::collection::vec(arb_insn(), 1..40)) {
+        let bytes = wire::encode_bytes(&insns);
+        prop_assert_eq!(bytes.len() % 8, 0);
+        let decoded = wire::decode_bytes(&bytes).expect("decode must succeed");
+        prop_assert_eq!(decoded, insns);
+    }
+
+    #[test]
+    fn asm_round_trip(insns in prop::collection::vec(arb_insn(), 1..40)) {
+        let text = asm::disassemble(&insns);
+        let parsed = asm::assemble(&text).expect("assemble must succeed");
+        prop_assert_eq!(parsed, insns);
+    }
+
+    #[test]
+    fn uses_never_contains_unrelated_registers(insn in arb_insn()) {
+        // Every register reported as used or defined must actually appear as
+        // an operand of the instruction (structural sanity of the dataflow
+        // queries used by liveness and the proposal generator).
+        let mentioned: Vec<Reg> = match insn {
+            Insn::Alu64 { dst, src, .. } | Insn::Alu32 { dst, src, .. }
+            | Insn::Jmp { dst, src, .. } | Insn::Jmp32 { dst, src, .. } => {
+                let mut v = vec![dst];
+                if let Src::Reg(r) = src { v.push(r); }
+                v
+            }
+            Insn::Endian { dst, .. } | Insn::LoadImm64 { dst, .. } | Insn::LoadMapFd { dst, .. } =>
+                vec![dst],
+            Insn::Load { dst, base, .. } => vec![dst, base],
+            Insn::Store { base, src, .. } | Insn::AtomicAdd { base, src, .. } => vec![base, src],
+            Insn::StoreImm { base, .. } => vec![base],
+            Insn::Call { .. } => Reg::ALL.to_vec(),
+            Insn::Exit => vec![Reg::R0],
+            Insn::Ja { .. } | Insn::Nop => vec![],
+        };
+        for r in insn.uses() {
+            prop_assert!(mentioned.contains(&r), "{insn}: used {r} not an operand");
+        }
+        if let Some(d) = insn.def() {
+            prop_assert!(mentioned.contains(&d), "{insn}: def {d} not an operand");
+        }
+    }
+
+    #[test]
+    fn slot_len_matches_encoding(insn in arb_insn()) {
+        prop_assert_eq!(wire::encode_insn(&insn).len(), insn.slot_len());
+    }
+}

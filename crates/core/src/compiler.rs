@@ -1,0 +1,231 @@
+//! The K2 compiler driver: parallel Markov chains, top-k selection, and the
+//! kernel-checker post-processing pass.
+
+use crate::cost::CostFunction;
+use crate::params::SearchParams;
+use crate::proposals::ProposalGenerator;
+use crate::search::{ChainStats, MarkovChain};
+use bpf_isa::Program;
+use bpf_safety::{LinuxVerifier, LinuxVerifierConfig};
+use serde::{Deserialize, Serialize};
+
+/// What the search optimizes for (§3.2's two performance cost functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizationGoal {
+    /// Minimize the number of instructions (`perf_inst`).
+    InstructionCount,
+    /// Minimize the estimated latency under the per-opcode cost model
+    /// (`perf_lat`).
+    Latency,
+}
+
+/// Options for one compilation.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Optimization goal.
+    pub goal: OptimizationGoal,
+    /// Iterations per Markov chain.
+    pub iterations: u64,
+    /// Parameter settings to run (one chain per setting). Defaults to the
+    /// five best settings from Table 8.
+    pub params: Vec<SearchParams>,
+    /// Number of test cases generated up front.
+    pub num_tests: usize,
+    /// Base RNG seed (chains derive their own seeds from it).
+    pub seed: u64,
+    /// How many of the best programs to return (`top-k`, §8: k = 1 for the
+    /// instruction-count goal, k = 5 for the latency goal).
+    pub top_k: usize,
+    /// Run the chains on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            goal: OptimizationGoal::InstructionCount,
+            iterations: 20_000,
+            params: SearchParams::table8(),
+            num_tests: 16,
+            seed: 0x6b32, // "k2"
+            top_k: 1,
+            parallel: true,
+        }
+    }
+}
+
+/// The result of one compilation.
+#[derive(Debug, Clone)]
+pub struct K2Result {
+    /// The best program (smallest performance cost) that is formally
+    /// equivalent, safe, and accepted by the kernel-checker model. Falls back
+    /// to the source program when the search finds nothing better.
+    pub best: Program,
+    /// Performance cost of `best` under the chosen goal.
+    pub best_cost: f64,
+    /// The top-k distinct programs, best first.
+    pub top: Vec<(Program, f64)>,
+    /// Per-chain results: (parameter id, best cost found, statistics).
+    pub chains: Vec<(usize, Option<f64>, ChainStats)>,
+    /// Whether the best program differs from the source.
+    pub improved: bool,
+    /// Number of output candidates rejected by the kernel-checker model in
+    /// post-processing (the paper reports zero).
+    pub rejected_by_kernel_checker: usize,
+}
+
+/// The compiler.
+#[derive(Debug, Clone)]
+pub struct K2Compiler {
+    /// Options in effect.
+    pub options: CompilerOptions,
+}
+
+impl K2Compiler {
+    /// Create a compiler.
+    pub fn new(options: CompilerOptions) -> K2Compiler {
+        K2Compiler { options }
+    }
+
+    /// Optimize one program.
+    pub fn optimize(&mut self, src: &Program) -> K2Result {
+        let opts = &self.options;
+        let run_chain = |params: &SearchParams, chain_idx: usize| -> (usize, Option<(Program, f64)>, ChainStats) {
+            let seed = opts
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chain_idx as u64 + 1));
+            let cost =
+                CostFunction::new(src, params.cost, opts.goal, opts.num_tests, seed);
+            let generator = ProposalGenerator::new(src, params.rules, seed);
+            let mut chain = MarkovChain::new(cost, generator, seed);
+            let stats = chain.run(opts.iterations);
+            (params.id, chain.best().cloned(), stats)
+        };
+
+        let run_chain = &run_chain;
+        let chain_results: Vec<(usize, Option<(Program, f64)>, ChainStats)> = if opts.parallel
+            && opts.params.len() > 1
+        {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = opts
+                    .params
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, params)| scope.spawn(move |_| run_chain(params, idx)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("chain thread panicked")).collect()
+            })
+            .expect("crossbeam scope")
+        } else {
+            opts.params.iter().enumerate().map(|(idx, p)| run_chain(p, idx)).collect()
+        };
+
+        // Collect candidates, filter through the kernel-checker model, rank.
+        let verifier = LinuxVerifier::new(LinuxVerifierConfig::default());
+        let mut rejected = 0usize;
+        let mut candidates: Vec<(Program, f64)> = Vec::new();
+        for (_, best, _) in &chain_results {
+            if let Some((prog, cost)) = best {
+                if verifier.accepts(prog) {
+                    if !candidates.iter().any(|(p, _)| p.insns == prog.insns) {
+                        candidates.push((prog.clone(), *cost));
+                    }
+                } else {
+                    rejected += 1;
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(opts.top_k.max(1));
+
+        let fallback_cost = match opts.goal {
+            OptimizationGoal::InstructionCount => src.real_len() as f64,
+            OptimizationGoal::Latency => {
+                bpf_interp::CostModel::default().program_cost(src) as f64
+            }
+        };
+        let (best, best_cost) = candidates
+            .first()
+            .cloned()
+            .unwrap_or_else(|| (src.clone(), fallback_cost));
+        let improved = best.insns != src.insns && best_cost < fallback_cost;
+
+        K2Result {
+            best,
+            best_cost,
+            top: candidates,
+            chains: chain_results
+                .into_iter()
+                .map(|(id, best, stats)| (id, best.map(|(_, c)| c), stats))
+                .collect(),
+            improved,
+            rejected_by_kernel_checker: rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_equiv::{check_equivalence, EquivOptions};
+    use bpf_isa::{asm, ProgramType};
+
+    fn xdp(text: &str) -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+    }
+
+    fn small_options(iterations: u64) -> CompilerOptions {
+        CompilerOptions {
+            iterations,
+            params: SearchParams::table8().into_iter().take(2).collect(),
+            num_tests: 8,
+            parallel: true,
+            ..CompilerOptions::default()
+        }
+    }
+
+    #[test]
+    fn compiler_shrinks_redundant_code() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nmov64 r3, 1\nexit");
+        let mut compiler = K2Compiler::new(small_options(3000));
+        let result = compiler.optimize(&src);
+        assert!(result.best.real_len() < src.real_len(), "not improved: {}", result.best);
+        assert!(result.improved);
+        // The output must be formally equivalent to the input.
+        let (outcome, _) = check_equivalence(&src, &result.best, &EquivOptions::default());
+        assert!(outcome.is_equivalent());
+        // And accepted by the kernel checker model (it was filtered already).
+        assert_eq!(result.rejected_by_kernel_checker, 0);
+    }
+
+    #[test]
+    fn compiler_returns_source_when_nothing_better_exists() {
+        let src = xdp("mov64 r0, 2\nexit");
+        let mut compiler = K2Compiler::new(small_options(300));
+        let result = compiler.optimize(&src);
+        assert_eq!(result.best.real_len(), 2);
+        assert!(!result.improved);
+    }
+
+    #[test]
+    fn chain_results_are_reported_per_parameter_setting() {
+        let src = xdp("mov64 r0, 1\nmov64 r2, 3\nexit");
+        let mut compiler = K2Compiler::new(small_options(200));
+        let result = compiler.optimize(&src);
+        assert_eq!(result.chains.len(), 2);
+        for (_, _, stats) in &result.chains {
+            assert_eq!(stats.iterations, 200);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_agree() {
+        let src = xdp("mov64 r0, 9\nmov64 r4, 4\nexit");
+        let mut opts = small_options(500);
+        opts.parallel = false;
+        let seq = K2Compiler::new(opts.clone()).optimize(&src);
+        opts.parallel = true;
+        let par = K2Compiler::new(opts).optimize(&src);
+        assert_eq!(seq.best.insns, par.best.insns);
+    }
+}

@@ -1,0 +1,371 @@
+//! The cost function of §3.2: error cost (tests + formal equivalence),
+//! performance cost (instruction count or estimated latency), and safety
+//! cost.
+
+use crate::compiler::OptimizationGoal;
+use bpf_equiv::{EquivChecker, EquivOptions, EquivOutcome};
+use bpf_interp::{run, CostModel, InputGenerator, ProgramInput, ProgramOutput};
+use bpf_safety::{SafetyChecker, SafetyConfig};
+use bpf_isa::Program;
+use serde::{Deserialize, Serialize};
+
+/// Safety cost assigned to unsafe candidates (`ERR_MAX` in the paper): large
+/// enough that unsafe programs are almost never accepted, small enough that
+/// the chain can still pass through them occasionally.
+pub const ERR_MAX: f64 = 100.0;
+
+/// The semantic distance between two outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffMetric {
+    /// Number of differing bits (`diff_pop`).
+    Popcount,
+    /// Absolute numeric difference (`diff_abs`).
+    Abs,
+}
+
+/// How per-test-case errors are weighted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorNormalization {
+    /// Each test contributes its full error (`c = 1`).
+    Full,
+    /// Errors are averaged over the test suite (`c = 1/|T|`).
+    Average,
+}
+
+/// Which test count is added to the error cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestCountMode {
+    /// The number of failed test cases (STOKE's variant).
+    Failed,
+    /// The number of passed test cases (distinguishes "passes all tests" from
+    /// "formally equivalent").
+    Passed,
+}
+
+/// Error-cost variant plus the weights combining the three components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostSettings {
+    /// Semantic distance.
+    pub diff: DiffMetric,
+    /// Per-test weighting.
+    pub normalization: ErrorNormalization,
+    /// Which count is added.
+    pub test_count: TestCountMode,
+    /// Weight of the error cost (α).
+    pub alpha: f64,
+    /// Weight of the performance cost (β).
+    pub beta: f64,
+    /// Weight of the safety cost (γ).
+    pub gamma: f64,
+}
+
+impl Default for CostSettings {
+    fn default() -> Self {
+        CostSettings {
+            diff: DiffMetric::Abs,
+            normalization: ErrorNormalization::Full,
+            test_count: TestCountMode::Failed,
+            alpha: 0.5,
+            beta: 5.0,
+            gamma: 1.0,
+        }
+    }
+}
+
+/// The evaluated cost of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostValue {
+    /// Error component (0 iff formally equivalent).
+    pub error: f64,
+    /// Performance component.
+    pub perf: f64,
+    /// Safety component (0 or [`ERR_MAX`]).
+    pub safety: f64,
+    /// Weighted total.
+    pub total: f64,
+    /// Whether the candidate is formally equivalent to the source.
+    pub equivalent: bool,
+    /// Whether the candidate passed the safety checker.
+    pub safe: bool,
+}
+
+/// Statistics of cost evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostStats {
+    /// Candidates evaluated.
+    pub evaluations: u64,
+    /// Candidates that failed at least one test case.
+    pub failed_tests: u64,
+    /// Formal equivalence queries issued (i.e. candidates passing all tests).
+    pub equivalence_checks: u64,
+    /// Counterexamples added to the test suite.
+    pub counterexamples: u64,
+    /// Candidates rejected as unsafe.
+    pub unsafe_candidates: u64,
+}
+
+/// The cost function: owns the test suite, the equivalence checker, the
+/// safety checker, and the source program's reference outputs.
+pub struct CostFunction {
+    /// Settings in effect.
+    pub settings: CostSettings,
+    /// Optimization goal (instruction count vs estimated latency).
+    pub goal: OptimizationGoal,
+    src: Program,
+    tests: Vec<ProgramInput>,
+    expected: Vec<Option<ProgramOutput>>,
+    equiv: EquivChecker,
+    safety: SafetyChecker,
+    cost_model: CostModel,
+    src_perf: f64,
+    /// Statistics.
+    pub stats: CostStats,
+}
+
+impl CostFunction {
+    /// Build the cost function for a source program: generate the initial
+    /// test suite and record the source outputs.
+    pub fn new(
+        src: &Program,
+        settings: CostSettings,
+        goal: OptimizationGoal,
+        num_tests: usize,
+        seed: u64,
+    ) -> CostFunction {
+        let mut generator = InputGenerator::new(seed);
+        let tests = generator.generate_suite(src, num_tests.max(1));
+        let expected = tests.iter().map(|t| run(src, t).ok().map(|r| r.output)).collect();
+        let cost_model = CostModel::default();
+        let src_perf = match goal {
+            OptimizationGoal::InstructionCount => src.real_len() as f64,
+            OptimizationGoal::Latency => cost_model.program_cost(src) as f64,
+        };
+        CostFunction {
+            settings,
+            goal,
+            src: src.clone(),
+            tests,
+            expected,
+            equiv: EquivChecker::new(EquivOptions::default()),
+            safety: SafetyChecker::new(SafetyConfig::default()),
+            cost_model,
+            src_perf,
+            stats: CostStats::default(),
+        }
+    }
+
+    /// The source program this cost function compares against.
+    pub fn source(&self) -> &Program {
+        &self.src
+    }
+
+    /// Number of test cases currently in the suite.
+    pub fn num_tests(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Access the equivalence checker (for cache statistics).
+    pub fn equivalence_checker(&self) -> &EquivChecker {
+        &self.equiv
+    }
+
+    /// Performance cost of a candidate (absolute, not relative to the
+    /// source; the relative formulation only shifts every candidate by the
+    /// same constant and does not change the search).
+    pub fn perf_cost(&self, cand: &Program) -> f64 {
+        match self.goal {
+            OptimizationGoal::InstructionCount => cand.real_len() as f64,
+            OptimizationGoal::Latency => self.cost_model.program_cost(cand) as f64,
+        }
+    }
+
+    /// Performance cost of the source program.
+    pub fn src_perf_cost(&self) -> f64 {
+        self.src_perf
+    }
+
+    /// Evaluate the full cost of a candidate.
+    pub fn evaluate(&mut self, cand: &Program) -> CostValue {
+        self.stats.evaluations += 1;
+        let perf = self.perf_cost(cand);
+
+        // Safety first: unsafe candidates get the ERR_MAX safety cost but we
+        // still compute an error estimate from the test cases so the chain
+        // has a gradient to follow.
+        let safe = self.safety.is_safe(cand);
+        if !safe {
+            self.stats.unsafe_candidates += 1;
+        }
+
+        // Test-case execution.
+        let mut total_diff = 0.0f64;
+        let mut failed = 0usize;
+        let mut passed = 0usize;
+        for (input, expected) in self.tests.iter().zip(&self.expected) {
+            let Some(expected) = expected else { continue };
+            match run(cand, input) {
+                Ok(result) => {
+                    let diff = match self.settings.diff {
+                        DiffMetric::Popcount => result.output.diff_popcount(expected) as f64,
+                        DiffMetric::Abs => result.output.diff_abs(expected) as f64,
+                    };
+                    if diff == 0.0 {
+                        passed += 1;
+                    } else {
+                        failed += 1;
+                        total_diff += diff;
+                    }
+                }
+                Err(_) => {
+                    failed += 1;
+                    total_diff += 64.0;
+                }
+            }
+        }
+
+        let c = match self.settings.normalization {
+            ErrorNormalization::Full => 1.0,
+            ErrorNormalization::Average => 1.0 / self.tests.len().max(1) as f64,
+        };
+
+        // Formal equivalence only when every test passes (it is expensive).
+        let mut equivalent = false;
+        let unequal = if failed == 0 {
+            self.stats.equivalence_checks += 1;
+            match self.equiv.check(&self.src, cand) {
+                EquivOutcome::Equivalent => {
+                    equivalent = true;
+                    0.0
+                }
+                EquivOutcome::NotEquivalent(Some(counterexample)) => {
+                    // Feed the counterexample back into the test suite.
+                    if let Ok(expected) = run(&self.src, &counterexample) {
+                        self.tests.push(*counterexample);
+                        self.expected.push(Some(expected.output));
+                        self.stats.counterexamples += 1;
+                    }
+                    1.0
+                }
+                EquivOutcome::NotEquivalent(None) | EquivOutcome::Unknown(_) => 1.0,
+            }
+        } else {
+            self.stats.failed_tests += 1;
+            1.0
+        };
+
+        let count_term = match self.settings.test_count {
+            TestCountMode::Failed => failed as f64,
+            TestCountMode::Passed => {
+                if equivalent {
+                    0.0
+                } else {
+                    passed as f64
+                }
+            }
+        };
+        let error = c * total_diff + unequal * count_term + unequal;
+        let safety = if safe { 0.0 } else { ERR_MAX };
+        let total = self.settings.alpha * error
+            + self.settings.beta * perf
+            + self.settings.gamma * safety;
+        CostValue { error, perf, safety, total, equivalent, safe }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{asm, ProgramType};
+
+    fn xdp(text: &str) -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+    }
+
+    fn cost_fn(src: &Program) -> CostFunction {
+        CostFunction::new(src, CostSettings::default(), OptimizationGoal::InstructionCount, 8, 1)
+    }
+
+    #[test]
+    fn source_program_costs_zero_error() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let mut f = cost_fn(&src);
+        let v = f.evaluate(&src);
+        assert_eq!(v.error, 0.0);
+        assert!(v.equivalent);
+        assert!(v.safe);
+        assert_eq!(v.perf, 3.0);
+    }
+
+    #[test]
+    fn equivalent_smaller_program_has_lower_total_cost() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let cand = xdp("mov64 r0, 12\nexit");
+        let mut f = cost_fn(&src);
+        let v_src = f.evaluate(&src);
+        let v_cand = f.evaluate(&cand);
+        assert!(v_cand.equivalent);
+        assert!(v_cand.total < v_src.total);
+    }
+
+    #[test]
+    fn wrong_program_pays_error_cost() {
+        let src = xdp("mov64 r0, 5\nexit");
+        let wrong = xdp("mov64 r0, 6\nexit");
+        let mut f = cost_fn(&src);
+        let v = f.evaluate(&wrong);
+        assert!(v.error > 0.0);
+        assert!(!v.equivalent);
+    }
+
+    #[test]
+    fn unsafe_program_pays_safety_cost() {
+        let src = xdp("mov64 r0, 5\nexit");
+        let unsafe_p = xdp("ldxdw r0, [r10-8]\nexit");
+        let mut f = cost_fn(&src);
+        let v = f.evaluate(&unsafe_p);
+        assert!(!v.safe);
+        assert_eq!(v.safety, ERR_MAX);
+        assert!(v.total >= ERR_MAX * f.settings.gamma);
+    }
+
+    #[test]
+    fn counterexamples_grow_the_test_suite() {
+        // A candidate that agrees with the source on every generated test
+        // (which use 64-byte packets) but differs on other packet lengths:
+        // the formal check must find the difference and add a test.
+        let src = xdp(
+            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit",
+        );
+        let cand = xdp("mov64 r0, 64\nexit");
+        let mut f = cost_fn(&src);
+        let before = f.num_tests();
+        let v = f.evaluate(&cand);
+        assert!(!v.equivalent);
+        assert!(f.num_tests() > before || v.error > 0.0);
+    }
+
+    #[test]
+    fn latency_goal_uses_cost_model() {
+        let src = xdp("stdw [r10-8], 0\nldxdw r0, [r10-8]\nexit");
+        let f = CostFunction::new(
+            &src,
+            CostSettings::default(),
+            OptimizationGoal::Latency,
+            4,
+            1,
+        );
+        // Memory operations cost more than 1 each under the latency model.
+        assert!(f.src_perf_cost() > 3.0);
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let src = xdp("mov64 r0, 5\nexit");
+        let mut f = cost_fn(&src);
+        let _ = f.evaluate(&src);
+        let _ = f.evaluate(&xdp("mov64 r0, 9\nexit"));
+        assert_eq!(f.stats.evaluations, 2);
+        assert!(f.stats.equivalence_checks >= 1);
+        assert!(f.stats.failed_tests >= 1);
+    }
+}

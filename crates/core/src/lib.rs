@@ -1,0 +1,48 @@
+//! # k2-core
+//!
+//! The K2 compiler: stochastic synthesis of safe, efficient BPF bytecode
+//! (paper §3), built on the substrates in this workspace:
+//!
+//! * proposal generation with the paper's six rewrite rules
+//!   ([`proposals`]),
+//! * the cost function combining correctness (test cases + formal
+//!   equivalence), performance (instruction count or estimated latency) and
+//!   safety ([`cost`]),
+//! * Metropolis–Hastings acceptance and the Markov-chain search loop
+//!   ([`search`]),
+//! * the user-facing compiler driver that runs multiple chains with
+//!   different parameter settings and post-processes the winners through the
+//!   kernel-checker model ([`compiler`]),
+//! * the canonical parameter settings of the paper's Table 8 ([`params`]).
+//!
+//! ```no_run
+//! use bpf_isa::{asm, Program, ProgramType};
+//! use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal};
+//!
+//! let prog = Program::new(
+//!     ProgramType::Xdp,
+//!     asm::assemble("mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit").unwrap(),
+//! );
+//! let mut compiler = K2Compiler::new(CompilerOptions {
+//!     goal: OptimizationGoal::InstructionCount,
+//!     iterations: 20_000,
+//!     ..CompilerOptions::default()
+//! });
+//! let result = compiler.optimize(&prog);
+//! println!("{} -> {} instructions", prog.real_len(), result.best.real_len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod cost;
+pub mod params;
+pub mod proposals;
+pub mod search;
+
+pub use compiler::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal};
+pub use cost::{CostFunction, CostSettings, CostValue, DiffMetric, ErrorNormalization, TestCountMode};
+pub use params::SearchParams;
+pub use proposals::{ProposalGenerator, RewriteRule};
+pub use search::{ChainStats, MarkovChain};

@@ -1,0 +1,165 @@
+//! Search parameter settings (paper §8 and Appendix F.1, Table 8).
+
+use crate::cost::{CostSettings, DiffMetric, ErrorNormalization, TestCountMode};
+use crate::proposals::RuleProbabilities;
+use serde::{Deserialize, Serialize};
+
+/// One complete parameterization of a Markov chain: the cost-function variant
+/// plus the proposal-rule probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Identifier (1-based, matching Table 8 where applicable).
+    pub id: usize,
+    /// Cost-function settings (error-cost variant and weights).
+    pub cost: CostSettings,
+    /// Proposal-rule probabilities.
+    pub rules: RuleProbabilities,
+}
+
+impl SearchParams {
+    /// The five best-performing settings reported in Table 8.
+    pub fn table8() -> Vec<SearchParams> {
+        let base_rules = |ir: f64, or_: f64, nr: f64, me1: f64, me2: f64, cir: f64| {
+            RuleProbabilities {
+                replace_insn: ir,
+                replace_operand: or_,
+                replace_nop: nr,
+                mem_exchange_1: me1,
+                mem_exchange_2: me2,
+                replace_contiguous: cir,
+            }
+        };
+        vec![
+            SearchParams {
+                id: 1,
+                cost: CostSettings {
+                    diff: DiffMetric::Abs,
+                    normalization: ErrorNormalization::Full,
+                    test_count: TestCountMode::Failed,
+                    alpha: 0.5,
+                    beta: 5.0,
+                    gamma: 1.0,
+                },
+                rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
+            },
+            SearchParams {
+                id: 2,
+                cost: CostSettings {
+                    diff: DiffMetric::Popcount,
+                    normalization: ErrorNormalization::Full,
+                    test_count: TestCountMode::Failed,
+                    alpha: 0.5,
+                    beta: 5.0,
+                    gamma: 1.0,
+                },
+                rules: base_rules(0.17, 0.33, 0.15, 0.17, 0.0, 0.18),
+            },
+            SearchParams {
+                id: 3,
+                cost: CostSettings {
+                    diff: DiffMetric::Popcount,
+                    normalization: ErrorNormalization::Full,
+                    test_count: TestCountMode::Passed,
+                    alpha: 0.5,
+                    beta: 5.0,
+                    gamma: 1.0,
+                },
+                rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
+            },
+            SearchParams {
+                id: 4,
+                cost: CostSettings {
+                    diff: DiffMetric::Abs,
+                    normalization: ErrorNormalization::Full,
+                    test_count: TestCountMode::Failed,
+                    alpha: 0.5,
+                    beta: 5.0,
+                    gamma: 1.0,
+                },
+                rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
+            },
+            SearchParams {
+                id: 5,
+                cost: CostSettings {
+                    diff: DiffMetric::Abs,
+                    normalization: ErrorNormalization::Average,
+                    test_count: TestCountMode::Passed,
+                    alpha: 0.5,
+                    beta: 1.5,
+                    gamma: 1.0,
+                },
+                rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
+            },
+        ]
+    }
+
+    /// The full 16-setting sweep the paper runs in parallel: the cross
+    /// product of diff metric, normalization, and test-count mode, over two
+    /// rule mixes.
+    pub fn full_sweep() -> Vec<SearchParams> {
+        let mut out = Vec::new();
+        let mut id = 1;
+        for diff in [DiffMetric::Abs, DiffMetric::Popcount] {
+            for normalization in [ErrorNormalization::Full, ErrorNormalization::Average] {
+                for test_count in [TestCountMode::Failed, TestCountMode::Passed] {
+                    for rules in [
+                        RuleProbabilities::default(),
+                        RuleProbabilities {
+                            replace_insn: 0.17,
+                            replace_operand: 0.33,
+                            replace_nop: 0.15,
+                            mem_exchange_1: 0.0,
+                            mem_exchange_2: 0.17,
+                            replace_contiguous: 0.18,
+                        },
+                    ] {
+                        out.push(SearchParams {
+                            id,
+                            cost: CostSettings {
+                                diff,
+                                normalization,
+                                test_count,
+                                alpha: 0.5,
+                                beta: 5.0,
+                                gamma: 1.0,
+                            },
+                            rules,
+                        });
+                        id += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams::table8().remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_has_five_settings() {
+        let settings = SearchParams::table8();
+        assert_eq!(settings.len(), 5);
+        // Probabilities of each setting sum to 1 (within rounding).
+        for s in &settings {
+            let sum = s.rules.sum();
+            assert!((sum - 1.0).abs() < 1e-6, "setting {} sums to {sum}", s.id);
+        }
+    }
+
+    #[test]
+    fn full_sweep_has_sixteen_settings() {
+        let sweep = SearchParams::full_sweep();
+        assert_eq!(sweep.len(), 16);
+        let ids: Vec<usize> = sweep.iter().map(|s| s.id).collect();
+        assert_eq!(ids, (1..=16).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,467 @@
+//! Proposal generation: the six program rewrite rules of §3.1.
+
+use bpf_isa::{AluOp, HelperId, Insn, JmpOp, MemSize, Program, Reg, Src};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The rewrite rules, with the paper's naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RewriteRule {
+    /// Rule 1: replace an instruction (opcode and operands).
+    ReplaceInstruction,
+    /// Rule 2: replace one operand of an instruction.
+    ReplaceOperand,
+    /// Rule 3: replace an instruction by `nop`.
+    ReplaceByNop,
+    /// Rule 4 (domain specific): change a memory instruction's width *and*
+    /// its value operand.
+    MemExchangeType1,
+    /// Rule 5 (domain specific): change only a memory instruction's width.
+    MemExchangeType2,
+    /// Rule 6 (domain specific): replace `k = 2` contiguous instructions.
+    ReplaceContiguous,
+}
+
+/// Sampling probabilities of the rewrite rules (`prob(.)` in §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuleProbabilities {
+    /// Probability of [`RewriteRule::ReplaceInstruction`].
+    pub replace_insn: f64,
+    /// Probability of [`RewriteRule::ReplaceOperand`].
+    pub replace_operand: f64,
+    /// Probability of [`RewriteRule::ReplaceByNop`].
+    pub replace_nop: f64,
+    /// Probability of [`RewriteRule::MemExchangeType1`].
+    pub mem_exchange_1: f64,
+    /// Probability of [`RewriteRule::MemExchangeType2`].
+    pub mem_exchange_2: f64,
+    /// Probability of [`RewriteRule::ReplaceContiguous`].
+    pub replace_contiguous: f64,
+}
+
+impl Default for RuleProbabilities {
+    fn default() -> Self {
+        // Setting 1 of Table 8.
+        RuleProbabilities {
+            replace_insn: 0.2,
+            replace_operand: 0.4,
+            replace_nop: 0.15,
+            mem_exchange_1: 0.2,
+            mem_exchange_2: 0.0,
+            replace_contiguous: 0.05,
+        }
+    }
+}
+
+impl RuleProbabilities {
+    /// Sum of the probabilities (should be 1).
+    pub fn sum(&self) -> f64 {
+        self.replace_insn
+            + self.replace_operand
+            + self.replace_nop
+            + self.mem_exchange_1
+            + self.mem_exchange_2
+            + self.replace_contiguous
+    }
+
+    /// Probabilities with the domain-specific rules disabled/enabled
+    /// selectively (used by the Table 10 ablation). Disabled probability mass
+    /// is folded into instruction replacement.
+    pub fn with_rules(mem1: bool, mem2: bool, cont: bool) -> RuleProbabilities {
+        let mut p = RuleProbabilities {
+            replace_insn: 0.2,
+            replace_operand: 0.35,
+            replace_nop: 0.15,
+            mem_exchange_1: if mem1 { 0.12 } else { 0.0 },
+            mem_exchange_2: if mem2 { 0.08 } else { 0.0 },
+            replace_contiguous: if cont { 0.1 } else { 0.0 },
+        };
+        let missing = 1.0 - p.sum();
+        p.replace_insn += missing;
+        p
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> RewriteRule {
+        let x: f64 = rng.gen::<f64>() * self.sum();
+        let mut acc = self.replace_insn;
+        if x < acc {
+            return RewriteRule::ReplaceInstruction;
+        }
+        acc += self.replace_operand;
+        if x < acc {
+            return RewriteRule::ReplaceOperand;
+        }
+        acc += self.replace_nop;
+        if x < acc {
+            return RewriteRule::ReplaceByNop;
+        }
+        acc += self.mem_exchange_1;
+        if x < acc {
+            return RewriteRule::MemExchangeType1;
+        }
+        acc += self.mem_exchange_2;
+        if x < acc {
+            return RewriteRule::MemExchangeType2;
+        }
+        RewriteRule::ReplaceContiguous
+    }
+}
+
+/// The proposal generator: holds the RNG and the source program's fixed
+/// structural facts (its length and which helpers/maps it may use).
+#[derive(Debug, Clone)]
+pub struct ProposalGenerator {
+    rng: StdRng,
+    probabilities: RuleProbabilities,
+    /// Immediates worth trying: small constants plus constants harvested from
+    /// the source program.
+    imm_pool: Vec<i32>,
+    /// Helpers appearing in the source program (candidates never invent new
+    /// helper calls; that cannot preserve equivalence).
+    helpers: Vec<HelperId>,
+    len: usize,
+}
+
+impl ProposalGenerator {
+    /// Create a generator for rewrites of `src`.
+    pub fn new(src: &Program, probabilities: RuleProbabilities, seed: u64) -> ProposalGenerator {
+        let mut imm_pool = vec![0, 1, 2, 4, 8, 16, -1, -2, -4, -8, 255];
+        let mut helpers = Vec::new();
+        for insn in &src.insns {
+            match insn {
+                Insn::Alu64 { src: Src::Imm(i), .. }
+                | Insn::Alu32 { src: Src::Imm(i), .. }
+                | Insn::StoreImm { imm: i, .. }
+                | Insn::Jmp { src: Src::Imm(i), .. }
+                | Insn::Jmp32 { src: Src::Imm(i), .. } => imm_pool.push(*i),
+                Insn::Call { helper } => helpers.push(*helper),
+                _ => {}
+            }
+        }
+        imm_pool.sort_unstable();
+        imm_pool.dedup();
+        ProposalGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            probabilities,
+            imm_pool,
+            helpers,
+            len: src.insns.len(),
+        }
+    }
+
+    /// Generate one proposal: a mutated copy of `current`, plus the rule used.
+    pub fn propose(&mut self, current: &[Insn]) -> (Vec<Insn>, RewriteRule) {
+        let mut out = current.to_vec();
+        if out.is_empty() {
+            return (out, RewriteRule::ReplaceByNop);
+        }
+        let rule = self.probabilities.sample(&mut self.rng);
+        match rule {
+            RewriteRule::ReplaceInstruction => {
+                let idx = self.pick_index(&out);
+                out[idx] = self.random_insn(idx);
+            }
+            RewriteRule::ReplaceOperand => {
+                let idx = self.pick_index(&out);
+                out[idx] = self.mutate_operand(out[idx]);
+            }
+            RewriteRule::ReplaceByNop => {
+                let idx = self.pick_index(&out);
+                out[idx] = Insn::Nop;
+            }
+            RewriteRule::MemExchangeType1 => {
+                if let Some(idx) = self.pick_memory_index(&out) {
+                    out[idx] = self.exchange_memory(out[idx], true);
+                }
+            }
+            RewriteRule::MemExchangeType2 => {
+                if let Some(idx) = self.pick_memory_index(&out) {
+                    out[idx] = self.exchange_memory(out[idx], false);
+                }
+            }
+            RewriteRule::ReplaceContiguous => {
+                let idx = self.pick_index(&out);
+                out[idx] = self.random_insn(idx);
+                if idx + 1 < out.len() && !matches!(out[idx + 1], Insn::Exit) {
+                    out[idx + 1] = self.random_insn(idx + 1);
+                }
+            }
+        }
+        (out, rule)
+    }
+
+    /// Pick an index to mutate, never the final `exit`.
+    fn pick_index(&mut self, insns: &[Insn]) -> usize {
+        if insns.len() == 1 {
+            return 0;
+        }
+        loop {
+            let idx = self.rng.gen_range(0..insns.len());
+            if matches!(insns[idx], Insn::Exit) && self.is_last_exit(insns, idx) {
+                continue;
+            }
+            return idx;
+        }
+    }
+
+    fn is_last_exit(&self, insns: &[Insn], idx: usize) -> bool {
+        idx + 1 == insns.len()
+            || insns[idx + 1..].iter().all(|i| matches!(i, Insn::Nop))
+    }
+
+    fn pick_memory_index(&mut self, insns: &[Insn]) -> Option<usize> {
+        let candidates: Vec<usize> = insns
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_memory_access())
+            .map(|(idx, _)| idx)
+            .collect();
+        candidates.choose(&mut self.rng).copied()
+    }
+
+    fn random_reg(&mut self) -> Reg {
+        *Reg::WRITABLE.choose(&mut self.rng).expect("non-empty")
+    }
+
+    fn random_any_reg(&mut self) -> Reg {
+        *Reg::ALL.choose(&mut self.rng).expect("non-empty")
+    }
+
+    fn random_imm(&mut self) -> i32 {
+        *self.imm_pool.choose(&mut self.rng).expect("non-empty")
+    }
+
+    fn random_src(&mut self) -> Src {
+        if self.rng.gen_bool(0.5) {
+            Src::Reg(self.random_any_reg())
+        } else {
+            Src::Imm(self.random_imm())
+        }
+    }
+
+    fn random_size(&mut self) -> MemSize {
+        *MemSize::ALL.choose(&mut self.rng).expect("non-empty")
+    }
+
+    fn random_stack_offset(&mut self, size: MemSize) -> i16 {
+        let slots = 64 / size.bytes() as i16;
+        let slot = self.rng.gen_range(1..=slots.min(16));
+        -(slot * size.bytes() as i16)
+    }
+
+    /// Sample a fresh instruction for position `idx`. Jump offsets are kept
+    /// forward so the candidate stays loop-free (paper §6, control-flow
+    /// safety by construction).
+    fn random_insn(&mut self, idx: usize) -> Insn {
+        let max_forward = (self.len.saturating_sub(idx + 2)) as i16;
+        match self.rng.gen_range(0..10u32) {
+            0..=2 => {
+                let op = *AluOp::ALL.choose(&mut self.rng).expect("non-empty");
+                let dst = self.random_reg();
+                let src = self.random_src();
+                if self.rng.gen_bool(0.7) {
+                    Insn::Alu64 { op, dst, src }
+                } else {
+                    Insn::Alu32 { op, dst, src }
+                }
+            }
+            3 => Insn::mov64_imm(self.random_reg(), self.random_imm()),
+            4 => {
+                let size = self.random_size();
+                Insn::Load {
+                    size,
+                    dst: self.random_reg(),
+                    base: Reg::R10,
+                    off: self.random_stack_offset(size),
+                }
+            }
+            5 => {
+                let size = self.random_size();
+                Insn::Store {
+                    size,
+                    base: Reg::R10,
+                    off: self.random_stack_offset(size),
+                    src: self.random_any_reg(),
+                }
+            }
+            6 => {
+                let size = self.random_size();
+                Insn::StoreImm {
+                    size,
+                    base: Reg::R10,
+                    off: self.random_stack_offset(size),
+                    imm: self.random_imm(),
+                }
+            }
+            7 => {
+                if max_forward > 0 {
+                    let op = *JmpOp::ALL.choose(&mut self.rng).expect("non-empty");
+                    Insn::Jmp {
+                        op,
+                        dst: self.random_any_reg(),
+                        src: self.random_src(),
+                        off: self.rng.gen_range(0..=max_forward),
+                    }
+                } else {
+                    Insn::Nop
+                }
+            }
+            8 => {
+                if let Some(helper) = self.helpers.clone().choose(&mut self.rng) {
+                    Insn::Call { helper: *helper }
+                } else {
+                    Insn::Nop
+                }
+            }
+            _ => Insn::Nop,
+        }
+    }
+
+    /// Mutate one operand of an instruction, keeping its opcode.
+    fn mutate_operand(&mut self, insn: Insn) -> Insn {
+        match insn {
+            Insn::Alu64 { op, dst, .. } => {
+                if self.rng.gen_bool(0.5) {
+                    Insn::Alu64 { op, dst: self.random_reg(), src: Src::Reg(dst) }
+                } else {
+                    Insn::Alu64 { op, dst, src: self.random_src() }
+                }
+            }
+            Insn::Alu32 { op, dst, .. } => Insn::Alu32 { op, dst, src: self.random_src() },
+            Insn::Load { size, dst, base, .. } => {
+                Insn::Load { size, dst, base, off: self.random_stack_offset(size) }
+            }
+            Insn::Store { size, base, off, .. } => {
+                Insn::Store { size, base, off, src: self.random_any_reg() }
+            }
+            Insn::StoreImm { size, base, off, .. } => {
+                Insn::StoreImm { size, base, off, imm: self.random_imm() }
+            }
+            Insn::Jmp { op, dst, off, .. } => Insn::Jmp { op, dst, src: self.random_src(), off },
+            Insn::Jmp32 { op, dst, off, .. } => Insn::Jmp32 { op, dst, src: self.random_src(), off },
+            Insn::LoadImm64 { dst, .. } => {
+                Insn::LoadImm64 { dst, imm: self.random_imm() as i64 }
+            }
+            Insn::Endian { order, width, .. } => {
+                Insn::Endian { order, width, dst: self.random_reg() }
+            }
+            other => other,
+        }
+    }
+
+    /// Exchange the width (and optionally value operand) of a memory access.
+    fn exchange_memory(&mut self, insn: Insn, change_operand: bool) -> Insn {
+        let new_size = self.random_size();
+        match insn {
+            Insn::Load { dst, base, off, .. } => {
+                let dst = if change_operand { self.random_reg() } else { dst };
+                Insn::Load { size: new_size, dst, base, off }
+            }
+            Insn::Store { base, off, src, .. } => {
+                let src = if change_operand { self.random_any_reg() } else { src };
+                Insn::Store { size: new_size, base, off, src }
+            }
+            Insn::StoreImm { base, off, imm, .. } => {
+                let imm = if change_operand { self.random_imm() } else { imm };
+                Insn::StoreImm { size: new_size, base, off, imm }
+            }
+            Insn::AtomicAdd { base, off, src, .. } => {
+                let size = if new_size == MemSize::Word { MemSize::Word } else { MemSize::Dword };
+                let src = if change_operand { self.random_any_reg() } else { src };
+                Insn::AtomicAdd { size, base, off, src }
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{asm, ProgramType};
+
+    fn sample_prog() -> Program {
+        Program::new(
+            ProgramType::Xdp,
+            asm::assemble(
+                "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn proposals_preserve_length_and_final_exit() {
+        let prog = sample_prog();
+        let mut generator = ProposalGenerator::new(&prog, RuleProbabilities::default(), 7);
+        let mut current = prog.insns.clone();
+        for _ in 0..500 {
+            let (next, _rule) = generator.propose(&current);
+            assert_eq!(next.len(), current.len());
+            assert_eq!(*next.last().unwrap(), Insn::Exit);
+            current = next;
+        }
+    }
+
+    #[test]
+    fn proposals_are_deterministic_per_seed() {
+        let prog = sample_prog();
+        let mut g1 = ProposalGenerator::new(&prog, RuleProbabilities::default(), 11);
+        let mut g2 = ProposalGenerator::new(&prog, RuleProbabilities::default(), 11);
+        for _ in 0..100 {
+            assert_eq!(g1.propose(&prog.insns), g2.propose(&prog.insns));
+        }
+    }
+
+    #[test]
+    fn all_rules_are_exercised() {
+        let prog = sample_prog();
+        let mut generator = ProposalGenerator::new(&prog, RuleProbabilities::default(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let (_, rule) = generator.propose(&prog.insns);
+            seen.insert(rule);
+        }
+        assert!(seen.contains(&RewriteRule::ReplaceInstruction));
+        assert!(seen.contains(&RewriteRule::ReplaceOperand));
+        assert!(seen.contains(&RewriteRule::ReplaceByNop));
+        assert!(seen.contains(&RewriteRule::MemExchangeType1));
+        assert!(seen.contains(&RewriteRule::ReplaceContiguous));
+    }
+
+    #[test]
+    fn generated_jumps_stay_forward() {
+        let prog = sample_prog();
+        let mut generator = ProposalGenerator::new(&prog, RuleProbabilities::default(), 5);
+        let mut current = prog.insns.clone();
+        for _ in 0..1000 {
+            let (next, _) = generator.propose(&current);
+            for (idx, insn) in next.iter().enumerate() {
+                if let Some(target) = insn.jump_target(idx) {
+                    assert!(target > idx as i64, "backward jump generated at {idx}");
+                    assert!((target as usize) < next.len(), "out-of-range jump at {idx}");
+                }
+            }
+            current = next;
+        }
+    }
+
+    #[test]
+    fn ablated_rules_never_fire() {
+        let prog = sample_prog();
+        let probs = RuleProbabilities::with_rules(false, false, false);
+        assert!((probs.sum() - 1.0).abs() < 1e-9);
+        let mut generator = ProposalGenerator::new(&prog, probs, 9);
+        for _ in 0..1000 {
+            let (_, rule) = generator.propose(&prog.insns);
+            assert!(!matches!(
+                rule,
+                RewriteRule::MemExchangeType1
+                    | RewriteRule::MemExchangeType2
+                    | RewriteRule::ReplaceContiguous
+            ));
+        }
+    }
+}

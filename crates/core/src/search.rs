@@ -1,0 +1,219 @@
+//! The Metropolis–Hastings search loop (§3.3).
+
+use crate::cost::{CostFunction, CostValue};
+use crate::proposals::ProposalGenerator;
+use bpf_analysis::canonicalize;
+use bpf_isa::{Insn, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistics of one Markov chain run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChainStats {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// Distinct equivalent-and-safe programs discovered.
+    pub candidates_found: u64,
+    /// Iteration at which the best program was first found.
+    pub best_found_at: u64,
+    /// Wall-clock microseconds spent.
+    pub time_us: u64,
+}
+
+/// One Markov chain: a current program, a proposal generator, the cost
+/// function, and the best equivalent-and-safe programs seen so far.
+pub struct MarkovChain {
+    /// The inverse-temperature used in the acceptance probability.
+    pub temperature_beta: f64,
+    generator: ProposalGenerator,
+    cost: CostFunction,
+    rng: StdRng,
+    current: Vec<Insn>,
+    current_cost: CostValue,
+    best: Option<(Program, f64)>,
+    /// Statistics of the run so far.
+    pub stats: ChainStats,
+}
+
+impl MarkovChain {
+    /// Create a chain starting from the source program of `cost`.
+    pub fn new(cost: CostFunction, generator: ProposalGenerator, seed: u64) -> MarkovChain {
+        let mut cost = cost;
+        let src = cost.source().clone();
+        let current_cost = cost.evaluate(&src);
+        let src_perf = cost.perf_cost(&src);
+        MarkovChain {
+            temperature_beta: 1.0,
+            generator,
+            cost,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+            current: src.insns.clone(),
+            current_cost,
+            best: Some((src, src_perf)),
+            stats: ChainStats::default(),
+        }
+    }
+
+    /// The best equivalent-and-safe program found so far and its performance
+    /// cost.
+    pub fn best(&self) -> Option<&(Program, f64)> {
+        self.best.as_ref()
+    }
+
+    /// Access the cost function (test-suite size, statistics).
+    pub fn cost_function(&self) -> &CostFunction {
+        &self.cost
+    }
+
+    /// Run the chain for `iterations` steps.
+    pub fn run(&mut self, iterations: u64) -> ChainStats {
+        let start = std::time::Instant::now();
+        for _ in 0..iterations {
+            self.step();
+        }
+        self.stats.time_us += start.elapsed().as_micros() as u64;
+        self.stats
+    }
+
+    /// One Metropolis–Hastings step.
+    pub fn step(&mut self) {
+        self.stats.iterations += 1;
+        let (proposal, _rule) = self.generator.propose(&self.current);
+        let cand = self.cost.source().with_insns(proposal.clone());
+        let cand_cost = self.cost.evaluate(&cand);
+
+        // Track the best equivalent & safe program (by performance cost).
+        if cand_cost.equivalent && cand_cost.safe {
+            let perf = self.cost.perf_cost(&cand);
+            let improved = match &self.best {
+                Some((_, best_perf)) => perf < *best_perf,
+                None => true,
+            };
+            if improved {
+                // Emit the canonicalized program (nops and dead code removed).
+                let cleaned = self.cost.source().with_insns(canonicalize(&cand.insns));
+                let cleaned_perf = self.cost.perf_cost(&cleaned);
+                self.best = Some((cleaned, cleaned_perf.min(perf)));
+                self.stats.candidates_found += 1;
+                self.stats.best_found_at = self.stats.iterations;
+            }
+        }
+
+        // Accept or reject.
+        let delta = cand_cost.total - self.current_cost.total;
+        let accept = if delta <= 0.0 {
+            true
+        } else {
+            let p = (-self.temperature_beta * delta).exp();
+            self.rng.gen::<f64>() < p
+        };
+        if accept {
+            self.current = proposal;
+            self.current_cost = cand_cost;
+            self.stats.accepted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::OptimizationGoal;
+    use crate::cost::CostSettings;
+    use crate::proposals::RuleProbabilities;
+    use bpf_interp::{run, InputGenerator};
+    use bpf_isa::{asm, ProgramType};
+
+    fn chain_for(src: &Program, seed: u64) -> MarkovChain {
+        let cost = CostFunction::new(
+            src,
+            CostSettings::default(),
+            OptimizationGoal::InstructionCount,
+            8,
+            seed,
+        );
+        let generator = ProposalGenerator::new(src, RuleProbabilities::default(), seed);
+        MarkovChain::new(cost, generator, seed)
+    }
+
+    #[test]
+    fn chain_starts_with_the_source_as_best() {
+        let src = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r0, 5\nadd64 r0, 7\nexit").unwrap(),
+        );
+        let chain = chain_for(&src, 1);
+        let (best, perf) = chain.best().unwrap().clone();
+        assert_eq!(best.real_len(), 3);
+        assert_eq!(perf, 3.0);
+    }
+
+    #[test]
+    fn search_shrinks_a_padded_constant_computation() {
+        // mov/add/add chain that folds to a single mov; the search should
+        // find a strictly smaller equivalent program within a modest budget.
+        let src = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nmov64 r3, 9\nexit").unwrap(),
+        );
+        let mut chain = chain_for(&src, 42);
+        chain.run(3000);
+        let (best, _) = chain.best().unwrap();
+        assert!(best.real_len() < src.real_len(), "no improvement found: {best}");
+        // The optimized program must agree with the source on random inputs.
+        let mut generator = InputGenerator::new(7);
+        for input in generator.generate_suite(&src, 10) {
+            assert_eq!(
+                run(&src, &input).unwrap().output.ret,
+                run(best, &input).unwrap().output.ret
+            );
+        }
+    }
+
+    #[test]
+    fn search_removes_dead_stores() {
+        let src = Program::new(
+            ProgramType::Xdp,
+            asm::assemble(
+                "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit",
+            )
+            .unwrap(),
+        );
+        let mut chain = chain_for(&src, 11);
+        chain.run(4000);
+        let (best, _) = chain.best().unwrap();
+        assert!(best.real_len() < src.real_len(), "no improvement found: {best}");
+    }
+
+    #[test]
+    fn accepted_moves_are_counted() {
+        let src = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r0, 1\nmov64 r2, 2\nexit").unwrap(),
+        );
+        let mut chain = chain_for(&src, 3);
+        let stats = chain.run(500);
+        assert_eq!(stats.iterations, 500);
+        assert!(stats.accepted > 0);
+        assert!(stats.accepted <= stats.iterations);
+    }
+
+    #[test]
+    fn best_program_is_always_safe_and_equivalent() {
+        let src = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r4, 1\nmov64 r0, 7\nadd64 r0, r4\nexit").unwrap(),
+        );
+        let mut chain = chain_for(&src, 5);
+        chain.run(2000);
+        let (best, _) = chain.best().unwrap().clone();
+        // Verify with the safety checker and the equivalence checker.
+        let mut safety = bpf_safety::SafetyChecker::default();
+        assert!(safety.is_safe(&best));
+        let (outcome, _) =
+            bpf_equiv::check_equivalence(&src, &best, &bpf_equiv::EquivOptions::default());
+        assert!(outcome.is_equivalent());
+    }
+}

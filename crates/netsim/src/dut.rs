@@ -1,0 +1,280 @@
+//! The device-under-test model: a single-core queueing simulation driven by
+//! the interpreter's per-packet cycle costs.
+
+use crate::workload::{TrafficGenerator, WorkloadConfig};
+use bpf_interp::{run_with_limit, CostModel, DEFAULT_STEP_LIMIT};
+use bpf_isa::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the DUT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutConfig {
+    /// Core clock frequency in Hz (the paper's Broadwell runs at 2.4 GHz).
+    pub clock_hz: f64,
+    /// Fixed per-packet driver/NIC overhead in cycles, on top of the BPF
+    /// program itself (XDP's baseline cost).
+    pub driver_overhead_cycles: f64,
+    /// RX descriptor ring capacity (packets that may wait).
+    pub rx_ring: usize,
+    /// Packets simulated per measurement.
+    pub packets_per_trial: usize,
+    /// RNG seed for arrival jitter.
+    pub seed: u64,
+}
+
+impl Default for DutConfig {
+    fn default() -> Self {
+        DutConfig {
+            clock_hz: 2.4e9,
+            driver_overhead_cycles: 120.0,
+            rx_ring: 512,
+            packets_per_trial: 20_000,
+            seed: 0xd07,
+        }
+    }
+}
+
+/// Result of simulating one offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Offered load in millions of packets per second.
+    pub offered_mpps: f64,
+    /// Achieved throughput in millions of packets per second.
+    pub throughput_mpps: f64,
+    /// Average end-to-end latency of delivered packets, in microseconds.
+    pub avg_latency_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Fraction of packets dropped.
+    pub drop_rate: f64,
+}
+
+/// A point of the offered-load sweep (Appendix H curves).
+pub type LoadPoint = SimResult;
+
+/// The DUT model for one program.
+#[derive(Debug, Clone)]
+pub struct DutModel {
+    /// Configuration.
+    pub config: DutConfig,
+    /// Mean per-packet service time in cycles (program + driver overhead).
+    pub cycles_per_packet: f64,
+    /// Per-packet cycle samples (used to draw service times).
+    samples: Vec<f64>,
+}
+
+impl DutModel {
+    /// Build the model by executing `prog` over a sample of generated
+    /// packets and recording the per-packet cost under the cycle model.
+    pub fn measure(prog: &Program, config: DutConfig) -> DutModel {
+        let mut generator = TrafficGenerator::new(WorkloadConfig::default());
+        let cost_model = CostModel::default();
+        let mut samples = Vec::with_capacity(256);
+        for input in generator.packets(256) {
+            let cycles = match run_with_limit(prog, &input, DEFAULT_STEP_LIMIT, &cost_model) {
+                Ok(result) => result.cost as f64,
+                // A trapped packet is dropped early by the kernel; charge a
+                // small fixed cost.
+                Err(_) => 20.0,
+            };
+            samples.push(cycles + config.driver_overhead_cycles);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        DutModel { config, cycles_per_packet: mean, samples }
+    }
+
+    /// The capacity of the DUT in millions of packets per second (the rate at
+    /// which the core saturates).
+    pub fn capacity_mpps(&self) -> f64 {
+        self.config.clock_hz / self.cycles_per_packet / 1e6
+    }
+
+    /// Simulate an open-loop offered load (in Mpps) through the DUT.
+    pub fn simulate(&self, offered_mpps: f64) -> SimResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let interarrival_s = 1.0 / (offered_mpps * 1e6);
+        let n = self.config.packets_per_trial;
+
+        let mut arrival = 0.0f64;
+        let mut server_free_at = 0.0f64;
+        // Completion times of packets still "in the system", used to track
+        // queue occupancy for ring-overflow drops.
+        let mut in_flight: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+        let mut delivered = 0usize;
+        let mut dropped = 0usize;
+        let mut latency_sum = 0.0f64;
+        let mut latencies = Vec::with_capacity(n);
+        let mut last_completion = 0.0f64;
+
+        for i in 0..n {
+            // Slightly jittered (exponential) interarrival times model an
+            // open-loop generator; this is what makes queueing delay grow
+            // smoothly as the load approaches capacity.
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            arrival += interarrival_s * (-u.ln());
+            // Drain completed packets from the ring.
+            while let Some(&front) = in_flight.front() {
+                if front <= arrival {
+                    in_flight.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if in_flight.len() >= self.config.rx_ring {
+                dropped += 1;
+                continue;
+            }
+            let service_cycles = self.samples[i % self.samples.len()];
+            let service_s = service_cycles / self.config.clock_hz;
+            let start = arrival.max(server_free_at);
+            let completion = start + service_s;
+            server_free_at = completion;
+            in_flight.push_back(completion);
+            let latency = completion - arrival;
+            latency_sum += latency;
+            latencies.push(latency);
+            delivered += 1;
+            last_completion = completion;
+        }
+
+        let duration = last_completion.max(arrival).max(1e-12);
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p99 = if latencies.is_empty() {
+            0.0
+        } else {
+            let idx = ((latencies.len() as f64 * 0.99) as usize).min(latencies.len() - 1);
+            latencies[idx]
+        };
+        SimResult {
+            offered_mpps,
+            throughput_mpps: delivered as f64 / duration / 1e6,
+            avg_latency_us: if delivered == 0 { 0.0 } else { latency_sum / delivered as f64 * 1e6 },
+            p99_latency_us: p99 * 1e6,
+            drop_rate: dropped as f64 / n as f64,
+        }
+    }
+}
+
+/// Find the maximum loss-free forwarding rate (MLFFR, RFC 2544): the highest
+/// offered load whose drop rate stays below 0.1%, found by ramping the load
+/// as the paper's methodology describes.
+pub fn find_mlffr(model: &DutModel) -> f64 {
+    let capacity = model.capacity_mpps();
+    let mut lo = 0.0f64;
+    let mut hi = capacity * 1.2;
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let result = model.simulate(mid);
+        if result.drop_rate < 0.001 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Sweep the offered load from 10% to 120% of capacity, producing the curves
+/// of Appendix H (throughput / latency / drop rate vs offered load).
+pub fn load_sweep(model: &DutModel, points: usize) -> Vec<LoadPoint> {
+    let capacity = model.capacity_mpps();
+    (1..=points)
+        .map(|i| {
+            let offered = capacity * 1.2 * i as f64 / points as f64;
+            model.simulate(offered)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{asm, ProgramType};
+
+    fn fast_program() -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble("mov64 r0, 1\nexit").unwrap())
+    }
+
+    fn slow_program() -> Program {
+        // Same behaviour, but with lots of extra work per packet.
+        let mut text = String::new();
+        for i in 0..24 {
+            text.push_str(&format!("stdw [r10-{}], {}\n", 8 * (i % 8 + 1), i));
+        }
+        text.push_str("mov64 r0, 1\nexit");
+        Program::new(ProgramType::Xdp, asm::assemble(&text).unwrap())
+    }
+
+    fn small_config() -> DutConfig {
+        DutConfig { packets_per_trial: 4000, ..DutConfig::default() }
+    }
+
+    #[test]
+    fn cheaper_programs_have_higher_capacity_and_mlffr() {
+        let fast = DutModel::measure(&fast_program(), small_config());
+        let slow = DutModel::measure(&slow_program(), small_config());
+        assert!(fast.cycles_per_packet < slow.cycles_per_packet);
+        assert!(fast.capacity_mpps() > slow.capacity_mpps());
+        let mlffr_fast = find_mlffr(&fast);
+        let mlffr_slow = find_mlffr(&slow);
+        assert!(
+            mlffr_fast > mlffr_slow,
+            "fast {mlffr_fast:.3} Mpps should beat slow {mlffr_slow:.3} Mpps"
+        );
+    }
+
+    #[test]
+    fn mlffr_is_close_to_capacity() {
+        let model = DutModel::measure(&fast_program(), small_config());
+        let mlffr = find_mlffr(&model);
+        let capacity = model.capacity_mpps();
+        assert!(mlffr > 0.5 * capacity, "mlffr {mlffr} vs capacity {capacity}");
+        assert!(mlffr <= capacity * 1.2);
+    }
+
+    #[test]
+    fn latency_rises_with_offered_load() {
+        let model = DutModel::measure(&slow_program(), small_config());
+        let capacity = model.capacity_mpps();
+        let low = model.simulate(capacity * 0.3);
+        let high = model.simulate(capacity * 0.95);
+        let saturating = model.simulate(capacity * 1.4);
+        assert!(low.avg_latency_us < high.avg_latency_us);
+        assert!(high.avg_latency_us < saturating.avg_latency_us || saturating.drop_rate > 0.0);
+        assert!(low.drop_rate < 0.001);
+        assert!(saturating.drop_rate > 0.005);
+    }
+
+    #[test]
+    fn throughput_saturates_at_capacity() {
+        let model = DutModel::measure(&fast_program(), small_config());
+        let capacity = model.capacity_mpps();
+        let result = model.simulate(capacity * 1.5);
+        // Delivered throughput cannot exceed the service capacity (within a
+        // small tolerance from the finite trial).
+        assert!(result.throughput_mpps <= capacity * 1.05);
+        assert!(result.throughput_mpps > capacity * 0.8);
+    }
+
+    #[test]
+    fn load_sweep_produces_monotone_offered_loads() {
+        let model = DutModel::measure(&fast_program(), small_config());
+        let sweep = load_sweep(&model, 6);
+        assert_eq!(sweep.len(), 6);
+        for pair in sweep.windows(2) {
+            assert!(pair[0].offered_mpps < pair[1].offered_mpps);
+        }
+        // Drop rate is non-decreasing along the sweep (within noise).
+        assert!(sweep.last().unwrap().drop_rate >= sweep.first().unwrap().drop_rate);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let model = DutModel::measure(&fast_program(), small_config());
+        let a = model.simulate(1.0);
+        let b = model.simulate(1.0);
+        assert_eq!(a, b);
+    }
+}

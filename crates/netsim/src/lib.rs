@@ -1,0 +1,39 @@
+//! # k2-netsim
+//!
+//! The testbed substitute for the paper's throughput/latency evaluation
+//! (Tables 2 and 3, Appendix H figures).
+//!
+//! The original measurements use two CloudLab servers, 25G NICs and the
+//! T-Rex traffic generator. None of that hardware is available to a
+//! reproduction, so this crate models the part of the setup that the paper's
+//! claims actually depend on: *how many CPU cycles the BPF program costs per
+//! packet*, and how a single-core device under test (DUT) behaves as the
+//! offered load approaches the resulting capacity.
+//!
+//! * [`workload`] — a packet/flow generator producing 64-byte UDP-over-IPv4
+//!   frames across a configurable number of flows (RFC 2544-style minimum
+//!   packet size, as in the paper's setup).
+//! * [`dut`] — a single-server queueing simulation of the DUT: per-packet
+//!   service times measured by executing the program in the interpreter with
+//!   its cycle cost model, an RX ring of bounded depth, open-loop arrivals
+//!   with jitter, drops on ring overflow.
+//! * [`dut::find_mlffr`] — the maximum loss-free forwarding rate search used
+//!   for Table 2.
+//! * [`dut::load_sweep`] — the offered-load sweep behind Table 3 and the
+//!   Appendix H curves (throughput, average latency, drop rate vs load).
+//!
+//! The absolute numbers differ from the paper's testbed (the interpreter is
+//! not a JIT and the cost model is abstract), but the *relationships* the
+//! paper reports are preserved: programs with cheaper per-packet cost have a
+//! higher MLFFR, and latency rises sharply as the offered load crosses the
+//! slower variant's capacity — which is exactly what Tables 2/3 show for
+//! K2-optimized programs against clang's output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dut;
+pub mod workload;
+
+pub use dut::{find_mlffr, load_sweep, DutConfig, DutModel, LoadPoint, SimResult};
+pub use workload::{TrafficGenerator, WorkloadConfig};

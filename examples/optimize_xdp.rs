@@ -1,0 +1,46 @@
+//! Optimize one of the paper's benchmark programs end to end: rule-based
+//! baseline first, then K2, and report the compression the way Table 1 does.
+//!
+//! ```text
+//! cargo run --release -p k2-core --example optimize_xdp [benchmark-name]
+//! ```
+
+use k2_baseline::best_baseline;
+use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "xdp_pktcntr".to_string());
+    let bench = bpf_bench_suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for b in bpf_bench_suite::all() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    });
+
+    println!("benchmark {} ({}): {}", bench.name, bench.prog.prog_type, bench.description);
+    println!("  unoptimized: {} instructions", bench.prog.real_len());
+
+    let (level, baseline) = best_baseline(&bench.prog);
+    println!("  best rule-based baseline ({}): {} instructions", level.name(), baseline.real_len());
+
+    let mut compiler = K2Compiler::new(CompilerOptions {
+        goal: OptimizationGoal::InstructionCount,
+        iterations: std::env::var("K2_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(5_000),
+        params: SearchParams::table8(),
+        num_tests: 16,
+        seed: 7,
+        top_k: 1,
+        parallel: true,
+    });
+    let result = compiler.optimize(&baseline);
+    let k2_len = result.best.real_len().min(baseline.real_len());
+    println!("  K2:          {} instructions", k2_len);
+    println!(
+        "  compression over best baseline: {:.2}%",
+        100.0 * (baseline.real_len() as f64 - k2_len as f64) / baseline.real_len() as f64
+    );
+    if result.improved {
+        println!("\noptimized program:\n{}", result.best);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: optimize a small BPF program with K2 and print the result.
+//!
+//! ```text
+//! cargo run --release -p k2-core --example quickstart
+//! ```
+
+use bpf_isa::{asm, Program, ProgramType};
+use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+
+fn main() {
+    // The paper's running example (from Facebook's xdp_pktcntr): clang emits
+    // a register clear plus two 32-bit stores for `u32 a = 0; u32 b = 0;`.
+    let source = Program::new(
+        ProgramType::Xdp,
+        asm::assemble(
+            "mov64 r1, 0\n\
+             stxw [r10-4], r1\n\
+             stxw [r10-8], r1\n\
+             ldxdw r0, [r10-8]\n\
+             exit",
+        )
+        .expect("valid assembly"),
+    );
+
+    println!("source program ({} instructions):\n{}", source.real_len(), source);
+
+    let mut compiler = K2Compiler::new(CompilerOptions {
+        goal: OptimizationGoal::InstructionCount,
+        iterations: 10_000,
+        params: SearchParams::table8(),
+        num_tests: 16,
+        seed: 42,
+        top_k: 1,
+        parallel: true,
+    });
+    let result = compiler.optimize(&source);
+
+    println!("optimized program ({} instructions):\n{}", result.best.real_len(), result.best);
+    println!(
+        "improved: {}  (kernel-checker rejections during post-processing: {})",
+        result.improved, result.rejected_by_kernel_checker
+    );
+    for (id, cost, stats) in &result.chains {
+        println!(
+            "  chain {id}: best cost {:?}, {} iterations, {} accepted moves",
+            cost, stats.iterations, stats.accepted
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate agreement between the formal equivalence checker and the
+//! interpreter: programs proven equivalent must agree on every generated
+//! input, and counterexamples for non-equivalent pairs must reproduce in the
+//! interpreter.
+
+use bpf_equiv::{EquivChecker, EquivOptions, EquivOutcome};
+use bpf_interp::{run, InputGenerator};
+use bpf_isa::{asm, Program, ProgramType};
+
+fn xdp(text: &str) -> Program {
+    Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+}
+
+/// Pairs of programs that must be equivalent, drawn from the rewrite classes
+/// of the paper's §9 and Appendix G.
+fn equivalent_pairs() -> Vec<(&'static str, Program, Program)> {
+    vec![
+        (
+            "constant folding",
+            xdp("mov64 r0, 5\nadd64 r0, 7\nmul64 r0, 3\nexit"),
+            xdp("mov64 r0, 36\nexit"),
+        ),
+        (
+            "store coalescing",
+            xdp("mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit"),
+            xdp("stdw [r10-8], 0\nldxdw r0, [r10-8]\nexit"),
+        ),
+        (
+            "dead code elimination",
+            xdp("mov64 r3, 9\nmov64 r4, r3\nmov64 r0, 1\nexit"),
+            xdp("mov64 r0, 1\nexit"),
+        ),
+        (
+            "strength reduction over packet length",
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nmul64 r0, 8\nexit"),
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nlsh64 r0, 3\nexit"),
+        ),
+        (
+            "branch restructuring",
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, 2\njne r2, r3, +1\nmov64 r0, 1\nexit"),
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, 1\njeq r2, r3, +1\nmov64 r0, 2\nexit"),
+        ),
+    ]
+}
+
+/// Pairs that must *not* be equivalent.
+fn different_pairs() -> Vec<(&'static str, Program, Program)> {
+    vec![
+        ("different constants", xdp("mov64 r0, 5\nexit"), xdp("mov64 r0, 6\nexit")),
+        (
+            "wrong shift amount",
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nmul64 r0, 8\nexit"),
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nlsh64 r0, 2\nexit"),
+        ),
+        (
+            "32-bit truncation",
+            xdp("lddw r2, 0x100000001\nmov64 r0, r2\nexit"),
+            xdp("lddw r2, 0x100000001\nmov32 r0, r2\nexit"),
+        ),
+    ]
+}
+
+#[test]
+fn equivalent_pairs_are_proven_and_agree_in_the_interpreter() {
+    for (label, a, b) in equivalent_pairs() {
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(checker.check(&a, &b).is_equivalent(), "{label} not proven equivalent");
+        let mut generator = InputGenerator::new(7);
+        for input in generator.generate_suite(&a, 10) {
+            let ra = run(&a, &input).expect("a runs");
+            let rb = run(&b, &input).expect("b runs");
+            assert_eq!(ra.output, rb.output, "{label}: interpreter disagrees with the prover");
+        }
+    }
+}
+
+#[test]
+fn different_pairs_produce_reproducible_counterexamples() {
+    for (label, a, b) in different_pairs() {
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        match checker.check(&a, &b) {
+            EquivOutcome::NotEquivalent(Some(input)) => {
+                let ra = run(&a, &input).expect("a runs");
+                let rb = run(&b, &input).expect("b runs");
+                assert_ne!(ra.output, rb.output, "{label}: counterexample does not reproduce");
+            }
+            EquivOutcome::NotEquivalent(None) => {}
+            other => panic!("{label}: expected non-equivalence, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn optimization_settings_agree_on_verdicts() {
+    // The concretization optimizations change solving time, never verdicts.
+    let (label, a, b) = &equivalent_pairs()[1];
+    let (_, wrong_a, wrong_b) = &different_pairs()[0];
+    for opts in [
+        EquivOptions::default(),
+        EquivOptions { offset_concretization: false, ..EquivOptions::default() },
+        EquivOptions::none(),
+    ] {
+        let mut checker = EquivChecker::new(opts);
+        assert!(checker.check(a, b).is_equivalent(), "{label} under {opts:?}");
+        assert!(!checker.check(wrong_a, wrong_b).is_equivalent(), "wrong pair under {opts:?}");
+    }
+}
+
+#[test]
+fn baseline_outputs_are_always_equivalent_to_their_sources() {
+    for bench in bpf_bench_suite::all() {
+        if bench.prog.real_len() > 60 {
+            continue; // keep the suite fast; large programs are covered elsewhere
+        }
+        let (_, optimized) = k2_baseline::best_baseline(&bench.prog);
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(
+            checker.check(&bench.prog, &optimized).is_equivalent(),
+            "baseline broke {}",
+            bench.name
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Cross-crate test of the performance-evaluation path: cheaper programs
+//! (fewer cycles per packet) must get higher simulated throughput and lower
+//! latency — the property Tables 2 and 3 rely on.
+
+use k2_baseline::best_baseline;
+use k2_netsim::{find_mlffr, load_sweep, DutConfig, DutModel};
+
+fn fast_config() -> DutConfig {
+    DutConfig { packets_per_trial: 4_000, ..DutConfig::default() }
+}
+
+#[test]
+fn optimized_variants_never_lose_throughput() {
+    for name in ["xdp_pktcntr", "xdp_exception", "xdp1_kern/xdp1"] {
+        let bench = bpf_bench_suite::by_name(name).unwrap();
+        let (_, optimized) = best_baseline(&bench.prog);
+        let base = DutModel::measure(&bench.prog, fast_config());
+        let opt = DutModel::measure(&optimized, fast_config());
+        assert!(
+            opt.cycles_per_packet <= base.cycles_per_packet + 1e-9,
+            "{name}: optimization increased per-packet cost"
+        );
+        assert!(
+            find_mlffr(&opt) >= find_mlffr(&base) * 0.98,
+            "{name}: optimization lowered MLFFR"
+        );
+    }
+}
+
+#[test]
+fn latency_ordering_matches_cost_ordering() {
+    let cheap = bpf_bench_suite::by_name("xdp_pktcntr").unwrap();
+    let expensive = bpf_bench_suite::by_name("xdp_fwd").unwrap();
+    let cheap_model = DutModel::measure(&cheap.prog, fast_config());
+    let expensive_model = DutModel::measure(&expensive.prog, fast_config());
+    assert!(cheap_model.cycles_per_packet < expensive_model.cycles_per_packet);
+    // At the same absolute offered load (below both capacities), the cheaper
+    // program has lower average latency.
+    let load = expensive_model.capacity_mpps() * 0.6;
+    let cheap_result = cheap_model.simulate(load);
+    let expensive_result = expensive_model.simulate(load);
+    assert!(cheap_result.avg_latency_us < expensive_result.avg_latency_us);
+    assert!(cheap_result.drop_rate < 0.001);
+}
+
+#[test]
+fn load_sweeps_show_saturation_behaviour() {
+    let bench = bpf_bench_suite::by_name("xdp_map_access").unwrap();
+    let model = DutModel::measure(&bench.prog, fast_config());
+    let sweep = load_sweep(&model, 10);
+    assert_eq!(sweep.len(), 10);
+    // Throughput is (weakly) increasing until capacity and then flattens;
+    // the last point must not exceed the capacity estimate materially.
+    let capacity = model.capacity_mpps();
+    assert!(sweep.last().unwrap().throughput_mpps <= capacity * 1.05);
+    // Latency at the highest load exceeds latency at the lowest load.
+    assert!(sweep.last().unwrap().avg_latency_us > sweep.first().unwrap().avg_latency_us);
+}

@@ -1,0 +1,79 @@
+//! End-to-end pipeline test: benchmark program → rule-based baseline → K2
+//! search → formal equivalence + safety + kernel-checker acceptance, plus a
+//! behavioural cross-check in the interpreter.
+
+use bpf_equiv::{check_equivalence, EquivOptions};
+use bpf_interp::{run, InputGenerator};
+use bpf_safety::LinuxVerifier;
+use k2_baseline::best_baseline;
+use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+
+fn pipeline_options(iterations: u64) -> CompilerOptions {
+    CompilerOptions {
+        goal: OptimizationGoal::InstructionCount,
+        iterations,
+        params: SearchParams::table8().into_iter().take(2).collect(),
+        num_tests: 12,
+        seed: 0xe2e,
+        top_k: 1,
+        parallel: true,
+    }
+}
+
+#[test]
+fn pktcntr_pipeline_produces_a_verified_smaller_program() {
+    let bench = bpf_bench_suite::by_name("xdp_pktcntr").unwrap();
+    let (_, baseline) = best_baseline(&bench.prog);
+    let mut compiler = K2Compiler::new(pipeline_options(4_000));
+    let result = compiler.optimize(&baseline);
+
+    // The output is never larger than the baseline it started from.
+    assert!(result.best.real_len() <= baseline.real_len());
+
+    // It is formally equivalent to the baseline (and hence to the source,
+    // since the baseline preserves behaviour by construction).
+    let (outcome, _) = check_equivalence(&baseline, &result.best, &EquivOptions::default());
+    assert!(outcome.is_equivalent(), "K2 output is not equivalent: {outcome:?}");
+
+    // The kernel-checker model accepts it.
+    assert!(LinuxVerifier::default().accepts(&result.best));
+
+    // And it agrees with the original program on random inputs.
+    let mut generator = InputGenerator::new(99);
+    for input in generator.generate_suite(&bench.prog, 20) {
+        let original = run(&bench.prog, &input).expect("original runs");
+        let optimized = run(&result.best, &input).expect("optimized runs");
+        assert_eq!(original.output, optimized.output);
+    }
+}
+
+#[test]
+fn latency_goal_never_increases_the_estimated_cost() {
+    let bench = bpf_bench_suite::by_name("xdp_exception").unwrap();
+    let (_, baseline) = best_baseline(&bench.prog);
+    let mut compiler = K2Compiler::new(CompilerOptions {
+        goal: OptimizationGoal::Latency,
+        ..pipeline_options(2_000)
+    });
+    let result = compiler.optimize(&baseline);
+    assert!(
+        bpf_interp::static_latency(&result.best) <= bpf_interp::static_latency(&baseline),
+        "latency goal regressed the cost model estimate"
+    );
+}
+
+#[test]
+fn compiler_reports_consistent_chain_statistics() {
+    let bench = bpf_bench_suite::by_name("xdp_redirect_err").unwrap();
+    let (_, baseline) = best_baseline(&bench.prog);
+    let mut compiler = K2Compiler::new(pipeline_options(500));
+    let result = compiler.optimize(&baseline);
+    assert_eq!(result.chains.len(), 2);
+    for (id, _, stats) in &result.chains {
+        assert!(*id >= 1);
+        assert_eq!(stats.iterations, 500);
+        assert!(stats.accepted <= stats.iterations);
+    }
+    assert!(!result.top.is_empty());
+    assert!(result.best_cost > 0.0);
+}
