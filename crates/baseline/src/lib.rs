@@ -92,7 +92,9 @@ pub fn best_baseline(prog: &Program) -> (OptLevel, Program) {
 /// Replace ALU computations whose result is statically known by immediate
 /// moves, and immediate-operand rewrites where one operand is known.
 fn fold_constants(prog: &Program) -> Vec<Insn> {
-    let Ok(cfg) = Cfg::build(&prog.insns) else { return prog.insns.clone() };
+    let Ok(cfg) = Cfg::build(&prog.insns) else {
+        return prog.insns.clone();
+    };
     let types = Types::analyze(&prog.insns, &cfg);
     let mut out = prog.insns.clone();
     for (idx, insn) in prog.insns.iter().enumerate() {
@@ -153,7 +155,11 @@ fn remove_redundant_moves(insns: &[Insn]) -> Vec<Insn> {
     insns
         .iter()
         .map(|insn| match insn {
-            Insn::Alu64 { op: AluOp::Mov, dst, src: Src::Reg(r) } if dst == r => Insn::Nop,
+            Insn::Alu64 {
+                op: AluOp::Mov,
+                dst,
+                src: Src::Reg(r),
+            } if dst == r => Insn::Nop,
             other => *other,
         })
         .collect()
@@ -217,16 +223,14 @@ mod tests {
 
     #[test]
     fn o2_does_not_break_branches() {
-        let p = xdp(
-            r"
+        let p = xdp(r"
             ldxdw r2, [r1+0]
             ldxdw r3, [r1+8]
             mov64 r0, 1
             jeq r2, r3, +1
             mov64 r0, 2
             exit
-        ",
-        );
+        ");
         let o2 = optimize(&p, OptLevel::O2);
         assert_same_behaviour(&p, &o2);
     }

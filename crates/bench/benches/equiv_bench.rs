@@ -17,18 +17,33 @@ fn bench_equivalence(c: &mut Criterion) {
 
     group.bench_function("pktcntr_all_optimizations", |b| {
         b.iter(|| {
-            black_box(check_equivalence(&bench.prog, &optimized, &EquivOptions::default()))
+            black_box(check_equivalence(
+                &bench.prog,
+                &optimized,
+                &EquivOptions::default(),
+            ))
         })
     });
     group.bench_function("pktcntr_no_optimizations", |b| {
-        b.iter(|| black_box(check_equivalence(&bench.prog, &optimized, &EquivOptions::none())))
+        b.iter(|| {
+            black_box(check_equivalence(
+                &bench.prog,
+                &optimized,
+                &EquivOptions::none(),
+            ))
+        })
     });
 
     let window = Window { start: 1, end: 3 };
     let replacement = asm::assemble("stdw [r10-8], 0\nnop").unwrap();
     group.bench_function("pktcntr_window_check", |b| {
         b.iter(|| {
-            black_box(check_window(&bench.prog, window, &replacement, &Default::default()))
+            black_box(check_window(
+                &bench.prog,
+                window,
+                &replacement,
+                &Default::default(),
+            ))
         })
     });
     group.finish();

@@ -10,7 +10,10 @@ fn bench_netsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim");
     group.sample_size(10);
     let bench = by_name("xdp1_kern/xdp1").expect("benchmark exists");
-    let config = DutConfig { packets_per_trial: 5_000, ..DutConfig::default() };
+    let config = DutConfig {
+        packets_per_trial: 5_000,
+        ..DutConfig::default()
+    };
     let model = DutModel::measure(&bench.prog, config);
 
     group.bench_function("simulate_one_load", |b| {

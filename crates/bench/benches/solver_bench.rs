@@ -45,7 +45,9 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("mul_shift_identity_64", |b| {
         b.iter(|| black_box(prove_mul_shift_identity(64)))
     });
-    group.bench_function("factor_221_16", |b| b.iter(|| black_box(find_factorization(16))));
+    group.bench_function("factor_221_16", |b| {
+        b.iter(|| black_box(find_factorization(16)))
+    });
     group.finish();
 }
 

@@ -13,10 +13,8 @@ fn main() {
     // one 64-bit immediate store (xdp_pktcntr).
     let src = Program::new(
         ProgramType::Xdp,
-        asm::assemble(
-            "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit",
-        )
-        .unwrap(),
+        asm::assemble("mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit")
+            .unwrap(),
     );
     let rewritten = Program::new(
         ProgramType::Xdp,
@@ -24,9 +22,21 @@ fn main() {
     );
     let (outcome, us) = check_equivalence(&src, &rewritten, &EquivOptions::default());
     println!("Example 1 — memory coalescing (xdp_pktcntr):");
-    println!("  before ({} insns):\n{}", src.real_len(), indent(&asm::disassemble(&src.insns)));
-    println!("  after  ({} insns):\n{}", rewritten.real_len(), indent(&asm::disassemble(&rewritten.insns)));
-    println!("  formally equivalent: {} ({} us)\n", outcome.is_equivalent(), us);
+    println!(
+        "  before ({} insns):\n{}",
+        src.real_len(),
+        indent(&asm::disassemble(&src.insns))
+    );
+    println!(
+        "  after  ({} insns):\n{}",
+        rewritten.real_len(),
+        indent(&asm::disassemble(&rewritten.insns))
+    );
+    println!(
+        "  formally equivalent: {} ({} us)\n",
+        outcome.is_equivalent(),
+        us
+    );
 
     // Example 2 (§9): a context-dependent rewrite from balancer_kern — valid
     // only because r3 is known to hold 0x00000000ffe00000 before the window.
@@ -41,9 +51,21 @@ fn main() {
     let replacement = asm::assemble("mov32 r0, r2\narsh64 r0, 21\nnop").unwrap();
     let (outcome, us) = check_window(&balancer, window, &replacement, &Default::default());
     println!("Example 2 — context-dependent rewrite (balancer_kern):");
-    println!("  window [{}..{}) of:\n{}", window.start, window.end, indent(&asm::disassemble(&balancer.insns)));
-    println!("  replacement:\n{}", indent(&asm::disassemble(&replacement)));
-    println!("  valid under the inferred precondition: {} ({} us)\n", outcome.is_equivalent(), us);
+    println!(
+        "  window [{}..{}) of:\n{}",
+        window.start,
+        window.end,
+        indent(&asm::disassemble(&balancer.insns))
+    );
+    println!(
+        "  replacement:\n{}",
+        indent(&asm::disassemble(&replacement))
+    );
+    println!(
+        "  valid under the inferred precondition: {} ({} us)\n",
+        outcome.is_equivalent(),
+        us
+    );
 
     // And let the search rediscover example 1 on its own.
     let mut compiler = K2Compiler::new(CompilerOptions {
@@ -56,10 +78,16 @@ fn main() {
         parallel: true,
     });
     let result = compiler.optimize(&src);
-    println!("Search starting from example 1's source found ({} insns):", result.best.real_len());
+    println!(
+        "Search starting from example 1's source found ({} insns):",
+        result.best.real_len()
+    );
     println!("{}", indent(&asm::disassemble(&result.best.insns)));
 }
 
 fn indent(text: &str) -> String {
-    text.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    text.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

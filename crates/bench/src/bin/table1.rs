@@ -8,7 +8,10 @@ use k2_core::SearchParams;
 fn main() {
     let iterations = default_iterations();
     let params: Vec<SearchParams> = SearchParams::table8();
-    println!("Table 1: program compactness ({iterations} iterations per chain, {} chains)\n", params.len());
+    println!(
+        "Table 1: program compactness ({iterations} iterations per chain, {} chains)\n",
+        params.len()
+    );
 
     let mut rows = Vec::new();
     let mut total_compression = 0.0;
@@ -31,7 +34,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["#", "benchmark", "-O0", "-O1", "-O2/-O3", "K2", "compression", "time(s)", "iters"],
+            &[
+                "#",
+                "benchmark",
+                "-O0",
+                "-O1",
+                "-O2/-O3",
+                "K2",
+                "compression",
+                "time(s)",
+                "iters"
+            ],
             &rows
         )
     );
@@ -40,5 +53,7 @@ fn main() {
         benches.len(),
         total_compression / benches.len() as f64
     );
-    println!("(paper: 6–26% per benchmark, 13.95% mean; set K2_ITERS / K2_ALL_BENCHMARKS=1 to scale up)");
+    println!(
+        "(paper: 6–26% per benchmark, 13.95% mean; set K2_ITERS / K2_ALL_BENCHMARKS=1 to scale up)"
+    );
 }

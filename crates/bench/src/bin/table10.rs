@@ -10,10 +10,22 @@ fn main() {
     let iterations = default_iterations();
     println!("Table 10: domain-specific rewrite-rule ablation ({iterations} iterations)\n");
     let configs: Vec<(&str, RuleProbabilities)> = vec![
-        ("MEM1+CONT", RuleProbabilities::with_rules(true, false, true)),
-        ("MEM2+CONT", RuleProbabilities::with_rules(false, true, true)),
-        ("MEM1 only", RuleProbabilities::with_rules(true, false, false)),
-        ("CONT only", RuleProbabilities::with_rules(false, false, true)),
+        (
+            "MEM1+CONT",
+            RuleProbabilities::with_rules(true, false, true),
+        ),
+        (
+            "MEM2+CONT",
+            RuleProbabilities::with_rules(false, true, true),
+        ),
+        (
+            "MEM1 only",
+            RuleProbabilities::with_rules(true, false, false),
+        ),
+        (
+            "CONT only",
+            RuleProbabilities::with_rules(false, false, true),
+        ),
         ("none", RuleProbabilities::with_rules(false, false, false)),
     ];
 
@@ -38,7 +50,11 @@ fn main() {
                 top_k: 1,
                 parallel: true,
             });
-            let size = compiler.optimize(&baseline).best.real_len().min(baseline.real_len());
+            let size = compiler
+                .optimize(&baseline)
+                .best
+                .real_len()
+                .min(baseline.real_len());
             best_overall = best_overall.min(size);
             sizes.push(size);
         }

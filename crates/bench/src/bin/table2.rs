@@ -28,7 +28,11 @@ fn main() {
         let k2_model = DutModel::measure(&k2, DutConfig::default());
         let base_mlffr = find_mlffr(&base_model);
         let k2_mlffr = find_mlffr(&k2_model);
-        let gain = if base_mlffr > 0.0 { 100.0 * (k2_mlffr - base_mlffr) / base_mlffr } else { 0.0 };
+        let gain = if base_mlffr > 0.0 {
+            100.0 * (k2_mlffr - base_mlffr) / base_mlffr
+        } else {
+            0.0
+        };
         rows.push(vec![
             bench.name.to_string(),
             format!("{:.3}", base_mlffr),
@@ -36,6 +40,14 @@ fn main() {
             format!("{:+.2}%", gain),
         ]);
     }
-    println!("{}", render_table(&["benchmark", "best clang (Mpps)", "K2 (Mpps)", "gain"], &rows));
-    println!("(paper: 0–4.75% throughput gains; absolute Mpps differ because the DUT is a simulator)");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "best clang (Mpps)", "K2 (Mpps)", "gain"],
+            &rows
+        )
+    );
+    println!(
+        "(paper: 0–4.75% throughput gains; absolute Mpps differ because the DUT is a simulator)"
+    );
 }

@@ -56,7 +56,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "load", "offered (Mpps)", "clang (us)", "K2 (us)", "reduction"],
+            &[
+                "benchmark",
+                "load",
+                "offered (Mpps)",
+                "clang (us)",
+                "K2 (us)",
+                "reduction"
+            ],
             &rows
         )
     );

@@ -10,12 +10,21 @@ fn main() {
     println!("Table 4: equivalence-checking time (microseconds) under ablated optimizations\n");
     let configs: Vec<(&str, EquivOptions)> = vec![
         ("I,II,III", EquivOptions::default()),
-        ("I,II", EquivOptions { offset_concretization: false, ..EquivOptions::default() }),
-        ("I", EquivOptions {
-            offset_concretization: false,
-            map_concretization: false,
-            ..EquivOptions::default()
-        }),
+        (
+            "I,II",
+            EquivOptions {
+                offset_concretization: false,
+                ..EquivOptions::default()
+            },
+        ),
+        (
+            "I",
+            EquivOptions {
+                offset_concretization: false,
+                map_concretization: false,
+                ..EquivOptions::default()
+            },
+        ),
         ("none", EquivOptions::none()),
     ];
 
@@ -31,7 +40,11 @@ fn main() {
             if i == 0 {
                 baseline_us = us.max(1);
                 cells.push(format!("{us}"));
-                assert!(outcome.is_equivalent(), "{}: baseline not equivalent?", bench.name);
+                assert!(
+                    outcome.is_equivalent(),
+                    "{}: baseline not equivalent?",
+                    bench.name
+                );
             } else {
                 cells.push(format!("{us} ({:.1}x)", us as f64 / baseline_us as f64));
             }
@@ -45,7 +58,9 @@ fn main() {
             &rows
         )
     );
-    println!("(paper: turning the optimizations off costs 2–7 orders of magnitude on its Z3 queries;");
+    println!(
+        "(paper: turning the optimizations off costs 2–7 orders of magnitude on its Z3 queries;"
+    );
     println!(" the relative slowdowns here are smaller because programs are encoded with the same");
     println!(" byte-granular tables and the SAT backend is shared, but the ordering is preserved)");
 }

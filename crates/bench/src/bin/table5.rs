@@ -37,12 +37,24 @@ fn main() {
             bench.name.to_string(),
             variants.to_string(),
             ok.to_string(),
-            if ok == variants { "-".to_string() } else { "checker rejection".to_string() },
+            if ok == variants {
+                "-".to_string()
+            } else {
+                "checker rejection".to_string()
+            },
         ]);
     }
     println!(
         "{}",
-        render_table(&["benchmark", "variants produced", "accepted by checker", "failure cause"], &rows)
+        render_table(
+            &[
+                "benchmark",
+                "variants produced",
+                "accepted by checker",
+                "failure cause"
+            ],
+            &rows
+        )
     );
     println!("Total: {accepted}/{produced} variants accepted (paper: 38/38)");
 }

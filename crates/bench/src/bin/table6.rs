@@ -2,20 +2,22 @@
 //! queries are avoided because a structurally similar candidate was checked
 //! earlier (the paper reports hit rates of 92–96%).
 
+use bpf_analysis::canonicalize;
 use bpf_equiv::{EquivChecker, EquivOptions};
 use k2_bench::{default_iterations, render_table, selected_benchmarks};
 use k2_core::{ProposalGenerator, RewriteRule};
-use bpf_analysis::canonicalize;
 
 fn main() {
     let iterations = default_iterations().min(20_000) as usize;
-    println!("Table 6: equivalence-cache effectiveness over {iterations} proposals per benchmark\n");
+    println!(
+        "Table 6: equivalence-cache effectiveness over {iterations} proposals per benchmark\n"
+    );
     let mut rows = Vec::new();
     for bench in selected_benchmarks().into_iter().take(8) {
         // Replay a proposal stream against the cache the way the search does:
         // every candidate that canonicalizes to a previously seen program
         // skips the solver.
-        let mut checker = EquivChecker::new(EquivOptions::default());
+        let checker = EquivChecker::new(EquivOptions::default());
         let mut generator = ProposalGenerator::new(
             &bench.prog,
             k2_core::proposals::RuleProbabilities::default(),
@@ -55,7 +57,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "cache hits", "total lookups", "hit rate", "solver calls"],
+            &[
+                "benchmark",
+                "cache hits",
+                "total lookups",
+                "hit rate",
+                "solver calls"
+            ],
             &rows
         )
     );

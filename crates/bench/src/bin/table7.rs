@@ -41,7 +41,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "-O1", "-O2/-O3", "K2", "gain", "time(s)", "iters"],
+            &[
+                "benchmark",
+                "-O1",
+                "-O2/-O3",
+                "K2",
+                "gain",
+                "time(s)",
+                "iters"
+            ],
             &rows
         )
     );

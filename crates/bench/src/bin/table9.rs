@@ -27,7 +27,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "set1", "set2", "set3", "set4", "set5", "best", "% settings at best"],
+            &[
+                "benchmark",
+                "set1",
+                "set2",
+                "set3",
+                "set4",
+                "set5",
+                "best",
+                "% settings at best"
+            ],
             &rows
         )
     );

@@ -24,13 +24,18 @@ use k2_core::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal, SearchPar
 /// Iterations per Markov chain used by the table harnesses (override with
 /// `K2_ITERS`).
 pub fn default_iterations() -> u64 {
-    std::env::var("K2_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000)
+    std::env::var("K2_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000)
 }
 
 /// Whether to include the largest benchmarks in the sweeps (override with
 /// `K2_ALL_BENCHMARKS=1`).
 pub fn include_all_benchmarks() -> bool {
-    std::env::var("K2_ALL_BENCHMARKS").map(|v| v == "1").unwrap_or(false)
+    std::env::var("K2_ALL_BENCHMARKS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The benchmarks a harness should iterate over: all 19 when requested, a
@@ -40,7 +45,9 @@ pub fn selected_benchmarks() -> Vec<Benchmark> {
     if include_all_benchmarks() {
         all
     } else {
-        all.into_iter().filter(|b| b.prog.real_len() <= 60).collect()
+        all.into_iter()
+            .filter(|b| b.prog.real_len() <= 60)
+            .collect()
     }
 }
 
@@ -72,7 +79,11 @@ pub struct CompressionRow {
 }
 
 /// Run the baseline and K2 (instruction-count goal) on one benchmark.
-pub fn compress_benchmark(bench: &Benchmark, iterations: u64, params: Vec<SearchParams>) -> CompressionRow {
+pub fn compress_benchmark(
+    bench: &Benchmark,
+    iterations: u64,
+    params: Vec<SearchParams>,
+) -> CompressionRow {
     let o1 = k2_baseline::optimize(&bench.prog, OptLevel::O1);
     let (best_level, best_clang) = best_baseline(&bench.prog);
 
@@ -115,7 +126,12 @@ pub fn compress_benchmark(bench: &Benchmark, iterations: u64, params: Vec<Search
 /// Iteration at which the best program was found, summed over chains (the
 /// paper reports the per-benchmark iteration count of the winning chain).
 pub fn best_found_iteration(result: &K2Result) -> u64 {
-    result.chains.iter().map(|(_, _, stats)| stats.best_found_at).max().unwrap_or(0)
+    result
+        .chains
+        .iter()
+        .map(|(_, _, stats)| stats.best_found_at)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Render a simple aligned text table.
@@ -164,7 +180,10 @@ mod tests {
     fn render_table_aligns_columns() {
         let table = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
         );
         assert!(table.contains("longer"));
         assert!(table.lines().count() >= 4);
@@ -173,7 +192,11 @@ mod tests {
     #[test]
     fn compression_row_on_a_small_benchmark() {
         let bench = bpf_bench_suite::by_name("xdp_pktcntr").unwrap();
-        let row = compress_benchmark(&bench, 1_500, SearchParams::table8().into_iter().take(2).collect());
+        let row = compress_benchmark(
+            &bench,
+            1_500,
+            SearchParams::table8().into_iter().take(2).collect(),
+        );
         assert!(row.k2 <= row.best_clang);
         assert!(row.best_clang <= row.o0);
         assert!(row.compression_pct >= 0.0);

@@ -136,14 +136,15 @@ impl BitBlaster {
                 bits.extend(get(self, a));
                 bits
             }
-            Op::Extract { hi, lo, arg } => {
-                get(self, arg)[lo as usize..=hi as usize].to_vec()
-            }
+            Op::Extract { hi, lo, arg } => get(self, arg)[lo as usize..=hi as usize].to_vec(),
             Op::Ite(c, t, e) => {
                 let cond = get(self, c)[0];
                 let tv = get(self, t);
                 let ev = get(self, e);
-                tv.into_iter().zip(ev).map(|(x, y)| self.bit_ite(cond, x, y)).collect()
+                tv.into_iter()
+                    .zip(ev)
+                    .map(|(x, y)| self.bit_ite(cond, x, y))
+                    .collect()
             }
         }
     }
@@ -332,8 +333,9 @@ impl BitBlaster {
             let k = w.trailing_zeros() as usize;
             amount[..k.min(amount.len())].to_vec()
         } else {
-            let width_const: Vec<Bit> =
-                (0..amount.len()).map(|i| Bit::Const((w >> i) & 1 == 1)).collect();
+            let width_const: Vec<Bit> = (0..amount.len())
+                .map(|i| Bit::Const((w >> i) & 1 == 1))
+                .collect();
             let (_, rem) = self.divide(amount, &width_const);
             let bits_needed = usize::BITS as usize - (w - 1).leading_zeros() as usize;
             rem[..bits_needed.min(rem.len())].to_vec()
@@ -352,17 +354,13 @@ impl BitBlaster {
             let mut shifted = vec![fill; w];
             match kind {
                 ShiftKind::Left => {
-                    for i in dist..w {
-                        shifted[i] = cur[i - dist];
-                    }
+                    shifted[dist..w].copy_from_slice(&cur[..w - dist]);
                     for item in shifted.iter_mut().take(dist) {
                         *item = Bit::Const(false);
                     }
                 }
                 ShiftKind::LogicalRight | ShiftKind::ArithmeticRight => {
-                    for i in 0..w - dist {
-                        shifted[i] = cur[i + dist];
-                    }
+                    shifted[..w - dist].copy_from_slice(&cur[dist..w]);
                 }
             }
             cur = cur
@@ -516,6 +514,7 @@ mod tests {
         let c1 = p.constant(1, 8);
         let u = p.ult(x, c1); // x == 0 unsigned-wise
         let s = p.slt(x, c1); // any negative x or 0
+
         // Find x where signed-lt holds but unsigned-lt does not (e.g. 0x80).
         let nu = p.not(u);
         let goal = p.and(s, nu);

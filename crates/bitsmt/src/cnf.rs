@@ -27,7 +27,9 @@ impl CnfBuilder {
 
     /// Add a clause.
     pub fn add_clause(&mut self, lits: &[Lit]) {
-        debug_assert!(lits.iter().all(|&l| l != 0 && l.unsigned_abs() <= self.num_vars));
+        debug_assert!(lits
+            .iter()
+            .all(|&l| l != 0 && l.unsigned_abs() <= self.num_vars));
         self.clauses.push(lits.to_vec());
     }
 

@@ -80,19 +80,12 @@ pub fn eval(pool: &TermPool, assignment: &Assignment, root: TermId) -> u64 {
             Op::Mul(a, b) => get(a).wrapping_mul(get(b)),
             Op::UDiv(a, b) => {
                 let d = get(b) & mask(pool.width(*b));
-                if d == 0 {
-                    0
-                } else {
-                    (get(a) & mask(pool.width(*a))) / d
-                }
+                (get(a) & mask(pool.width(*a))).checked_div(d).unwrap_or(0)
             }
             Op::URem(a, b) => {
                 let d = get(b) & mask(pool.width(*b));
-                if d == 0 {
-                    get(a)
-                } else {
-                    (get(a) & mask(pool.width(*a))) % d
-                }
+                let x = get(a) & mask(pool.width(*a));
+                x.checked_rem(d).unwrap_or_else(|| get(a))
             }
             Op::Shl(a, b) => {
                 let sh = (get(b) & mask(pool.width(*b))) % w as u64;

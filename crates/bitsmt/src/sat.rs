@@ -191,7 +191,7 @@ impl SatSolver {
                 match self.value_of(first) {
                     Value::False => {
                         // Conflict: restore the remaining watches and report.
-                        self.watches[lit_index(false_lit)].extend(watch_list.drain(..));
+                        self.watches[lit_index(false_lit)].append(&mut watch_list);
                         return Some(ci);
                     }
                     Value::Unassigned => {
@@ -275,7 +275,12 @@ impl SatSolver {
         learned.insert(0, lit0);
 
         // Backjump level: highest level among the other learned literals.
-        let backjump = learned.iter().skip(1).map(|&l| self.level[l.unsigned_abs() as usize]).max().unwrap_or(0);
+        let backjump = learned
+            .iter()
+            .skip(1)
+            .map(|&l| self.level[l.unsigned_abs() as usize])
+            .max()
+            .unwrap_or(0);
         (learned, backjump)
     }
 
@@ -308,7 +313,11 @@ impl SatSolver {
             Some(var) => {
                 self.decisions += 1;
                 self.trail_lim.push(self.trail.len());
-                let lit = if self.phase[var] { var as i32 } else { -(var as i32) };
+                let lit = if self.phase[var] {
+                    var as i32
+                } else {
+                    -(var as i32)
+                };
                 self.enqueue(lit, None);
                 true
             }
@@ -454,7 +463,7 @@ mod tests {
             let vars = [1 + hole, 3 + hole, 5 + hole];
             for i in 0..3 {
                 for j in i + 1..3 {
-                    clauses.push(vec![-(vars[i] as i32), -(vars[j] as i32)]);
+                    clauses.push(vec![-vars[i], -vars[j]]);
                 }
             }
         }
@@ -483,13 +492,7 @@ mod tests {
     #[test]
     fn xor_chain_forces_unique_model() {
         // x1 xor x2 = 1, x2 xor x3 = 1, x1 = 1  =>  x2 = 0, x3 = 1.
-        let clauses = vec![
-            vec![1, 2],
-            vec![-1, -2],
-            vec![2, 3],
-            vec![-2, -3],
-            vec![1],
-        ];
+        let clauses = vec![vec![1, 2], vec![-1, -2], vec![2, 3], vec![-2, -3], vec![1]];
         let mut s = SatSolver::new(3, clauses.clone());
         match s.solve() {
             SatResult::Sat(model) => {
@@ -508,10 +511,10 @@ mod tests {
         let n = 50;
         let mut clauses = Vec::new();
         for i in 1..n {
-            clauses.push(vec![-(i as i32), (i + 1) as i32]);
+            clauses.push(vec![-i, i + 1]);
         }
         clauses.push(vec![1]);
-        clauses.push(vec![(n / 2) as i32, -(n as i32)]);
+        clauses.push(vec![n / 2, -n]);
         let mut s = SatSolver::new(n as u32, clauses.clone());
         match s.solve() {
             SatResult::Sat(model) => assert!(check_model(&clauses, &model)),

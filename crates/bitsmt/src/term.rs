@@ -145,13 +145,19 @@ impl TermPool {
     /// A constant of the given width.
     pub fn constant(&mut self, value: u64, width: u32) -> TermId {
         assert!((1..=64).contains(&width), "width must be 1..=64");
-        self.intern(TermNode { op: Op::Const(value & mask(width)), width })
+        self.intern(TermNode {
+            op: Op::Const(value & mask(width)),
+            width,
+        })
     }
 
     /// A fresh or existing named variable of the given width.
     pub fn var(&mut self, name: impl Into<String>, width: u32) -> TermId {
         assert!((1..=64).contains(&width), "width must be 1..=64");
-        self.intern(TermNode { op: Op::Var(name.into()), width })
+        self.intern(TermNode {
+            op: Op::Var(name.into()),
+            width,
+        })
     }
 
     /// The 1-bit constant true.
@@ -176,7 +182,10 @@ impl TermPool {
         if let Op::Not(inner) = self.node(a).op {
             return inner;
         }
-        self.intern(TermNode { op: Op::Not(a), width: w })
+        self.intern(TermNode {
+            op: Op::Not(a),
+            width: w,
+        })
     }
 
     /// Bitwise and.
@@ -193,7 +202,10 @@ impl TermPool {
             return a;
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(TermNode { op: Op::And(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::And(a, b),
+            width: w,
+        })
     }
 
     /// Bitwise or.
@@ -210,7 +222,10 @@ impl TermPool {
             return a;
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(TermNode { op: Op::Or(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Or(a, b),
+            width: w,
+        })
     }
 
     /// Bitwise xor.
@@ -226,7 +241,10 @@ impl TermPool {
             return self.constant(0, w);
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(TermNode { op: Op::Xor(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Xor(a, b),
+            width: w,
+        })
     }
 
     // ----- arithmetic -------------------------------------------------------
@@ -241,7 +259,10 @@ impl TermPool {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(TermNode { op: Op::Add(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Add(a, b),
+            width: w,
+        })
     }
 
     /// Subtraction modulo 2^width.
@@ -255,7 +276,10 @@ impl TermPool {
         if a == b {
             return self.constant(0, w);
         }
-        self.intern(TermNode { op: Op::Sub(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Sub(a, b),
+            width: w,
+        })
     }
 
     /// Multiplication (low bits).
@@ -269,28 +293,37 @@ impl TermPool {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(TermNode { op: Op::Mul(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Mul(a, b),
+            width: w,
+        })
     }
 
     /// Unsigned division with the BPF convention `x / 0 == 0`.
     pub fn udiv(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.check_same_width(a, b);
         if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
-            return self.constant(if y == 0 { 0 } else { x / y }, w);
+            return self.constant(x.checked_div(y).unwrap_or(0), w);
         }
         if let Some(1) = self.as_const(b) {
             return a;
         }
-        self.intern(TermNode { op: Op::UDiv(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::UDiv(a, b),
+            width: w,
+        })
     }
 
     /// Unsigned remainder with the BPF convention `x % 0 == x`.
     pub fn urem(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.check_same_width(a, b);
         if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
-            return self.constant(if y == 0 { x } else { x % y }, w);
+            return self.constant(x.checked_rem(y).unwrap_or(x), w);
         }
-        self.intern(TermNode { op: Op::URem(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::URem(a, b),
+            width: w,
+        })
     }
 
     /// Two's-complement negation.
@@ -311,7 +344,10 @@ impl TermPool {
         if let Some(0) = self.as_const(b) {
             return a;
         }
-        self.intern(TermNode { op: Op::Shl(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Shl(a, b),
+            width: w,
+        })
     }
 
     /// Logical shift right.
@@ -323,7 +359,10 @@ impl TermPool {
         if let Some(0) = self.as_const(b) {
             return a;
         }
-        self.intern(TermNode { op: Op::Lshr(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Lshr(a, b),
+            width: w,
+        })
     }
 
     /// Arithmetic shift right.
@@ -343,7 +382,10 @@ impl TermPool {
         if let Some(0) = self.as_const(b) {
             return a;
         }
-        self.intern(TermNode { op: Op::Ashr(a, b), width: w })
+        self.intern(TermNode {
+            op: Op::Ashr(a, b),
+            width: w,
+        })
     }
 
     // ----- comparisons ------------------------------------------------------
@@ -358,7 +400,10 @@ impl TermPool {
             return self.constant(u64::from(x == y), 1);
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.intern(TermNode { op: Op::Eq(a, b), width: 1 })
+        self.intern(TermNode {
+            op: Op::Eq(a, b),
+            width: 1,
+        })
     }
 
     /// Disequality.
@@ -376,7 +421,10 @@ impl TermPool {
         if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
             return self.constant(u64::from((x & mask(w)) < (y & mask(w))), 1);
         }
-        self.intern(TermNode { op: Op::Ult(a, b), width: 1 })
+        self.intern(TermNode {
+            op: Op::Ult(a, b),
+            width: 1,
+        })
     }
 
     /// Unsigned greater-than.
@@ -406,7 +454,10 @@ impl TermPool {
             let sy = sign_extend(y, w);
             return self.constant(u64::from(sx < sy), 1);
         }
-        self.intern(TermNode { op: Op::Slt(a, b), width: 1 })
+        self.intern(TermNode {
+            op: Op::Slt(a, b),
+            width: 1,
+        })
     }
 
     /// Signed greater-than.
@@ -435,7 +486,10 @@ impl TermPool {
         if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
             return self.constant((x << wb) | (y & mask(wb)), wa + wb);
         }
-        self.intern(TermNode { op: Op::Concat(a, b), width: wa + wb })
+        self.intern(TermNode {
+            op: Op::Concat(a, b),
+            width: wa + wb,
+        })
     }
 
     /// Extract bits `hi..=lo` (LSB is bit 0).
@@ -450,10 +504,18 @@ impl TermPool {
             return self.constant((x >> lo) & mask(out_w), out_w);
         }
         // extract of extract composes.
-        if let Op::Extract { hi: _ihi, lo: ilo, arg: inner } = self.node(arg).op {
+        if let Op::Extract {
+            hi: _ihi,
+            lo: ilo,
+            arg: inner,
+        } = self.node(arg).op
+        {
             return self.extract(inner, ilo + hi, ilo + lo);
         }
-        self.intern(TermNode { op: Op::Extract { hi, lo, arg }, width: out_w })
+        self.intern(TermNode {
+            op: Op::Extract { hi, lo, arg },
+            width: out_w,
+        })
     }
 
     /// Zero-extend to `new_width`.
@@ -485,7 +547,11 @@ impl TermPool {
         let mut high = sign;
         while self.width(high) < new_width - w {
             let remaining = new_width - w - self.width(high);
-            let chunk = if remaining >= self.width(high) { high } else { self.extract(high, remaining - 1, 0) };
+            let chunk = if remaining >= self.width(high) {
+                high
+            } else {
+                self.extract(high, remaining - 1, 0)
+            };
             high = self.concat(high, chunk);
         }
         self.concat(high, arg)
@@ -503,7 +569,10 @@ impl TermPool {
         if then_t == else_t {
             return then_t;
         }
-        self.intern(TermNode { op: Op::Ite(cond, then_t, else_t), width: w })
+        self.intern(TermNode {
+            op: Op::Ite(cond, then_t, else_t),
+            width: w,
+        })
     }
 
     /// Boolean implication over 1-bit terms.
@@ -722,7 +791,14 @@ mod tests {
         let x = p.var("x", 64);
         let e1 = p.extract(x, 31, 0);
         let e2 = p.extract(e1, 15, 8);
-        assert_eq!(p.node(e2).op, Op::Extract { hi: 15, lo: 8, arg: x });
+        assert_eq!(
+            p.node(e2).op,
+            Op::Extract {
+                hi: 15,
+                lo: 8,
+                arg: x
+            }
+        );
     }
 
     #[test]

@@ -46,8 +46,9 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
             (inner.clone(), 0u8..64).prop_map(|(a, s)| Expr::Ashr(Box::new(a), s)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::UDiv(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::URem(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c, d)| Expr::IteUlt(Box::new(a), Box::new(b), Box::new(c), Box::new(d))),
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(a, b, c, d)| {
+                Expr::IteUlt(Box::new(a), Box::new(b), Box::new(c), Box::new(d))
+            }),
         ]
     })
     .boxed()

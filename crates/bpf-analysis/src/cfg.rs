@@ -106,7 +106,12 @@ impl Cfg {
                 for slot in &mut block_of_insn[start..idx] {
                     *slot = block_idx;
                 }
-                blocks.push(BasicBlock { start, end: idx, succs: Vec::new(), preds: Vec::new() });
+                blocks.push(BasicBlock {
+                    start,
+                    end: idx,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
                 start = idx;
             }
         }
@@ -138,7 +143,8 @@ impl Cfg {
             }
         }
         for (from, to) in edges {
-            if !blocks[from].succs.contains(&to) || is_cond_with_same_target(&blocks, insns, from, to)
+            if !blocks[from].succs.contains(&to)
+                || is_cond_with_same_target(&blocks, insns, from, to)
             {
                 blocks[from].succs.push(to);
             }
@@ -147,7 +153,10 @@ impl Cfg {
             }
         }
 
-        Ok(Cfg { blocks, block_of_insn })
+        Ok(Cfg {
+            blocks,
+            block_of_insn,
+        })
     }
 
     /// Blocks reachable from the entry block.
@@ -214,8 +223,9 @@ impl Cfg {
             }
         }
         let mut order = Vec::new();
-        let mut ready: Vec<usize> =
-            (0..self.blocks.len()).filter(|&b| reachable[b] && indeg[b] == 0).collect();
+        let mut ready: Vec<usize> = (0..self.blocks.len())
+            .filter(|&b| reachable[b] && indeg[b] == 0)
+            .collect();
         // Keep the order deterministic: prefer lower block indices first.
         ready.sort_unstable_by(|a, b| b.cmp(a));
         while let Some(b) = ready.pop() {
@@ -464,7 +474,10 @@ mod tests {
     #[test]
     fn out_of_range_jump_is_error() {
         let insns = vec![bpf_isa::Insn::Ja { off: 5 }, bpf_isa::Insn::Exit];
-        assert!(matches!(Cfg::build(&insns), Err(CfgError::JumpOutOfRange { at: 0, target: 6 })));
+        assert!(matches!(
+            Cfg::build(&insns),
+            Err(CfgError::JumpOutOfRange { at: 0, target: 6 })
+        ));
         assert!(matches!(Cfg::build(&[]), Err(CfgError::Empty)));
     }
 

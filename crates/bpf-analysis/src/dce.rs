@@ -28,10 +28,13 @@ pub fn strip_nops(insns: &[Insn]) -> Vec<Insn> {
 
 /// Remove instructions not reachable from the entry.
 pub fn remove_unreachable(insns: &[Insn]) -> Vec<Insn> {
-    let Ok(cfg) = Cfg::build(insns) else { return insns.to_vec() };
+    let Ok(cfg) = Cfg::build(insns) else {
+        return insns.to_vec();
+    };
     let block_reach = cfg.reachable();
-    let keep: Vec<bool> =
-        (0..insns.len()).map(|idx| block_reach[cfg.block_of_insn[idx]]).collect();
+    let keep: Vec<bool> = (0..insns.len())
+        .map(|idx| block_reach[cfg.block_of_insn[idx]])
+        .collect();
     retarget(insns, &keep)
 }
 
@@ -41,7 +44,9 @@ pub fn remove_unreachable(insns: &[Insn]) -> Vec<Insn> {
 ///
 /// Memory stores, helper calls, jumps and `exit` are never removed.
 pub fn dead_code_elim(insns: &[Insn]) -> Vec<Insn> {
-    let Ok(cfg) = Cfg::build(insns) else { return insns.to_vec() };
+    let Ok(cfg) = Cfg::build(insns) else {
+        return insns.to_vec();
+    };
     let live = Liveness::new().analyze(insns, &cfg);
     let mut out: Vec<Insn> = insns.to_vec();
     let mut changed = false;

@@ -54,9 +54,10 @@ impl RegSet {
     pub fn iter(self) -> impl Iterator<Item = Reg> {
         Reg::ALL.into_iter().filter(move |r| self.contains(*r))
     }
+}
 
-    /// Build a set from an iterator of registers.
-    pub fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
         let mut s = RegSet::EMPTY;
         for r in iter {
             s.insert(r);
@@ -144,7 +145,11 @@ impl Liveness {
         }
 
         let stack_live_out = self.stack_liveness(insns, cfg);
-        LiveMap { live_in, live_out, stack_live_out }
+        LiveMap {
+            live_in,
+            live_out,
+            stack_live_out,
+        }
     }
 
     /// Backward liveness of statically-known stack slots (byte granularity,
@@ -179,13 +184,33 @@ impl Liveness {
                     let mut inn = out.clone();
                     match insn {
                         // A store to [r10+off] kills those bytes.
-                        Insn::Store { size, base: Reg::R10, off, .. }
-                        | Insn::StoreImm { size, base: Reg::R10, off, .. } => {
+                        Insn::Store {
+                            size,
+                            base: Reg::R10,
+                            off,
+                            ..
+                        }
+                        | Insn::StoreImm {
+                            size,
+                            base: Reg::R10,
+                            off,
+                            ..
+                        } => {
                             inn.retain(|&o| o < *off || o >= off + size.bytes() as i16);
                         }
                         // A load from [r10+off] makes those bytes live.
-                        Insn::Load { size, base: Reg::R10, off, .. }
-                        | Insn::AtomicAdd { size, base: Reg::R10, off, .. } => {
+                        Insn::Load {
+                            size,
+                            base: Reg::R10,
+                            off,
+                            ..
+                        }
+                        | Insn::AtomicAdd {
+                            size,
+                            base: Reg::R10,
+                            off,
+                            ..
+                        } => {
                             push_bytes(&mut inn, *off, *size);
                         }
                         // A helper may read stack memory through a pointer
@@ -287,7 +312,7 @@ mod tests {
         ";
         let (_, live) = analyze(text);
         // r2 dies at the call (clobbered, not used by ktime_get_ns).
-        assert!(!live.live_out[1].contains(Reg::R2) || live.live_in[2].contains(Reg::R2) == false);
+        assert!(!live.live_out[1].contains(Reg::R2) || !live.live_in[2].contains(Reg::R2));
         // r6 is callee-saved and read later: live across the call.
         assert!(live.live_in[2].contains(Reg::R6));
     }
@@ -336,7 +361,9 @@ mod tests {
         // analysed in place of a whole program).
         let mut extra = RegSet::EMPTY;
         extra.insert(Reg::R6);
-        let custom = Liveness { live_at_exit: extra };
+        let custom = Liveness {
+            live_at_exit: extra,
+        };
         let insns = asm::assemble("mov64 r6, 1\nmov64 r0, 3\nexit").unwrap();
         let cfg = Cfg::build(&insns).unwrap();
         let live2 = custom.analyze(&insns, &cfg);

@@ -82,8 +82,14 @@ impl AbsVal {
             (Uninit, x) | (x, Uninit) => x,
             (Const(_), Const(_)) | (Const(_), Scalar) | (Scalar, Const(_)) => Scalar,
             (
-                Ptr { region: r1, offset: o1 },
-                Ptr { region: r2, offset: o2 },
+                Ptr {
+                    region: r1,
+                    offset: o1,
+                },
+                Ptr {
+                    region: r2,
+                    offset: o2,
+                },
             ) if region_join(r1, r2).is_some() => AbsVal::Ptr {
                 region: region_join(r1, r2).expect("checked"),
                 offset: if o1 == o2 { o1 } else { None },
@@ -131,14 +137,22 @@ impl TypeState {
     /// stack, everything else is uninitialized.
     pub fn entry() -> TypeState {
         let mut regs = [AbsVal::Uninit; NUM_REGS];
-        regs[Reg::R1.index()] = AbsVal::Ptr { region: MemRegion::Context, offset: Some(0) };
-        regs[Reg::R10.index()] = AbsVal::Ptr { region: MemRegion::Stack, offset: Some(0) };
+        regs[Reg::R1.index()] = AbsVal::Ptr {
+            region: MemRegion::Context,
+            offset: Some(0),
+        };
+        regs[Reg::R10.index()] = AbsVal::Ptr {
+            region: MemRegion::Stack,
+            offset: Some(0),
+        };
         TypeState { regs }
     }
 
     /// A state where nothing is known (used for unreachable code).
     pub fn bottom() -> TypeState {
-        TypeState { regs: [AbsVal::Uninit; NUM_REGS] }
+        TypeState {
+            regs: [AbsVal::Uninit; NUM_REGS],
+        }
     }
 
     /// Abstract value of a register.
@@ -191,7 +205,9 @@ impl Types {
                 if !block_reach[bi] {
                     continue;
                 }
-                let Some(mut state) = block_in[bi] else { continue };
+                let Some(mut state) = block_in[bi] else {
+                    continue;
+                };
                 for idx in block.range() {
                     reachable_insn[idx] = true;
                     if before[idx] != state {
@@ -215,7 +231,10 @@ impl Types {
             }
         }
 
-        Types { before, reachable: reachable_insn }
+        Types {
+            before,
+            reachable: reachable_insn,
+        }
     }
 
     /// The abstract value of `reg` immediately before instruction `idx`.
@@ -229,9 +248,7 @@ impl Types {
     pub fn mem_access(&self, idx: usize, insn: &Insn) -> Option<(MemRegion, Option<i64>)> {
         let (base, off) = insn.mem_addr()?;
         match self.reg_before(idx, base) {
-            AbsVal::Ptr { region, offset } => {
-                Some((region, offset.map(|o| o + off as i64)))
-            }
+            AbsVal::Ptr { region, offset } => Some((region, offset.map(|o| o + off as i64))),
             _ => None,
         }
     }
@@ -277,14 +294,24 @@ fn transfer(state: &TypeState, insn: &Insn) -> TypeState {
             // is the idiom every XDP program starts with; recognize it so the
             // packet region gets typed.
             let v = match state.get(base) {
-                AbsVal::Ptr { region: MemRegion::Context, offset: Some(c) } => {
-                    match c + off as i64 {
-                        0 => AbsVal::Ptr { region: MemRegion::Packet, offset: Some(0) },
-                        8 => AbsVal::Ptr { region: MemRegion::PacketEnd, offset: Some(0) },
-                        16 => AbsVal::Ptr { region: MemRegion::Packet, offset: Some(0) },
-                        _ => AbsVal::Scalar,
-                    }
-                }
+                AbsVal::Ptr {
+                    region: MemRegion::Context,
+                    offset: Some(c),
+                } => match c + off as i64 {
+                    0 => AbsVal::Ptr {
+                        region: MemRegion::Packet,
+                        offset: Some(0),
+                    },
+                    8 => AbsVal::Ptr {
+                        region: MemRegion::PacketEnd,
+                        offset: Some(0),
+                    },
+                    16 => AbsVal::Ptr {
+                        region: MemRegion::Packet,
+                        offset: Some(0),
+                    },
+                    _ => AbsVal::Scalar,
+                },
                 _ => AbsVal::Scalar,
             };
             out.set(dst, v);
@@ -300,7 +327,10 @@ fn transfer(state: &TypeState, insn: &Insn) -> TypeState {
                         AbsVal::MapHandle(id) => id,
                         _ => None,
                     };
-                    AbsVal::Ptr { region: MemRegion::MapValue(map), offset: Some(0) }
+                    AbsVal::Ptr {
+                        region: MemRegion::MapValue(map),
+                        offset: Some(0),
+                    }
                 }
                 _ => AbsVal::Scalar,
             };
@@ -334,13 +364,18 @@ fn alu_abs(op: AluOp, dst: AbsVal, src: AbsVal, is64: bool) -> AbsVal {
                     Const((a as u32).wrapping_add(b as u32) as u64)
                 }
             }
-            (Ptr { region, offset }, Const(c)) => {
-                Ptr { region, offset: offset.map(|o| o.wrapping_add(c as i64)) }
-            }
-            (Const(c), Ptr { region, offset }) => {
-                Ptr { region, offset: offset.map(|o| o.wrapping_add(c as i64)) }
-            }
-            (Ptr { region, .. }, _) | (_, Ptr { region, .. }) => Ptr { region, offset: None },
+            (Ptr { region, offset }, Const(c)) => Ptr {
+                region,
+                offset: offset.map(|o| o.wrapping_add(c as i64)),
+            },
+            (Const(c), Ptr { region, offset }) => Ptr {
+                region,
+                offset: offset.map(|o| o.wrapping_add(c as i64)),
+            },
+            (Ptr { region, .. }, _) | (_, Ptr { region, .. }) => Ptr {
+                region,
+                offset: None,
+            },
             (Scalar | Const(_), Scalar | Const(_)) => Scalar,
             _ => Unknown,
         },
@@ -352,12 +387,16 @@ fn alu_abs(op: AluOp, dst: AbsVal, src: AbsVal, is64: bool) -> AbsVal {
                     Const((a as u32).wrapping_sub(b as u32) as u64)
                 }
             }
-            (Ptr { region, offset }, Const(c)) => {
-                Ptr { region, offset: offset.map(|o| o.wrapping_sub(c as i64)) }
-            }
+            (Ptr { region, offset }, Const(c)) => Ptr {
+                region,
+                offset: offset.map(|o| o.wrapping_sub(c as i64)),
+            },
             // ptr - ptr is a scalar (a length / distance), whatever the regions.
             (Ptr { .. }, Ptr { .. }) => Scalar,
-            (Ptr { region, .. }, _) => Ptr { region, offset: None },
+            (Ptr { region, .. }, _) => Ptr {
+                region,
+                offset: None,
+            },
             (Scalar | Const(_), Scalar | Const(_)) => Scalar,
             _ => Unknown,
         },
@@ -407,11 +446,17 @@ mod tests {
         let (_, t) = analyze("mov64 r0, 0\nexit");
         assert_eq!(
             t.reg_before(0, Reg::R1),
-            AbsVal::Ptr { region: MemRegion::Context, offset: Some(0) }
+            AbsVal::Ptr {
+                region: MemRegion::Context,
+                offset: Some(0)
+            }
         );
         assert_eq!(
             t.reg_before(0, Reg::R10),
-            AbsVal::Ptr { region: MemRegion::Stack, offset: Some(0) }
+            AbsVal::Ptr {
+                region: MemRegion::Stack,
+                offset: Some(0)
+            }
         );
         assert_eq!(t.reg_before(0, Reg::R5), AbsVal::Uninit);
     }
@@ -429,7 +474,10 @@ mod tests {
         let (insns, t) = analyze(text);
         assert_eq!(
             t.reg_before(4, Reg::R3),
-            AbsVal::Ptr { region: MemRegion::Stack, offset: Some(-12) }
+            AbsVal::Ptr {
+                region: MemRegion::Stack,
+                offset: Some(-12)
+            }
         );
         // The store accesses stack offset -12 + 2 = -10.
         assert_eq!(
@@ -451,11 +499,17 @@ mod tests {
         let (insns, t) = analyze(text);
         assert_eq!(
             t.reg_before(2, Reg::R2),
-            AbsVal::Ptr { region: MemRegion::Packet, offset: Some(0) }
+            AbsVal::Ptr {
+                region: MemRegion::Packet,
+                offset: Some(0)
+            }
         );
         assert_eq!(
             t.reg_before(2, Reg::R3),
-            AbsVal::Ptr { region: MemRegion::PacketEnd, offset: Some(0) }
+            AbsVal::Ptr {
+                region: MemRegion::PacketEnd,
+                offset: Some(0)
+            }
         );
         assert_eq!(
             t.mem_access(4, &insns[4]),
@@ -521,7 +575,10 @@ mod tests {
         assert_eq!(t.map_id_at_call(4), Some(3));
         assert_eq!(
             t.reg_before(6, Reg::R0),
-            AbsVal::Ptr { region: MemRegion::MapValue(Some(3)), offset: Some(0) }
+            AbsVal::Ptr {
+                region: MemRegion::MapValue(Some(3)),
+                offset: Some(0)
+            }
         );
         assert_eq!(
             t.mem_access(6, &insns[6]),
@@ -542,7 +599,10 @@ mod tests {
         assert_eq!(t.reg_before(2, Reg::R0), AbsVal::Scalar);
         assert_eq!(
             t.reg_before(2, Reg::R6),
-            AbsVal::Ptr { region: MemRegion::Stack, offset: Some(0) }
+            AbsVal::Ptr {
+                region: MemRegion::Stack,
+                offset: Some(0)
+            }
         );
     }
 

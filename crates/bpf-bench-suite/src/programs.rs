@@ -79,7 +79,9 @@ fn rewrite_label_operand(
     if !is_jump {
         return line.to_string();
     }
-    let Some(last_comma) = line.rfind(|c| c == ',' || c == ' ') else { return line.to_string() };
+    let Some(last_comma) = line.rfind([',', ' ']) else {
+        return line.to_string();
+    };
     let (head, tail) = line.split_at(last_comma + 1);
     let target = tail.trim();
     if let Some(&target_index) = labels.get(target) {
@@ -148,8 +150,14 @@ fn xdp_exception() -> Benchmark {
         "mov64 r8, r1\nmov64 r1, r8\n", // redundant context shuffling (clang -O0 style)
         map_counter_bump(0, "", 1, "done"),
     );
-    benchmark("xdp_exception", Suite::LinuxSamples, 1, &text, vec![MapDef::array(0, 8, 4)],
-        "counts XDP exceptions per action code in an array map")
+    benchmark(
+        "xdp_exception",
+        Suite::LinuxSamples,
+        1,
+        &text,
+        vec![MapDef::array(0, 8, 4)],
+        "counts XDP exceptions per action code in an array map",
+    )
 }
 
 fn xdp_redirect_err() -> Benchmark {
@@ -166,8 +174,14 @@ fn xdp_redirect_err() -> Benchmark {
         zero_two_stack_words(-8, -16),
         map_counter_bump(0, "", 1, "done"),
     );
-    benchmark("xdp_redirect_err", Suite::LinuxSamples, 2, &text, vec![MapDef::array(0, 8, 2)],
-        "counts redirect errors in a two-entry array map")
+    benchmark(
+        "xdp_redirect_err",
+        Suite::LinuxSamples,
+        2,
+        &text,
+        vec![MapDef::array(0, 8, 2)],
+        "counts redirect errors in a two-entry array map",
+    )
 }
 
 fn xdp_devmap_xmit() -> Benchmark {
@@ -196,9 +210,14 @@ fn xdp_devmap_xmit() -> Benchmark {
         map_counter_bump(0, "", 1, "second_done"),
         map_counter_bump(1, "", 1, "done"),
     );
-    benchmark("xdp_devmap_xmit", Suite::LinuxSamples, 3, &text,
+    benchmark(
+        "xdp_devmap_xmit",
+        Suite::LinuxSamples,
+        3,
+        &text,
         vec![MapDef::array(0, 8, 8), MapDef::array(1, 8, 2)],
-        "devmap transmit statistics: three counter updates across two maps")
+        "devmap transmit statistics: three counter updates across two maps",
+    )
 }
 
 fn xdp_cpumap_kthread() -> Benchmark {
@@ -218,8 +237,14 @@ fn xdp_cpumap_kthread() -> Benchmark {
         zero_two_stack_words(-8, -12),
         map_counter_bump(0, "", 1, "done"),
     );
-    benchmark("xdp_cpumap_kthread", Suite::LinuxSamples, 4, &text, vec![MapDef::array(0, 8, 4)],
-        "cpumap kthread scheduling statistics")
+    benchmark(
+        "xdp_cpumap_kthread",
+        Suite::LinuxSamples,
+        4,
+        &text,
+        vec![MapDef::array(0, 8, 4)],
+        "cpumap kthread scheduling statistics",
+    )
 }
 
 fn xdp_cpumap_enqueue() -> Benchmark {
@@ -240,8 +265,14 @@ fn xdp_cpumap_enqueue() -> Benchmark {
         map_counter_bump(0, "", 1, "first_done"),
         map_counter_bump(0, "", 64, "done"),
     );
-    benchmark("xdp_cpumap_enqueue", Suite::LinuxSamples, 5, &text, vec![MapDef::array(0, 8, 8)],
-        "cpumap enqueue statistics: processed and bulk counters")
+    benchmark(
+        "xdp_cpumap_enqueue",
+        Suite::LinuxSamples,
+        5,
+        &text,
+        vec![MapDef::array(0, 8, 8)],
+        "cpumap enqueue statistics: processed and bulk counters",
+    )
 }
 
 fn sys_enter_open() -> Benchmark {
@@ -261,8 +292,14 @@ fn sys_enter_open() -> Benchmark {
         zero_two_stack_words(-8, -12),
         map_counter_bump(0, "", 1, "done"),
     );
-    let mut b = benchmark("sys_enter_open", Suite::LinuxSamples, 6, &text,
-        vec![MapDef::array(0, 8, 2)], "counts open(2) syscall entries in an array map");
+    let mut b = benchmark(
+        "sys_enter_open",
+        Suite::LinuxSamples,
+        6,
+        &text,
+        vec![MapDef::array(0, 8, 2)],
+        "counts open(2) syscall entries in an array map",
+    );
     b.prog.prog_type = ProgramType::Tracepoint;
     b
 }
@@ -303,8 +340,14 @@ fn socket_filter(row: usize, name: &'static str, extra_checks: usize) -> Benchma
          exit\n",
         parse_prologue(34, 0, "out"),
     );
-    let mut b = benchmark(name, Suite::LinuxSamples, row, &text, vec![],
-        "socket filter accepting IPv4 TCP/UDP and dropping everything else");
+    let mut b = benchmark(
+        name,
+        Suite::LinuxSamples,
+        row,
+        &text,
+        vec![],
+        "socket filter accepting IPv4 TCP/UDP and dropping everything else",
+    );
     b.prog.prog_type = ProgramType::SocketFilter;
     b
 }
@@ -341,7 +384,10 @@ fn xdp_router_ipv4() -> Benchmark {
          mov64 r9, r6\n",
     );
     // Bump the forwarded counter, then redirect via the devmap.
-    text.push_str(&format!("mov64 r7, 0\n{}", map_counter_bump(1, "", 1, "redirect")));
+    text.push_str(&format!(
+        "mov64 r7, 0\n{}",
+        map_counter_bump(1, "", 1, "redirect")
+    ));
     text.push_str(
         "redirect:\n\
          ld_map_fd r1, 2\n\
@@ -352,7 +398,10 @@ fn xdp_router_ipv4() -> Benchmark {
          miss:\n",
     );
     // Missed-route counter, then pass to the stack.
-    text.push_str(&format!("mov64 r7, 1\n{}", map_counter_bump(1, "", 1, "pass")));
+    text.push_str(&format!(
+        "mov64 r7, 1\n{}",
+        map_counter_bump(1, "", 1, "pass")
+    ));
     text.push_str(
         "pass:\n\
          mov64 r0, 2\n\
@@ -364,9 +413,18 @@ fn xdp_router_ipv4() -> Benchmark {
          mov64 r0, 2\n\
          exit\n",
     );
-    benchmark("xdp_router_ipv4", Suite::LinuxSamples, 9, &text,
-        vec![MapDef::hash(0, 4, 8, 256), MapDef::array(1, 8, 4), MapDef::hash(2, 4, 4, 64)],
-        "IPv4 router: parse, route lookup, per-outcome counters, redirect")
+    benchmark(
+        "xdp_router_ipv4",
+        Suite::LinuxSamples,
+        9,
+        &text,
+        vec![
+            MapDef::hash(0, 4, 8, 256),
+            MapDef::array(1, 8, 4),
+            MapDef::hash(2, 4, 4, 64),
+        ],
+        "IPv4 router: parse, route lookup, per-outcome counters, redirect",
+    )
 }
 
 fn xdp_redirect(row: usize, name: &'static str) -> Benchmark {
@@ -390,9 +448,14 @@ fn xdp_redirect(row: usize, name: &'static str) -> Benchmark {
         parse_prologue(14, 2, "out"),
         map_counter_bump(0, "mov64 r7, 0\n", 1, "done"),
     );
-    benchmark(name, Suite::LinuxSamples, row, &text,
+    benchmark(
+        name,
+        Suite::LinuxSamples,
+        row,
+        &text,
         vec![MapDef::array(0, 8, 2), MapDef::hash(1, 4, 4, 64)],
-        "redirects IPv4 packets to another device, counting them")
+        "redirects IPv4 packets to another device, counting them",
+    )
 }
 
 fn xdp1(row: usize, name: &'static str, rewrite_macs: bool) -> Benchmark {
@@ -448,12 +511,18 @@ fn xdp1(row: usize, name: &'static str, rewrite_macs: bool) -> Benchmark {
         text.push_str("mov64 r0, 1\nexit\n");
     }
     text.push_str("out:\nmov64 r0, 2\nexit\n");
-    benchmark(name, Suite::LinuxSamples, row, &text, vec![MapDef::array(0, 8, 256)],
+    benchmark(
+        name,
+        Suite::LinuxSamples,
+        row,
+        &text,
+        vec![MapDef::array(0, 8, 256)],
         if rewrite_macs {
             "per-protocol packet counter that swaps MACs and transmits (xdp2)"
         } else {
             "per-protocol packet counter that drops IPv4 traffic (xdp1)"
-        })
+        },
+    )
 }
 
 fn xdp_fwd() -> Benchmark {
@@ -531,9 +600,18 @@ fn xdp_fwd() -> Benchmark {
          mov64 r0, 2\n\
          exit\n",
     );
-    benchmark("xdp_fwd", Suite::LinuxSamples, 13, &text,
-        vec![MapDef::hash(0, 4, 16, 256), MapDef::array(1, 8, 4), MapDef::hash(2, 4, 4, 64)],
-        "full forwarding path: FIB lookup, MAC rewrite, TTL decrement, redirect")
+    benchmark(
+        "xdp_fwd",
+        Suite::LinuxSamples,
+        13,
+        &text,
+        vec![
+            MapDef::hash(0, 4, 16, 256),
+            MapDef::array(1, 8, 4),
+            MapDef::hash(2, 4, 4, 64),
+        ],
+        "full forwarding path: FIB lookup, MAC rewrite, TTL decrement, redirect",
+    )
 }
 
 fn xdp_pktcntr() -> Benchmark {
@@ -551,8 +629,14 @@ fn xdp_pktcntr() -> Benchmark {
         zero_two_stack_words(-4, -8),
         map_counter_bump(0, "", 1, "done"),
     );
-    benchmark("xdp_pktcntr", Suite::Facebook, 14, &text, vec![MapDef::array(0, 8, 2)],
-        "katran's per-interface packet counter (the paper's coalescing example)")
+    benchmark(
+        "xdp_pktcntr",
+        Suite::Facebook,
+        14,
+        &text,
+        vec![MapDef::array(0, 8, 2)],
+        "katran's per-interface packet counter (the paper's coalescing example)",
+    )
 }
 
 fn xdp_fw() -> Benchmark {
@@ -597,8 +681,14 @@ fn xdp_fw() -> Benchmark {
          mov64 r0, 2\n\
          exit\n",
     );
-    benchmark("xdp_fw", Suite::Hxdp, 15, &text, vec![MapDef::hash(0, 4, 8, 512)],
-        "stateless firewall: parse 5-tuple, consult a block list, drop or pass")
+    benchmark(
+        "xdp_fw",
+        Suite::Hxdp,
+        15,
+        &text,
+        vec![MapDef::hash(0, 4, 8, 512)],
+        "stateless firewall: parse 5-tuple, consult a block list, drop or pass",
+    )
 }
 
 fn xdp_map_access() -> Benchmark {
@@ -620,8 +710,14 @@ fn xdp_map_access() -> Benchmark {
         parse_prologue(14, 2, "out"),
         map_counter_bump(0, "", 1, "done"),
     );
-    benchmark("xdp_map_access", Suite::Hxdp, 16, &text, vec![MapDef::array(0, 8, 8)],
-        "per-byte-class counter exercising array map access")
+    benchmark(
+        "xdp_map_access",
+        Suite::Hxdp,
+        16,
+        &text,
+        vec![MapDef::array(0, 8, 8)],
+        "per-byte-class counter exercising array map access",
+    )
 }
 
 fn from_network() -> Benchmark {
@@ -647,8 +743,14 @@ fn from_network() -> Benchmark {
         parse_prologue(34, 2, "out"),
         map_counter_bump(0, "", 1, "done"),
     );
-    benchmark("from-network", Suite::Cilium, 17, &text, vec![MapDef::array(0, 8, 4)],
-        "Cilium from-network hook: packet accounting and remarking")
+    benchmark(
+        "from-network",
+        Suite::Cilium,
+        17,
+        &text,
+        vec![MapDef::array(0, 8, 4)],
+        "Cilium from-network hook: packet accounting and remarking",
+    )
 }
 
 fn recvmsg4() -> Benchmark {
@@ -674,7 +776,10 @@ fn recvmsg4() -> Benchmark {
          ldxw r6, [r10-28]\n\
          stxw [r10-36], r6\n",
     );
-    text.push_str(&format!("mov64 r7, 0\n{}", map_counter_bump(1, "", 1, "tail")));
+    text.push_str(&format!(
+        "mov64 r7, 0\n{}",
+        map_counter_bump(1, "", 1, "tail")
+    ));
     text.push_str(
         "tail:\n\
          mov64 r0, 0\n\
@@ -683,15 +788,23 @@ fn recvmsg4() -> Benchmark {
          exit\n\
          miss:\n",
     );
-    text.push_str(&format!("mov64 r7, 1\n{}", map_counter_bump(1, "", 1, "tail2")));
+    text.push_str(&format!(
+        "mov64 r7, 1\n{}",
+        map_counter_bump(1, "", 1, "tail2")
+    ));
     text.push_str(
         "tail2:\n\
          mov64 r0, 0\n\
          exit\n",
     );
-    let mut b = benchmark("recvmsg4", Suite::Cilium, 18, &text,
+    let mut b = benchmark(
+        "recvmsg4",
+        Suite::Cilium,
+        18,
+        &text,
         vec![MapDef::hash(0, 4, 8, 1024), MapDef::array(1, 8, 4)],
-        "Cilium recvmsg4 service translation with per-outcome counters");
+        "Cilium recvmsg4 service translation with per-outcome counters",
+    );
     b.prog.prog_type = ProgramType::SchedCls;
     b
 }
@@ -769,7 +882,10 @@ fn xdp_balancer() -> Benchmark {
         ));
     }
     // Final accounting and transmit.
-    text.push_str(&format!("mov64 r7, 0\n{}", map_counter_bump(4, "", 1, "tx")));
+    text.push_str(&format!(
+        "mov64 r7, 0\n{}",
+        map_counter_bump(4, "", 1, "tx")
+    ));
     text.push_str(
         "tx:\n\
          mov64 r0, 3\n\
@@ -778,7 +894,11 @@ fn xdp_balancer() -> Benchmark {
          mov64 r0, 2\n\
          exit\n",
     );
-    benchmark("xdp-balancer", Suite::Facebook, 19, &text,
+    benchmark(
+        "xdp-balancer",
+        Suite::Facebook,
+        19,
+        &text,
         vec![
             MapDef::hash(0, 4, 8, 512),
             MapDef::hash(1, 4, 8, 512),
@@ -786,7 +906,8 @@ fn xdp_balancer() -> Benchmark {
             MapDef::hash(3, 4, 8, 512),
             MapDef::array(4, 8, 8),
         ],
-        "katran-style L4 load balancer: flow hash, VIP lookups, rewrite, transmit")
+        "katran-style L4 load balancer: flow hash, VIP lookups, rewrite, transmit",
+    )
 }
 
 fn benchmark(
@@ -800,7 +921,13 @@ fn benchmark(
     let insns = assemble_with_labels(text)
         .unwrap_or_else(|e| panic!("benchmark {name} failed to assemble: {e}"));
     let prog = Program::with_maps(ProgramType::Xdp, insns, maps);
-    Benchmark { name, suite, row, prog, description }
+    Benchmark {
+        name,
+        suite,
+        row,
+        prog,
+        description,
+    }
 }
 
 /// All 19 benchmarks, in Table 1 order.
@@ -835,10 +962,17 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
 
 /// The six XDP programs measured for throughput and latency in Tables 2/3.
 pub fn throughput_subset() -> Vec<Benchmark> {
-    ["xdp2_kern/xdp1", "xdp_router_ipv4", "xdp_fwd", "xdp1_kern/xdp1", "xdp_map_access", "xdp-balancer"]
-        .iter()
-        .filter_map(|n| by_name(n))
-        .collect()
+    [
+        "xdp2_kern/xdp1",
+        "xdp_router_ipv4",
+        "xdp_fwd",
+        "xdp1_kern/xdp1",
+        "xdp_map_access",
+        "xdp-balancer",
+    ]
+    .iter()
+    .filter_map(|n| by_name(n))
+    .collect()
 }
 
 #[cfg(test)]
@@ -854,16 +988,31 @@ mod tests {
         let rows: Vec<usize> = benches.iter().map(|b| b.row).collect();
         assert_eq!(rows, (1..=19).collect::<Vec<_>>());
         // Every suite of the paper is represented.
-        for suite in [Suite::LinuxSamples, Suite::Facebook, Suite::Hxdp, Suite::Cilium] {
-            assert!(benches.iter().any(|b| b.suite == suite), "{suite:?} missing");
+        for suite in [
+            Suite::LinuxSamples,
+            Suite::Facebook,
+            Suite::Hxdp,
+            Suite::Cilium,
+        ] {
+            assert!(
+                benches.iter().any(|b| b.suite == suite),
+                "{suite:?} missing"
+            );
         }
     }
 
     #[test]
     fn all_benchmarks_validate_structurally() {
         for b in all() {
-            b.prog.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            assert!(b.prog.real_len() >= 15, "{} suspiciously small: {}", b.name, b.prog.real_len());
+            b.prog
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(
+                b.prog.real_len() >= 15,
+                "{} suspiciously small: {}",
+                b.name,
+                b.prog.real_len()
+            );
         }
     }
 
@@ -920,10 +1069,8 @@ mod tests {
 
     #[test]
     fn label_assembler_resolves_forward_and_backward_labels() {
-        let insns = assemble_with_labels(
-            "mov64 r0, 0\njeq r0, 0, done\nmov64 r0, 1\ndone:\nexit",
-        )
-        .unwrap();
+        let insns =
+            assemble_with_labels("mov64 r0, 0\njeq r0, 0, done\nmov64 r0, 1\ndone:\nexit").unwrap();
         assert_eq!(insns.len(), 4);
         assert_eq!(insns[1].jump_target(1), Some(3));
     }

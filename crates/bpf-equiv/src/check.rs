@@ -98,7 +98,10 @@ pub fn check_equivalence(
     cand: &Program,
     options: &EquivOptions,
 ) -> (EquivOutcome, u64) {
-    let mut checker = EquivChecker::new(EquivOptions { enable_cache: false, ..*options });
+    let mut checker = EquivChecker::new(EquivOptions {
+        enable_cache: false,
+        ..*options
+    });
     let outcome = checker.check_uncached(src, cand);
     (outcome, checker.stats.last_time_us)
 }
@@ -122,7 +125,11 @@ pub struct EquivChecker {
 impl EquivChecker {
     /// Create a checker with the given options.
     pub fn new(options: EquivOptions) -> EquivChecker {
-        EquivChecker { options, cache: EquivCache::new(), stats: EquivStats::default() }
+        EquivChecker {
+            options,
+            cache: EquivCache::new(),
+            stats: EquivStats::default(),
+        }
     }
 
     /// Access the verdict cache (for reporting hit rates, Table 6).
@@ -238,9 +245,7 @@ mod tests {
 
     #[test]
     fn checker_rejects_wrong_rewrite_with_counterexample() {
-        let src = xdp(
-            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit",
-        );
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
         let cand = xdp("mov64 r0, 64\nexit");
         let mut checker = EquivChecker::new(EquivOptions::default());
         match checker.check(&src, &cand) {
@@ -268,14 +273,15 @@ mod tests {
 
     #[test]
     fn optimizations_do_not_change_verdicts() {
-        let src = xdp(
-            "mov64 r6, 7\nstxdw [r10-8], r6\nldxdw r0, [r10-8]\nadd64 r0, 1\nexit",
-        );
+        let src = xdp("mov64 r6, 7\nstxdw [r10-8], r6\nldxdw r0, [r10-8]\nadd64 r0, 1\nexit");
         let good = xdp("mov64 r0, 8\nexit");
         let bad = xdp("mov64 r0, 9\nexit");
         for opts in [
             EquivOptions::default(),
-            EquivOptions { offset_concretization: false, ..EquivOptions::default() },
+            EquivOptions {
+                offset_concretization: false,
+                ..EquivOptions::default()
+            },
             EquivOptions {
                 memory_type_concretization: false,
                 offset_concretization: false,
@@ -309,7 +315,10 @@ mod tests {
             ],
         );
         let mut checker = EquivChecker::new(EquivOptions::default());
-        assert!(matches!(checker.check(&src, &cand), EquivOutcome::Unknown(_)));
+        assert!(matches!(
+            checker.check(&src, &cand),
+            EquivOutcome::Unknown(_)
+        ));
     }
 
     #[test]

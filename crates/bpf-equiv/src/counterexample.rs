@@ -51,13 +51,20 @@ pub fn input_from_model(encoder: &Encoder<'_>, model: &Model, prog: &Program) ->
         if value_of(*present_term) & 1 == 0 {
             continue;
         }
-        insert_map_entry(&mut input, encoder, prog, *map_id, value_of(*key_term), &|off| {
-            init_values
-                .iter()
-                .find(|(m, k, o, _)| m == map_id && *k == *key_term && *o == off)
-                .map(|(_, _, _, v)| value_of(*v) as u8)
-                .unwrap_or(0)
-        });
+        insert_map_entry(
+            &mut input,
+            encoder,
+            prog,
+            *map_id,
+            value_of(*key_term),
+            &|off| {
+                init_values
+                    .iter()
+                    .find(|(m, k, o, _)| m == map_id && *k == *key_term && *o == off)
+                    .map(|(_, _, _, v)| value_of(*v) as u8)
+                    .unwrap_or(0)
+            },
+        );
     }
     // Also materialize entries whose values were read even if presence was
     // never explicitly queried (e.g. array maps, always present).
@@ -83,7 +90,10 @@ fn insert_map_entry(
     key_value: u64,
     byte_at: &dyn Fn(i64) -> u8,
 ) {
-    let def = match encoder.map_def(map_id).or_else(|| prog.map(bpf_isa::MapId(map_id)).copied()) {
+    let def = match encoder
+        .map_def(map_id)
+        .or_else(|| prog.map(bpf_isa::MapId(map_id)).copied())
+    {
         Some(d) => d,
         None => return,
     };
@@ -96,9 +106,9 @@ fn insert_map_entry(
 mod tests {
     use super::*;
     use crate::encode::EncodeOptions;
-    use bitsmt::{CheckResult, Solver, TermPool};
     #[allow(unused_imports)]
     use bitsmt::TermId;
+    use bitsmt::{CheckResult, Solver, TermPool};
     use bpf_interp::run;
     use bpf_isa::{asm, ProgramType};
 
@@ -113,7 +123,10 @@ mod tests {
             )
             .unwrap(),
         );
-        let cand = Program::new(ProgramType::Xdp, asm::assemble("mov64 r0, 2\nexit").unwrap());
+        let cand = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r0, 2\nexit").unwrap(),
+        );
 
         let mut pool = TermPool::new();
         let mut enc = Encoder::new(&mut pool, EncodeOptions::default());

@@ -11,8 +11,8 @@ use bitsmt::{TermId, TermPool};
 use bpf_analysis::cfg::Cfg;
 use bpf_interp::layout::{CTX_BASE, PACKET_BASE, PACKET_HEADROOM, STACK_BASE};
 use bpf_isa::{
-    AluOp, ByteOrder, HelperId, Insn, JmpOp, MapDef, MapKind, MemSize, Program, Reg, Src,
-    NUM_REGS, STACK_SIZE,
+    AluOp, ByteOrder, HelperId, Insn, JmpOp, MapDef, MapKind, MemSize, Program, Reg, Src, NUM_REGS,
+    STACK_SIZE,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -27,6 +27,12 @@ pub const STACK_TOP: u64 = STACK_BASE + STACK_SIZE as u64;
 /// Its numeric value never matters: map value accesses are resolved by key,
 /// not by pointer arithmetic.
 pub const MAP_VALUE_PTR: u64 = 0x0030_0000;
+
+/// One initial map-value read: (map id, key term, byte offset, value term).
+pub type MapValueRead = (u32, TermId, i64, TermId);
+
+/// One initial map-presence read: (map id, key term, presence term).
+pub type MapPresenceRead = (u32, TermId, TermId);
 
 /// Reasons a program cannot be encoded. The search treats these candidates as
 /// not-equivalent (they are never emitted), mirroring how the original K2
@@ -236,9 +242,21 @@ impl Prov {
                 Prov::PacketEnd(if a == b { a } else { None })
             }
             (
-                Prov::MapValue { map_id: m1, key: k1, .. },
-                Prov::MapValue { map_id: m2, key: k2, .. },
-            ) if m1 == m2 && k1 == k2 => Prov::MapValue { map_id: m1, key: k1, offset: None },
+                Prov::MapValue {
+                    map_id: m1,
+                    key: k1,
+                    ..
+                },
+                Prov::MapValue {
+                    map_id: m2,
+                    key: k2,
+                    ..
+                },
+            ) if m1 == m2 && k1 == k2 => Prov::MapValue {
+                map_id: m1,
+                key: k1,
+                offset: None,
+            },
             _ => Prov::None,
         }
     }
@@ -253,9 +271,15 @@ impl Prov {
             Prov::Packet(o) => Prov::Packet(bump(o)),
             Prov::PacketEnd(o) => Prov::PacketEnd(bump(o)),
             Prov::Ctx(o) => Prov::Ctx(bump(o)),
-            Prov::MapValue { map_id, key, offset } => {
-                Prov::MapValue { map_id, key, offset: bump(offset) }
-            }
+            Prov::MapValue {
+                map_id,
+                key,
+                offset,
+            } => Prov::MapValue {
+                map_id,
+                key,
+                offset: bump(offset),
+            },
             Prov::None | Prov::MapHandle(_) => Prov::None,
         }
     }
@@ -395,8 +419,14 @@ impl<'p> Encoder<'p> {
                 let off = wi as i64 * 8 + b as i64;
                 let addr_term = self.pool.constant(CTX_BASE + off as u64, 64);
                 let value = self.pool.extract(word, b * 8 + 7, b * 8);
-                let addr = SymAddr { term: addr_term, concrete: Some((RegionTag::Context, off)) };
-                self.init_reads.entry(key).or_default().push(InitRead { addr, value });
+                let addr = SymAddr {
+                    term: addr_term,
+                    concrete: Some((RegionTag::Context, off)),
+                };
+                self.init_reads
+                    .entry(key)
+                    .or_default()
+                    .push(InitRead { addr, value });
             }
         }
     }
@@ -435,7 +465,11 @@ impl<'p> Encoder<'p> {
     fn addr_eq(&mut self, a: SymAddr, b: SymAddr) -> TermId {
         if self.opts.offset_concretization {
             if let (Some((ra, oa)), Some((rb, ob))) = (a.concrete, b.concrete) {
-                return if ra == rb && oa == ob { self.pool.tt() } else { self.pool.ff() };
+                return if ra == rb && oa == ob {
+                    self.pool.tt()
+                } else {
+                    self.pool.ff()
+                };
             }
         }
         self.pool.eq(a.term, b.term)
@@ -467,7 +501,10 @@ impl<'p> Encoder<'p> {
             let implied = self.pool.implies(same, val_eq);
             self.constraints.push(implied);
         }
-        self.init_reads.entry(key).or_default().push(InitRead { addr, value });
+        self.init_reads
+            .entry(key)
+            .or_default()
+            .push(InitRead { addr, value });
         value
     }
 
@@ -571,7 +608,10 @@ impl<'p> Encoder<'p> {
     fn init_map_present(&mut self, mkey: MapKey, map_id: u32, key: TermId) -> TermId {
         // Array-like maps: a key is present iff it is within range.
         if let Some(def) = self.map_defs.get(&map_id).copied() {
-            if matches!(def.kind, MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap) {
+            if matches!(
+                def.kind,
+                MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap
+            ) {
                 let idx = self.pool.extract(key, 31, 0);
                 let max = self.pool.constant(def.max_entries as u64, 32);
                 return self.pool.ult(idx, max);
@@ -597,7 +637,11 @@ impl<'p> Encoder<'p> {
         self.init_map_present
             .entry(mkey)
             .or_default()
-            .push(MapInitPresent { map_id, key, present });
+            .push(MapInitPresent {
+                map_id,
+                key,
+                present,
+            });
         present
     }
 
@@ -624,7 +668,12 @@ impl<'p> Encoder<'p> {
         self.init_map_values
             .entry(mkey)
             .or_default()
-            .push(MapInitValue { map_id, key, offset, value });
+            .push(MapInitValue {
+                map_id,
+                key,
+                offset,
+                value,
+            });
         value
     }
 
@@ -663,7 +712,11 @@ impl<'p> Encoder<'p> {
     ) -> TermId {
         let mkey = self.map_key(map_id);
         let mut value = self.init_map_value(mkey, map_id, key, offset);
-        let stores = self.map_value_stores.entry((tag, mkey)).or_default().clone();
+        let stores = self
+            .map_value_stores
+            .entry((tag, mkey))
+            .or_default()
+            .clone();
         for s in &stores {
             if s.map_id != map_id || s.offset != offset {
                 continue;
@@ -688,14 +741,28 @@ impl<'p> Encoder<'p> {
         pc: TermId,
     ) {
         let mkey = self.map_key(map_id);
-        let entry = MapValueStore { map_id, key, offset, value, pc };
-        self.map_value_stores.entry((tag, mkey)).or_default().push(entry);
+        let entry = MapValueStore {
+            map_id,
+            key,
+            offset,
+            value,
+            pc,
+        };
+        self.map_value_stores
+            .entry((tag, mkey))
+            .or_default()
+            .push(entry);
         self.map_stores_flat.entry(tag).or_default().push(entry);
     }
 
     fn record_map_op(&mut self, tag: usize, map_id: u32, key: TermId, pc: TermId, kind: MapOpKind) {
         let mkey = self.map_key(map_id);
-        let op = MapOp { map_id, key, pc, kind };
+        let op = MapOp {
+            map_id,
+            key,
+            pc,
+            kind,
+        };
         self.map_ops.entry((tag, mkey)).or_default().push(op);
         self.map_ops_flat.entry(tag).or_default().push(op);
     }
@@ -703,7 +770,9 @@ impl<'p> Encoder<'p> {
     /// Shared pseudo-random value for the `idx`-th call in program order.
     fn prandom_value(&mut self, idx: usize) -> TermId {
         while self.prandom.len() <= idx {
-            let v = self.pool.var(format!("in_prandom_{}", self.prandom.len()), 64);
+            let v = self
+                .pool
+                .var(format!("in_prandom_{}", self.prandom.len()), 64);
             // Only 32 bits are produced by the helper.
             let mask = self.pool.constant(0xffff_ffff, 64);
             let masked = self.pool.and(v, mask);
@@ -714,7 +783,9 @@ impl<'p> Encoder<'p> {
 
     fn ucall_return(&mut self, idx: usize) -> TermId {
         while self.ucall_returns.len() <= idx {
-            let v = self.pool.var(format!("in_ucall_ret_{}", self.ucall_returns.len()), 64);
+            let v = self
+                .pool
+                .var(format!("in_ucall_ret_{}", self.ucall_returns.len()), 64);
             self.ucall_returns.push(v);
         }
         self.ucall_returns[idx]
@@ -751,7 +822,9 @@ impl<'p> Encoder<'p> {
             self.map_defs.insert(def.id.0, *def);
         }
         if insns.iter().any(|i| i.is_branch()) {
-            return Err(EncodeError::Unsupported("window contains a branch or exit".into()));
+            return Err(EncodeError::Unsupported(
+                "window contains a branch or exit".into(),
+            ));
         }
         let tt = self.pool.tt();
         let mut prov = [Prov::None; NUM_REGS];
@@ -764,7 +837,11 @@ impl<'p> Encoder<'p> {
                 prov[i] = Prov::Stack(Some(*off));
             }
         }
-        let mut state = BlockState { pc: tt, regs: start_regs, prov };
+        let mut state = BlockState {
+            pc: tt,
+            regs: start_regs,
+            prov,
+        };
         let mut ctx = ProgCtx::new(tag);
         for (idx, insn) in insns.iter().enumerate() {
             self.step(&mut state, insn, idx, None, &mut ctx)?;
@@ -802,13 +879,19 @@ impl<'p> Encoder<'p> {
         entry_prov[Reg::R10.index()] = Prov::Stack(Some(0));
 
         let mut block_in: Vec<Option<BlockState>> = vec![None; cfg.blocks.len()];
-        block_in[0] = Some(BlockState { pc: tt, regs: entry_regs, prov: entry_prov });
+        block_in[0] = Some(BlockState {
+            pc: tt,
+            regs: entry_regs,
+            prov: entry_prov,
+        });
 
         let mut exits: Vec<(TermId, TermId)> = Vec::new();
         let mut ctx = ProgCtx::new(tag);
 
         for &bi in order {
-            let Some(state0) = block_in[bi].clone() else { continue };
+            let Some(state0) = block_in[bi].clone() else {
+                continue;
+            };
             let mut state = state0;
             let block = cfg.blocks[bi].clone();
             for idx in block.range() {
@@ -827,16 +910,16 @@ impl<'p> Encoder<'p> {
             match last {
                 Insn::Exit => {}
                 Insn::Ja { .. } => {
-                    let target = cfg.block_of_insn
-                        [last.jump_target(last_idx).expect("ja target") as usize];
+                    let target =
+                        cfg.block_of_insn[last.jump_target(last_idx).expect("ja target") as usize];
                     self.merge_into(&mut block_in, target, &state, None);
                 }
                 Insn::Jmp { op, dst, src, .. } | Insn::Jmp32 { op, dst, src, .. } => {
                     let is32 = matches!(last, Insn::Jmp32 { .. });
                     let cond = self.jump_cond(&state, op, dst, src, is32);
                     let not_cond = self.pool.not(cond);
-                    let taken = cfg.block_of_insn
-                        [last.jump_target(last_idx).expect("jmp target") as usize];
+                    let taken =
+                        cfg.block_of_insn[last.jump_target(last_idx).expect("jmp target") as usize];
                     self.merge_into(&mut block_in, taken, &state, Some(cond));
                     if block.end < insns.len() {
                         let ft = cfg.block_of_insn[block.end];
@@ -893,7 +976,11 @@ impl<'p> Encoder<'p> {
             None => state.pc,
         };
         let merged = match block_in[target].take() {
-            None => BlockState { pc: contrib_pc, regs: state.regs, prov: state.prov },
+            None => BlockState {
+                pc: contrib_pc,
+                regs: state.regs,
+                prov: state.prov,
+            },
             Some(existing) => {
                 let mut merged = existing.clone();
                 merged.pc = self.pool.or(existing.pc, contrib_pc);
@@ -907,11 +994,21 @@ impl<'p> Encoder<'p> {
         block_in[target] = Some(merged);
     }
 
-    fn jump_cond(&mut self, state: &BlockState, op: JmpOp, dst: Reg, src: Src, is32: bool) -> TermId {
+    fn jump_cond(
+        &mut self,
+        state: &BlockState,
+        op: JmpOp,
+        dst: Reg,
+        src: Src,
+        is32: bool,
+    ) -> TermId {
         let d_full = state.regs[dst.index()];
         let s_full = self.operand(state, src);
         let (d, s) = if is32 {
-            (self.pool.extract(d_full, 31, 0), self.pool.extract(s_full, 31, 0))
+            (
+                self.pool.extract(d_full, 31, 0),
+                self.pool.extract(s_full, 31, 0),
+            )
         } else {
             (d_full, s_full)
         };
@@ -958,10 +1055,12 @@ impl<'p> Encoder<'p> {
             // concrete distance from `data` depends on the packet length.
             Prov::PacketEnd(_) => Ok((RegionTag::Packet, None)),
             Prov::Ctx(o) => Ok((RegionTag::Context, o.map(|x| x + off as i64))),
-            Prov::MapValue { .. } => Err(EncodeError::Unsupported("map value handled separately".into())),
-            Prov::None | Prov::MapHandle(_) => {
-                Err(EncodeError::Unsupported("memory access with unknown pointer provenance".into()))
-            }
+            Prov::MapValue { .. } => Err(EncodeError::Unsupported(
+                "map value handled separately".into(),
+            )),
+            Prov::None | Prov::MapHandle(_) => Err(EncodeError::Unsupported(
+                "memory access with unknown pointer provenance".into(),
+            )),
         }
     }
 
@@ -985,17 +1084,32 @@ impl<'p> Encoder<'p> {
                 state.prov[dst.index()] = match op {
                     AluOp::Mov => s_prov,
                     AluOp::Add => match (state.prov[dst.index()], s_prov) {
-                        (p @ (Prov::Stack(_) | Prov::Packet(_) | Prov::PacketEnd(_) | Prov::Ctx(_) | Prov::MapValue { .. }), Prov::None) => {
-                            p.add_offset(s_const)
-                        }
-                        (Prov::None, p @ (Prov::Stack(_) | Prov::Packet(_) | Prov::PacketEnd(_) | Prov::Ctx(_))) => {
+                        (
+                            p @ (Prov::Stack(_)
+                            | Prov::Packet(_)
+                            | Prov::PacketEnd(_)
+                            | Prov::Ctx(_)
+                            | Prov::MapValue { .. }),
+                            Prov::None,
+                        ) => p.add_offset(s_const),
+                        (
+                            Prov::None,
+                            p @ (Prov::Stack(_)
+                            | Prov::Packet(_)
+                            | Prov::PacketEnd(_)
+                            | Prov::Ctx(_)),
+                        ) => {
                             let d_const = self.pool.as_const(d).map(|v| v as i64);
                             p.add_offset(d_const)
                         }
                         _ => Prov::None,
                     },
                     AluOp::Sub => match state.prov[dst.index()] {
-                        p @ (Prov::Stack(_) | Prov::Packet(_) | Prov::PacketEnd(_) | Prov::Ctx(_) | Prov::MapValue { .. })
+                        p @ (Prov::Stack(_)
+                        | Prov::Packet(_)
+                        | Prov::PacketEnd(_)
+                        | Prov::Ctx(_)
+                        | Prov::MapValue { .. })
                             if s_prov == Prov::None =>
                         {
                             p.add_offset(s_const.map(|c| -c))
@@ -1021,7 +1135,12 @@ impl<'p> Encoder<'p> {
                 state.regs[dst.index()] = result;
                 state.prov[dst.index()] = Prov::None;
             }
-            Insn::Load { size, dst, base, off } => {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
                 let value = self.encode_load(state, tag, base, off, size)?;
                 // Track the packet data / data_end pointers coming out of the
                 // context, as the interpreter and type analysis do.
@@ -1036,15 +1155,30 @@ impl<'p> Encoder<'p> {
                 state.regs[dst.index()] = value;
                 state.prov[dst.index()] = new_prov;
             }
-            Insn::Store { size, base, off, src } => {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 let value = state.regs[src.index()];
                 self.encode_store(state, tag, base, off, size, value)?;
             }
-            Insn::StoreImm { size, base, off, imm } => {
+            Insn::StoreImm {
+                size,
+                base,
+                off,
+                imm,
+            } => {
                 let value = self.pool.constant(imm as i64 as u64, 64);
                 self.encode_store(state, tag, base, off, size, value)?;
             }
-            Insn::AtomicAdd { size, base, off, src } => {
+            Insn::AtomicAdd {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 let old = self.encode_load(state, tag, base, off, size)?;
                 let addend = state.regs[src.index()];
                 let new = if size == MemSize::Word {
@@ -1062,8 +1196,9 @@ impl<'p> Encoder<'p> {
                 state.prov[dst.index()] = Prov::None;
             }
             Insn::LoadMapFd { dst, map_id } => {
-                state.regs[dst.index()] =
-                    self.pool.constant(bpf_interp::layout::map_handle(map_id), 64);
+                state.regs[dst.index()] = self
+                    .pool
+                    .constant(bpf_interp::layout::map_handle(map_id), 64);
                 state.prov[dst.index()] = Prov::MapHandle(map_id);
             }
             Insn::Call { helper } => {
@@ -1083,7 +1218,12 @@ impl<'p> Encoder<'p> {
         size: MemSize,
     ) -> Result<TermId, EncodeError> {
         let prov = state.prov[base.index()];
-        if let Prov::MapValue { map_id, key, offset } = prov {
+        if let Prov::MapValue {
+            map_id,
+            key,
+            offset,
+        } = prov
+        {
             let start = offset.ok_or_else(|| {
                 EncodeError::Unsupported("map value access at unknown offset".into())
             })? + off as i64;
@@ -1097,7 +1237,10 @@ impl<'p> Encoder<'p> {
         let key = self.mem_key(tag, region);
         let off_term = self.pool.constant(off as i64 as u64, 64);
         let term = self.pool.add(state.regs[base.index()], off_term);
-        let base_addr = SymAddr { term, concrete: conc.map(|o| (region, o)) };
+        let base_addr = SymAddr {
+            term,
+            concrete: conc.map(|o| (region, o)),
+        };
         Ok(self.load_value(tag, key, base_addr, size, state.pc))
     }
 
@@ -1111,7 +1254,12 @@ impl<'p> Encoder<'p> {
         value: TermId,
     ) -> Result<(), EncodeError> {
         let prov = state.prov[base.index()];
-        if let Prov::MapValue { map_id, key, offset } = prov {
+        if let Prov::MapValue {
+            map_id,
+            key,
+            offset,
+        } = prov
+        {
             let start = offset.ok_or_else(|| {
                 EncodeError::Unsupported("map value access at unknown offset".into())
             })? + off as i64;
@@ -1125,7 +1273,10 @@ impl<'p> Encoder<'p> {
         let key = self.mem_key(tag, region);
         let off_term = self.pool.constant(off as i64 as u64, 64);
         let term = self.pool.add(state.regs[base.index()], off_term);
-        let base_addr = SymAddr { term, concrete: conc.map(|o| (region, o)) };
+        let base_addr = SymAddr {
+            term,
+            concrete: conc.map(|o| (region, o)),
+        };
         self.store_value(tag, key, base_addr, size, value, state.pc, region);
         Ok(())
     }
@@ -1163,8 +1314,11 @@ impl<'p> Encoder<'p> {
                         let nonnull = self.pool.constant(MAP_VALUE_PTR, 64);
                         let null = self.pool.constant(0, 64);
                         let ptr = self.pool.ite(present, nonnull, null);
-                        state.prov[Reg::R0.index()] =
-                            Prov::MapValue { map_id, key, offset: Some(0) };
+                        state.prov[Reg::R0.index()] = Prov::MapValue {
+                            map_id,
+                            key,
+                            offset: Some(0),
+                        };
                         ptr
                     }
                     HelperId::MapUpdate => {
@@ -1172,7 +1326,8 @@ impl<'p> Encoder<'p> {
                         // as map value stores.
                         let value_prov = state.prov[Reg::R3.index()];
                         for i in 0..def.value_size as usize {
-                            let byte = self.read_byte_through(state, tag, value_prov, Reg::R3, i as i64)?;
+                            let byte =
+                                self.read_byte_through(state, tag, value_prov, Reg::R3, i as i64)?;
                             self.map_store_byte(tag, map_id, key, i as i64, byte, pc);
                         }
                         self.record_map_op(tag, map_id, key, pc, MapOpKind::Update);
@@ -1213,8 +1368,9 @@ impl<'p> Encoder<'p> {
                 // Uninterpreted helper: record the call, return a shared value
                 // keyed by call order.
                 let num_args = helper.num_args().min(5);
-                let args: Vec<TermId> =
-                    (0..num_args).map(|i| state.regs[Reg::R1.index() + i]).collect();
+                let args: Vec<TermId> = (0..num_args)
+                    .map(|i| state.regs[Reg::R1.index() + i])
+                    .collect();
                 ctx.call_log.push(CallRecord { helper, args, pc });
                 let idx = ctx.ucalls;
                 ctx.ucalls += 1;
@@ -1256,16 +1412,25 @@ impl<'p> Encoder<'p> {
         reg: Reg,
         delta: i64,
     ) -> Result<TermId, EncodeError> {
-        if let Prov::MapValue { map_id, key, offset } = prov {
-            let start = offset
-                .ok_or_else(|| EncodeError::Unsupported("map value access at unknown offset".into()))?;
+        if let Prov::MapValue {
+            map_id,
+            key,
+            offset,
+        } = prov
+        {
+            let start = offset.ok_or_else(|| {
+                EncodeError::Unsupported("map value access at unknown offset".into())
+            })?;
             return Ok(self.map_load_byte(tag, map_id, key, start + delta, state.pc));
         }
         let (region, conc) = self.region_of(prov, 0)?;
         let key = self.mem_key(tag, region);
         let d = self.pool.constant(delta as u64, 64);
         let term = self.pool.add(state.regs[reg.index()], d);
-        let addr = SymAddr { term, concrete: conc.map(|o| (region, o + delta)) };
+        let addr = SymAddr {
+            term,
+            concrete: conc.map(|o| (region, o + delta)),
+        };
         Ok(self.load_byte(tag, key, addr, state.pc))
     }
 
@@ -1333,11 +1498,7 @@ impl<'p> Encoder<'p> {
     /// encoded programs differ (return value, final packet bytes touched by
     /// either program, final map values and presence for keys touched by
     /// either program).
-    pub fn output_difference(
-        &mut self,
-        a: &ProgramEncoding,
-        b: &ProgramEncoding,
-    ) -> TermId {
+    pub fn output_difference(&mut self, a: &ProgramEncoding, b: &ProgramEncoding) -> TermId {
         let mut disjuncts = vec![self.pool.ne(a.ret, b.ret)];
 
         // Packet bytes.
@@ -1357,7 +1518,10 @@ impl<'p> Encoder<'p> {
         let mut map_slots: Vec<(u32, TermId, i64)> = Vec::new();
         for &t in &[a.tag, b.tag] {
             for s in self.map_stores_flat.get(&t).cloned().unwrap_or_default() {
-                if !map_slots.iter().any(|(m, k, o)| *m == s.map_id && *k == s.key && *o == s.offset) {
+                if !map_slots
+                    .iter()
+                    .any(|(m, k, o)| *m == s.map_id && *k == s.key && *o == s.offset)
+                {
                     map_slots.push((s.map_id, s.key, s.offset));
                 }
             }
@@ -1452,15 +1616,16 @@ impl<'p> Encoder<'p> {
         disjuncts.push(mem);
 
         // Stack bytes written by either window and still live afterwards.
-        let stack_key =
-            if self.opts.memory_type_concretization { MemKey::Stack } else { MemKey::Unified };
+        let stack_key = if self.opts.memory_type_concretization {
+            MemKey::Stack
+        } else {
+            MemKey::Unified
+        };
         let mut stack_addrs: Vec<SymAddr> = Vec::new();
         for &t in &[a.tag, b.tag] {
             for s in self.stack_stores_flat.get(&t).cloned().unwrap_or_default() {
                 let relevant = match s.addr.concrete {
-                    Some((RegionTag::Stack, off)) => {
-                        live_stack_out.contains(&(off as i16))
-                    }
+                    Some((RegionTag::Stack, off)) => live_stack_out.contains(&(off as i16)),
                     // Unknown offset: compare conservatively.
                     _ => true,
                 };
@@ -1480,7 +1645,11 @@ impl<'p> Encoder<'p> {
     }
 
     fn final_packet_byte(&mut self, tag: usize, addr: SymAddr) -> TermId {
-        let key = if self.opts.memory_type_concretization { MemKey::Packet } else { MemKey::Unified };
+        let key = if self.opts.memory_type_concretization {
+            MemKey::Packet
+        } else {
+            MemKey::Unified
+        };
         let tt = self.pool.tt();
         self.load_byte(tag, key, addr, tt)
     }
@@ -1520,7 +1689,7 @@ impl<'p> Encoder<'p> {
     /// The initial map state observed during encoding: (map id, key term,
     /// offset, value term) plus presence bits (map id, key term, presence
     /// term). Used by counterexample extraction.
-    pub fn map_init_reads(&self) -> (Vec<(u32, TermId, i64, TermId)>, Vec<(u32, TermId, TermId)>) {
+    pub fn map_init_reads(&self) -> (Vec<MapValueRead>, Vec<MapPresenceRead>) {
         let mut values = Vec::new();
         for reads in self.init_map_values.values() {
             for r in reads {
@@ -1552,7 +1721,12 @@ struct ProgCtx {
 
 impl ProgCtx {
     fn new(tag: usize) -> ProgCtx {
-        ProgCtx { tag, call_log: Vec::new(), prandom_calls: 0, ucalls: 0 }
+        ProgCtx {
+            tag,
+            call_log: Vec::new(),
+            prandom_calls: 0,
+            ucalls: 0,
+        }
     }
 }
 
@@ -1606,8 +1780,10 @@ mod tests {
 
     #[test]
     fn mul_vs_shift_is_equivalent() {
-        let src = "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nmul64 r0, 4\nexit";
-        let cand = "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nlsh64 r0, 2\nexit";
+        let src =
+            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nmul64 r0, 4\nexit";
+        let cand =
+            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nlsh64 r0, 2\nexit";
         assert!(equivalent(src, cand));
     }
 
@@ -1733,7 +1909,10 @@ mod tests {
         let p = Program::new(ProgramType::Xdp, insns);
         let mut pool = TermPool::new();
         let mut enc = Encoder::new(&mut pool, EncodeOptions::default());
-        assert!(matches!(enc.encode_program(&p, 0), Err(EncodeError::HasLoop)));
+        assert!(matches!(
+            enc.encode_program(&p, 0),
+            Err(EncodeError::HasLoop)
+        ));
     }
 
     #[test]
@@ -1745,6 +1924,9 @@ mod tests {
         );
         let mut pool = TermPool::new();
         let mut enc = Encoder::new(&mut pool, EncodeOptions::default());
-        assert!(matches!(enc.encode_program(&p, 0), Err(EncodeError::Unsupported(_))));
+        assert!(matches!(
+            enc.encode_program(&p, 0),
+            Err(EncodeError::Unsupported(_))
+        ));
     }
 }

@@ -54,7 +54,10 @@ pub fn check_window(
     let elapsed = |t: Instant| t.elapsed().as_micros() as u64;
 
     if window.is_empty() || window.end > src.insns.len() {
-        return (EquivOutcome::Unknown("empty or out-of-range window".into()), elapsed(start_time));
+        return (
+            EquivOutcome::Unknown("empty or out-of-range window".into()),
+            elapsed(start_time),
+        );
     }
     let src_window = &src.insns[window.start..window.end];
     if src_window.iter().any(Insn::is_branch) || replacement.iter().any(Insn::is_branch) {
@@ -102,9 +105,17 @@ pub fn check_window(
                 encoder.pool().constant(STACK_TOP, 64)
             }
             (_, AbsVal::Const(c)) => encoder.pool().constant(c, 64),
-            (_, AbsVal::Ptr { region: MemRegion::Stack, offset: Some(o) }) => {
+            (
+                _,
+                AbsVal::Ptr {
+                    region: MemRegion::Stack,
+                    offset: Some(o),
+                },
+            ) => {
                 prov_hints[r.index()] = Some(o);
-                encoder.pool().constant(STACK_TOP.wrapping_add(o as u64), 64)
+                encoder
+                    .pool()
+                    .constant(STACK_TOP.wrapping_add(o as u64), 64)
             }
             _ => encoder.pool().var(format!("win_in_r{}", r.index()), 64),
         };
@@ -165,9 +176,7 @@ mod tests {
     fn window_accepts_strength_reduction_with_known_operand() {
         // r3 is known to be 4 entering the window, so r1 *= r3 can become
         // r1 <<= 2 — the context-dependent rewrite from the paper's §5.IV.
-        let src = xdp(
-            "mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit",
-        );
+        let src = xdp("mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
         let window = Window { start: 2, end: 3 };
         let replacement = asm::assemble("lsh64 r1, 2").unwrap();
         let (outcome, _) = check_window(&src, window, &replacement, &opts());
@@ -177,9 +186,7 @@ mod tests {
     #[test]
     fn window_rejects_rewrite_invalid_without_precondition() {
         // Without the known value of r3 the rewrite is wrong: here r3 == 3.
-        let src = xdp(
-            "mov64 r3, 3\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit",
-        );
+        let src = xdp("mov64 r3, 3\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
         let window = Window { start: 2, end: 3 };
         let replacement = asm::assemble("lsh64 r1, 2").unwrap();
         let (outcome, _) = check_window(&src, window, &replacement, &opts());
@@ -190,27 +197,21 @@ mod tests {
     fn window_uses_liveness_for_postcondition() {
         // The window computes r2 and r3, but only r2 is read afterwards; a
         // replacement that skips the dead r3 computation is accepted.
-        let src = xdp(
-            "mov64 r2, 1\nmov64 r3, 2\nadd64 r2, 5\nmov64 r0, r2\nexit",
-        );
+        let src = xdp("mov64 r2, 1\nmov64 r3, 2\nadd64 r2, 5\nmov64 r0, r2\nexit");
         let window = Window { start: 0, end: 3 };
         let replacement = asm::assemble("mov64 r2, 6\nmov64 r3, 99").unwrap();
         // r3 differs (99 vs 2) but is dead after the window.
         let (outcome, _) = check_window(&src, window, &replacement, &opts());
         assert!(outcome.is_equivalent(), "{outcome:?}");
         // If r3 were live out, the same replacement must be rejected.
-        let src_live = xdp(
-            "mov64 r2, 1\nmov64 r3, 2\nadd64 r2, 5\nmov64 r0, r3\nexit",
-        );
+        let src_live = xdp("mov64 r2, 1\nmov64 r3, 2\nadd64 r2, 5\nmov64 r0, r3\nexit");
         let (outcome2, _) = check_window(&src_live, window, &replacement, &opts());
         assert!(!outcome2.is_equivalent());
     }
 
     #[test]
     fn window_memory_effects_are_compared() {
-        let src = xdp(
-            "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit",
-        );
+        let src = xdp("mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nldxdw r0, [r10-8]\nexit");
         let window = Window { start: 0, end: 3 };
         let good = asm::assemble("stdw [r10-8], 0\nmov64 r1, 0").unwrap();
         let (outcome, _) = check_window(&src, window, &good, &opts());
@@ -237,8 +238,7 @@ mod tests {
             "mov64 r2, 1\nmov64 r3, 2\nmov64 r4, 3\nmov64 r5, 4\nadd64 r2, r3\nadd64 r2, r4\nadd64 r2, r5\nmov64 r0, r2\nexit",
         );
         let window = Window { start: 4, end: 7 };
-        let replacement =
-            asm::assemble("add64 r2, r3\nadd64 r2, r4\nadd64 r2, r5").unwrap();
+        let replacement = asm::assemble("add64 r2, r3\nadd64 r2, r4\nadd64 r2, r5").unwrap();
         let (outcome, micros) = check_window(&src, window, &replacement, &opts());
         assert!(outcome.is_equivalent());
         assert!(micros > 0);

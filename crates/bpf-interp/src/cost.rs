@@ -107,8 +107,14 @@ mod tests {
     #[test]
     fn helpers_cost_more_than_alu() {
         let m = CostModel::default();
-        assert!(m.insn_cost(&Insn::call(HelperId::MapLookup)) > 10 * m.insn_cost(&Insn::mov64_imm(Reg::R0, 0)));
-        assert!(m.insn_cost(&Insn::call(HelperId::MapUpdate)) >= m.insn_cost(&Insn::call(HelperId::MapLookup)));
+        assert!(
+            m.insn_cost(&Insn::call(HelperId::MapLookup))
+                > 10 * m.insn_cost(&Insn::mov64_imm(Reg::R0, 0))
+        );
+        assert!(
+            m.insn_cost(&Insn::call(HelperId::MapUpdate))
+                >= m.insn_cost(&Insn::call(HelperId::MapLookup))
+        );
     }
 
     #[test]
@@ -119,10 +125,17 @@ mod tests {
     #[test]
     fn program_cost_is_additive() {
         let m = CostModel::default();
-        let p1 = Program::new(ProgramType::Xdp, vec![Insn::mov64_imm(Reg::R0, 0), Insn::Exit]);
+        let p1 = Program::new(
+            ProgramType::Xdp,
+            vec![Insn::mov64_imm(Reg::R0, 0), Insn::Exit],
+        );
         let p2 = Program::new(
             ProgramType::Xdp,
-            vec![Insn::mov64_imm(Reg::R0, 0), Insn::mov64_imm(Reg::R1, 1), Insn::Exit],
+            vec![
+                Insn::mov64_imm(Reg::R0, 0),
+                Insn::mov64_imm(Reg::R1, 1),
+                Insn::Exit,
+            ],
         );
         assert_eq!(m.program_cost(&p2), m.program_cost(&p1) + m.alu);
         assert_eq!(static_latency(&p1), m.program_cost(&p1));

@@ -60,12 +60,20 @@ pub fn run_with_limit(
         let mut next_pc = pc as i64 + 1;
         match insn {
             Insn::Alu64 { op, dst, src } => {
-                let d = if op.reads_dst() { machine.reg(dst, pc)? } else { 0 };
+                let d = if op.reads_dst() {
+                    machine.reg(dst, pc)?
+                } else {
+                    0
+                };
                 let s = operand64(&machine, src, pc)?;
                 machine.set_reg(dst, op.eval64(d, s), pc)?;
             }
             Insn::Alu32 { op, dst, src } => {
-                let d = if op.reads_dst() { machine.reg(dst, pc)? as u32 } else { 0 };
+                let d = if op.reads_dst() {
+                    machine.reg(dst, pc)? as u32
+                } else {
+                    0
+                };
                 let s = operand64(&machine, src, pc)? as u32;
                 machine.set_reg(dst, op.eval32(d, s) as u64, pc)?;
             }
@@ -73,21 +81,41 @@ pub fn run_with_limit(
                 let v = machine.reg(dst, pc)?;
                 machine.set_reg(dst, order.apply(v, width), pc)?;
             }
-            Insn::Load { size, dst, base, off } => {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
                 let addr = machine.reg(base, pc)?.wrapping_add(off as i64 as u64);
                 let value = machine.read_mem(addr, size, pc)?;
                 machine.set_reg(dst, value, pc)?;
             }
-            Insn::Store { size, base, off, src } => {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 let addr = machine.reg(base, pc)?.wrapping_add(off as i64 as u64);
                 let value = machine.reg(src, pc)?;
                 machine.write_mem(addr, size, value, pc)?;
             }
-            Insn::StoreImm { size, base, off, imm } => {
+            Insn::StoreImm {
+                size,
+                base,
+                off,
+                imm,
+            } => {
                 let addr = machine.reg(base, pc)?.wrapping_add(off as i64 as u64);
                 machine.write_mem(addr, size, imm as i64 as u64, pc)?;
             }
-            Insn::AtomicAdd { size, base, off, src } => {
+            Insn::AtomicAdd {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 let addr = machine.reg(base, pc)?.wrapping_add(off as i64 as u64);
                 let addend = machine.reg(src, pc)?;
                 let old = machine.read_mem_for_atomic(addr, size, pc)?;
@@ -102,7 +130,10 @@ pub fn run_with_limit(
             }
             Insn::LoadMapFd { dst, map_id } => {
                 if prog.map(MapId(map_id)).is_none() {
-                    return Err(Trap::BadHelperArgument { what: "undeclared map id", pc });
+                    return Err(Trap::BadHelperArgument {
+                        what: "undeclared map id",
+                        pc,
+                    });
                 }
                 machine.set_reg(dst, machine.map_handle(map_id), pc)?;
             }
@@ -128,7 +159,11 @@ pub fn run_with_limit(
             }
             Insn::Exit => {
                 let ret = machine.reg(Reg::R0, pc)?;
-                return Ok(ExecResult { output: machine.output(ret), steps, cost });
+                return Ok(ExecResult {
+                    output: machine.output(ret),
+                    steps,
+                    cost,
+                });
             }
             Insn::Nop => {}
         }
@@ -170,14 +205,16 @@ fn call_helper(
     let ret: u64 = match helper {
         HelperId::MapLookup => {
             let map_id = map_arg(machine, pc)?;
-            let def =
-                prog.map(map_id).ok_or(Trap::BadHelperArgument { what: "unknown map", pc })?;
+            let def = prog.map(map_id).ok_or(Trap::BadHelperArgument {
+                what: "unknown map",
+                pc,
+            })?;
             let key_ptr = arg(machine, Reg::R2)?;
             let key = machine.read_bytes(key_ptr, def.key_size as usize, pc)?;
-            let inst = machine
-                .maps
-                .get(map_id)
-                .ok_or(Trap::BadHelperArgument { what: "unknown map", pc })?;
+            let inst = machine.maps.get(map_id).ok_or(Trap::BadHelperArgument {
+                what: "unknown map",
+                pc,
+            })?;
             match inst.lookup(&key) {
                 Some(cell) => machine.maps.cell_addr(map_id, cell),
                 None => 0,
@@ -185,14 +222,19 @@ fn call_helper(
         }
         HelperId::MapUpdate => {
             let map_id = map_arg(machine, pc)?;
-            let def =
-                prog.map(map_id).ok_or(Trap::BadHelperArgument { what: "unknown map", pc })?;
+            let def = prog.map(map_id).ok_or(Trap::BadHelperArgument {
+                what: "unknown map",
+                pc,
+            })?;
             let key = machine.read_bytes(arg(machine, Reg::R2)?, def.key_size as usize, pc)?;
             let value = machine.read_bytes(arg(machine, Reg::R3)?, def.value_size as usize, pc)?;
             let inst = machine
                 .maps
                 .get_mut(map_id)
-                .ok_or(Trap::BadHelperArgument { what: "unknown map", pc })?;
+                .ok_or(Trap::BadHelperArgument {
+                    what: "unknown map",
+                    pc,
+                })?;
             match inst.update(&key, &value) {
                 Some(_) => 0,
                 None => (-1i64) as u64,
@@ -200,13 +242,18 @@ fn call_helper(
         }
         HelperId::MapDelete => {
             let map_id = map_arg(machine, pc)?;
-            let def =
-                prog.map(map_id).ok_or(Trap::BadHelperArgument { what: "unknown map", pc })?;
+            let def = prog.map(map_id).ok_or(Trap::BadHelperArgument {
+                what: "unknown map",
+                pc,
+            })?;
             let key = machine.read_bytes(arg(machine, Reg::R2)?, def.key_size as usize, pc)?;
             let inst = machine
                 .maps
                 .get_mut(map_id)
-                .ok_or(Trap::BadHelperArgument { what: "unknown map", pc })?;
+                .ok_or(Trap::BadHelperArgument {
+                    what: "unknown map",
+                    pc,
+                })?;
             if inst.delete(&key) {
                 0
             } else {
@@ -219,7 +266,10 @@ fn call_helper(
         HelperId::GetCurrentPidTgid => machine.pid_tgid,
         HelperId::XdpAdjustHead => {
             if machine.prog_type != ProgramType::Xdp {
-                return Err(Trap::BadHelperArgument { what: "adjust_head outside XDP", pc });
+                return Err(Trap::BadHelperArgument {
+                    what: "adjust_head outside XDP",
+                    pc,
+                });
             }
             let delta = arg(machine, Reg::R2)? as i64;
             if machine.adjust_head(delta) {
@@ -240,8 +290,15 @@ fn call_helper(
             let to_ptr = arg(machine, Reg::R3)?;
             let to_size = arg(machine, Reg::R4)? as usize;
             let seed = arg(machine, Reg::R5)? as u32;
-            if from_size % 4 != 0 || to_size % 4 != 0 || from_size > 512 || to_size > 512 {
-                return Err(Trap::BadHelperArgument { what: "csum_diff sizes", pc });
+            if !from_size.is_multiple_of(4)
+                || !to_size.is_multiple_of(4)
+                || from_size > 512
+                || to_size > 512
+            {
+                return Err(Trap::BadHelperArgument {
+                    what: "csum_diff sizes",
+                    pc,
+                });
             }
             let mut sum = seed as u64;
             if to_size > 0 {
@@ -273,7 +330,10 @@ fn map_arg(machine: &MachineState, pc: usize) -> Result<MapId, Trap> {
     let handle = machine.reg(Reg::R1, pc)?;
     map_handle_id(handle)
         .map(MapId)
-        .ok_or(Trap::BadHelperArgument { what: "r1 is not a map handle", pc })
+        .ok_or(Trap::BadHelperArgument {
+            what: "r1 is not a map handle",
+            pc,
+        })
 }
 
 #[cfg(test)]
@@ -301,10 +361,7 @@ mod tests {
     fn arithmetic_chain() {
         // r0 = ((5 + 7) * 3) >> 1 = 18
         let prog = xdp(
-            asm::assemble(
-                "mov64 r0, 5\nadd64 r0, 7\nmul64 r0, 3\nrsh64 r0, 1\nexit",
-            )
-            .unwrap(),
+            asm::assemble("mov64 r0, 5\nadd64 r0, 7\nmul64 r0, 3\nrsh64 r0, 1\nexit").unwrap(),
             vec![],
         );
         assert_eq!(run_ok(&prog, &ProgramInput::default()).output.ret, 18);
@@ -395,7 +452,14 @@ mod tests {
 
     #[test]
     fn infinite_loop_hits_step_limit() {
-        let prog = xdp(vec![Insn::mov64_imm(Reg::R0, 0), Insn::Ja { off: -2 }, Insn::Exit], vec![]);
+        let prog = xdp(
+            vec![
+                Insn::mov64_imm(Reg::R0, 0),
+                Insn::Ja { off: -2 },
+                Insn::Exit,
+            ],
+            vec![],
+        );
         assert!(matches!(
             run(&prog, &ProgramInput::default()),
             Err(Trap::StepLimitExceeded { .. })
@@ -434,11 +498,20 @@ mod tests {
     fn ktime_and_cpu_and_pid_come_from_input() {
         let text = "call ktime_get_ns\nexit";
         let prog = xdp(asm::assemble(text).unwrap(), vec![]);
-        let input = ProgramInput { time_ns: 777, ..ProgramInput::default() };
+        let input = ProgramInput {
+            time_ns: 777,
+            ..ProgramInput::default()
+        };
         assert_eq!(run_ok(&prog, &input).output.ret, 777);
 
-        let prog2 = xdp(asm::assemble("call get_smp_processor_id\nexit").unwrap(), vec![]);
-        let input2 = ProgramInput { cpu_id: 5, ..ProgramInput::default() };
+        let prog2 = xdp(
+            asm::assemble("call get_smp_processor_id\nexit").unwrap(),
+            vec![],
+        );
+        let input2 = ProgramInput {
+            cpu_id: 5,
+            ..ProgramInput::default()
+        };
         assert_eq!(run_ok(&prog2, &input2).output.ret, 5);
     }
 
@@ -462,7 +535,10 @@ mod tests {
         ";
         let prog = xdp(asm::assemble(text).unwrap(), vec![MapDef::array(0, 8, 4)]);
         let mut input = ProgramInput::default();
-        input.maps.insert((0, 0u32.to_le_bytes().to_vec()), 41u64.to_le_bytes().to_vec());
+        input.maps.insert(
+            (0, 0u32.to_le_bytes().to_vec()),
+            41u64.to_le_bytes().to_vec(),
+        );
         let res = run_ok(&prog, &input);
         assert_eq!(res.output.ret, 2);
         assert_eq!(
@@ -535,7 +611,9 @@ mod tests {
                 Insn::mov64_imm(Reg::R3, 0),
                 Insn::mov64_imm(Reg::R4, 0),
                 Insn::mov64_imm(Reg::R5, 0),
-                Insn::Call { helper: HelperId::Unknown(200) },
+                Insn::Call {
+                    helper: HelperId::Unknown(200),
+                },
                 Insn::Exit,
             ],
             vec![],

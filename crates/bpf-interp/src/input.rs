@@ -49,7 +49,10 @@ impl Default for ProgramInput {
 impl ProgramInput {
     /// An input with the given packet payload and defaults elsewhere.
     pub fn with_packet(packet: Vec<u8>) -> ProgramInput {
-        ProgramInput { packet, ..Default::default() }
+        ProgramInput {
+            packet,
+            ..Default::default()
+        }
     }
 }
 
@@ -73,7 +76,7 @@ impl ProgramOutput {
     pub fn diff_popcount(&self, other: &ProgramOutput) -> u64 {
         let mut diff = (self.ret ^ other.ret).count_ones() as u64;
         diff += byte_diff_popcount(&self.packet, &other.packet);
-        diff += map_diff(&self.maps, &other.maps, |a, b| byte_diff_popcount(a, b));
+        diff += map_diff(&self.maps, &other.maps, byte_diff_popcount);
         diff
     }
 
@@ -82,7 +85,7 @@ impl ProgramOutput {
     pub fn diff_abs(&self, other: &ProgramOutput) -> u64 {
         let mut diff = self.ret.abs_diff(other.ret);
         diff = diff.saturating_add(byte_diff_abs(&self.packet, &other.packet));
-        diff = diff.saturating_add(map_diff(&self.maps, &other.maps, |a, b| byte_diff_abs(a, b)));
+        diff = diff.saturating_add(map_diff(&self.maps, &other.maps, byte_diff_abs));
         diff
     }
 }
@@ -100,8 +103,11 @@ fn byte_diff_popcount(a: &[u8], b: &[u8]) -> u64 {
 
 fn byte_diff_abs(a: &[u8], b: &[u8]) -> u64 {
     let common = a.len().min(b.len());
-    let mut diff: u64 =
-        a[..common].iter().zip(&b[..common]).map(|(x, y)| x.abs_diff(*y) as u64).sum();
+    let mut diff: u64 = a[..common]
+        .iter()
+        .zip(&b[..common])
+        .map(|(x, y)| x.abs_diff(*y) as u64)
+        .sum();
     diff += 255 * (a.len().abs_diff(b.len())) as u64;
     diff
 }
@@ -140,7 +146,11 @@ pub struct InputGenerator {
 impl InputGenerator {
     /// Create a generator with the given seed.
     pub fn new(seed: u64) -> InputGenerator {
-        InputGenerator { rng: StdRng::seed_from_u64(seed), packet_len: 64, map_prefill: 4 }
+        InputGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            packet_len: 64,
+            map_prefill: 4,
+        }
     }
 
     /// Generate one random input suitable for `prog`.
@@ -238,7 +248,11 @@ mod tests {
 
     #[test]
     fn popcount_diff_zero_iff_equal() {
-        let out = ProgramOutput { ret: 3, packet: vec![1, 2, 3], maps: MapState::new() };
+        let out = ProgramOutput {
+            ret: 3,
+            packet: vec![1, 2, 3],
+            maps: MapState::new(),
+        };
         assert_eq!(out.diff_popcount(&out), 0);
         assert_eq!(out.diff_abs(&out), 0);
         let mut other = out.clone();
@@ -249,12 +263,24 @@ mod tests {
 
     #[test]
     fn diff_counts_packet_and_maps() {
-        let a = ProgramOutput { ret: 0, packet: vec![0xff, 0x00], maps: MapState::new() };
+        let a = ProgramOutput {
+            ret: 0,
+            packet: vec![0xff, 0x00],
+            maps: MapState::new(),
+        };
         let mut bmaps = MapState::new();
         bmaps.insert((0, vec![0]), vec![0xff]);
-        let b = ProgramOutput { ret: 0, packet: vec![0x0f, 0x00], maps: bmaps };
+        let b = ProgramOutput {
+            ret: 0,
+            packet: vec![0x0f, 0x00],
+            maps: bmaps,
+        };
         assert_eq!(a.diff_popcount(&b), 4 + 8);
-        let c = ProgramOutput { ret: 0, packet: vec![0xff], maps: MapState::new() };
+        let c = ProgramOutput {
+            ret: 0,
+            packet: vec![0xff],
+            maps: MapState::new(),
+        };
         assert_eq!(a.diff_popcount(&c), 8); // missing byte
     }
 }

@@ -67,7 +67,12 @@ pub enum MemKind {
 
 impl MemKind {
     /// All memory kinds.
-    pub const ALL: [MemKind; 4] = [MemKind::Stack, MemKind::Packet, MemKind::Context, MemKind::MapValue];
+    pub const ALL: [MemKind; 4] = [
+        MemKind::Stack,
+        MemKind::Packet,
+        MemKind::Context,
+        MemKind::MapValue,
+    ];
 
     /// Classify an address by the fixed layout. Returns `None` for values
     /// that are not pointers into any region (including map handles and 0).
@@ -123,7 +128,10 @@ mod tests {
         assert_eq!(MemKind::classify(STACK_BASE + 512), None);
         assert_eq!(MemKind::classify(PACKET_BASE), Some(MemKind::Packet));
         assert_eq!(MemKind::classify(CTX_BASE + 16), Some(MemKind::Context));
-        assert_eq!(MemKind::classify(MAP_VALUE_BASE + 100), Some(MemKind::MapValue));
+        assert_eq!(
+            MemKind::classify(MAP_VALUE_BASE + 100),
+            Some(MemKind::MapValue)
+        );
         assert_eq!(MemKind::classify(0), None);
         assert_eq!(MemKind::classify(map_handle(3)), None);
     }

@@ -186,24 +186,36 @@ impl MachineState {
     }
 
     /// Write the low `size` bytes of `value` at `addr`, little-endian.
-    pub fn write_mem(&mut self, addr: u64, size: MemSize, value: u64, pc: usize) -> Result<(), Trap> {
+    pub fn write_mem(
+        &mut self,
+        addr: u64,
+        size: MemSize,
+        value: u64,
+        pc: usize,
+    ) -> Result<(), Trap> {
         let bytes = value.to_le_bytes();
         self.write_bytes(addr, &bytes[..size.bytes()], pc)
     }
 
     /// Read an arbitrary byte range (used by helpers for keys and values).
     pub fn read_bytes(&self, addr: u64, len: usize, pc: usize) -> Result<Vec<u8>, Trap> {
-        let kind = MemKind::classify(addr)
-            .ok_or(Trap::BadPointer { value: addr, pc })?;
+        let kind = MemKind::classify(addr).ok_or(Trap::BadPointer { value: addr, pc })?;
         match kind {
             MemKind::Stack => {
                 let off = (addr - STACK_BASE) as usize;
                 if off + len > STACK_SIZE {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 for i in off..off + len {
                     if !self.stack_init[i] {
-                        return Err(Trap::UninitStackRead { addr: STACK_BASE + i as u64, pc });
+                        return Err(Trap::UninitStackRead {
+                            addr: STACK_BASE + i as u64,
+                            pc,
+                        });
                     }
                 }
                 Ok(self.stack[off..off + len].to_vec())
@@ -211,14 +223,22 @@ impl MachineState {
             MemKind::Packet => {
                 let off = (addr - PACKET_BASE) as usize;
                 if off < self.data_off || off + len > self.packet.len() {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 Ok(self.packet[off..off + len].to_vec())
             }
             MemKind::Context => {
                 let off = (addr - CTX_BASE) as usize;
                 if off + len > self.ctx.len() {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 Ok(self.ctx[off..off + len].to_vec())
             }
@@ -227,10 +247,19 @@ impl MachineState {
                     .maps
                     .resolve_addr(addr)
                     .ok_or(Trap::BadPointer { value: addr, pc })?;
-                let inst = self.maps.get(id).ok_or(Trap::BadPointer { value: addr, pc })?;
-                let value = inst.cell(cell).ok_or(Trap::BadPointer { value: addr, pc })?;
+                let inst = self
+                    .maps
+                    .get(id)
+                    .ok_or(Trap::BadPointer { value: addr, pc })?;
+                let value = inst
+                    .cell(cell)
+                    .ok_or(Trap::BadPointer { value: addr, pc })?;
                 if off + len > value.len() {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 Ok(value[off..off + len].to_vec())
             }
@@ -240,13 +269,16 @@ impl MachineState {
     /// Write an arbitrary byte range.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8], pc: usize) -> Result<(), Trap> {
         let len = data.len();
-        let kind = MemKind::classify(addr)
-            .ok_or(Trap::BadPointer { value: addr, pc })?;
+        let kind = MemKind::classify(addr).ok_or(Trap::BadPointer { value: addr, pc })?;
         match kind {
             MemKind::Stack => {
                 let off = (addr - STACK_BASE) as usize;
                 if off + len > STACK_SIZE {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 self.stack[off..off + len].copy_from_slice(data);
                 for flag in &mut self.stack_init[off..off + len] {
@@ -257,7 +289,11 @@ impl MachineState {
             MemKind::Packet => {
                 let off = (addr - PACKET_BASE) as usize;
                 if off < self.data_off || off + len > self.packet.len() {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 self.packet[off..off + len].copy_from_slice(data);
                 Ok(())
@@ -265,17 +301,30 @@ impl MachineState {
             MemKind::Context => {
                 // Context structures are read-only to BPF programs (writes to
                 // PTR_TO_CTX are rejected by the checker); model them as a trap.
-                Err(Trap::OutOfBounds { addr, size: len, pc })
+                Err(Trap::OutOfBounds {
+                    addr,
+                    size: len,
+                    pc,
+                })
             }
             MemKind::MapValue => {
                 let (id, cell, off) = self
                     .maps
                     .resolve_addr(addr)
                     .ok_or(Trap::BadPointer { value: addr, pc })?;
-                let inst = self.maps.get_mut(id).ok_or(Trap::BadPointer { value: addr, pc })?;
-                let value = inst.cell_mut(cell).ok_or(Trap::BadPointer { value: addr, pc })?;
+                let inst = self
+                    .maps
+                    .get_mut(id)
+                    .ok_or(Trap::BadPointer { value: addr, pc })?;
+                let value = inst
+                    .cell_mut(cell)
+                    .ok_or(Trap::BadPointer { value: addr, pc })?;
                 if off + len > value.len() {
-                    return Err(Trap::OutOfBounds { addr, size: len, pc });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: len,
+                        pc,
+                    });
                 }
                 value[off..off + len].copy_from_slice(data);
                 Ok(())
@@ -334,13 +383,19 @@ mod tests {
         assert!(m.reg_is_init(Reg::R1));
         assert!(m.reg_is_init(Reg::R10));
         assert!(!m.reg_is_init(Reg::R0));
-        assert!(matches!(m.reg(Reg::R3, 0), Err(Trap::UninitRegister { reg: Reg::R3, .. })));
+        assert!(matches!(
+            m.reg(Reg::R3, 0),
+            Err(Trap::UninitRegister { reg: Reg::R3, .. })
+        ));
     }
 
     #[test]
     fn frame_pointer_is_read_only() {
         let mut m = machine();
-        assert!(matches!(m.set_reg(Reg::R10, 0, 3), Err(Trap::FramePointerWrite { pc: 3 })));
+        assert!(matches!(
+            m.set_reg(Reg::R10, 0, 3),
+            Err(Trap::FramePointerWrite { pc: 3 })
+        ));
         m.set_reg(Reg::R5, 9, 0).unwrap();
         assert_eq!(m.reg(Reg::R5, 1).unwrap(), 9);
     }
@@ -410,7 +465,10 @@ mod tests {
         assert!(m.adjust_head(-14));
         assert_eq!(m.packet_data_ptr(), before - 14);
         // The ctx data field is updated too.
-        assert_eq!(m.read_mem(CTX_BASE, MemSize::Dword, 0).unwrap(), before - 14);
+        assert_eq!(
+            m.read_mem(CTX_BASE, MemSize::Dword, 0).unwrap(),
+            before - 14
+        );
         // The new region is writable.
         assert!(m.write_mem(before - 14, MemSize::Byte, 1, 0).is_ok());
         // Cannot adjust beyond the headroom.
@@ -431,13 +489,19 @@ mod tests {
         assert!(m.read_mem(addr + 4, MemSize::Dword, 0).is_err());
         assert!(m.read_mem(addr + 8, MemSize::Byte, 0).is_err());
         let snap = m.output(0).maps;
-        assert_eq!(snap[&(0, 0u32.to_le_bytes().to_vec())], 77u64.to_le_bytes().to_vec());
+        assert_eq!(
+            snap[&(0, 0u32.to_le_bytes().to_vec())],
+            77u64.to_le_bytes().to_vec()
+        );
     }
 
     #[test]
     fn null_and_garbage_pointers_trap() {
         let m = machine();
-        assert!(matches!(m.read_mem(0, MemSize::Byte, 0), Err(Trap::BadPointer { .. })));
+        assert!(matches!(
+            m.read_mem(0, MemSize::Byte, 0),
+            Err(Trap::BadPointer { .. })
+        ));
         assert!(matches!(
             m.read_mem(0xdead_beef_dead_beef, MemSize::Byte, 0),
             Err(Trap::BadPointer { .. })
@@ -450,9 +514,12 @@ mod tests {
         let mut a = MachineState::new(&p, &ProgramInput::default());
         let mut b = MachineState::new(&p, &ProgramInput::default());
         assert_eq!(a.next_prandom(), b.next_prandom());
-        let mut c = MachineState::new(
+        let c = MachineState::new(
             &p,
-            &ProgramInput { random_seed: 123, ..ProgramInput::default() },
+            &ProgramInput {
+                random_seed: 123,
+                ..ProgramInput::default()
+            },
         );
         let _ = c; // different seed produces an (almost surely) different stream
     }

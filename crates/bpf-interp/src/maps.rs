@@ -23,12 +23,18 @@ pub struct MapInstance {
 
 impl MapInstance {
     fn new(def: MapDef) -> MapInstance {
-        let mut inst =
-            MapInstance { def, cells: Vec::new(), entries: BTreeMap::new() };
+        let mut inst = MapInstance {
+            def,
+            cells: Vec::new(),
+            entries: BTreeMap::new(),
+        };
         // Array-like maps have all entries pre-existing and zeroed.
-        if matches!(def.kind, MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap) {
+        if matches!(
+            def.kind,
+            MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap
+        ) {
             for idx in 0..def.max_entries {
-                let key = (idx as u32).to_le_bytes().to_vec();
+                let key = idx.to_le_bytes().to_vec();
                 let cell = inst.cells.len();
                 inst.cells.push(vec![0u8; def.value_size as usize]);
                 inst.entries.insert(key, cell);
@@ -80,7 +86,10 @@ impl MapInstance {
     /// Delete a key. Returns `true` if it existed. Array entries cannot be
     /// deleted (mirrors kernel behaviour: `-EINVAL`).
     pub fn delete(&mut self, key: &[u8]) -> bool {
-        if matches!(self.def.kind, MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap) {
+        if matches!(
+            self.def.kind,
+            MapKind::Array | MapKind::PerCpuArray | MapKind::DevMap
+        ) {
             return false;
         }
         self.entries.remove(key).is_some()
@@ -98,7 +107,9 @@ impl MapInstance {
 
     /// Iterate over live `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
-        self.entries.iter().map(move |(k, &cell)| (k.as_slice(), self.cells[cell].as_slice()))
+        self.entries
+            .iter()
+            .map(move |(k, &cell)| (k.as_slice(), self.cells[cell].as_slice()))
     }
 }
 
@@ -228,7 +239,11 @@ mod tests {
     #[test]
     fn cell_addresses_resolve_back() {
         let mut store = MapStore::from_defs(&defs());
-        let cell = store.get_mut(MapId(1)).unwrap().update(&9u32.to_le_bytes(), &[7u8; 8]).unwrap();
+        let cell = store
+            .get_mut(MapId(1))
+            .unwrap()
+            .update(&9u32.to_le_bytes(), &[7u8; 8])
+            .unwrap();
         let addr = store.cell_addr(MapId(1), cell);
         let (id, c, off) = store.resolve_addr(addr + 3).unwrap();
         assert_eq!((id, c, off), (MapId(1), cell, 3));
@@ -238,7 +253,10 @@ mod tests {
     #[test]
     fn snapshot_contains_all_entries() {
         let mut store = MapStore::from_defs(&defs());
-        store.get_mut(MapId(1)).unwrap().update(&3u32.to_le_bytes(), &[1u8; 8]);
+        store
+            .get_mut(MapId(1))
+            .unwrap()
+            .update(&3u32.to_le_bytes(), &[1u8; 8]);
         let snap = store.snapshot();
         assert_eq!(snap.len(), 4 + 1);
         assert_eq!(snap[&(1, 3u32.to_le_bytes().to_vec())], vec![1u8; 8]);

@@ -13,7 +13,13 @@ fn arb_alu_op() -> impl Strategy<Value = AluOp> {
 /// A random straight-line ALU computation over r0..r5 seeded from immediates.
 fn arb_alu_program() -> impl Strategy<Value = Vec<Insn>> {
     let regs = [Reg::R0, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
-    let step = (arb_alu_op(), 0usize..regs.len(), 0usize..regs.len(), any::<i32>(), any::<bool>())
+    let step = (
+        arb_alu_op(),
+        0usize..regs.len(),
+        0usize..regs.len(),
+        any::<i32>(),
+        any::<bool>(),
+    )
         .prop_map(move |(op, d, s, imm, use_imm)| {
             if use_imm || op == AluOp::Neg {
                 Insn::alu64_imm(op, regs[d], imm)

@@ -63,7 +63,10 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn err(line: usize, msg: impl Into<String>) -> IsaError {
-    IsaError::Parse { line, msg: msg.into() }
+    IsaError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, IsaError> {
@@ -86,7 +89,8 @@ fn parse_i64(tok: &str, line: usize) -> Result<i64, IsaError> {
     let val = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).map(|v| v as i64)
     } else {
-        body.parse::<i64>().or_else(|_| body.parse::<u64>().map(|v| v as i64))
+        body.parse::<i64>()
+            .or_else(|_| body.parse::<u64>().map(|v| v as i64))
     }
     .map_err(|_| err(line, format!("bad number '{tok}'")))?;
     Ok(if neg { -val } else { val })
@@ -159,7 +163,10 @@ fn parse_line(line_text: &str, line: usize) -> Result<Insn, IsaError> {
         if operands.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("'{mnemonic}' expects {n} operands, got {}", operands.len())))
+            Err(err(
+                line,
+                format!("'{mnemonic}' expects {n} operands, got {}", operands.len()),
+            ))
         }
     };
 
@@ -174,14 +181,14 @@ fn parse_line(line_text: &str, line: usize) -> Result<Insn, IsaError> {
         }
         "ja" => {
             need(1)?;
-            return Ok(Insn::Ja { off: parse_i16(operands[0], line)? });
+            return Ok(Insn::Ja {
+                off: parse_i16(operands[0], line)?,
+            });
         }
         "call" => {
             need(1)?;
             let helper = if let Some(num) = operands[0].strip_prefix("helper_") {
-                HelperId::from_number(
-                    num.parse().map_err(|_| err(line, "bad helper number"))?,
-                )
+                HelperId::from_number(num.parse().map_err(|_| err(line, "bad helper number"))?)
             } else {
                 HelperId::from_name(operands[0])
                     .ok_or_else(|| err(line, format!("unknown helper '{}'", operands[0])))?
@@ -206,13 +213,23 @@ fn parse_line(line_text: &str, line: usize) -> Result<Insn, IsaError> {
     }
 
     // Byte swap: le16/le32/le64/be16/be32/be64.
-    if let Some(width) = mnemonic.strip_prefix("le").or_else(|| mnemonic.strip_prefix("be")) {
+    if let Some(width) = mnemonic
+        .strip_prefix("le")
+        .or_else(|| mnemonic.strip_prefix("be"))
+    {
         if let Ok(width) = width.parse::<u32>() {
             if matches!(width, 16 | 32 | 64) {
                 need(1)?;
-                let order =
-                    if mnemonic.starts_with("be") { ByteOrder::Big } else { ByteOrder::Little };
-                return Ok(Insn::Endian { order, width, dst: parse_reg(operands[0], line)? });
+                let order = if mnemonic.starts_with("be") {
+                    ByteOrder::Big
+                } else {
+                    ByteOrder::Little
+                };
+                return Ok(Insn::Endian {
+                    order,
+                    width,
+                    dst: parse_reg(operands[0], line)?,
+                });
             }
         }
     }
@@ -223,28 +240,48 @@ fn parse_line(line_text: &str, line: usize) -> Result<Insn, IsaError> {
         let size = parse_size(suffix, line)?;
         let dst = parse_reg(operands[0], line)?;
         let (base, off) = parse_mem(operands[1], line)?;
-        return Ok(Insn::Load { size, dst, base, off });
+        return Ok(Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        });
     }
     if let Some(suffix) = mnemonic.strip_prefix("stx") {
         need(2)?;
         let size = parse_size(suffix, line)?;
         let (base, off) = parse_mem(operands[0], line)?;
         let src = parse_reg(operands[1], line)?;
-        return Ok(Insn::Store { size, base, off, src });
+        return Ok(Insn::Store {
+            size,
+            base,
+            off,
+            src,
+        });
     }
     if let Some(suffix) = mnemonic.strip_prefix("xadd") {
         need(2)?;
         let size = parse_size(suffix, line)?;
         let (base, off) = parse_mem(operands[0], line)?;
         let src = parse_reg(operands[1], line)?;
-        return Ok(Insn::AtomicAdd { size, base, off, src });
+        return Ok(Insn::AtomicAdd {
+            size,
+            base,
+            off,
+            src,
+        });
     }
     if let Some(suffix) = mnemonic.strip_prefix("st") {
         need(2)?;
         let size = parse_size(suffix, line)?;
         let (base, off) = parse_mem(operands[0], line)?;
         let imm = parse_i32(operands[1], line)?;
-        return Ok(Insn::StoreImm { size, base, off, imm });
+        return Ok(Insn::StoreImm {
+            size,
+            base,
+            off,
+            imm,
+        });
     }
 
     // Conditional jumps (optionally with a "32" suffix).
@@ -256,9 +293,19 @@ fn parse_line(line_text: &str, line: usize) -> Result<Insn, IsaError> {
             let src = parse_src(operands[1], line)?;
             let off = parse_i16(operands[2], line)?;
             return Ok(if mnemonic == base {
-                Insn::Jmp { op: jop, dst, src, off }
+                Insn::Jmp {
+                    op: jop,
+                    dst,
+                    src,
+                    off,
+                }
             } else {
-                Insn::Jmp32 { op: jop, dst, src, off }
+                Insn::Jmp32 {
+                    op: jop,
+                    dst,
+                    src,
+                    off,
+                }
             });
         }
     }
@@ -325,16 +372,36 @@ mod tests {
             Insn::alu32_imm(AluOp::And, Reg::R1, 0xff),
             Insn::alu64(AluOp::Arsh, Reg::R2, Reg::R3),
             Insn::alu64_imm(AluOp::Neg, Reg::R4, 0),
-            Insn::Endian { order: ByteOrder::Big, width: 16, dst: Reg::R2 },
+            Insn::Endian {
+                order: ByteOrder::Big,
+                width: 16,
+                dst: Reg::R2,
+            },
             Insn::load(MemSize::Byte, Reg::R5, Reg::R1, -1),
             Insn::store(MemSize::Half, Reg::R10, -4, Reg::R5),
             Insn::store_imm(MemSize::Dword, Reg::R10, -16, 77),
-            Insn::AtomicAdd { size: MemSize::Word, base: Reg::R0, off: 0, src: Reg::R6 },
-            Insn::LoadImm64 { dst: Reg::R7, imm: 0x0102_0304_0506_0708 },
-            Insn::LoadMapFd { dst: Reg::R1, map_id: 2 },
+            Insn::AtomicAdd {
+                size: MemSize::Word,
+                base: Reg::R0,
+                off: 0,
+                src: Reg::R6,
+            },
+            Insn::LoadImm64 {
+                dst: Reg::R7,
+                imm: 0x0102_0304_0506_0708,
+            },
+            Insn::LoadMapFd {
+                dst: Reg::R1,
+                map_id: 2,
+            },
             Insn::Ja { off: 1 },
             Insn::jmp(JmpOp::Sle, Reg::R1, Reg::R2, -4),
-            Insn::Jmp32 { op: JmpOp::Set, dst: Reg::R3, src: Src::Imm(8), off: 0 },
+            Insn::Jmp32 {
+                op: JmpOp::Set,
+                dst: Reg::R3,
+                src: Src::Imm(8),
+                off: 0,
+            },
             Insn::call(HelperId::GetPrandomU32),
             Insn::Nop,
             Insn::Exit,
@@ -349,7 +416,13 @@ mod tests {
     #[test]
     fn negative_and_hex_immediates() {
         let insns = assemble("lddw r1, 0xffffffffffffffff\nmov64 r2, -2147483648\nexit").unwrap();
-        assert_eq!(insns[0], Insn::LoadImm64 { dst: Reg::R1, imm: -1 });
+        assert_eq!(
+            insns[0],
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: -1
+            }
+        );
         assert_eq!(insns[1], Insn::mov64_imm(Reg::R2, i32::MIN));
     }
 
@@ -381,6 +454,11 @@ mod tests {
     #[test]
     fn helper_by_number() {
         let insns = assemble("call helper_9999").unwrap();
-        assert_eq!(insns[0], Insn::Call { helper: HelperId::Unknown(9999) });
+        assert_eq!(
+            insns[0],
+            Insn::Call {
+                helper: HelperId::Unknown(9999)
+            }
+        );
     }
 }

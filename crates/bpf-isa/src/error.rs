@@ -52,7 +52,10 @@ impl fmt::Display for IsaError {
             }
             IsaError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
             IsaError::JumpOutOfRange { at, target } => {
-                write!(f, "jump at instruction {at} targets out-of-range index {target}")
+                write!(
+                    f,
+                    "jump at instruction {at} targets out-of-range index {target}"
+                )
             }
             IsaError::UnknownMap(id) => write!(f, "program references undeclared map id {id}"),
             IsaError::MissingExit => write!(f, "program is empty or lacks a terminating exit"),

@@ -200,63 +200,128 @@ impl Insn {
 
     /// `dst = src` (64-bit register move).
     pub fn mov64(dst: Reg, src: Reg) -> Insn {
-        Insn::Alu64 { op: AluOp::Mov, dst, src: Src::Reg(src) }
+        Insn::Alu64 {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Reg(src),
+        }
     }
     /// `dst = imm` (64-bit move of a sign-extended 32-bit immediate).
     pub fn mov64_imm(dst: Reg, imm: i32) -> Insn {
-        Insn::Alu64 { op: AluOp::Mov, dst, src: Src::Imm(imm) }
+        Insn::Alu64 {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Imm(imm),
+        }
     }
     /// `dst = src` (32-bit move, zero-extending).
     pub fn mov32(dst: Reg, src: Reg) -> Insn {
-        Insn::Alu32 { op: AluOp::Mov, dst, src: Src::Reg(src) }
+        Insn::Alu32 {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Reg(src),
+        }
     }
     /// `dst = imm` (32-bit move, zero-extending).
     pub fn mov32_imm(dst: Reg, imm: i32) -> Insn {
-        Insn::Alu32 { op: AluOp::Mov, dst, src: Src::Imm(imm) }
+        Insn::Alu32 {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Imm(imm),
+        }
     }
     /// `dst += src` (64-bit).
     pub fn add64(dst: Reg, src: Reg) -> Insn {
-        Insn::Alu64 { op: AluOp::Add, dst, src: Src::Reg(src) }
+        Insn::Alu64 {
+            op: AluOp::Add,
+            dst,
+            src: Src::Reg(src),
+        }
     }
     /// `dst += imm` (64-bit).
     pub fn add64_imm(dst: Reg, imm: i32) -> Insn {
-        Insn::Alu64 { op: AluOp::Add, dst, src: Src::Imm(imm) }
+        Insn::Alu64 {
+            op: AluOp::Add,
+            dst,
+            src: Src::Imm(imm),
+        }
     }
     /// Generic 64-bit ALU with register operand.
     pub fn alu64(op: AluOp, dst: Reg, src: Reg) -> Insn {
-        Insn::Alu64 { op, dst, src: Src::Reg(src) }
+        Insn::Alu64 {
+            op,
+            dst,
+            src: Src::Reg(src),
+        }
     }
     /// Generic 64-bit ALU with immediate operand.
     pub fn alu64_imm(op: AluOp, dst: Reg, imm: i32) -> Insn {
-        Insn::Alu64 { op, dst, src: Src::Imm(imm) }
+        Insn::Alu64 {
+            op,
+            dst,
+            src: Src::Imm(imm),
+        }
     }
     /// Generic 32-bit ALU with register operand.
     pub fn alu32(op: AluOp, dst: Reg, src: Reg) -> Insn {
-        Insn::Alu32 { op, dst, src: Src::Reg(src) }
+        Insn::Alu32 {
+            op,
+            dst,
+            src: Src::Reg(src),
+        }
     }
     /// Generic 32-bit ALU with immediate operand.
     pub fn alu32_imm(op: AluOp, dst: Reg, imm: i32) -> Insn {
-        Insn::Alu32 { op, dst, src: Src::Imm(imm) }
+        Insn::Alu32 {
+            op,
+            dst,
+            src: Src::Imm(imm),
+        }
     }
     /// `dst = *(size*)(base + off)`.
     pub fn load(size: MemSize, dst: Reg, base: Reg, off: i16) -> Insn {
-        Insn::Load { size, dst, base, off }
+        Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        }
     }
     /// `*(size*)(base + off) = src`.
     pub fn store(size: MemSize, base: Reg, off: i16, src: Reg) -> Insn {
-        Insn::Store { size, base, off, src }
+        Insn::Store {
+            size,
+            base,
+            off,
+            src,
+        }
     }
     /// `*(size*)(base + off) = imm`.
     pub fn store_imm(size: MemSize, base: Reg, off: i16, imm: i32) -> Insn {
-        Insn::StoreImm { size, base, off, imm }
+        Insn::StoreImm {
+            size,
+            base,
+            off,
+            imm,
+        }
     }
     /// Conditional 64-bit jump against a register.
     pub fn jmp(op: JmpOp, dst: Reg, src: Reg, off: i16) -> Insn {
-        Insn::Jmp { op, dst, src: Src::Reg(src), off }
+        Insn::Jmp {
+            op,
+            dst,
+            src: Src::Reg(src),
+            off,
+        }
     }
     /// Conditional 64-bit jump against an immediate.
     pub fn jmp_imm(op: JmpOp, dst: Reg, imm: i32, off: i16) -> Insn {
-        Insn::Jmp { op, dst, src: Src::Imm(imm), off }
+        Insn::Jmp {
+            op,
+            dst,
+            src: Src::Imm(imm),
+            off,
+        }
     }
     /// Call a helper.
     pub fn call(helper: HelperId) -> Insn {
@@ -417,8 +482,16 @@ impl Insn {
 impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Insn::Alu64 { op: AluOp::Neg, dst, .. } => write!(f, "neg64 {dst}"),
-            Insn::Alu32 { op: AluOp::Neg, dst, .. } => write!(f, "neg32 {dst}"),
+            Insn::Alu64 {
+                op: AluOp::Neg,
+                dst,
+                ..
+            } => write!(f, "neg64 {dst}"),
+            Insn::Alu32 {
+                op: AluOp::Neg,
+                dst,
+                ..
+            } => write!(f, "neg32 {dst}"),
             Insn::Alu64 { op, dst, src } => write!(f, "{}64 {dst}, {src}", op.mnemonic()),
             Insn::Alu32 { op, dst, src } => write!(f, "{}32 {dst}, {src}", op.mnemonic()),
             Insn::Endian { order, width, dst } => {
@@ -428,16 +501,36 @@ impl fmt::Display for Insn {
                 };
                 write!(f, "{o}{width} {dst}")
             }
-            Insn::Load { size, dst, base, off } => {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
                 write!(f, "ldx{size} {dst}, [{base}{off:+}]")
             }
-            Insn::Store { size, base, off, src } => {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 write!(f, "stx{size} [{base}{off:+}], {src}")
             }
-            Insn::StoreImm { size, base, off, imm } => {
+            Insn::StoreImm {
+                size,
+                base,
+                off,
+                imm,
+            } => {
                 write!(f, "st{size} [{base}{off:+}], {imm}")
             }
-            Insn::AtomicAdd { size, base, off, src } => {
+            Insn::AtomicAdd {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 write!(f, "xadd{size} [{base}{off:+}], {src}")
             }
             Insn::LoadImm64 { dst, imm } => write!(f, "lddw {dst}, {imm:#x}"),
@@ -502,8 +595,22 @@ mod tests {
 
     #[test]
     fn slot_lengths() {
-        assert_eq!(Insn::LoadImm64 { dst: Reg::R1, imm: 7 }.slot_len(), 2);
-        assert_eq!(Insn::LoadMapFd { dst: Reg::R1, map_id: 3 }.slot_len(), 2);
+        assert_eq!(
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: 7
+            }
+            .slot_len(),
+            2
+        );
+        assert_eq!(
+            Insn::LoadMapFd {
+                dst: Reg::R1,
+                map_id: 3
+            }
+            .slot_len(),
+            2
+        );
         assert_eq!(Insn::Exit.slot_len(), 1);
     }
 
@@ -527,7 +634,13 @@ mod tests {
         );
         assert_eq!(Insn::Exit.to_string(), "exit");
         assert_eq!(
-            Insn::Jmp32 { op: JmpOp::Lt, dst: Reg::R3, src: Src::Imm(7), off: 2 }.to_string(),
+            Insn::Jmp32 {
+                op: JmpOp::Lt,
+                dst: Reg::R3,
+                src: Src::Imm(7),
+                off: 2
+            }
+            .to_string(),
             "jlt32 r3, 7, +2"
         );
     }

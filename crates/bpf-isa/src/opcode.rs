@@ -112,25 +112,13 @@ impl AluOp {
             AluOp::Add => dst.wrapping_add(src),
             AluOp::Sub => dst.wrapping_sub(src),
             AluOp::Mul => dst.wrapping_mul(src),
-            AluOp::Div => {
-                if src == 0 {
-                    0
-                } else {
-                    dst / src
-                }
-            }
+            AluOp::Div => dst.checked_div(src).unwrap_or(0),
             AluOp::Or => dst | src,
             AluOp::And => dst & src,
             AluOp::Lsh => dst.wrapping_shl((src & 63) as u32),
             AluOp::Rsh => dst.wrapping_shr((src & 63) as u32),
             AluOp::Neg => (dst as i64).wrapping_neg() as u64,
-            AluOp::Mod => {
-                if src == 0 {
-                    dst
-                } else {
-                    dst % src
-                }
-            }
+            AluOp::Mod => dst.checked_rem(src).unwrap_or(dst),
             AluOp::Xor => dst ^ src,
             AluOp::Mov => src,
             AluOp::Arsh => ((dst as i64) >> (src & 63)) as u64,
@@ -146,25 +134,13 @@ impl AluOp {
             AluOp::Add => dst.wrapping_add(src),
             AluOp::Sub => dst.wrapping_sub(src),
             AluOp::Mul => dst.wrapping_mul(src),
-            AluOp::Div => {
-                if src == 0 {
-                    0
-                } else {
-                    dst / src
-                }
-            }
+            AluOp::Div => dst.checked_div(src).unwrap_or(0),
             AluOp::Or => dst | src,
             AluOp::And => dst & src,
             AluOp::Lsh => dst.wrapping_shl(src & 31),
             AluOp::Rsh => dst.wrapping_shr(src & 31),
             AluOp::Neg => (dst as i32).wrapping_neg() as u32,
-            AluOp::Mod => {
-                if src == 0 {
-                    dst
-                } else {
-                    dst % src
-                }
-            }
+            AluOp::Mod => dst.checked_rem(src).unwrap_or(dst),
             AluOp::Xor => dst ^ src,
             AluOp::Mov => src,
             AluOp::Arsh => ((dst as i32) >> (src & 31)) as u32,
@@ -511,7 +487,11 @@ mod tests {
                 assert_eq!(neg.negate(), Some(op));
                 // The negated condition must produce the opposite verdict.
                 for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 1), (5, 5)] {
-                    assert_ne!(op.eval64(a, b), neg.eval64(a, b), "{op} vs {neg} on ({a},{b})");
+                    assert_ne!(
+                        op.eval64(a, b),
+                        neg.eval64(a, b),
+                        "{op} vs {neg} on ({a},{b})"
+                    );
                 }
             }
         }
@@ -527,7 +507,10 @@ mod tests {
             ByteOrder::Big.apply(0x1122334455667788, 64),
             0x8877665544332211
         );
-        assert_eq!(ByteOrder::Little.apply(0x1122334455667788, 64), 0x1122334455667788);
+        assert_eq!(
+            ByteOrder::Little.apply(0x1122334455667788, 64),
+            0x1122334455667788
+        );
     }
 
     #[test]

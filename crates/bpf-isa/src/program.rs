@@ -52,12 +52,24 @@ pub struct MapDef {
 impl MapDef {
     /// Convenience constructor for an array map with `u32` keys.
     pub fn array(id: u32, value_size: u32, max_entries: u32) -> MapDef {
-        MapDef { id: MapId(id), kind: MapKind::Array, key_size: 4, value_size, max_entries }
+        MapDef {
+            id: MapId(id),
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size,
+            max_entries,
+        }
     }
 
     /// Convenience constructor for a hash map.
     pub fn hash(id: u32, key_size: u32, value_size: u32, max_entries: u32) -> MapDef {
-        MapDef { id: MapId(id), kind: MapKind::Hash, key_size, value_size, max_entries }
+        MapDef {
+            id: MapId(id),
+            kind: MapKind::Hash,
+            key_size,
+            value_size,
+            max_entries,
+        }
     }
 }
 
@@ -135,12 +147,20 @@ pub struct Program {
 impl Program {
     /// Create a program with no maps.
     pub fn new(prog_type: ProgramType, insns: Vec<Insn>) -> Program {
-        Program { prog_type, insns, maps: Vec::new() }
+        Program {
+            prog_type,
+            insns,
+            maps: Vec::new(),
+        }
     }
 
     /// Create a program with map definitions.
     pub fn with_maps(prog_type: ProgramType, insns: Vec<Insn>, maps: Vec<MapDef>) -> Program {
-        Program { prog_type, insns, maps }
+        Program {
+            prog_type,
+            insns,
+            maps,
+        }
     }
 
     /// Number of structured instructions.
@@ -156,13 +176,20 @@ impl Program {
     /// Number of instructions excluding `nop`s — the metric reported in the
     /// paper's Table 1 ("number of instructions").
     pub fn real_len(&self) -> usize {
-        self.insns.iter().filter(|i| !matches!(i, Insn::Nop)).count()
+        self.insns
+            .iter()
+            .filter(|i| !matches!(i, Insn::Nop))
+            .count()
     }
 
     /// Number of 8-byte wire slots the program occupies once encoded
     /// (what the kernel's 4096-instruction limit counts).
     pub fn slot_len(&self) -> usize {
-        self.insns.iter().filter(|i| !matches!(i, Insn::Nop)).map(Insn::slot_len).sum()
+        self.insns
+            .iter()
+            .filter(|i| !matches!(i, Insn::Nop))
+            .map(Insn::slot_len)
+            .sum()
     }
 
     /// Look up a map definition by id.
@@ -172,7 +199,11 @@ impl Program {
 
     /// Replace the instruction sequence, keeping type and maps.
     pub fn with_insns(&self, insns: Vec<Insn>) -> Program {
-        Program { prog_type: self.prog_type, insns, maps: self.maps.clone() }
+        Program {
+            prog_type: self.prog_type,
+            insns,
+            maps: self.maps.clone(),
+        }
     }
 
     /// Structural validation: jump targets in range, final instruction
@@ -210,7 +241,13 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; {} program, {} insns, {} maps", self.prog_type, self.len(), self.maps.len())?;
+        writeln!(
+            f,
+            "; {} program, {} insns, {} maps",
+            self.prog_type,
+            self.len(),
+            self.maps.len()
+        )?;
         for (i, insn) in self.insns.iter().enumerate() {
             writeln!(f, "{i:4}: {insn}")?;
         }
@@ -227,7 +264,10 @@ mod tests {
         Program::with_maps(
             ProgramType::Xdp,
             vec![
-                Insn::LoadMapFd { dst: Reg::R1, map_id: 1 },
+                Insn::LoadMapFd {
+                    dst: Reg::R1,
+                    map_id: 1,
+                },
                 Insn::mov64_imm(Reg::R2, 0),
                 Insn::call(HelperId::MapLookup),
                 Insn::jmp_imm(JmpOp::Eq, Reg::R0, 0, 1),
@@ -257,9 +297,15 @@ mod tests {
             ProgramType::Xdp,
             vec![Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 7), Insn::Exit],
         );
-        assert!(matches!(p.validate(), Err(IsaError::JumpOutOfRange { at: 0, target: 8 })));
+        assert!(matches!(
+            p.validate(),
+            Err(IsaError::JumpOutOfRange { at: 0, target: 8 })
+        ));
         let p2 = Program::new(ProgramType::Xdp, vec![Insn::Ja { off: -5 }, Insn::Exit]);
-        assert!(matches!(p2.validate(), Err(IsaError::JumpOutOfRange { .. })));
+        assert!(matches!(
+            p2.validate(),
+            Err(IsaError::JumpOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -274,7 +320,12 @@ mod tests {
         let p = Program::new(
             ProgramType::Xdp,
             vec![
-                Insn::AtomicAdd { size: MemSize::Byte, base: Reg::R10, off: -8, src: Reg::R1 },
+                Insn::AtomicAdd {
+                    size: MemSize::Byte,
+                    base: Reg::R10,
+                    off: -8,
+                    src: Reg::R1,
+                },
                 Insn::Exit,
             ],
         );

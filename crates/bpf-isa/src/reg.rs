@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn caller_saved_set() {
-        let saved: Vec<Reg> = Reg::ALL.into_iter().filter(|r| r.is_caller_saved()).collect();
+        let saved: Vec<Reg> = Reg::ALL
+            .into_iter()
+            .filter(|r| r.is_caller_saved())
+            .collect();
         assert_eq!(saved, vec![Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5]);
     }
 

@@ -91,7 +91,11 @@ pub fn encode_insn(insn: &Insn) -> Vec<RawInsn> {
     let mut out = Vec::with_capacity(2);
     match *insn {
         Insn::Alu64 { op, dst, src } | Insn::Alu32 { op, dst, src } => {
-            let class = if matches!(insn, Insn::Alu64 { .. }) { BPF_ALU64 } else { BPF_ALU };
+            let class = if matches!(insn, Insn::Alu64 { .. }) {
+                BPF_ALU64
+            } else {
+                BPF_ALU
+            };
             let (srcbit, src_reg, imm) = match src {
                 Src::Reg(r) => (BPF_X, r.index() as u8, 0),
                 Src::Imm(i) => (BPF_K, 0, i),
@@ -117,28 +121,48 @@ pub fn encode_insn(insn: &Insn) -> Vec<RawInsn> {
                 imm: width as i32,
             });
         }
-        Insn::Load { size, dst, base, off } => out.push(RawInsn {
+        Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        } => out.push(RawInsn {
             code: BPF_LDX | BPF_MEM | size.code(),
             dst: dst.index() as u8,
             src: base.index() as u8,
             off,
             imm: 0,
         }),
-        Insn::Store { size, base, off, src } => out.push(RawInsn {
+        Insn::Store {
+            size,
+            base,
+            off,
+            src,
+        } => out.push(RawInsn {
             code: BPF_STX | BPF_MEM | size.code(),
             dst: base.index() as u8,
             src: src.index() as u8,
             off,
             imm: 0,
         }),
-        Insn::StoreImm { size, base, off, imm } => out.push(RawInsn {
+        Insn::StoreImm {
+            size,
+            base,
+            off,
+            imm,
+        } => out.push(RawInsn {
             code: BPF_ST | BPF_MEM | size.code(),
             dst: base.index() as u8,
             src: 0,
             off,
             imm,
         }),
-        Insn::AtomicAdd { size, base, off, src } => out.push(RawInsn {
+        Insn::AtomicAdd {
+            size,
+            base,
+            off,
+            src,
+        } => out.push(RawInsn {
             code: BPF_STX | BPF_XADD | size.code(),
             dst: base.index() as u8,
             src: src.index() as u8,
@@ -172,13 +196,29 @@ pub fn encode_insn(insn: &Insn) -> Vec<RawInsn> {
             out.push(RawInsn::default());
         }
         Insn::Ja { off } => {
-            out.push(RawInsn { code: BPF_JMP | OP_JA, dst: 0, src: 0, off, imm: 0 });
+            out.push(RawInsn {
+                code: BPF_JMP | OP_JA,
+                dst: 0,
+                src: 0,
+                off,
+                imm: 0,
+            });
         }
         Insn::Nop => {
-            out.push(RawInsn { code: BPF_JMP | OP_JA, dst: 0, src: 0, off: 0, imm: 0 });
+            out.push(RawInsn {
+                code: BPF_JMP | OP_JA,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: 0,
+            });
         }
         Insn::Jmp { op, dst, src, off } | Insn::Jmp32 { op, dst, src, off } => {
-            let class = if matches!(insn, Insn::Jmp { .. }) { BPF_JMP } else { BPF_JMP32 };
+            let class = if matches!(insn, Insn::Jmp { .. }) {
+                BPF_JMP
+            } else {
+                BPF_JMP32
+            };
             let (srcbit, src_reg, imm) = match src {
                 Src::Reg(r) => (BPF_X, r.index() as u8, 0),
                 Src::Imm(i) => (BPF_K, 0, i),
@@ -198,7 +238,13 @@ pub fn encode_insn(insn: &Insn) -> Vec<RawInsn> {
             off: 0,
             imm: helper.number() as i32,
         }),
-        Insn::Exit => out.push(RawInsn { code: BPF_JMP | OP_EXIT, dst: 0, src: 0, off: 0, imm: 0 }),
+        Insn::Exit => out.push(RawInsn {
+            code: BPF_JMP | OP_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        }),
     }
     out
 }
@@ -210,7 +256,10 @@ pub fn encode(insns: &[Insn]) -> Vec<RawInsn> {
 
 /// Encode a whole instruction sequence to bytes (8 bytes per slot).
 pub fn encode_bytes(insns: &[Insn]) -> Vec<u8> {
-    encode(insns).into_iter().flat_map(|r| r.to_bytes()).collect()
+    encode(insns)
+        .into_iter()
+        .flat_map(|r| r.to_bytes())
+        .collect()
 }
 
 /// Decode raw slots back into structured instructions.
@@ -228,7 +277,7 @@ pub fn decode(raw: &[RawInsn]) -> Result<Vec<Insn>, IsaError> {
 
 /// Decode a byte buffer (length must be a multiple of 8).
 pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<Insn>, IsaError> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(IsaError::MisalignedBuffer(bytes.len()));
     }
     let raw: Vec<RawInsn> = bytes
@@ -248,15 +297,27 @@ fn decode_one(r: RawInsn, next: Option<&RawInsn>) -> Result<Insn, IsaError> {
         BPF_ALU | BPF_ALU64 => {
             let opbits = r.code & 0xf0;
             if opbits == OP_END && class == BPF_ALU {
-                let order = if r.code & BPF_X != 0 { ByteOrder::Big } else { ByteOrder::Little };
+                let order = if r.code & BPF_X != 0 {
+                    ByteOrder::Big
+                } else {
+                    ByteOrder::Little
+                };
                 let width = r.imm as u32;
                 if !matches!(width, 16 | 32 | 64) {
                     return Err(IsaError::InvalidOpcode(r.code));
                 }
-                return Ok(Insn::Endian { order, width, dst: reg(r.dst)? });
+                return Ok(Insn::Endian {
+                    order,
+                    width,
+                    dst: reg(r.dst)?,
+                });
             }
             let op = AluOp::from_code(opbits >> 4).ok_or(IsaError::InvalidOpcode(r.code))?;
-            let src = if r.code & BPF_X != 0 { Src::Reg(reg(r.src)?) } else { Src::Imm(r.imm) };
+            let src = if r.code & BPF_X != 0 {
+                Src::Reg(reg(r.src)?)
+            } else {
+                Src::Imm(r.imm)
+            };
             let dst = reg(r.dst)?;
             Ok(if class == BPF_ALU64 {
                 Insn::Alu64 { op, dst, src }
@@ -265,31 +326,46 @@ fn decode_one(r: RawInsn, next: Option<&RawInsn>) -> Result<Insn, IsaError> {
             })
         }
         BPF_LDX => {
-            let size =
-                MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
+            let size = MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
             if r.code & 0xe0 != BPF_MEM {
                 return Err(IsaError::InvalidOpcode(r.code));
             }
-            Ok(Insn::Load { size, dst: reg(r.dst)?, base: reg(r.src)?, off: r.off })
+            Ok(Insn::Load {
+                size,
+                dst: reg(r.dst)?,
+                base: reg(r.src)?,
+                off: r.off,
+            })
         }
         BPF_STX => {
-            let size =
-                MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
+            let size = MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
             match r.code & 0xe0 {
-                BPF_MEM => Ok(Insn::Store { size, base: reg(r.dst)?, off: r.off, src: reg(r.src)? }),
-                BPF_XADD => {
-                    Ok(Insn::AtomicAdd { size, base: reg(r.dst)?, off: r.off, src: reg(r.src)? })
-                }
+                BPF_MEM => Ok(Insn::Store {
+                    size,
+                    base: reg(r.dst)?,
+                    off: r.off,
+                    src: reg(r.src)?,
+                }),
+                BPF_XADD => Ok(Insn::AtomicAdd {
+                    size,
+                    base: reg(r.dst)?,
+                    off: r.off,
+                    src: reg(r.src)?,
+                }),
                 _ => Err(IsaError::InvalidOpcode(r.code)),
             }
         }
         BPF_ST => {
-            let size =
-                MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
+            let size = MemSize::from_code(r.code & 0x18).ok_or(IsaError::InvalidOpcode(r.code))?;
             if r.code & 0xe0 != BPF_MEM {
                 return Err(IsaError::InvalidOpcode(r.code));
             }
-            Ok(Insn::StoreImm { size, base: reg(r.dst)?, off: r.off, imm: r.imm })
+            Ok(Insn::StoreImm {
+                size,
+                base: reg(r.dst)?,
+                off: r.off,
+                imm: r.imm,
+            })
         }
         BPF_LD => {
             // Only the two-slot lddw form is legal in eBPF.
@@ -302,10 +378,16 @@ fn decode_one(r: RawInsn, next: Option<&RawInsn>) -> Result<Insn, IsaError> {
             }
             let dst = reg(r.dst)?;
             if r.src == BPF_PSEUDO_MAP_FD {
-                Ok(Insn::LoadMapFd { dst, map_id: r.imm as u32 })
+                Ok(Insn::LoadMapFd {
+                    dst,
+                    map_id: r.imm as u32,
+                })
             } else if r.src == 0 {
                 let imm = ((hi.imm as u32 as u64) << 32) | (r.imm as u32 as u64);
-                Ok(Insn::LoadImm64 { dst, imm: imm as i64 })
+                Ok(Insn::LoadImm64 {
+                    dst,
+                    imm: imm as i64,
+                })
             } else {
                 Err(IsaError::InvalidOpcode(r.code))
             }
@@ -316,19 +398,35 @@ fn decode_one(r: RawInsn, next: Option<&RawInsn>) -> Result<Insn, IsaError> {
                 match opbits {
                     OP_JA => return Ok(Insn::Ja { off: r.off }),
                     OP_CALL => {
-                        return Ok(Insn::Call { helper: HelperId::from_number(r.imm as u32) })
+                        return Ok(Insn::Call {
+                            helper: HelperId::from_number(r.imm as u32),
+                        })
                     }
                     OP_EXIT => return Ok(Insn::Exit),
                     _ => {}
                 }
             }
             let op = JmpOp::from_code(opbits >> 4).ok_or(IsaError::InvalidOpcode(r.code))?;
-            let src = if r.code & BPF_X != 0 { Src::Reg(reg(r.src)?) } else { Src::Imm(r.imm) };
+            let src = if r.code & BPF_X != 0 {
+                Src::Reg(reg(r.src)?)
+            } else {
+                Src::Imm(r.imm)
+            };
             let dst = reg(r.dst)?;
             Ok(if class == BPF_JMP {
-                Insn::Jmp { op, dst, src, off: r.off }
+                Insn::Jmp {
+                    op,
+                    dst,
+                    src,
+                    off: r.off,
+                }
             } else {
-                Insn::Jmp32 { op, dst, src, off: r.off }
+                Insn::Jmp32 {
+                    op,
+                    dst,
+                    src,
+                    off: r.off,
+                }
             })
         }
         _ => Err(IsaError::InvalidOpcode(r.code)),
@@ -367,7 +465,12 @@ mod tests {
             Insn::load(MemSize::Byte, Reg::R1, Reg::R2, 14),
             Insn::store(MemSize::Dword, Reg::R10, -8, Reg::R1),
             Insn::store_imm(MemSize::Half, Reg::R10, -16, 0x1234),
-            Insn::AtomicAdd { size: MemSize::Dword, base: Reg::R0, off: 0, src: Reg::R1 },
+            Insn::AtomicAdd {
+                size: MemSize::Dword,
+                base: Reg::R0,
+                off: 0,
+                src: Reg::R1,
+            },
             Insn::Exit,
         ]);
     }
@@ -375,9 +478,18 @@ mod tests {
     #[test]
     fn round_trip_wide_loads() {
         round_trip(vec![
-            Insn::LoadImm64 { dst: Reg::R1, imm: 0x1122_3344_5566_7788 },
-            Insn::LoadImm64 { dst: Reg::R2, imm: -1 },
-            Insn::LoadMapFd { dst: Reg::R1, map_id: 5 },
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: 0x1122_3344_5566_7788,
+            },
+            Insn::LoadImm64 {
+                dst: Reg::R2,
+                imm: -1,
+            },
+            Insn::LoadMapFd {
+                dst: Reg::R1,
+                map_id: 5,
+            },
             Insn::Exit,
         ]);
     }
@@ -387,12 +499,25 @@ mod tests {
         round_trip(vec![
             Insn::jmp_imm(JmpOp::Eq, Reg::R1, 0, 2),
             Insn::jmp(JmpOp::Sgt, Reg::R2, Reg::R3, -1),
-            Insn::Jmp32 { op: JmpOp::Le, dst: Reg::R4, src: Src::Imm(10), off: 1 },
+            Insn::Jmp32 {
+                op: JmpOp::Le,
+                dst: Reg::R4,
+                src: Src::Imm(10),
+                off: 1,
+            },
             Insn::Ja { off: 0 },
             Insn::call(HelperId::MapLookup),
             Insn::call(HelperId::KtimeGetNs),
-            Insn::Endian { order: ByteOrder::Big, width: 16, dst: Reg::R5 },
-            Insn::Endian { order: ByteOrder::Little, width: 64, dst: Reg::R6 },
+            Insn::Endian {
+                order: ByteOrder::Big,
+                width: 16,
+                dst: Reg::R5,
+            },
+            Insn::Endian {
+                order: ByteOrder::Little,
+                width: 64,
+                dst: Reg::R6,
+            },
             Insn::Exit,
         ]);
     }
@@ -405,21 +530,30 @@ mod tests {
 
     #[test]
     fn truncated_lddw_rejected() {
-        let mut enc = encode(&[Insn::LoadImm64 { dst: Reg::R1, imm: 7 }]);
+        let mut enc = encode(&[Insn::LoadImm64 {
+            dst: Reg::R1,
+            imm: 7,
+        }]);
         enc.pop();
         assert_eq!(decode(&enc), Err(IsaError::TruncatedWideImmediate));
     }
 
     #[test]
     fn malformed_lddw_second_slot_rejected() {
-        let mut enc = encode(&[Insn::LoadImm64 { dst: Reg::R1, imm: 7 }]);
+        let mut enc = encode(&[Insn::LoadImm64 {
+            dst: Reg::R1,
+            imm: 7,
+        }]);
         enc[1].dst = 3;
         assert_eq!(decode(&enc), Err(IsaError::MalformedWideImmediate));
     }
 
     #[test]
     fn bad_opcode_rejected() {
-        let raw = RawInsn { code: 0xff, ..Default::default() };
+        let raw = RawInsn {
+            code: 0xff,
+            ..Default::default()
+        };
         assert!(matches!(decode(&[raw]), Err(IsaError::InvalidOpcode(0xff))));
     }
 

@@ -14,7 +14,10 @@ fn arb_writable_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_src() -> impl Strategy<Value = Src> {
-    prop_oneof![arb_reg().prop_map(Src::Reg), any::<i32>().prop_map(Src::Imm)]
+    prop_oneof![
+        arb_reg().prop_map(Src::Reg),
+        any::<i32>().prop_map(Src::Imm)
+    ]
 }
 
 fn arb_alu_op() -> impl Strategy<Value = AluOp> {
@@ -45,28 +48,59 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
             let src = if op == AluOp::Neg { Src::Imm(0) } else { src };
             Insn::Alu32 { op, dst, src }
         }),
-        (prop::bool::ANY, prop::sample::select(vec![16u32, 32, 64]), arb_writable_reg()).prop_map(
-            |(big, width, dst)| Insn::Endian {
-                order: if big { ByteOrder::Big } else { ByteOrder::Little },
+        (
+            prop::bool::ANY,
+            prop::sample::select(vec![16u32, 32, 64]),
+            arb_writable_reg()
+        )
+            .prop_map(|(big, width, dst)| Insn::Endian {
+                order: if big {
+                    ByteOrder::Big
+                } else {
+                    ByteOrder::Little
+                },
                 width,
                 dst
+            }),
+        (arb_mem_size(), arb_writable_reg(), arb_reg(), any::<i16>()).prop_map(
+            |(size, dst, base, off)| Insn::Load {
+                size,
+                dst,
+                base,
+                off
             }
         ),
-        (arb_mem_size(), arb_writable_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(size, dst, base, off)| Insn::Load { size, dst, base, off }),
-        (arb_mem_size(), arb_reg(), any::<i16>(), arb_reg())
-            .prop_map(|(size, base, off, src)| Insn::Store { size, base, off, src }),
-        (arb_mem_size(), arb_reg(), any::<i16>(), any::<i32>())
-            .prop_map(|(size, base, off, imm)| Insn::StoreImm { size, base, off, imm }),
+        (arb_mem_size(), arb_reg(), any::<i16>(), arb_reg()).prop_map(|(size, base, off, src)| {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            }
+        }),
+        (arb_mem_size(), arb_reg(), any::<i16>(), any::<i32>()).prop_map(
+            |(size, base, off, imm)| Insn::StoreImm {
+                size,
+                base,
+                off,
+                imm
+            }
+        ),
         (
             prop::sample::select(vec![MemSize::Word, MemSize::Dword]),
             arb_reg(),
             any::<i16>(),
             arb_reg()
         )
-            .prop_map(|(size, base, off, src)| Insn::AtomicAdd { size, base, off, src }),
+            .prop_map(|(size, base, off, src)| Insn::AtomicAdd {
+                size,
+                base,
+                off,
+                src
+            }),
         (arb_writable_reg(), any::<i64>()).prop_map(|(dst, imm)| Insn::LoadImm64 { dst, imm }),
-        (arb_writable_reg(), any::<u32>()).prop_map(|(dst, map_id)| Insn::LoadMapFd { dst, map_id }),
+        (arb_writable_reg(), any::<u32>())
+            .prop_map(|(dst, map_id)| Insn::LoadMapFd { dst, map_id }),
         any::<i16>().prop_map(|off| Insn::Ja { off }),
         (arb_jmp_op(), arb_reg(), arb_src(), any::<i16>())
             .prop_map(|(op, dst, src, off)| Insn::Jmp { op, dst, src, off }),

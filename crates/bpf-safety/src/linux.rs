@@ -17,7 +17,10 @@ pub struct LinuxVerifierConfig {
 
 impl Default for LinuxVerifierConfig {
     fn default() -> Self {
-        LinuxVerifierConfig { max_insns: 4096, complexity_limit: 1_000_000 }
+        LinuxVerifierConfig {
+            max_insns: 4096,
+            complexity_limit: 1_000_000,
+        }
     }
 }
 

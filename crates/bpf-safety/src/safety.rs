@@ -20,7 +20,11 @@ pub struct SafetyConfig {
 
 impl Default for SafetyConfig {
     fn default() -> Self {
-        SafetyConfig { complexity_limit: 100_000, max_insns: 4096, enforce_stack_alignment: true }
+        SafetyConfig {
+            complexity_limit: 100_000,
+            max_insns: 4096,
+            enforce_stack_alignment: true,
+        }
     }
 }
 
@@ -50,7 +54,10 @@ pub struct SafetyStats {
 impl SafetyChecker {
     /// Create a checker with the given configuration.
     pub fn new(config: SafetyConfig) -> SafetyChecker {
-        SafetyChecker { config, stats: SafetyStats::default() }
+        SafetyChecker {
+            config,
+            stats: SafetyStats::default(),
+        }
     }
 
     /// Check one candidate. `Ok(())` means safe; `Err` carries the first
@@ -94,9 +101,14 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut checker = SafetyChecker::new(SafetyConfig::default());
-        let safe = Program::new(ProgramType::Xdp, asm::assemble("mov64 r0, 0\nexit").unwrap());
-        let unsafe_p =
-            Program::new(ProgramType::Xdp, asm::assemble("ldxdw r0, [r10-8]\nexit").unwrap());
+        let safe = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r0, 0\nexit").unwrap(),
+        );
+        let unsafe_p = Program::new(
+            ProgramType::Xdp,
+            asm::assemble("ldxdw r0, [r10-8]\nexit").unwrap(),
+        );
         assert!(checker.is_safe(&safe));
         assert!(!checker.is_safe(&unsafe_p));
         assert_eq!(checker.stats.checked, 2);

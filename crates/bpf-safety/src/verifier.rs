@@ -145,12 +145,17 @@ impl fmt::Display for VerifierError {
                 write!(f, "stack offset {off} read before write (insn {at})")
             }
             VerifierError::Misaligned { off, size, at } => {
-                write!(f, "misaligned {size}-byte stack access at offset {off} (insn {at})")
+                write!(
+                    f,
+                    "misaligned {size}-byte stack access at offset {off} (insn {at})"
+                )
             }
             VerifierError::PacketOutOfBounds { at } => {
                 write!(f, "packet access not covered by a bounds check (insn {at})")
             }
-            VerifierError::CtxOutOfBounds { at } => write!(f, "context access out of bounds at {at}"),
+            VerifierError::CtxOutOfBounds { at } => {
+                write!(f, "context access out of bounds at {at}")
+            }
             VerifierError::CtxStoreImm { at } => {
                 write!(f, "immediate store into PTR_TO_CTX at {at}")
             }
@@ -175,7 +180,10 @@ impl fmt::Display for VerifierError {
                 write!(f, "program has {len} instructions, limit is {limit}")
             }
             VerifierError::ComplexityExceeded { limit } => {
-                write!(f, "verifier complexity limit of {limit} examined instructions exceeded")
+                write!(
+                    f,
+                    "verifier complexity limit of {limit} examined instructions exceeded"
+                )
             }
         }
     }
@@ -283,7 +291,12 @@ impl PathState {
         let mut regs = [RV::Uninit; 11];
         regs[Reg::R1.index()] = RV::PtrCtx(0);
         regs[Reg::R10.index()] = RV::PtrStack(0);
-        PathState { pc: 0, regs, stack_init: [false; 512], verified_pkt: 0 }
+        PathState {
+            pc: 0,
+            regs,
+            stack_init: [false; 512],
+            verified_pkt: 0,
+        }
     }
 }
 
@@ -337,7 +350,9 @@ fn verify_inner(
     while let Some(mut state) = work.pop_front() {
         loop {
             if stats.insns_examined >= config.complexity_limit {
-                return Err(VerifierError::ComplexityExceeded { limit: config.complexity_limit });
+                return Err(VerifierError::ComplexityExceeded {
+                    limit: config.complexity_limit,
+                });
             }
             let at = state.pc;
             let insn = match prog.insns.get(at) {
@@ -490,30 +505,82 @@ fn step(
             }
             state.regs[dst.index()] = RV::Scalar;
         }
-        Insn::Load { size, dst, base, off } => {
+        Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        } => {
             let value = check_mem_access(
-                state, base, off, size, at, prog, ctx_size, config, Access::Load,
+                state,
+                base,
+                off,
+                size,
+                at,
+                prog,
+                ctx_size,
+                config,
+                Access::Load,
             )?;
             state.regs[dst.index()] = value;
         }
-        Insn::Store { size, base, off, .. } => {
-            check_mem_access(state, base, off, size, at, prog, ctx_size, config, Access::Store)?;
+        Insn::Store {
+            size, base, off, ..
+        } => {
+            check_mem_access(
+                state,
+                base,
+                off,
+                size,
+                at,
+                prog,
+                ctx_size,
+                config,
+                Access::Store,
+            )?;
         }
-        Insn::StoreImm { size, base, off, .. } => {
+        Insn::StoreImm {
+            size, base, off, ..
+        } => {
             if config.forbid_ctx_store_imm && matches!(state.regs[base.index()], RV::PtrCtx(_)) {
                 return Err(VerifierError::CtxStoreImm { at });
             }
-            check_mem_access(state, base, off, size, at, prog, ctx_size, config, Access::Store)?;
+            check_mem_access(
+                state,
+                base,
+                off,
+                size,
+                at,
+                prog,
+                ctx_size,
+                config,
+                Access::Store,
+            )?;
         }
-        Insn::AtomicAdd { size, base, off, .. } => {
-            check_mem_access(state, base, off, size, at, prog, ctx_size, config, Access::Atomic)?;
+        Insn::AtomicAdd {
+            size, base, off, ..
+        } => {
+            check_mem_access(
+                state,
+                base,
+                off,
+                size,
+                at,
+                prog,
+                ctx_size,
+                config,
+                Access::Atomic,
+            )?;
         }
         Insn::LoadImm64 { dst, imm } => {
             state.regs[dst.index()] = RV::Const(imm as u64);
         }
         Insn::LoadMapFd { dst, map_id } => {
             if prog.map(MapId(map_id)).is_none() {
-                return Err(VerifierError::BadHelperArgument { at, what: "undeclared map id" });
+                return Err(VerifierError::BadHelperArgument {
+                    at,
+                    what: "undeclared map id",
+                });
             }
             state.regs[dst.index()] = RV::MapHandle(map_id);
         }
@@ -629,7 +696,11 @@ fn check_mem_access(
                 return Err(VerifierError::StackOutOfBounds { off: start, at });
             }
             if config.enforce_stack_alignment && start.rem_euclid(nbytes) != 0 {
-                return Err(VerifierError::Misaligned { off: start, size: size.bytes(), at });
+                return Err(VerifierError::Misaligned {
+                    off: start,
+                    size: size.bytes(),
+                    at,
+                });
             }
             let lo = (512 + start) as usize;
             match access {
@@ -683,7 +754,10 @@ fn check_mem_access(
         RV::PtrMapValue { map, off: reg_off } => {
             let def = prog
                 .map(MapId(map))
-                .ok_or(VerifierError::BadHelperArgument { at, what: "undeclared map" })?;
+                .ok_or(VerifierError::BadHelperArgument {
+                    at,
+                    what: "undeclared map",
+                })?;
             let start = reg_off + off as i64;
             if start < 0 || start + nbytes > def.value_size as i64 {
                 return Err(VerifierError::MapValueOutOfBounds { at });
@@ -708,11 +782,19 @@ fn check_helper_call(
         HelperId::MapLookup | HelperId::MapUpdate | HelperId::MapDelete => {
             let map = match state.regs[Reg::R1.index()] {
                 RV::MapHandle(m) => m,
-                _ => return Err(VerifierError::BadHelperArgument { at, what: "r1 is not a map" }),
+                _ => {
+                    return Err(VerifierError::BadHelperArgument {
+                        at,
+                        what: "r1 is not a map",
+                    })
+                }
             };
             let def = prog
                 .map(MapId(map))
-                .ok_or(VerifierError::BadHelperArgument { at, what: "undeclared map" })?;
+                .ok_or(VerifierError::BadHelperArgument {
+                    at,
+                    what: "undeclared map",
+                })?;
             // The key pointer must cover key_size initialized bytes.
             check_buffer_arg(state, Reg::R2, def.key_size as i64, at)?;
             if helper == HelperId::MapUpdate {
@@ -732,7 +814,10 @@ fn check_helper_call(
         | HelperId::CsumDiff => RV::Scalar,
         HelperId::XdpAdjustHead => {
             if !matches!(state.regs[Reg::R1.index()], RV::PtrCtx(_)) {
-                return Err(VerifierError::BadHelperArgument { at, what: "r1 is not the context" });
+                return Err(VerifierError::BadHelperArgument {
+                    at,
+                    what: "r1 is not the context",
+                });
             }
             // Adjusting the head invalidates previously derived packet
             // pointers; conservatively drop all proven packet bytes.
@@ -746,7 +831,10 @@ fn check_helper_call(
         }
         HelperId::RedirectMap => {
             if !matches!(state.regs[Reg::R1.index()], RV::MapHandle(_)) {
-                return Err(VerifierError::BadHelperArgument { at, what: "r1 is not a map" });
+                return Err(VerifierError::BadHelperArgument {
+                    at,
+                    what: "r1 is not a map",
+                });
             }
             RV::Scalar
         }
@@ -761,12 +849,7 @@ fn check_helper_call(
 
 /// A helper buffer argument (key or value pointer) must point to `len`
 /// readable, initialized bytes.
-fn check_buffer_arg(
-    state: &PathState,
-    reg: Reg,
-    len: i64,
-    at: usize,
-) -> Result<(), VerifierError> {
+fn check_buffer_arg(state: &PathState, reg: Reg, len: i64, at: usize) -> Result<(), VerifierError> {
     match state.regs[reg.index()] {
         RV::PtrStack(off) => {
             if off < -512 || off + len > 0 {
@@ -787,7 +870,10 @@ fn check_buffer_arg(
         }
         RV::PtrMapValue { .. } | RV::PtrCtx(_) => Ok(()),
         RV::Uninit => Err(VerifierError::UninitRegister { reg, at }),
-        _ => Err(VerifierError::BadHelperArgument { at, what: "buffer argument is not a pointer" }),
+        _ => Err(VerifierError::BadHelperArgument {
+            at,
+            what: "buffer argument is not a pointer",
+        }),
     }
 }
 
@@ -823,16 +909,26 @@ mod tests {
     #[test]
     fn uninitialized_register_rejected() {
         let e = reject_with(&xdp("mov64 r0, r5\nexit"));
-        assert!(matches!(e, VerifierError::UninitRegister { reg: Reg::R5, .. }));
+        assert!(matches!(
+            e,
+            VerifierError::UninitRegister { reg: Reg::R5, .. }
+        ));
         let e2 = reject_with(&xdp("exit"));
-        assert!(matches!(e2, VerifierError::UninitRegister { reg: Reg::R0, .. }));
+        assert!(matches!(
+            e2,
+            VerifierError::UninitRegister { reg: Reg::R0, .. }
+        ));
     }
 
     #[test]
     fn loops_rejected() {
         let prog = Program::new(
             ProgramType::Xdp,
-            vec![Insn::mov64_imm(Reg::R0, 0), Insn::Ja { off: -2 }, Insn::Exit],
+            vec![
+                Insn::mov64_imm(Reg::R0, 0),
+                Insn::Ja { off: -2 },
+                Insn::Exit,
+            ],
         );
         assert_eq!(reject_with(&prog), VerifierError::Loop);
     }
@@ -858,7 +954,10 @@ mod tests {
     #[test]
     fn stack_read_before_write_rejected() {
         let e = reject_with(&xdp("ldxdw r0, [r10-8]\nexit"));
-        assert!(matches!(e, VerifierError::StackReadBeforeWrite { off: -8, .. }));
+        assert!(matches!(
+            e,
+            VerifierError::StackReadBeforeWrite { off: -8, .. }
+        ));
         assert!(accept(&xdp("stdw [r10-8], 1\nldxdw r0, [r10-8]\nexit")));
     }
 
@@ -880,10 +979,12 @@ mod tests {
     #[test]
     fn packet_access_requires_bounds_check() {
         let unchecked = xdp("ldxdw r2, [r1+0]\nldxb r0, [r2+0]\nexit");
-        assert!(matches!(reject_with(&unchecked), VerifierError::PacketOutOfBounds { .. }));
+        assert!(matches!(
+            reject_with(&unchecked),
+            VerifierError::PacketOutOfBounds { .. }
+        ));
 
-        let checked = xdp(
-            r"
+        let checked = xdp(r"
             ldxdw r2, [r1+0]
             ldxdw r3, [r1+8]
             mov64 r4, r2
@@ -893,13 +994,11 @@ mod tests {
             ldxb r0, [r2+13]
             mov64 r0, 2
             exit
-        ",
-        );
+        ");
         assert!(accept(&checked));
 
         // Reading beyond what the check proved is still rejected.
-        let overread = xdp(
-            r"
+        let overread = xdp(r"
             ldxdw r2, [r1+0]
             ldxdw r3, [r1+8]
             mov64 r4, r2
@@ -909,15 +1008,20 @@ mod tests {
             ldxb r0, [r2+20]
             mov64 r0, 2
             exit
-        ",
-        );
-        assert!(matches!(reject_with(&overread), VerifierError::PacketOutOfBounds { .. }));
+        ");
+        assert!(matches!(
+            reject_with(&overread),
+            VerifierError::PacketOutOfBounds { .. }
+        ));
     }
 
     #[test]
     fn context_is_read_only_and_bounded() {
         let e = reject_with(&xdp("stdw [r1+0], 1\nmov64 r0, 0\nexit"));
-        assert!(matches!(e, VerifierError::CtxStoreImm { .. } | VerifierError::CtxWrite { .. }));
+        assert!(matches!(
+            e,
+            VerifierError::CtxStoreImm { .. } | VerifierError::CtxWrite { .. }
+        ));
         let e2 = reject_with(&xdp("ldxdw r0, [r1+64]\nexit"));
         assert!(matches!(e2, VerifierError::CtxOutOfBounds { .. }));
         assert!(accept(&xdp("ldxw r0, [r1+24]\nexit")));
@@ -939,7 +1043,10 @@ mod tests {
         ",
             maps.clone(),
         );
-        assert!(matches!(reject_with(&unchecked), VerifierError::PossibleNullDeref { .. }));
+        assert!(matches!(
+            reject_with(&unchecked),
+            VerifierError::PossibleNullDeref { .. }
+        ));
 
         let checked = xdp_maps(
             r"
@@ -975,7 +1082,10 @@ mod tests {
         ",
             maps,
         );
-        assert!(matches!(reject_with(&oob), VerifierError::MapValueOutOfBounds { .. }));
+        assert!(matches!(
+            reject_with(&oob),
+            VerifierError::MapValueOutOfBounds { .. }
+        ));
     }
 
     #[test]
@@ -985,14 +1095,22 @@ mod tests {
             "ld_map_fd r1, 0\nmov64 r2, r10\nadd64 r2, -4\ncall map_lookup_elem\nmov64 r0, 0\nexit",
             maps,
         );
-        assert!(matches!(reject_with(&bad), VerifierError::StackReadBeforeWrite { .. }));
+        assert!(matches!(
+            reject_with(&bad),
+            VerifierError::StackReadBeforeWrite { .. }
+        ));
     }
 
     #[test]
     fn caller_saved_registers_unreadable_after_call() {
         let e = reject_with(&xdp("call ktime_get_ns\nmov64 r0, r1\nexit"));
-        assert!(matches!(e, VerifierError::UninitRegister { reg: Reg::R1, .. }));
-        assert!(accept(&xdp("mov64 r6, 5\ncall ktime_get_ns\nmov64 r0, r6\nexit")));
+        assert!(matches!(
+            e,
+            VerifierError::UninitRegister { reg: Reg::R1, .. }
+        ));
+        assert!(accept(&xdp(
+            "mov64 r6, 5\ncall ktime_get_ns\nmov64 r0, r6\nexit"
+        )));
     }
 
     #[test]
@@ -1002,7 +1120,9 @@ mod tests {
         let e2 = reject_with(&xdp("add32 r1, 4\nmov64 r0, 0\nexit"));
         assert!(matches!(e2, VerifierError::PointerArithmetic { .. }));
         // add/sub with constants is fine.
-        assert!(accept(&xdp("mov64 r2, r10\nadd64 r2, -8\nstdw [r2+0], 1\nmov64 r0, 0\nexit")));
+        assert!(accept(&xdp(
+            "mov64 r2, r10\nadd64 r2, -8\nstdw [r2+0], 1\nmov64 r0, 0\nexit"
+        )));
     }
 
     #[test]
@@ -1014,7 +1134,10 @@ mod tests {
     #[test]
     fn unknown_helper_rejected() {
         let prog = xdp("mov64 r1, 0\nmov64 r2, 0\nmov64 r3, 0\nmov64 r4, 0\nmov64 r5, 0\ncall helper_999\nmov64 r0, 0\nexit");
-        assert!(matches!(reject_with(&prog), VerifierError::UnknownHelper { .. }));
+        assert!(matches!(
+            reject_with(&prog),
+            VerifierError::UnknownHelper { .. }
+        ));
     }
 
     #[test]
@@ -1027,7 +1150,10 @@ mod tests {
         let prog = xdp(&text);
         let config = VerifierConfig::default();
         let (verdict, _) = verify(&prog, &config);
-        assert!(matches!(verdict, Verdict::Reject(VerifierError::TooManyInstructions { .. })));
+        assert!(matches!(
+            verdict,
+            Verdict::Reject(VerifierError::TooManyInstructions { .. })
+        ));
     }
 
     #[test]
@@ -1040,9 +1166,15 @@ mod tests {
         }
         text.push_str("exit");
         let prog = xdp(&text);
-        let config = VerifierConfig { complexity_limit: 1000, ..VerifierConfig::default() };
+        let config = VerifierConfig {
+            complexity_limit: 1000,
+            ..VerifierConfig::default()
+        };
         let (verdict, stats) = verify(&prog, &config);
-        assert!(matches!(verdict, Verdict::Reject(VerifierError::ComplexityExceeded { .. })));
+        assert!(matches!(
+            verdict,
+            Verdict::Reject(VerifierError::ComplexityExceeded { .. })
+        ));
         assert!(stats.insns_examined >= 1000);
     }
 
@@ -1057,8 +1189,7 @@ mod tests {
 
     #[test]
     fn adjust_head_invalidates_packet_pointers() {
-        let prog = xdp(
-            r"
+        let prog = xdp(r"
             ldxdw r6, [r1+0]
             ldxdw r3, [r1+8]
             mov64 r4, r6
@@ -1070,8 +1201,7 @@ mod tests {
             ldxb r0, [r6+0]
             mov64 r0, 2
             exit
-        ",
-        );
+        ");
         // After adjust_head the old packet pointer r6 must not be usable.
         let e = reject_with(&prog);
         assert!(matches!(

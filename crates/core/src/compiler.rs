@@ -89,13 +89,16 @@ impl K2Compiler {
 
     /// Optimize one program.
     pub fn optimize(&mut self, src: &Program) -> K2Result {
+        /// What one Markov chain reports back: its parameter-setting id, the
+        /// best (program, cost) it found (if any), and its run statistics.
+        type ChainOutcome = (usize, Option<(Program, f64)>, ChainStats);
+
         let opts = &self.options;
-        let run_chain = |params: &SearchParams, chain_idx: usize| -> (usize, Option<(Program, f64)>, ChainStats) {
+        let run_chain = |params: &SearchParams, chain_idx: usize| -> ChainOutcome {
             let seed = opts
                 .seed
                 .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chain_idx as u64 + 1));
-            let cost =
-                CostFunction::new(src, params.cost, opts.goal, opts.num_tests, seed);
+            let cost = CostFunction::new(src, params.cost, opts.goal, opts.num_tests, seed);
             let generator = ProposalGenerator::new(src, params.rules, seed);
             let mut chain = MarkovChain::new(cost, generator, seed);
             let stats = chain.run(opts.iterations);
@@ -103,21 +106,25 @@ impl K2Compiler {
         };
 
         let run_chain = &run_chain;
-        let chain_results: Vec<(usize, Option<(Program, f64)>, ChainStats)> = if opts.parallel
-            && opts.params.len() > 1
-        {
-            crossbeam::thread::scope(|scope| {
+        let chain_results: Vec<ChainOutcome> = if opts.parallel && opts.params.len() > 1 {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = opts
                     .params
                     .iter()
                     .enumerate()
-                    .map(|(idx, params)| scope.spawn(move |_| run_chain(params, idx)))
+                    .map(|(idx, params)| scope.spawn(move || run_chain(params, idx)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("chain thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chain thread panicked"))
+                    .collect()
             })
-            .expect("crossbeam scope")
         } else {
-            opts.params.iter().enumerate().map(|(idx, p)| run_chain(p, idx)).collect()
+            opts.params
+                .iter()
+                .enumerate()
+                .map(|(idx, p)| run_chain(p, idx))
+                .collect()
         };
 
         // Collect candidates, filter through the kernel-checker model, rank.
@@ -140,9 +147,7 @@ impl K2Compiler {
 
         let fallback_cost = match opts.goal {
             OptimizationGoal::InstructionCount => src.real_len() as f64,
-            OptimizationGoal::Latency => {
-                bpf_interp::CostModel::default().program_cost(src) as f64
-            }
+            OptimizationGoal::Latency => bpf_interp::CostModel::default().program_cost(src) as f64,
         };
         let (best, best_cost) = candidates
             .first()
@@ -189,7 +194,11 @@ mod tests {
         let src = xdp("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nmov64 r3, 1\nexit");
         let mut compiler = K2Compiler::new(small_options(3000));
         let result = compiler.optimize(&src);
-        assert!(result.best.real_len() < src.real_len(), "not improved: {}", result.best);
+        assert!(
+            result.best.real_len() < src.real_len(),
+            "not improved: {}",
+            result.best
+        );
         assert!(result.improved);
         // The output must be formally equivalent to the input.
         let (outcome, _) = check_equivalence(&src, &result.best, &EquivOptions::default());

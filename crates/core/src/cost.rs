@@ -5,8 +5,8 @@
 use crate::compiler::OptimizationGoal;
 use bpf_equiv::{EquivChecker, EquivOptions, EquivOutcome};
 use bpf_interp::{run, CostModel, InputGenerator, ProgramInput, ProgramOutput};
-use bpf_safety::{SafetyChecker, SafetyConfig};
 use bpf_isa::Program;
+use bpf_safety::{SafetyChecker, SafetyConfig};
 use serde::{Deserialize, Serialize};
 
 /// Safety cost assigned to unsafe candidates (`ERR_MAX` in the paper): large
@@ -134,7 +134,10 @@ impl CostFunction {
     ) -> CostFunction {
         let mut generator = InputGenerator::new(seed);
         let tests = generator.generate_suite(src, num_tests.max(1));
-        let expected = tests.iter().map(|t| run(src, t).ok().map(|r| r.output)).collect();
+        let expected = tests
+            .iter()
+            .map(|t| run(src, t).ok().map(|r| r.output))
+            .collect();
         let cost_model = CostModel::default();
         let src_perf = match goal {
             OptimizationGoal::InstructionCount => src.real_len() as f64,
@@ -265,10 +268,16 @@ impl CostFunction {
         };
         let error = c * total_diff + unequal * count_term + unequal;
         let safety = if safe { 0.0 } else { ERR_MAX };
-        let total = self.settings.alpha * error
-            + self.settings.beta * perf
-            + self.settings.gamma * safety;
-        CostValue { error, perf, safety, total, equivalent, safe }
+        let total =
+            self.settings.alpha * error + self.settings.beta * perf + self.settings.gamma * safety;
+        CostValue {
+            error,
+            perf,
+            safety,
+            total,
+            equivalent,
+            safe,
+        }
     }
 }
 
@@ -282,7 +291,13 @@ mod tests {
     }
 
     fn cost_fn(src: &Program) -> CostFunction {
-        CostFunction::new(src, CostSettings::default(), OptimizationGoal::InstructionCount, 8, 1)
+        CostFunction::new(
+            src,
+            CostSettings::default(),
+            OptimizationGoal::InstructionCount,
+            8,
+            1,
+        )
     }
 
     #[test]
@@ -333,9 +348,7 @@ mod tests {
         // A candidate that agrees with the source on every generated test
         // (which use 64-byte packets) but differs on other packet lengths:
         // the formal check must find the difference and add a test.
-        let src = xdp(
-            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit",
-        );
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
         let cand = xdp("mov64 r0, 64\nexit");
         let mut f = cost_fn(&src);
         let before = f.num_tests();

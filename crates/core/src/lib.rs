@@ -42,7 +42,9 @@ pub mod proposals;
 pub mod search;
 
 pub use compiler::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal};
-pub use cost::{CostFunction, CostSettings, CostValue, DiffMetric, ErrorNormalization, TestCountMode};
+pub use cost::{
+    CostFunction, CostSettings, CostValue, DiffMetric, ErrorNormalization, TestCountMode,
+};
 pub use params::SearchParams;
 pub use proposals::{ProposalGenerator, RewriteRule};
 pub use search::{ChainStats, MarkovChain};

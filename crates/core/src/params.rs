@@ -19,16 +19,15 @@ pub struct SearchParams {
 impl SearchParams {
     /// The five best-performing settings reported in Table 8.
     pub fn table8() -> Vec<SearchParams> {
-        let base_rules = |ir: f64, or_: f64, nr: f64, me1: f64, me2: f64, cir: f64| {
-            RuleProbabilities {
+        let base_rules =
+            |ir: f64, or_: f64, nr: f64, me1: f64, me2: f64, cir: f64| RuleProbabilities {
                 replace_insn: ir,
                 replace_operand: or_,
                 replace_nop: nr,
                 mem_exchange_1: me1,
                 mem_exchange_2: me2,
                 replace_contiguous: cir,
-            }
-        };
+            };
         vec![
             SearchParams {
                 id: 1,

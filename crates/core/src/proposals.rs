@@ -131,11 +131,19 @@ impl ProposalGenerator {
         let mut helpers = Vec::new();
         for insn in &src.insns {
             match insn {
-                Insn::Alu64 { src: Src::Imm(i), .. }
-                | Insn::Alu32 { src: Src::Imm(i), .. }
+                Insn::Alu64 {
+                    src: Src::Imm(i), ..
+                }
+                | Insn::Alu32 {
+                    src: Src::Imm(i), ..
+                }
                 | Insn::StoreImm { imm: i, .. }
-                | Insn::Jmp { src: Src::Imm(i), .. }
-                | Insn::Jmp32 { src: Src::Imm(i), .. } => imm_pool.push(*i),
+                | Insn::Jmp {
+                    src: Src::Imm(i), ..
+                }
+                | Insn::Jmp32 {
+                    src: Src::Imm(i), ..
+                } => imm_pool.push(*i),
                 Insn::Call { helper } => helpers.push(*helper),
                 _ => {}
             }
@@ -207,8 +215,7 @@ impl ProposalGenerator {
     }
 
     fn is_last_exit(&self, insns: &[Insn], idx: usize) -> bool {
-        idx + 1 == insns.len()
-            || insns[idx + 1..].iter().all(|i| matches!(i, Insn::Nop))
+        idx + 1 == insns.len() || insns[idx + 1..].iter().all(|i| matches!(i, Insn::Nop))
     }
 
     fn pick_memory_index(&mut self, insns: &[Insn]) -> Option<usize> {
@@ -324,29 +331,69 @@ impl ProposalGenerator {
         match insn {
             Insn::Alu64 { op, dst, .. } => {
                 if self.rng.gen_bool(0.5) {
-                    Insn::Alu64 { op, dst: self.random_reg(), src: Src::Reg(dst) }
+                    Insn::Alu64 {
+                        op,
+                        dst: self.random_reg(),
+                        src: Src::Reg(dst),
+                    }
                 } else {
-                    Insn::Alu64 { op, dst, src: self.random_src() }
+                    Insn::Alu64 {
+                        op,
+                        dst,
+                        src: self.random_src(),
+                    }
                 }
             }
-            Insn::Alu32 { op, dst, .. } => Insn::Alu32 { op, dst, src: self.random_src() },
-            Insn::Load { size, dst, base, .. } => {
-                Insn::Load { size, dst, base, off: self.random_stack_offset(size) }
-            }
-            Insn::Store { size, base, off, .. } => {
-                Insn::Store { size, base, off, src: self.random_any_reg() }
-            }
-            Insn::StoreImm { size, base, off, .. } => {
-                Insn::StoreImm { size, base, off, imm: self.random_imm() }
-            }
-            Insn::Jmp { op, dst, off, .. } => Insn::Jmp { op, dst, src: self.random_src(), off },
-            Insn::Jmp32 { op, dst, off, .. } => Insn::Jmp32 { op, dst, src: self.random_src(), off },
-            Insn::LoadImm64 { dst, .. } => {
-                Insn::LoadImm64 { dst, imm: self.random_imm() as i64 }
-            }
-            Insn::Endian { order, width, .. } => {
-                Insn::Endian { order, width, dst: self.random_reg() }
-            }
+            Insn::Alu32 { op, dst, .. } => Insn::Alu32 {
+                op,
+                dst,
+                src: self.random_src(),
+            },
+            Insn::Load {
+                size, dst, base, ..
+            } => Insn::Load {
+                size,
+                dst,
+                base,
+                off: self.random_stack_offset(size),
+            },
+            Insn::Store {
+                size, base, off, ..
+            } => Insn::Store {
+                size,
+                base,
+                off,
+                src: self.random_any_reg(),
+            },
+            Insn::StoreImm {
+                size, base, off, ..
+            } => Insn::StoreImm {
+                size,
+                base,
+                off,
+                imm: self.random_imm(),
+            },
+            Insn::Jmp { op, dst, off, .. } => Insn::Jmp {
+                op,
+                dst,
+                src: self.random_src(),
+                off,
+            },
+            Insn::Jmp32 { op, dst, off, .. } => Insn::Jmp32 {
+                op,
+                dst,
+                src: self.random_src(),
+                off,
+            },
+            Insn::LoadImm64 { dst, .. } => Insn::LoadImm64 {
+                dst,
+                imm: self.random_imm() as i64,
+            },
+            Insn::Endian { order, width, .. } => Insn::Endian {
+                order,
+                width,
+                dst: self.random_reg(),
+            },
             other => other,
         }
     }
@@ -356,21 +403,61 @@ impl ProposalGenerator {
         let new_size = self.random_size();
         match insn {
             Insn::Load { dst, base, off, .. } => {
-                let dst = if change_operand { self.random_reg() } else { dst };
-                Insn::Load { size: new_size, dst, base, off }
+                let dst = if change_operand {
+                    self.random_reg()
+                } else {
+                    dst
+                };
+                Insn::Load {
+                    size: new_size,
+                    dst,
+                    base,
+                    off,
+                }
             }
             Insn::Store { base, off, src, .. } => {
-                let src = if change_operand { self.random_any_reg() } else { src };
-                Insn::Store { size: new_size, base, off, src }
+                let src = if change_operand {
+                    self.random_any_reg()
+                } else {
+                    src
+                };
+                Insn::Store {
+                    size: new_size,
+                    base,
+                    off,
+                    src,
+                }
             }
             Insn::StoreImm { base, off, imm, .. } => {
-                let imm = if change_operand { self.random_imm() } else { imm };
-                Insn::StoreImm { size: new_size, base, off, imm }
+                let imm = if change_operand {
+                    self.random_imm()
+                } else {
+                    imm
+                };
+                Insn::StoreImm {
+                    size: new_size,
+                    base,
+                    off,
+                    imm,
+                }
             }
             Insn::AtomicAdd { base, off, src, .. } => {
-                let size = if new_size == MemSize::Word { MemSize::Word } else { MemSize::Dword };
-                let src = if change_operand { self.random_any_reg() } else { src };
-                Insn::AtomicAdd { size, base, off, src }
+                let size = if new_size == MemSize::Word {
+                    MemSize::Word
+                } else {
+                    MemSize::Dword
+                };
+                let src = if change_operand {
+                    self.random_any_reg()
+                } else {
+                    src
+                };
+                Insn::AtomicAdd {
+                    size,
+                    base,
+                    off,
+                    src,
+                }
             }
             other => other,
         }

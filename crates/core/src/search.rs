@@ -161,7 +161,10 @@ mod tests {
         let mut chain = chain_for(&src, 42);
         chain.run(3000);
         let (best, _) = chain.best().unwrap();
-        assert!(best.real_len() < src.real_len(), "no improvement found: {best}");
+        assert!(
+            best.real_len() < src.real_len(),
+            "no improvement found: {best}"
+        );
         // The optimized program must agree with the source on random inputs.
         let mut generator = InputGenerator::new(7);
         for input in generator.generate_suite(&src, 10) {
@@ -176,15 +179,16 @@ mod tests {
     fn search_removes_dead_stores() {
         let src = Program::new(
             ProgramType::Xdp,
-            asm::assemble(
-                "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit",
-            )
-            .unwrap(),
+            asm::assemble("mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit")
+                .unwrap(),
         );
         let mut chain = chain_for(&src, 11);
         chain.run(4000);
         let (best, _) = chain.best().unwrap();
-        assert!(best.real_len() < src.real_len(), "no improvement found: {best}");
+        assert!(
+            best.real_len() < src.real_len(),
+            "no improvement found: {best}"
+        );
     }
 
     #[test]

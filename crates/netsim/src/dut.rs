@@ -82,7 +82,11 @@ impl DutModel {
             samples.push(cycles + config.driver_overhead_cycles);
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        DutModel { config, cycles_per_packet: mean, samples }
+        DutModel {
+            config,
+            cycles_per_packet: mean,
+            samples,
+        }
     }
 
     /// The capacity of the DUT in millions of packets per second (the rate at
@@ -150,7 +154,11 @@ impl DutModel {
         SimResult {
             offered_mpps,
             throughput_mpps: delivered as f64 / duration / 1e6,
-            avg_latency_us: if delivered == 0 { 0.0 } else { latency_sum / delivered as f64 * 1e6 },
+            avg_latency_us: if delivered == 0 {
+                0.0
+            } else {
+                latency_sum / delivered as f64 * 1e6
+            },
             p99_latency_us: p99 * 1e6,
             drop_rate: dropped as f64 / n as f64,
         }
@@ -194,7 +202,10 @@ mod tests {
     use bpf_isa::{asm, ProgramType};
 
     fn fast_program() -> Program {
-        Program::new(ProgramType::Xdp, asm::assemble("mov64 r0, 1\nexit").unwrap())
+        Program::new(
+            ProgramType::Xdp,
+            asm::assemble("mov64 r0, 1\nexit").unwrap(),
+        )
     }
 
     fn slow_program() -> Program {
@@ -208,7 +219,10 @@ mod tests {
     }
 
     fn small_config() -> DutConfig {
-        DutConfig { packets_per_trial: 4000, ..DutConfig::default() }
+        DutConfig {
+            packets_per_trial: 4000,
+            ..DutConfig::default()
+        }
     }
 
     #[test]
@@ -230,7 +244,10 @@ mod tests {
         let model = DutModel::measure(&fast_program(), small_config());
         let mlffr = find_mlffr(&model);
         let capacity = model.capacity_mpps();
-        assert!(mlffr > 0.5 * capacity, "mlffr {mlffr} vs capacity {capacity}");
+        assert!(
+            mlffr > 0.5 * capacity,
+            "mlffr {mlffr} vs capacity {capacity}"
+        );
         assert!(mlffr <= capacity * 1.2);
     }
 

@@ -18,7 +18,11 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { frame_size: 64, flows: 256, seed: 0x7e57 }
+        WorkloadConfig {
+            frame_size: 64,
+            flows: 256,
+            seed: 0x7e57,
+        }
     }
 }
 
@@ -35,7 +39,11 @@ pub struct TrafficGenerator {
 impl TrafficGenerator {
     /// Create a generator.
     pub fn new(config: WorkloadConfig) -> TrafficGenerator {
-        TrafficGenerator { rng: StdRng::seed_from_u64(config.seed), config, sent: 0 }
+        TrafficGenerator {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            sent: 0,
+        }
     }
 
     /// Build the next packet.
@@ -76,6 +84,7 @@ impl TrafficGenerator {
         buf.put_u16(0); // checksum (ignored by the benchmarks)
         buf.put_u32(0x0a00_0001 + (flow & 0xff)); // source 10.0.0.x
         buf.put_u32(0x0a00_0100 + (flow >> 8)); // destination 10.0.1.x
+
         // UDP header.
         buf.put_u16(1024 + (flow % 512) as u16);
         buf.put_u16(4789);
@@ -105,8 +114,14 @@ mod tests {
 
     #[test]
     fn flows_cycle_deterministically() {
-        let mut a = TrafficGenerator::new(WorkloadConfig { flows: 4, ..Default::default() });
-        let mut b = TrafficGenerator::new(WorkloadConfig { flows: 4, ..Default::default() });
+        let mut a = TrafficGenerator::new(WorkloadConfig {
+            flows: 4,
+            ..Default::default()
+        });
+        let mut b = TrafficGenerator::new(WorkloadConfig {
+            flows: 4,
+            ..Default::default()
+        });
         let pa = a.packets(8);
         let pb = b.packets(8);
         assert_eq!(pa, pb);

@@ -32,10 +32,16 @@ fn main() {
     let mut checker = EquivChecker::new(EquivOptions::default());
     match checker.check(&src, &bad) {
         EquivOutcome::NotEquivalent(Some(counterexample)) => {
-            println!("wrong rewrite rejected; counterexample packet length = {} bytes", counterexample.packet.len());
+            println!(
+                "wrong rewrite rejected; counterexample packet length = {} bytes",
+                counterexample.packet.len()
+            );
             let a = run(&src, &counterexample).expect("source runs");
             let b = run(&bad, &counterexample).expect("candidate runs");
-            println!("  source returns {}, candidate returns {} on that input", a.output.ret, b.output.ret);
+            println!(
+                "  source returns {}, candidate returns {} on that input",
+                a.output.ret, b.output.ret
+            );
         }
         other => println!("unexpected outcome for the wrong rewrite: {other:?}"),
     }

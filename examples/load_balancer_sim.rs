@@ -12,12 +12,20 @@ use k2_netsim::{find_mlffr, load_sweep, DutConfig, DutModel};
 
 fn main() {
     let bench = bpf_bench_suite::by_name("xdp-balancer").expect("benchmark exists");
-    println!("{}: {} ({} instructions)", bench.name, bench.description, bench.prog.real_len());
+    println!(
+        "{}: {} ({} instructions)",
+        bench.name,
+        bench.description,
+        bench.prog.real_len()
+    );
 
     let (_, baseline) = k2_baseline::best_baseline(&bench.prog);
     let mut compiler = K2Compiler::new(CompilerOptions {
         goal: OptimizationGoal::Latency,
-        iterations: std::env::var("K2_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000),
+        iterations: std::env::var("K2_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000),
         params: SearchParams::table8().into_iter().take(2).collect(),
         num_tests: 12,
         seed: 1234,
@@ -25,9 +33,16 @@ fn main() {
         parallel: true,
     });
     let k2 = compiler.optimize(&baseline).best;
-    println!("baseline: {} instructions, K2: {} instructions", baseline.real_len(), k2.real_len());
+    println!(
+        "baseline: {} instructions, K2: {} instructions",
+        baseline.real_len(),
+        k2.real_len()
+    );
 
-    let config = DutConfig { packets_per_trial: 10_000, ..DutConfig::default() };
+    let config = DutConfig {
+        packets_per_trial: 10_000,
+        ..DutConfig::default()
+    };
     let baseline_model = DutModel::measure(&baseline, config);
     let k2_model = DutModel::measure(&k2, config);
 
@@ -42,7 +57,10 @@ fn main() {
     );
 
     println!("\noffered(Mpps)  baseline: tput/lat(us)/drop     K2: tput/lat(us)/drop");
-    for (b, k) in load_sweep(&baseline_model, 8).iter().zip(load_sweep(&k2_model, 8).iter()) {
+    for (b, k) in load_sweep(&baseline_model, 8)
+        .iter()
+        .zip(load_sweep(&k2_model, 8).iter())
+    {
         println!(
             "{:>12.3}  {:>7.3} / {:>8.2} / {:>5.3}    {:>7.3} / {:>8.2} / {:>5.3}",
             b.offered_mpps,

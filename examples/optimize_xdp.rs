@@ -9,7 +9,9 @@ use k2_baseline::best_baseline;
 use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "xdp_pktcntr".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xdp_pktcntr".to_string());
     let bench = bpf_bench_suite::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark '{name}'; available:");
         for b in bpf_bench_suite::all() {
@@ -18,15 +20,25 @@ fn main() {
         std::process::exit(1);
     });
 
-    println!("benchmark {} ({}): {}", bench.name, bench.prog.prog_type, bench.description);
+    println!(
+        "benchmark {} ({}): {}",
+        bench.name, bench.prog.prog_type, bench.description
+    );
     println!("  unoptimized: {} instructions", bench.prog.real_len());
 
     let (level, baseline) = best_baseline(&bench.prog);
-    println!("  best rule-based baseline ({}): {} instructions", level.name(), baseline.real_len());
+    println!(
+        "  best rule-based baseline ({}): {} instructions",
+        level.name(),
+        baseline.real_len()
+    );
 
     let mut compiler = K2Compiler::new(CompilerOptions {
         goal: OptimizationGoal::InstructionCount,
-        iterations: std::env::var("K2_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(5_000),
+        iterations: std::env::var("K2_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5_000),
         params: SearchParams::table8(),
         num_tests: 16,
         seed: 7,

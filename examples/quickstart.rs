@@ -22,7 +22,11 @@ fn main() {
         .expect("valid assembly"),
     );
 
-    println!("source program ({} instructions):\n{}", source.real_len(), source);
+    println!(
+        "source program ({} instructions):\n{}",
+        source.real_len(),
+        source
+    );
 
     let mut compiler = K2Compiler::new(CompilerOptions {
         goal: OptimizationGoal::InstructionCount,
@@ -35,7 +39,11 @@ fn main() {
     });
     let result = compiler.optimize(&source);
 
-    println!("optimized program ({} instructions):\n{}", result.best.real_len(), result.best);
+    println!(
+        "optimized program ({} instructions):\n{}",
+        result.best.real_len(),
+        result.best
+    );
     println!(
         "improved: {}  (kernel-checker rejections during post-processing: {})",
         result.improved, result.rejected_by_kernel_checker

@@ -68,7 +68,11 @@ fn main() {
         }
         println!(
             "  kernel checker model: {} ({} instructions examined, {} paths)",
-            if kernel_verdict.is_accept() { "accepted" } else { "rejected" },
+            if kernel_verdict.is_accept() {
+                "accepted"
+            } else {
+                "rejected"
+            },
             stats.insns_examined,
             stats.paths
         );

@@ -1,0 +1,18 @@
+//! Boolean strategies: `prop::bool::ANY`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Either boolean, uniformly.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,117 @@
+//! Random-generation-only stand-in for `proptest`.
+//!
+//! Implements the strategy combinators, `proptest!` macro and `prop_assert*`
+//! macros this workspace uses, with a fixed-seed deterministic RNG. Compared
+//! to the real proptest there is **no shrinking** — a failing case panics
+//! with the case number so it can be re-run — and failure output prints the
+//! generated inputs only through the normal assert message.
+//!
+//! Knobs:
+//! * `PROPTEST_CASES` — overrides the per-test case count (e.g. set to a
+//!   small value to make CI sweeps cheap).
+//! * `PROPTEST_SEED` — overrides the RNG seed (decimal or `0x…` hex).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate's `prelude::prop` re-export, so call
+/// sites can say `prop::collection::vec(..)`, `prop::sample::select(..)`,
+/// `prop::bool::ANY`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments are
+/// drawn from strategies. Each function runs `cases` iterations of its body
+/// with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __cases = $crate::test_runner::resolved_cases(&__config);
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__cases {
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }));
+                if let Err(panic) = __result {
+                    eprintln!(
+                        "proptest case {}/{} failed (seed {:#x}); re-run with PROPTEST_SEED to reproduce",
+                        __case + 1,
+                        __cases,
+                        $crate::test_runner::TestRng::seed(),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Boolean property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Weighted arms (`weight => strategy`) are accepted; weights are honored.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

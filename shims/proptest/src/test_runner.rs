@@ -1,0 +1,104 @@
+//! Test-runner config and the deterministic RNG behind all strategies.
+
+use std::sync::OnceLock;
+
+/// Per-`proptest!` block configuration. Only `cases` is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The case count actually run: `PROPTEST_CASES` (if set and valid)
+/// overrides the per-block configuration.
+pub fn resolved_cases(config: &ProptestConfig) -> u32 {
+    static OVERRIDE: OnceLock<Option<u32>> = OnceLock::new();
+    OVERRIDE
+        .get_or_init(|| {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(config.cases)
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Deterministic RNG (xoshiro256++ seeded via SplitMix64). Every test
+/// function starts from the same seed, so failures reproduce exactly.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// The seed in effect: `PROPTEST_SEED` if set, else a fixed constant.
+    pub fn seed() -> u64 {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| parse_seed(&v))
+                .unwrap_or(0x5eed_cafe_f00d_d00d)
+        })
+    }
+
+    pub fn deterministic() -> Self {
+        Self::from_seed(Self::seed())
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,23 @@
+//! Minimal stand-in for `serde` used by this workspace's offline build.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! so the real serde can be dropped in later, but no code path currently
+//! serializes anything — so the traits here are pure markers, and the derive
+//! macros (re-exported from the sibling `serde_derive` shim) emit empty
+//! impls. Swapping in the real crates is a `Cargo.toml`-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

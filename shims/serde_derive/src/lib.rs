@@ -1,0 +1,116 @@
+//! Derive macros for the `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits, so the derives
+//! only need the target type's name (plus generics, if any) to emit an empty
+//! impl. Parsing is done directly on the token stream — no `syn`/`quote`,
+//! because the offline build has no access to them.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, generic_params, generic_args)` from a struct/enum/union
+/// definition, e.g. `struct Foo<'a, T: Bound> { .. }` yields
+/// `("Foo", "<'a, T: Bound>", "<'a, T>")`.
+fn parse_target(input: TokenStream) -> Option<(String, String, String)> {
+    let mut tokens = input.into_iter().peekable();
+    for tt in tokens.by_ref() {
+        // Skip attributes (`#[...]`) and doc comments; stop at the keyword.
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(ident) => ident.to_string(),
+        _ => return None,
+    };
+
+    // Collect generics if present: everything between the matching < ... >.
+    let mut params = String::new();
+    let mut args = String::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut raw: Vec<TokenTree> = Vec::new();
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push(tt);
+        }
+        params = format!(
+            "<{}>",
+            raw.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        // Argument list: parameter names only, bounds and defaults stripped.
+        let mut names: Vec<String> = Vec::new();
+        let mut depth = 0usize;
+        let mut take_next = true;
+        let mut iter = raw.iter().peekable();
+        while let Some(tt) = iter.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' || p.as_char() == '(' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' || p.as_char() == ')' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => take_next = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 0 && take_next => {
+                    if let Some(TokenTree::Ident(l)) = iter.next() {
+                        names.push(format!("'{l}"));
+                    }
+                    take_next = false;
+                }
+                TokenTree::Ident(ident) if depth == 0 && take_next => {
+                    let word = ident.to_string();
+                    if word == "const" {
+                        continue; // const generic: the next ident is the name
+                    }
+                    names.push(word);
+                    take_next = false;
+                }
+                _ => {}
+            }
+        }
+        args = format!("<{}>", names.join(", "));
+    }
+    Some((name, params, args))
+}
+
+fn empty_impl(input: TokenStream, make: impl Fn(&str, &str, &str) -> String) -> TokenStream {
+    match parse_target(input) {
+        Some((name, params, args)) => make(&name, &params, &args)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, |name, params, args| {
+        format!("impl {params} ::serde::Serialize for {name} {args} {{}}")
+    })
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, |name, params, args| {
+        let params_inner = params.strip_prefix('<').and_then(|p| p.strip_suffix('>'));
+        let full_params = match params_inner {
+            Some(inner) if !inner.trim().is_empty() => format!("<'de, {inner}>"),
+            _ => "<'de>".to_string(),
+        };
+        format!("impl {full_params} ::serde::Deserialize<'de> for {name} {args} {{}}")
+    })
+}

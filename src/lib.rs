@@ -1,0 +1,46 @@
+//! # k2 — umbrella crate
+//!
+//! Re-exports every layer of the K2 reproduction so downstream users (and the
+//! root-level integration tests and examples) can depend on a single crate:
+//!
+//! * [`isa`] — the eBPF instruction model ([`bpf_isa`]),
+//! * [`analysis`] — CFG, liveness, DCE ([`bpf_analysis`]),
+//! * [`interp`] — the reference interpreter ([`bpf_interp`]),
+//! * [`smt`] — the QF_BV solver ([`bitsmt`]),
+//! * [`equiv`] — formal equivalence checking ([`bpf_equiv`]),
+//! * [`safety`] — the kernel-checker model ([`bpf_safety`]),
+//! * [`bench_suite`] — the paper's 19 benchmark programs
+//!   ([`bpf_bench_suite`]),
+//! * [`baseline`] — the rule-based comparator ([`k2_baseline`]),
+//! * [`core`] — the MCMC search itself ([`k2_core`]),
+//! * [`bench`] — table/figure regeneration harnesses ([`k2_bench`]),
+//! * [`netsim`] — the throughput/latency model ([`k2_netsim`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use k2::core::{CompilerOptions, K2Compiler};
+//! use k2::isa::{asm, Program, ProgramType};
+//!
+//! let prog = Program::new(
+//!     ProgramType::Xdp,
+//!     asm::assemble("mov64 r0, 0\nadd64 r0, 1\nexit").unwrap(),
+//! );
+//! let mut options = CompilerOptions::default();
+//! options.iterations = 50; // keep the doc-test fast
+//! options.num_tests = 4;
+//! let result = K2Compiler::new(options).optimize(&prog);
+//! assert!(result.best.insns.len() <= prog.insns.len());
+//! ```
+
+pub use bitsmt as smt;
+pub use bpf_analysis as analysis;
+pub use bpf_bench_suite as bench_suite;
+pub use bpf_equiv as equiv;
+pub use bpf_interp as interp;
+pub use bpf_isa as isa;
+pub use bpf_safety as safety;
+pub use k2_baseline as baseline;
+pub use k2_bench as bench;
+pub use k2_core as core;
+pub use k2_netsim as netsim;

@@ -1,0 +1,77 @@
+//! Smoke tests guarding the benchmark corpus: every program in
+//! `bpf_bench_suite` must (a) be accepted by the kernel-checker model and
+//! (b) execute in the interpreter without trapping, on both a default input
+//! and a small generated input suite. A benchmark that regresses on either
+//! axis would silently drop out of every table the paper's evaluation
+//! regenerates.
+
+use bpf_interp::{run, InputGenerator, ProgramInput};
+use bpf_safety::{LinuxVerifier, LinuxVerifierConfig};
+
+#[test]
+fn suite_has_all_nineteen_benchmarks() {
+    let names: Vec<&str> = bpf_bench_suite::all().iter().map(|b| b.name).collect();
+    assert_eq!(
+        names.len(),
+        19,
+        "expected the paper's 19 benchmarks, got {names:?}"
+    );
+    let mut rows: Vec<usize> = bpf_bench_suite::all().iter().map(|b| b.row).collect();
+    rows.sort_unstable();
+    assert_eq!(
+        rows,
+        (1..=19).collect::<Vec<_>>(),
+        "Table 1 rows must be 1..=19"
+    );
+}
+
+#[test]
+fn every_benchmark_is_accepted_by_the_linux_verifier() {
+    let verifier = LinuxVerifier::new(LinuxVerifierConfig::default());
+    for bench in bpf_bench_suite::all() {
+        assert!(
+            verifier.accepts(&bench.prog),
+            "kernel-checker model rejects benchmark {}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_runs_on_the_default_input() {
+    for bench in bpf_bench_suite::all() {
+        let result = run(&bench.prog, &ProgramInput::default());
+        assert!(
+            result.is_ok(),
+            "benchmark {} trapped on the default input: {:?}",
+            bench.name,
+            result.err()
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_runs_on_generated_inputs() {
+    for bench in bpf_bench_suite::all() {
+        let mut generator = InputGenerator::new(0xbeef);
+        for (idx, input) in generator.generate_suite(&bench.prog, 8).iter().enumerate() {
+            let result = run(&bench.prog, input);
+            assert!(
+                result.is_ok(),
+                "benchmark {} trapped on generated input {idx}: {:?}",
+                bench.name,
+                result.err()
+            );
+        }
+    }
+}
+
+#[test]
+fn by_name_finds_every_benchmark() {
+    for bench in bpf_bench_suite::all() {
+        let found = bpf_bench_suite::by_name(bench.name)
+            .unwrap_or_else(|| panic!("by_name cannot find {}", bench.name));
+        assert_eq!(found.prog.insns, bench.prog.insns);
+    }
+    assert!(bpf_bench_suite::by_name("no_such_benchmark").is_none());
+}

@@ -1,0 +1,103 @@
+//! Reproducibility of the search: `K2Compiler::optimize` is a deterministic
+//! function of (program, options). Two runs with the same seed must produce
+//! identical best programs, identical top-k sets and identical per-chain
+//! statistics — otherwise reported results cannot be reproduced and
+//! regressions cannot be bisected.
+
+use bpf_isa::{asm, Program, ProgramType};
+use k2_core::{ChainStats, CompilerOptions, K2Compiler, K2Result};
+
+/// `ChainStats` minus wall-clock time, which legitimately differs run-to-run.
+fn logical_stats(stats: &ChainStats) -> ChainStats {
+    ChainStats {
+        time_us: 0,
+        ..*stats
+    }
+}
+
+fn test_program() -> Program {
+    // Small program with obvious redundancy so the search has something to
+    // find within a CI-sized budget.
+    let text = "\
+mov64 r2, 0
+mov64 r3, 7
+add64 r2, r3
+mov64 r4, r2
+mov64 r0, r4
+add64 r0, 0
+exit";
+    Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+}
+
+fn optimize_with_seed(seed: u64, parallel: bool) -> K2Result {
+    let options = CompilerOptions {
+        iterations: 300,
+        num_tests: 8,
+        seed,
+        parallel,
+        ..CompilerOptions::default()
+    };
+    K2Compiler::new(options).optimize(&test_program())
+}
+
+fn assert_identical(a: &K2Result, b: &K2Result) {
+    assert_eq!(
+        a.best.insns, b.best.insns,
+        "best programs differ between runs"
+    );
+    assert_eq!(a.best_cost, b.best_cost, "best costs differ between runs");
+    assert_eq!(a.improved, b.improved);
+    assert_eq!(
+        a.rejected_by_kernel_checker, b.rejected_by_kernel_checker,
+        "kernel-checker post-processing diverged"
+    );
+    assert_eq!(a.top.len(), b.top.len(), "top-k sets have different sizes");
+    for ((pa, ca), (pb, cb)) in a.top.iter().zip(&b.top) {
+        assert_eq!(pa.insns, pb.insns, "top-k programs differ between runs");
+        assert_eq!(ca, cb, "top-k costs differ between runs");
+    }
+    assert_eq!(a.chains.len(), b.chains.len());
+    for ((ida, costa, sa), (idb, costb, sb)) in a.chains.iter().zip(&b.chains) {
+        assert_eq!(ida, idb, "chain parameter ids differ");
+        assert_eq!(costa, costb, "per-chain best costs differ");
+        assert_eq!(
+            logical_stats(sa),
+            logical_stats(sb),
+            "per-chain statistics differ (chain {ida})"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_best_program_and_chain_stats() {
+    let a = optimize_with_seed(0x6b32, false);
+    let b = optimize_with_seed(0x6b32, false);
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn parallel_chains_match_sequential_chains() {
+    // Chains derive independent RNG streams from the base seed, so thread
+    // scheduling must not be able to change the result.
+    let a = optimize_with_seed(0x6b32, true);
+    let b = optimize_with_seed(0x6b32, false);
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn different_seeds_may_walk_different_chains() {
+    // Not a strict requirement (both seeds could converge to the same best
+    // program), but the chain statistics of distinct seeds matching exactly
+    // on every field would mean the seed is being ignored.
+    let a = optimize_with_seed(1, false);
+    let b = optimize_with_seed(2, false);
+    let stats_match = a
+        .chains
+        .iter()
+        .zip(&b.chains)
+        .all(|((_, _, sa), (_, _, sb))| logical_stats(sa) == logical_stats(sb));
+    assert!(
+        !stats_match,
+        "chain statistics identical across different seeds"
+    );
+}

@@ -12,8 +12,8 @@ fn baseline_preserves_behaviour_on_every_benchmark() {
         let o1 = optimize(&bench.prog, OptLevel::O1);
         let mut generator = InputGenerator::new(1000 + bench.row as u64);
         for input in generator.generate_suite(&bench.prog, 8) {
-            let reference = run(&bench.prog, &input)
-                .unwrap_or_else(|e| panic!("{} trapped: {e}", bench.name));
+            let reference =
+                run(&bench.prog, &input).unwrap_or_else(|e| panic!("{} trapped: {e}", bench.name));
             for (label, variant) in [("-O1", &o1), ("best", &best)] {
                 let out = run(variant, &input)
                     .unwrap_or_else(|e| panic!("{} {label} trapped: {e}", bench.name));
@@ -31,7 +31,11 @@ fn baseline_preserves_behaviour_on_every_benchmark() {
 fn baseline_never_grows_programs() {
     for bench in bpf_bench_suite::all() {
         let (_, best) = best_baseline(&bench.prog);
-        assert!(best.real_len() <= bench.prog.real_len(), "{} grew", bench.name);
+        assert!(
+            best.real_len() <= bench.prog.real_len(),
+            "{} grew",
+            bench.name
+        );
     }
 }
 
@@ -43,7 +47,10 @@ fn suite_covers_the_papers_size_range() {
     let max = *sizes.iter().max().unwrap();
     // Table 1 spans ~18-instruction tracepoint handlers up to the large
     // load balancer.
-    assert!(min >= 15 && min <= 40, "smallest benchmark out of range: {min}");
+    assert!(
+        (15..=40).contains(&min),
+        "smallest benchmark out of range: {min}"
+    );
     assert!(max >= 100, "largest benchmark too small: {max}");
     // The throughput subset is made of XDP programs only.
     for bench in bpf_bench_suite::throughput_subset() {
@@ -55,12 +62,22 @@ fn suite_covers_the_papers_size_range() {
 fn benchmarks_store_results_in_their_maps() {
     // Counter-style benchmarks must be observably stateful: on some input the
     // final map contents differ from the initial ones.
-    for name in ["xdp_pktcntr", "xdp_exception", "xdp_devmap_xmit", "xdp1_kern/xdp1"] {
+    for name in [
+        "xdp_pktcntr",
+        "xdp_exception",
+        "xdp_devmap_xmit",
+        "xdp1_kern/xdp1",
+    ] {
         let bench = bpf_bench_suite::by_name(name).unwrap();
         let mut generator = InputGenerator::new(5);
-        let touched = generator.generate_suite(&bench.prog, 12).iter().any(|input| {
-            run(&bench.prog, input).map(|r| r.output.maps != input.maps).unwrap_or(false)
-        });
+        let touched = generator
+            .generate_suite(&bench.prog, 12)
+            .iter()
+            .any(|input| {
+                run(&bench.prog, input)
+                    .map(|r| r.output.maps != input.maps)
+                    .unwrap_or(false)
+            });
         assert!(touched, "{name} never updated its maps");
     }
 }

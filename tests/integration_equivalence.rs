@@ -46,11 +46,19 @@ fn equivalent_pairs() -> Vec<(&'static str, Program, Program)> {
 /// Pairs that must *not* be equivalent.
 fn different_pairs() -> Vec<(&'static str, Program, Program)> {
     vec![
-        ("different constants", xdp("mov64 r0, 5\nexit"), xdp("mov64 r0, 6\nexit")),
+        (
+            "different constants",
+            xdp("mov64 r0, 5\nexit"),
+            xdp("mov64 r0, 6\nexit"),
+        ),
         (
             "wrong shift amount",
-            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nmul64 r0, 8\nexit"),
-            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nlsh64 r0, 2\nexit"),
+            xdp(
+                "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nmul64 r0, 8\nexit",
+            ),
+            xdp(
+                "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nlsh64 r0, 2\nexit",
+            ),
         ),
         (
             "32-bit truncation",
@@ -64,12 +72,18 @@ fn different_pairs() -> Vec<(&'static str, Program, Program)> {
 fn equivalent_pairs_are_proven_and_agree_in_the_interpreter() {
     for (label, a, b) in equivalent_pairs() {
         let mut checker = EquivChecker::new(EquivOptions::default());
-        assert!(checker.check(&a, &b).is_equivalent(), "{label} not proven equivalent");
+        assert!(
+            checker.check(&a, &b).is_equivalent(),
+            "{label} not proven equivalent"
+        );
         let mut generator = InputGenerator::new(7);
         for input in generator.generate_suite(&a, 10) {
             let ra = run(&a, &input).expect("a runs");
             let rb = run(&b, &input).expect("b runs");
-            assert_eq!(ra.output, rb.output, "{label}: interpreter disagrees with the prover");
+            assert_eq!(
+                ra.output, rb.output,
+                "{label}: interpreter disagrees with the prover"
+            );
         }
     }
 }
@@ -82,7 +96,10 @@ fn different_pairs_produce_reproducible_counterexamples() {
             EquivOutcome::NotEquivalent(Some(input)) => {
                 let ra = run(&a, &input).expect("a runs");
                 let rb = run(&b, &input).expect("b runs");
-                assert_ne!(ra.output, rb.output, "{label}: counterexample does not reproduce");
+                assert_ne!(
+                    ra.output, rb.output,
+                    "{label}: counterexample does not reproduce"
+                );
             }
             EquivOutcome::NotEquivalent(None) => {}
             other => panic!("{label}: expected non-equivalence, got {other:?}"),
@@ -97,12 +114,21 @@ fn optimization_settings_agree_on_verdicts() {
     let (_, wrong_a, wrong_b) = &different_pairs()[0];
     for opts in [
         EquivOptions::default(),
-        EquivOptions { offset_concretization: false, ..EquivOptions::default() },
+        EquivOptions {
+            offset_concretization: false,
+            ..EquivOptions::default()
+        },
         EquivOptions::none(),
     ] {
         let mut checker = EquivChecker::new(opts);
-        assert!(checker.check(a, b).is_equivalent(), "{label} under {opts:?}");
-        assert!(!checker.check(wrong_a, wrong_b).is_equivalent(), "wrong pair under {opts:?}");
+        assert!(
+            checker.check(a, b).is_equivalent(),
+            "{label} under {opts:?}"
+        );
+        assert!(
+            !checker.check(wrong_a, wrong_b).is_equivalent(),
+            "wrong pair under {opts:?}"
+        );
     }
 }
 

@@ -6,7 +6,10 @@ use k2_baseline::best_baseline;
 use k2_netsim::{find_mlffr, load_sweep, DutConfig, DutModel};
 
 fn fast_config() -> DutConfig {
-    DutConfig { packets_per_trial: 4_000, ..DutConfig::default() }
+    DutConfig {
+        packets_per_trial: 4_000,
+        ..DutConfig::default()
+    }
 }
 
 #[test]

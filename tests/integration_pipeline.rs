@@ -33,7 +33,10 @@ fn pktcntr_pipeline_produces_a_verified_smaller_program() {
     // It is formally equivalent to the baseline (and hence to the source,
     // since the baseline preserves behaviour by construction).
     let (outcome, _) = check_equivalence(&baseline, &result.best, &EquivOptions::default());
-    assert!(outcome.is_equivalent(), "K2 output is not equivalent: {outcome:?}");
+    assert!(
+        outcome.is_equivalent(),
+        "K2 output is not equivalent: {outcome:?}"
+    );
 
     // The kernel-checker model accepts it.
     assert!(LinuxVerifier::default().accepts(&result.best));

@@ -15,7 +15,11 @@ fn programs_accepted_by_the_checker_never_trap_in_the_interpreter() {
     // exhibit unsafe behaviour on any generated input.
     let mut checker = SafetyChecker::new(SafetyConfig::default());
     for bench in bpf_bench_suite::all() {
-        assert!(checker.is_safe(&bench.prog), "{} should be safe", bench.name);
+        assert!(
+            checker.is_safe(&bench.prog),
+            "{} should be safe",
+            bench.name
+        );
         let mut generator = InputGenerator::new(17 + bench.row as u64);
         for input in generator.generate_suite(&bench.prog, 6) {
             run(&bench.prog, &input)
@@ -40,7 +44,10 @@ fn unsafe_programs_are_rejected_and_do_trap() {
     let verifier = LinuxVerifier::default();
     for (label, prog) in cases {
         let (verdict, _) = verifier.load(&prog);
-        assert!(matches!(verdict, Verdict::Reject(_)), "{label} should be rejected");
+        assert!(
+            matches!(verdict, Verdict::Reject(_)),
+            "{label} should be rejected"
+        );
         // The same hazard is observable dynamically on at least one input.
         let mut generator = InputGenerator::new(3);
         let trapped = generator
@@ -70,6 +77,9 @@ fn checker_statistics_reflect_path_exploration() {
     let bench = bpf_bench_suite::by_name("xdp_fw").unwrap();
     let (verdict, stats) = LinuxVerifier::default().load(&bench.prog);
     assert!(verdict.is_accept());
-    assert!(stats.paths >= 2, "a branching program explores multiple paths");
-    assert!(stats.insns_examined as usize >= bench.prog.real_len());
+    assert!(
+        stats.paths >= 2,
+        "a branching program explores multiple paths"
+    );
+    assert!(stats.insns_examined >= bench.prog.real_len());
 }
