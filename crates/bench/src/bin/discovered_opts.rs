@@ -76,6 +76,7 @@ fn main() {
         seed: 9,
         top_k: 1,
         parallel: true,
+        ..CompilerOptions::default()
     });
     let result = compiler.optimize(&src);
     println!(

@@ -49,6 +49,7 @@ fn main() {
                 seed: 0xab1a + bench.row as u64 * 31 + idx as u64,
                 top_k: 1,
                 parallel: true,
+                ..CompilerOptions::default()
             });
             let size = compiler
                 .optimize(&baseline)

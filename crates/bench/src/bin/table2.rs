@@ -21,6 +21,7 @@ fn main() {
             seed: 0x7ab2 + bench.row as u64,
             top_k: 5,
             parallel: true,
+            ..CompilerOptions::default()
         });
         let k2 = compiler.optimize(&baseline).best;
 

@@ -22,6 +22,7 @@ fn main() {
             seed: 0x1a7 + bench.row as u64,
             top_k: 5,
             parallel: true,
+            ..CompilerOptions::default()
         });
         let k2 = compiler.optimize(&baseline).best;
 

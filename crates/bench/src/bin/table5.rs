@@ -22,6 +22,7 @@ fn main() {
             seed: 0x5afe + bench.row as u64,
             top_k: 5,
             parallel: true,
+            ..CompilerOptions::default()
         });
         let result = compiler.optimize(&baseline);
         let variants = result.top.len().max(1);

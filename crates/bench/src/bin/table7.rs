@@ -22,6 +22,7 @@ fn main() {
             seed: 0x7ab7e + bench.row as u64,
             top_k: 5,
             parallel: true,
+            ..CompilerOptions::default()
         });
         let result = compiler.optimize(&best_clang);
         let secs = start.elapsed().as_secs_f64();

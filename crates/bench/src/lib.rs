@@ -96,6 +96,7 @@ pub fn compress_benchmark(
         seed: 0x6b32 + bench.row as u64,
         top_k: 1,
         parallel: true,
+        ..CompilerOptions::default()
     });
     // K2 starts from the best clang output, as in the paper's methodology.
     let result = compiler.optimize(&best_clang);

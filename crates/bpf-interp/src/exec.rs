@@ -194,7 +194,11 @@ impl MachineState {
 
 /// Execute a helper call: validate arguments, perform the effect, set `r0`,
 /// and clobber the caller-saved registers.
-fn call_helper(
+///
+/// Public so alternative execution backends (the `bpf-jit` crate) can
+/// dispatch helper calls through the exact same implementation: helper
+/// semantics exist once, and every backend shares them.
+pub fn call_helper(
     machine: &mut MachineState,
     prog: &Program,
     helper: HelperId,

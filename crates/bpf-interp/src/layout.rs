@@ -143,4 +143,73 @@ mod tests {
         assert_eq!(map_handle_id(0), None);
         assert_eq!(map_handle_id(STACK_BASE), None);
     }
+
+    #[test]
+    fn every_region_edge_is_classified_exactly() {
+        // First and last byte of each region classify to it; one byte on
+        // either side does not. This bounds math is shared by both
+        // execution backends (the JIT's memory thunks call the same code),
+        // so an off-by-one here would corrupt both identically — keep it
+        // pinned.
+        let packet_end = PACKET_BASE + (PACKET_HEADROOM + PACKET_MAX) as u64;
+        let cases: [(u64, u64, MemKind); 4] = [
+            (STACK_BASE, STACK_BASE + 512, MemKind::Stack),
+            (PACKET_BASE, packet_end, MemKind::Packet),
+            (CTX_BASE, CTX_BASE + 4096, MemKind::Context),
+            (MAP_VALUE_BASE, MAP_HANDLE_BASE, MemKind::MapValue),
+        ];
+        for (start, end, kind) in cases {
+            assert_eq!(MemKind::classify(start), Some(kind), "{kind:?} start");
+            assert_eq!(MemKind::classify(end - 1), Some(kind), "{kind:?} last");
+            assert_ne!(MemKind::classify(end), Some(kind), "{kind:?} one-past");
+            assert_ne!(
+                MemKind::classify(start - 1),
+                Some(kind),
+                "{kind:?} one-before"
+            );
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap_or_touch_handles() {
+        // Adjacent regions must leave identifiable gaps: a pointer computed
+        // by wrapping arithmetic can never silently cross from one region
+        // into another through contiguous address space.
+        const {
+            assert!(STACK_BASE + 512 < PACKET_BASE);
+            assert!(PACKET_BASE + (PACKET_HEADROOM + PACKET_MAX) as u64 <= CTX_BASE);
+            assert!(CTX_BASE + 4096 <= MAP_VALUE_BASE);
+            assert!(MAP_VALUE_BASE < MAP_HANDLE_BASE);
+        }
+        // Map handles are not memory.
+        assert_eq!(MemKind::classify(MAP_HANDLE_BASE), None);
+        assert_eq!(MemKind::classify(MAP_HANDLE_BASE + u32::MAX as u64), None);
+    }
+
+    #[test]
+    fn map_handle_id_boundaries() {
+        assert_eq!(map_handle_id(MAP_HANDLE_BASE), Some(0));
+        assert_eq!(map_handle_id(MAP_HANDLE_BASE - 1), None);
+        assert_eq!(
+            map_handle_id(MAP_HANDLE_BASE + u32::MAX as u64 - 1),
+            Some(u32::MAX - 1)
+        );
+        assert_eq!(map_handle_id(MAP_HANDLE_BASE + u32::MAX as u64), None);
+        assert_eq!(map_handle_id(u64::MAX), None);
+    }
+
+    #[test]
+    fn map_value_stride_fits_within_region() {
+        // Each map's value cells live in a disjoint stride; the stride
+        // arithmetic must stay inside the MapValue region for a realistic
+        // number of maps.
+        for map in 0..64u64 {
+            let addr = MAP_VALUE_BASE + map * MAP_VALUE_STRIDE;
+            assert_eq!(MemKind::classify(addr), Some(MemKind::MapValue));
+            assert_eq!(
+                MemKind::classify(addr + MAP_VALUE_STRIDE - 1),
+                Some(MemKind::MapValue)
+            );
+        }
+    }
 }

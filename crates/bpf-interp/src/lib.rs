@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -34,10 +35,11 @@ pub mod layout;
 pub mod machine;
 pub mod maps;
 
+pub use backend::{BackendKind, ExecBackend, InterpBackend};
 pub use cost::{static_latency, CostModel};
 pub use error::Trap;
-pub use exec::{run, run_with_limit, ExecResult, DEFAULT_STEP_LIMIT};
+pub use exec::{call_helper, run, run_with_limit, ExecResult, DEFAULT_STEP_LIMIT};
 pub use input::{InputGenerator, MapState, ProgramInput, ProgramOutput};
 pub use layout::{MemKind, CTX_BASE, MAP_HANDLE_BASE, PACKET_BASE, PACKET_HEADROOM, STACK_BASE};
-pub use machine::MachineState;
+pub use machine::{MachineState, MemoryView};
 pub use maps::MapStore;

@@ -332,6 +332,27 @@ impl MachineState {
         }
     }
 
+    /// Raw views of the stack and packet regions for execution backends
+    /// with native fast paths (the `bpf-jit` crate).
+    ///
+    /// Constructing the view is safe; a backend dereferencing the pointers
+    /// must not outlive this machine state and must uphold the same
+    /// semantics the safe accessors implement: stack reads require every
+    /// covered `stack_init` byte to be true, stack writes set them, and
+    /// packet accesses stay within `[data_off, packet_len)`. `data_off`
+    /// changes across `bpf_xdp_adjust_head`, so backends must refresh the
+    /// view after helper calls; the buffers themselves are never
+    /// reallocated during a run.
+    pub fn memory_view(&mut self) -> MemoryView {
+        MemoryView {
+            stack: self.stack.as_mut_ptr(),
+            stack_init: self.stack_init.as_mut_ptr(),
+            packet: self.packet.as_mut_ptr(),
+            packet_len: self.packet.len(),
+            data_off: self.data_off,
+        }
+    }
+
     /// Next value of the pseudo random stream.
     pub fn next_prandom(&mut self) -> u32 {
         // xorshift64*
@@ -356,6 +377,22 @@ impl MachineState {
             maps: self.maps.snapshot(),
         }
     }
+}
+
+/// Raw pointers into a [`MachineState`]'s stack and packet buffers plus the
+/// live packet window, produced by [`MachineState::memory_view`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryView {
+    /// Base of the 512-byte stack buffer.
+    pub stack: *mut u8,
+    /// Base of the per-byte stack initialization flags (`bool`: 0 or 1).
+    pub stack_init: *mut bool,
+    /// Base of the packet buffer (headroom + payload).
+    pub packet: *mut u8,
+    /// Total packet buffer length in bytes.
+    pub packet_len: usize,
+    /// Offset of the current packet start (`data`) inside the buffer.
+    pub data_off: usize,
 }
 
 #[cfg(test)]

@@ -1,0 +1,554 @@
+//! A minimal x86-64 instruction emitter.
+//!
+//! Exactly the encodings the BPF translator needs, nothing more. The
+//! emitted code follows one fixed register discipline:
+//!
+//! * `rbx` (callee-saved) holds the [`crate::env::JitEnv`] base pointer for
+//!   the whole function, so every piece of BPF state is a `[rbx+disp]`
+//!   operand;
+//! * `rax`, `rcx`, `rdx` are scratch (`rax` = destination operand, `rcx` =
+//!   source operand, `rdx` free for division);
+//! * argument registers `rdi`/`rsi`/`rdx`/`rcx`/`r8` are only live across
+//!   `call [rbx+disp]` sequences into the callback table.
+//!
+//! Labels are two flavors: short forward skips patched via [`Asm::patch8`],
+//! and `rel32` branches to BPF instruction indices collected as fixups and
+//! resolved once every instruction's offset is known.
+
+/// Condition codes (the `cc` nibble of `0F 8x` / `7x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cc {
+    /// `==`
+    E,
+    /// `!=`
+    Ne,
+    /// unsigned `>`
+    A,
+    /// unsigned `>=`
+    Ae,
+    /// unsigned `<`
+    B,
+    /// unsigned `<=`
+    Be,
+    /// signed `>`
+    G,
+    /// signed `>=`
+    Ge,
+    /// signed `<`
+    L,
+    /// signed `<=`
+    Le,
+}
+
+impl Cc {
+    fn nibble(self) -> u8 {
+        match self {
+            Cc::E => 0x4,
+            Cc::Ne => 0x5,
+            Cc::B => 0x2,
+            Cc::Ae => 0x3,
+            Cc::Be => 0x6,
+            Cc::A => 0x7,
+            Cc::L => 0xc,
+            Cc::Ge => 0xd,
+            Cc::Le => 0xe,
+            Cc::G => 0xf,
+        }
+    }
+
+    /// The negated condition (taken ↔ not taken).
+    pub fn invert(self) -> Cc {
+        match self {
+            Cc::E => Cc::Ne,
+            Cc::Ne => Cc::E,
+            Cc::A => Cc::Be,
+            Cc::Be => Cc::A,
+            Cc::Ae => Cc::B,
+            Cc::B => Cc::Ae,
+            Cc::G => Cc::Le,
+            Cc::Le => Cc::G,
+            Cc::Ge => Cc::L,
+            Cc::L => Cc::Ge,
+        }
+    }
+}
+
+/// A pending short forward jump: patch with [`Asm::patch8`] once the target
+/// is emitted.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct Patch8(usize);
+
+/// Code buffer plus branch bookkeeping.
+#[derive(Debug, Default)]
+pub struct Asm {
+    /// Emitted bytes.
+    pub code: Vec<u8>,
+    /// Pending `rel32` fixups: (position of the rel32 field, BPF target index).
+    pub fixups: Vec<(usize, usize)>,
+}
+
+/// ModRM addressing off `rbx` with automatic disp8/disp32 selection.
+fn modrm_rbx(out: &mut Vec<u8>, reg_field: u8, disp: i32) {
+    if (-128..=127).contains(&disp) {
+        out.push(0x40 | (reg_field << 3) | 0x3); // mod=01, rm=rbx
+        out.push(disp as i8 as u8);
+    } else {
+        out.push(0x80 | (reg_field << 3) | 0x3); // mod=10, rm=rbx
+        out.extend_from_slice(&disp.to_le_bytes());
+    }
+}
+
+impl Asm {
+    /// Fresh empty buffer.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current emission offset.
+    pub fn pos(&self) -> usize {
+        self.code.len()
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.code.extend_from_slice(b);
+    }
+
+    // ----- moves between scratch registers and [rbx+disp] -------------------
+
+    /// `mov r64, [rbx+disp]` — `reg` is the 3-bit register number (rax=0,
+    /// rcx=1, rdx=2, rsi=6, rdi=7).
+    pub fn load64(&mut self, reg: u8, disp: i32) {
+        self.bytes(&[0x48, 0x8b]);
+        modrm_rbx(&mut self.code, reg, disp);
+    }
+
+    /// `mov r32, [rbx+disp]` (zero-extends into the full register).
+    pub fn load32(&mut self, reg: u8, disp: i32) {
+        self.code.push(0x8b);
+        modrm_rbx(&mut self.code, reg, disp);
+    }
+
+    /// `mov [rbx+disp], r64`.
+    pub fn store64(&mut self, disp: i32, reg: u8) {
+        self.bytes(&[0x48, 0x89]);
+        modrm_rbx(&mut self.code, reg, disp);
+    }
+
+    /// `mov r64dst, r64src` (register-register).
+    pub fn mov_rr(&mut self, dst: u8, src: u8) {
+        self.bytes(&[0x48, 0x89, 0xc0 | (src << 3) | dst]);
+    }
+
+    /// `mov r64, simm32` (sign-extended immediate).
+    pub fn mov_simm32(&mut self, reg: u8, imm: i32) {
+        self.bytes(&[0x48, 0xc7, 0xc0 | reg]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `mov r32, imm32` (zero-extended immediate).
+    pub fn mov_imm32(&mut self, reg: u8, imm: u32) {
+        self.code.push(0xb8 | reg);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `movabs r64, imm64`.
+    pub fn mov_imm64(&mut self, reg: u8, imm: u64) {
+        self.bytes(&[0x48, 0xb8 | reg]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `mov qword [rbx+disp], simm32` (sign-extended store).
+    pub fn store_simm32(&mut self, disp: i32, imm: i32) {
+        self.bytes(&[0x48, 0xc7]);
+        modrm_rbx(&mut self.code, 0, disp);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    // ----- read-modify-write on [rbx+disp] ----------------------------------
+
+    /// `add rax, simm32` (sign-extended; the short rax-only form).
+    pub fn add_rax_simm32(&mut self, imm: i32) {
+        self.bytes(&[0x48, 0x05]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `mov r8d, imm32` (zero-extended; 5th SysV argument).
+    pub fn mov_r8d_imm32(&mut self, imm: u32) {
+        self.bytes(&[0x41, 0xb8]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `add qword [rbx+disp], imm32` (sign-extended).
+    pub fn add_mem64_imm32(&mut self, disp: i32, imm: i32) {
+        self.bytes(&[0x48, 0x81]);
+        modrm_rbx(&mut self.code, 0, disp);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `inc qword [rbx+disp]`.
+    pub fn inc_mem64(&mut self, disp: i32) {
+        self.bytes(&[0x48, 0xff]);
+        modrm_rbx(&mut self.code, 0, disp);
+    }
+
+    /// `add qword [rbx+disp], imm8` (sign-extended).
+    pub fn add_mem64_imm8(&mut self, disp: i32, imm: i8) {
+        self.bytes(&[0x48, 0x83]);
+        modrm_rbx(&mut self.code, 0, disp);
+        self.code.push(imm as u8);
+    }
+
+    /// `or dword [rbx+disp], imm32`.
+    pub fn or_mem32_imm(&mut self, disp: i32, imm: u32) {
+        self.code.push(0x81);
+        modrm_rbx(&mut self.code, 1, disp);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `test dword [rbx+disp], imm32` (sets ZF iff no tested bit is set).
+    pub fn test_mem32_imm(&mut self, disp: i32, imm: u32) {
+        self.code.push(0xf7);
+        modrm_rbx(&mut self.code, 0, disp);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `cmp r64, [rbx+disp]`.
+    pub fn cmp_reg_mem64(&mut self, reg: u8, disp: i32) {
+        self.bytes(&[0x48, 0x3b]);
+        modrm_rbx(&mut self.code, reg, disp);
+    }
+
+    /// `cmp qword [rbx+disp], imm8`.
+    pub fn cmp_mem64_imm8(&mut self, disp: i32, imm: i8) {
+        self.bytes(&[0x48, 0x83]);
+        modrm_rbx(&mut self.code, 7, disp);
+        self.code.push(imm as u8);
+    }
+
+    // ----- ALU on scratch registers -----------------------------------------
+
+    /// Two-operand 64-bit ALU op by opcode byte (`add`=0x01, `sub`=0x29,
+    /// `and`=0x21, `or`=0x09, `xor`=0x31, `cmp`=0x39, `test`=0x85):
+    /// `op dst, src`.
+    pub fn alu64_rr(&mut self, opcode: u8, dst: u8, src: u8) {
+        self.bytes(&[0x48, opcode, 0xc0 | (src << 3) | dst]);
+    }
+
+    /// Same, 32-bit form.
+    pub fn alu32_rr(&mut self, opcode: u8, dst: u8, src: u8) {
+        self.bytes(&[opcode, 0xc0 | (src << 3) | dst]);
+    }
+
+    /// `imul r64dst, r64src`.
+    pub fn imul64(&mut self, dst: u8, src: u8) {
+        self.bytes(&[0x48, 0x0f, 0xaf, 0xc0 | (dst << 3) | src]);
+    }
+
+    /// `imul r32dst, r32src`.
+    pub fn imul32(&mut self, dst: u8, src: u8) {
+        self.bytes(&[0x0f, 0xaf, 0xc0 | (dst << 3) | src]);
+    }
+
+    /// `div r64` / `neg r64` / ... : group-F7 unary ops (`/4`=mul, `/6`=div,
+    /// `/3`=neg) on a 64-bit register.
+    pub fn grp64(&mut self, ext: u8, reg: u8) {
+        self.bytes(&[0x48, 0xf7, 0xc0 | (ext << 3) | reg]);
+    }
+
+    /// Group-F7 unary op on a 32-bit register.
+    pub fn grp32(&mut self, ext: u8, reg: u8) {
+        self.bytes(&[0xf7, 0xc0 | (ext << 3) | reg]);
+    }
+
+    /// Shift `r64` by `cl` (`/4`=shl, `/5`=shr, `/7`=sar).
+    pub fn shift64_cl(&mut self, ext: u8, reg: u8) {
+        self.bytes(&[0x48, 0xd3, 0xc0 | (ext << 3) | reg]);
+    }
+
+    /// Shift `r32` by `cl`.
+    pub fn shift32_cl(&mut self, ext: u8, reg: u8) {
+        self.bytes(&[0xd3, 0xc0 | (ext << 3) | reg]);
+    }
+
+    /// `xor r32, r32` (zeroing idiom).
+    pub fn zero32(&mut self, reg: u8) {
+        self.bytes(&[0x31, 0xc0 | (reg << 3) | reg]);
+    }
+
+    /// `bswap r64`.
+    pub fn bswap64(&mut self, reg: u8) {
+        self.bytes(&[0x48, 0x0f, 0xc8 | reg]);
+    }
+
+    /// `bswap r32`.
+    pub fn bswap32(&mut self, reg: u8) {
+        self.bytes(&[0x0f, 0xc8 | reg]);
+    }
+
+    /// `movzx r32, r16` (same register: mask to 16 bits).
+    pub fn movzx16(&mut self, reg: u8) {
+        self.bytes(&[0x0f, 0xb7, 0xc0 | (reg << 3) | reg]);
+    }
+
+    /// `mov r32, r32` on the same register (mask to 32 bits).
+    pub fn mask32(&mut self, reg: u8) {
+        self.alu32_rr(0x89, reg, reg);
+    }
+
+    /// `ror r16, 8` (byte swap of the low 16 bits).
+    pub fn ror16_8(&mut self, reg: u8) {
+        self.bytes(&[0x66, 0xc1, 0xc8 | reg, 0x08]);
+    }
+
+    // ----- register-immediate arithmetic and [rdx+rcx] accesses -------------
+    // The memory fast paths address region bytes as `[rdx + rcx]` (rdx =
+    // region base pointer, rcx = offset), encoded with a SIB byte.
+
+    /// `sub r64, imm32` (sign-extended).
+    pub fn sub_reg_imm32(&mut self, reg: u8, imm: i32) {
+        self.bytes(&[0x48, 0x81, 0xc0 | (5 << 3) | reg]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `cmp r64, imm32` (sign-extended).
+    pub fn cmp_reg_imm32(&mut self, reg: u8, imm: i32) {
+        self.bytes(&[0x48, 0x81, 0xc0 | (7 << 3) | reg]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `add r64, imm8` (sign-extended).
+    pub fn add_reg_imm8(&mut self, reg: u8, imm: i8) {
+        self.bytes(&[0x48, 0x83, 0xc0 | reg, imm as u8]);
+    }
+
+    fn sib_rdx_rcx(&mut self, reg_field: u8) {
+        self.code.push((reg_field << 3) | 0x04); // mod=00, rm=SIB
+        self.code.push(0x0a); // scale=1, index=rcx, base=rdx
+    }
+
+    /// Zero-extending load of `bytes` (1/2/4/8) from `[rdx+rcx]` into `rax`.
+    pub fn load_sized_rdx_rcx(&mut self, bytes_n: usize) {
+        match bytes_n {
+            1 => self.bytes(&[0x0f, 0xb6]), // movzx eax, byte
+            2 => self.bytes(&[0x0f, 0xb7]), // movzx eax, word
+            4 => self.code.push(0x8b),      // mov eax, dword
+            _ => self.bytes(&[0x48, 0x8b]), // mov rax, qword
+        }
+        self.sib_rdx_rcx(gpr::RAX);
+    }
+
+    /// Store the low `bytes` (1/2/4/8) of `rsi` to `[rdx+rcx]`.
+    pub fn store_sized_rdx_rcx(&mut self, bytes_n: usize) {
+        match bytes_n {
+            1 => self.bytes(&[0x40, 0x88]), // mov byte, sil (REX for sil)
+            2 => self.bytes(&[0x66, 0x89]), // mov word, si
+            4 => self.code.push(0x89),      // mov dword, esi
+            _ => self.bytes(&[0x48, 0x89]), // mov qword, rsi
+        }
+        self.sib_rdx_rcx(gpr::RSI);
+    }
+
+    /// `mov rdi, qword [rdx+rcx]` (8-byte init-mask fetch).
+    pub fn load64_rdi_rdx_rcx(&mut self) {
+        self.bytes(&[0x48, 0x8b]);
+        self.sib_rdx_rcx(gpr::RDI);
+    }
+
+    /// `mov qword [rdx+rcx], rdi` (8-byte init-mask store).
+    pub fn store64_rdi_rdx_rcx(&mut self) {
+        self.bytes(&[0x48, 0x89]);
+        self.sib_rdx_rcx(gpr::RDI);
+    }
+
+    /// `cmp {byte,word,dword} [rdx+rcx], imm` (for the 8-byte form use a
+    /// load + register compare instead).
+    pub fn cmp_sized_rdx_rcx_imm(&mut self, bytes_n: usize, imm: u32) {
+        match bytes_n {
+            1 => {
+                self.code.push(0x80);
+                self.sib_rdx_rcx(7);
+                self.code.push(imm as u8);
+            }
+            2 => {
+                self.bytes(&[0x66, 0x81]);
+                self.sib_rdx_rcx(7);
+                self.bytes(&(imm as u16).to_le_bytes());
+            }
+            _ => {
+                self.code.push(0x81);
+                self.sib_rdx_rcx(7);
+                self.bytes(&imm.to_le_bytes());
+            }
+        }
+    }
+
+    /// `mov {byte,word,dword} [rdx+rcx], imm` (for the 8-byte form use a
+    /// register store instead).
+    pub fn store_imm_sized_rdx_rcx(&mut self, bytes_n: usize, imm: u32) {
+        match bytes_n {
+            1 => {
+                self.code.push(0xc6);
+                self.sib_rdx_rcx(0);
+                self.code.push(imm as u8);
+            }
+            2 => {
+                self.bytes(&[0x66, 0xc7]);
+                self.sib_rdx_rcx(0);
+                self.bytes(&(imm as u16).to_le_bytes());
+            }
+            _ => {
+                self.code.push(0xc7);
+                self.sib_rdx_rcx(0);
+                self.bytes(&imm.to_le_bytes());
+            }
+        }
+    }
+
+    // ----- control flow ------------------------------------------------------
+
+    /// `jcc rel8` with the target not yet known.
+    pub fn jcc8_fwd(&mut self, cc: Cc) -> Patch8 {
+        self.bytes(&[0x70 | cc.nibble(), 0]);
+        Patch8(self.pos() - 1)
+    }
+
+    /// `jmp rel8` with the target not yet known.
+    pub fn jmp8_fwd(&mut self) -> Patch8 {
+        self.bytes(&[0xeb, 0]);
+        Patch8(self.pos() - 1)
+    }
+
+    /// Resolve a short forward jump to the current position.
+    pub fn patch8(&mut self, p: Patch8) {
+        let rel = self.pos() as i64 - (p.0 as i64 + 1);
+        assert!((0..=127).contains(&rel), "short jump out of range: {rel}");
+        self.code[p.0] = rel as u8;
+    }
+
+    /// `jmp rel32` to an absolute offset already emitted (backward jumps to
+    /// the epilogue).
+    pub fn jmp32_to(&mut self, target: usize) {
+        self.code.push(0xe9);
+        let rel = target as i64 - (self.pos() as i64 + 4);
+        self.bytes(&(rel as i32).to_le_bytes());
+    }
+
+    /// `jcc rel32` to an absolute offset already emitted.
+    pub fn jcc32_to(&mut self, cc: Cc, target: usize) {
+        self.bytes(&[0x0f, 0x80 | cc.nibble()]);
+        let rel = target as i64 - (self.pos() as i64 + 4);
+        self.bytes(&(rel as i32).to_le_bytes());
+    }
+
+    /// `jmp rel32` to a BPF instruction index (resolved by [`Asm::resolve`]).
+    pub fn jmp32_insn(&mut self, target_insn: usize) {
+        self.code.push(0xe9);
+        self.fixups.push((self.pos(), target_insn));
+        self.bytes(&[0; 4]);
+    }
+
+    /// `jcc rel32` to a BPF instruction index.
+    pub fn jcc32_insn(&mut self, cc: Cc, target_insn: usize) {
+        self.bytes(&[0x0f, 0x80 | cc.nibble()]);
+        self.fixups.push((self.pos(), target_insn));
+        self.bytes(&[0; 4]);
+    }
+
+    /// Patch every pending instruction-index branch once `insn_offsets`
+    /// (including the one-past-the-end slot) is complete.
+    pub fn resolve(&mut self, insn_offsets: &[usize]) {
+        for (pos, target) in std::mem::take(&mut self.fixups) {
+            let dest = insn_offsets[target];
+            let rel = dest as i64 - (pos as i64 + 4);
+            self.code[pos..pos + 4].copy_from_slice(&(rel as i32).to_le_bytes());
+        }
+    }
+
+    /// `call qword [rbx+disp]`.
+    pub fn call_mem(&mut self, disp: i32) {
+        self.code.push(0xff);
+        modrm_rbx(&mut self.code, 2, disp);
+    }
+
+    /// Function prologue: `push rbx; mov rbx, rdi`.
+    pub fn prologue(&mut self) {
+        self.bytes(&[0x53, 0x48, 0x89, 0xfb]);
+    }
+
+    /// `mov eax, imm32; pop rbx; ret` — the two exits.
+    pub fn epilogue(&mut self, status: u32) {
+        self.mov_imm32(0, status);
+        self.bytes(&[0x5b, 0xc3]);
+    }
+}
+
+/// Scratch register numbers used by the translator.
+pub mod gpr {
+    /// `rax`: destination operand / result.
+    pub const RAX: u8 = 0;
+    /// `rbx`: pinned base register holding the `JitEnv` pointer.
+    pub const RBX: u8 = 3;
+    /// `rcx`: source operand / shift count / 4th SysV argument.
+    pub const RCX: u8 = 1;
+    /// `rdx`: division high half / 3rd SysV argument.
+    pub const RDX: u8 = 2;
+    /// `rsi`: 2nd SysV argument.
+    pub const RSI: u8 = 6;
+    /// `rdi`: 1st SysV argument.
+    pub const RDI: u8 = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disp8_vs_disp32_selection() {
+        let mut a = Asm::new();
+        a.load64(gpr::RAX, 8);
+        assert_eq!(a.code, vec![0x48, 0x8b, 0x43, 0x08]);
+        let mut b = Asm::new();
+        b.load64(gpr::RAX, 200);
+        assert_eq!(b.code, vec![0x48, 0x8b, 0x83, 200, 0, 0, 0]);
+    }
+
+    #[test]
+    fn short_patch_round_trip() {
+        let mut a = Asm::new();
+        let p = a.jcc8_fwd(Cc::E);
+        a.mov_imm32(gpr::RAX, 1);
+        a.patch8(p);
+        assert_eq!(a.code[1], 5); // skip over the 5-byte mov
+    }
+
+    #[test]
+    fn insn_fixups_resolve_forward_and_backward() {
+        let mut a = Asm::new();
+        let offsets = vec![0usize, 10, 20];
+        a.code.resize(10, 0x90);
+        a.jmp32_insn(2);
+        a.code.resize(20, 0x90);
+        a.resolve(&offsets);
+        // jmp at 10, rel32 at 11..15; target 20 → rel = 20 - 15 = 5.
+        assert_eq!(&a.code[11..15], &5i32.to_le_bytes());
+    }
+
+    #[test]
+    fn cc_inversion_is_involutive() {
+        for cc in [
+            Cc::E,
+            Cc::Ne,
+            Cc::A,
+            Cc::Ae,
+            Cc::B,
+            Cc::Be,
+            Cc::G,
+            Cc::Ge,
+            Cc::L,
+            Cc::Le,
+        ] {
+            assert_eq!(cc.invert().invert(), cc);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The runtime environment shared between emitted code and Rust.
+//!
+//! Emitted code keeps every piece of BPF machine state it touches in a
+//! single `#[repr(C)]` struct ([`JitEnv`]) addressed off a pinned base
+//! register: the eleven BPF registers, the register-initialization bitmask,
+//! step/cost accounting, and the trap record. Memory accesses and helper
+//! calls leave the native world through a function-pointer table
+//! ([`CallTable`]) whose targets are thin `extern "C"` thunks over the very
+//! same [`MachineState`] methods the interpreter uses — so bounds checks,
+//! stack-initialization tracking and helper semantics exist exactly once and
+//! cannot drift between backends.
+
+use bpf_interp::{MachineState, Trap};
+use bpf_isa::{HelperId, MemSize, Program, Reg};
+
+/// Trap discriminants written by emitted code. `RUST` means a callback
+/// recorded the full [`Trap`] value in [`JitEnv::rust_trap`].
+pub mod trap_code {
+    /// No trap: normal execution.
+    pub const NONE: u64 = 0;
+    /// `Trap::UninitRegister` (aux = register index).
+    pub const UNINIT_REG: u64 = 1;
+    /// `Trap::FramePointerWrite`.
+    pub const FP_WRITE: u64 = 2;
+    /// `Trap::StepLimitExceeded`.
+    pub const STEP_LIMIT: u64 = 3;
+    /// `Trap::ControlFlowEscape` (aux = target, as i64 bits).
+    pub const CFG_ESCAPE: u64 = 4;
+    /// A callback stored the full trap on the Rust side.
+    pub const RUST: u64 = 5;
+}
+
+/// The function-pointer table through which emitted code reaches Rust.
+///
+/// Every slot is an `extern "C"` function so the emitted `call [rbx+disp]`
+/// sequences can use the System V ABI directly.
+#[repr(C)]
+pub struct CallTable {
+    /// `*(size*)addr` load; returns the zero-extended value.
+    pub load: unsafe extern "C" fn(*mut JitEnv, u64, u64, u64) -> u64,
+    /// `*(size*)addr = value` store.
+    pub store: unsafe extern "C" fn(*mut JitEnv, u64, u64, u64, u64),
+    /// Atomic add (`BPF_XADD`).
+    pub xadd: unsafe extern "C" fn(*mut JitEnv, u64, u64, u64, u64),
+    /// `ld_map_fd`: map-id to handle, validating the declaration.
+    pub map_fd: unsafe extern "C" fn(*mut JitEnv, u64, u64) -> u64,
+    /// Helper call dispatch (syncs registers, runs `exec::call_helper`).
+    pub helper: unsafe extern "C" fn(*mut JitEnv, u64, u64),
+}
+
+impl CallTable {
+    fn new() -> CallTable {
+        CallTable {
+            load: cb_load,
+            store: cb_store,
+            xadd: cb_xadd,
+            map_fd: cb_map_fd,
+            helper: cb_helper,
+        }
+    }
+}
+
+/// Execution state addressed directly by emitted code.
+///
+/// Field order matters: the emitter bakes `offset_of!` values into
+/// displacement bytes. Fields after `table` are only touched from Rust.
+#[repr(C)]
+pub struct JitEnv {
+    /// The eleven BPF registers.
+    pub regs: [u64; 11],
+    /// Bit `i` set iff register `i` holds a defined value.
+    pub reg_init: u64,
+    /// Instructions executed so far.
+    pub steps: u64,
+    /// Step limit (checked before each instruction, like the interpreter).
+    pub step_limit: u64,
+    /// Accumulated cost under the default cost model.
+    pub cost: u64,
+    /// One of the [`trap_code`] discriminants.
+    pub trap_code: u64,
+    /// Program counter of the trapping instruction.
+    pub trap_pc: u64,
+    /// Trap-specific extra value (register index, escape target, ...).
+    pub trap_aux: u64,
+    /// The callback table (read by emitted `call [rbx+disp]`).
+    pub table: CallTable,
+    /// Base of the 512-byte stack buffer (native fast path).
+    pub stack_ptr: *mut u8,
+    /// Base of the per-byte stack init flags (0/1 bytes, native fast path).
+    pub stack_init_ptr: *mut bool,
+    /// Base of the packet buffer (native fast path).
+    pub packet_ptr: *mut u8,
+    /// Total packet buffer length (native fast path bound).
+    pub packet_len: u64,
+    /// Current packet `data` offset (refreshed after helper calls, which may
+    /// run `bpf_xdp_adjust_head`).
+    pub data_off: u64,
+    /// The machine state backing memory and helper semantics (Rust-only).
+    machine: *mut MachineState,
+    /// The program being executed (Rust-only; map definitions for helpers).
+    prog: *const Program,
+    /// Full trap recorded by a callback (`trap_code == RUST`).
+    rust_trap: Option<Trap>,
+}
+
+/// Byte offsets the emitter needs, derived from the actual layout so the
+/// emitted displacements can never drift from the struct definition.
+pub mod offs {
+    use super::{CallTable, JitEnv};
+    use core::mem::offset_of;
+
+    /// Offset of register `r`'s 64-bit slot.
+    pub fn reg(r: bpf_isa::Reg) -> i32 {
+        (offset_of!(JitEnv, regs) + 8 * r.index()) as i32
+    }
+    /// Offset of the init bitmask.
+    pub const fn reg_init() -> i32 {
+        offset_of!(JitEnv, reg_init) as i32
+    }
+    /// Offset of the step counter.
+    pub const fn steps() -> i32 {
+        offset_of!(JitEnv, steps) as i32
+    }
+    /// Offset of the step limit.
+    pub const fn step_limit() -> i32 {
+        offset_of!(JitEnv, step_limit) as i32
+    }
+    /// Offset of the cost accumulator.
+    pub const fn cost() -> i32 {
+        offset_of!(JitEnv, cost) as i32
+    }
+    /// Offset of the trap discriminant.
+    pub const fn trap_code() -> i32 {
+        offset_of!(JitEnv, trap_code) as i32
+    }
+    /// Offset of the trap pc.
+    pub const fn trap_pc() -> i32 {
+        offset_of!(JitEnv, trap_pc) as i32
+    }
+    /// Offset of the trap aux value.
+    pub const fn trap_aux() -> i32 {
+        offset_of!(JitEnv, trap_aux) as i32
+    }
+    /// Offset of the load callback pointer.
+    pub const fn cb_load() -> i32 {
+        (offset_of!(JitEnv, table) + offset_of!(CallTable, load)) as i32
+    }
+    /// Offset of the store callback pointer.
+    pub const fn cb_store() -> i32 {
+        (offset_of!(JitEnv, table) + offset_of!(CallTable, store)) as i32
+    }
+    /// Offset of the atomic-add callback pointer.
+    pub const fn cb_xadd() -> i32 {
+        (offset_of!(JitEnv, table) + offset_of!(CallTable, xadd)) as i32
+    }
+    /// Offset of the map-fd callback pointer.
+    pub const fn cb_map_fd() -> i32 {
+        (offset_of!(JitEnv, table) + offset_of!(CallTable, map_fd)) as i32
+    }
+    /// Offset of the helper callback pointer.
+    pub const fn cb_helper() -> i32 {
+        (offset_of!(JitEnv, table) + offset_of!(CallTable, helper)) as i32
+    }
+    /// Offset of the stack buffer base pointer.
+    pub const fn stack_ptr() -> i32 {
+        offset_of!(JitEnv, stack_ptr) as i32
+    }
+    /// Offset of the stack init-flag base pointer.
+    pub const fn stack_init_ptr() -> i32 {
+        offset_of!(JitEnv, stack_init_ptr) as i32
+    }
+    /// Offset of the packet buffer base pointer.
+    pub const fn packet_ptr() -> i32 {
+        offset_of!(JitEnv, packet_ptr) as i32
+    }
+    /// Offset of the packet buffer length.
+    pub const fn packet_len() -> i32 {
+        offset_of!(JitEnv, packet_len) as i32
+    }
+    /// Offset of the packet data offset.
+    pub const fn data_off() -> i32 {
+        offset_of!(JitEnv, data_off) as i32
+    }
+}
+
+impl JitEnv {
+    /// Build the environment for one execution, mirroring the entry
+    /// conventions [`MachineState::new`] establishes (`r1` = ctx pointer,
+    /// `r10` = frame pointer, everything else uninitialized).
+    pub fn new(machine: &mut MachineState, prog: &Program, step_limit: usize) -> JitEnv {
+        let mut regs = [0u64; 11];
+        let mut reg_init = 0u64;
+        for r in Reg::ALL {
+            regs[r.index()] = machine.reg_raw(r);
+            if machine.reg_is_init(r) {
+                reg_init |= 1 << r.index();
+            }
+        }
+        let view = machine.memory_view();
+        JitEnv {
+            regs,
+            reg_init,
+            steps: 0,
+            step_limit: step_limit as u64,
+            cost: 0,
+            trap_code: trap_code::NONE,
+            trap_pc: 0,
+            trap_aux: 0,
+            table: CallTable::new(),
+            stack_ptr: view.stack,
+            stack_init_ptr: view.stack_init,
+            packet_ptr: view.packet,
+            packet_len: view.packet_len as u64,
+            data_off: view.data_off as u64,
+            machine,
+            prog,
+            rust_trap: None,
+        }
+    }
+
+    /// Re-read the memory view after an operation that may have moved the
+    /// packet window (`bpf_xdp_adjust_head` via a helper call).
+    fn refresh_memory_view(&mut self) {
+        let view = self.machine().memory_view();
+        self.stack_ptr = view.stack;
+        self.stack_init_ptr = view.stack_init;
+        self.packet_ptr = view.packet;
+        self.packet_len = view.packet_len as u64;
+        self.data_off = view.data_off as u64;
+    }
+
+    /// Decode the recorded trap after emitted code returned nonzero.
+    pub fn take_trap(&mut self) -> Trap {
+        let pc = self.trap_pc as usize;
+        match self.trap_code {
+            trap_code::UNINIT_REG => Trap::UninitRegister {
+                reg: Reg::from_index(self.trap_aux as u8).unwrap_or(Reg::R0),
+                pc,
+            },
+            trap_code::FP_WRITE => Trap::FramePointerWrite { pc },
+            trap_code::STEP_LIMIT => Trap::StepLimitExceeded {
+                limit: self.step_limit as usize,
+            },
+            trap_code::CFG_ESCAPE => Trap::ControlFlowEscape {
+                target: self.trap_aux as i64,
+            },
+            trap_code::RUST => self
+                .rust_trap
+                .take()
+                .unwrap_or(Trap::ControlFlowEscape { target: -1 }),
+            code => unreachable!("unknown jit trap code {code}"),
+        }
+    }
+
+    fn record(&mut self, trap: Trap) {
+        self.trap_code = trap_code::RUST;
+        self.rust_trap = Some(trap);
+    }
+
+    fn machine(&mut self) -> &mut MachineState {
+        // Safety: `machine` points at the MachineState that outlives the
+        // emitted-code invocation (both live in `JitProgram::run_with_limit`'s
+        // frame), and emitted code is single-threaded.
+        unsafe { &mut *self.machine }
+    }
+
+    fn prog(&self) -> &Program {
+        // Safety: as above; the program outlives the invocation.
+        unsafe { &*self.prog }
+    }
+}
+
+fn mem_size(code: u64) -> MemSize {
+    match code {
+        1 => MemSize::Byte,
+        2 => MemSize::Half,
+        4 => MemSize::Word,
+        _ => MemSize::Dword,
+    }
+}
+
+unsafe extern "C" fn cb_load(env: *mut JitEnv, addr: u64, pc: u64, size: u64) -> u64 {
+    let env = unsafe { &mut *env };
+    match env.machine().read_mem(addr, mem_size(size), pc as usize) {
+        Ok(v) => v,
+        Err(t) => {
+            env.record(t);
+            0
+        }
+    }
+}
+
+unsafe extern "C" fn cb_store(env: *mut JitEnv, addr: u64, value: u64, pc: u64, size: u64) {
+    let env = unsafe { &mut *env };
+    if let Err(t) = env
+        .machine()
+        .write_mem(addr, mem_size(size), value, pc as usize)
+    {
+        env.record(t);
+    }
+}
+
+unsafe extern "C" fn cb_xadd(env: *mut JitEnv, addr: u64, addend: u64, pc: u64, size: u64) {
+    let env = unsafe { &mut *env };
+    let size = mem_size(size);
+    let pc = pc as usize;
+    // Mirror the interpreter exactly: normal read path (so uninitialized
+    // stack reads still trap), width-dependent wrapping add, then write.
+    let old = match env.machine().read_mem(addr, size, pc) {
+        Ok(v) => v,
+        Err(t) => return env.record(t),
+    };
+    let new = match size {
+        MemSize::Word => (old as u32).wrapping_add(addend as u32) as u64,
+        _ => old.wrapping_add(addend),
+    };
+    if let Err(t) = env.machine().write_mem(addr, size, new, pc) {
+        env.record(t);
+    }
+}
+
+unsafe extern "C" fn cb_map_fd(env: *mut JitEnv, map_id: u64, pc: u64) -> u64 {
+    let env = unsafe { &mut *env };
+    let map_id = map_id as u32;
+    if env.prog().map(bpf_isa::MapId(map_id)).is_none() {
+        env.record(Trap::BadHelperArgument {
+            what: "undeclared map id",
+            pc: pc as usize,
+        });
+        return 0;
+    }
+    env.machine().map_handle(map_id)
+}
+
+unsafe extern "C" fn cb_helper(env: *mut JitEnv, helper: u64, pc: u64) {
+    let env = unsafe { &mut *env };
+    // Registers live in the env while native code runs; the shared helper
+    // implementation reads and writes MachineState registers, so sync them
+    // across the boundary in both directions.
+    for r in Reg::ALL {
+        if env.reg_init & (1 << r.index()) != 0 {
+            let v = env.regs[r.index()];
+            env.machine().set_reg_raw(r, v);
+        } else {
+            env.machine().clobber_reg(r);
+        }
+    }
+    let helper = HelperId::from_number(helper as u32);
+    let prog = env.prog;
+    // Safety: `prog` outlives the call; `call_helper` does not touch `env`.
+    let result = bpf_interp::call_helper(env.machine(), unsafe { &*prog }, helper, pc as usize);
+    match result {
+        Ok(()) => {
+            for r in Reg::ALL {
+                env.regs[r.index()] = env.machine().reg_raw(r);
+                if env.machine().reg_is_init(r) {
+                    env.reg_init |= 1 << r.index();
+                } else {
+                    env.reg_init &= !(1 << r.index());
+                }
+            }
+            env.refresh_memory_view();
+        }
+        Err(t) => env.record(t),
+    }
+}

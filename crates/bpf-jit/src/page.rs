@@ -1,0 +1,85 @@
+//! The executable code page: W^X emission.
+//!
+//! Machine code is assembled into an ordinary `Vec<u8>`, copied into a fresh
+//! anonymous mapping while it is still writable, and only then flipped to
+//! read+execute with `mprotect`. The page is never writable and executable at
+//! the same time, matching the hardening the kernel applies to its own BPF
+//! JIT output.
+
+use crate::sys;
+use crate::JitError;
+
+/// A finished, executable code mapping.
+#[derive(Debug)]
+pub struct ExecPage {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is immutable (RX) after construction and carries no thread
+// affinity; sharing references across threads is safe.
+unsafe impl Send for ExecPage {}
+unsafe impl Sync for ExecPage {}
+
+impl ExecPage {
+    /// Map `code` into fresh executable memory (write, then protect).
+    pub fn new(code: &[u8]) -> Result<ExecPage, JitError> {
+        if code.is_empty() {
+            return Err(JitError::EmptyCode);
+        }
+        let len = code.len().div_ceil(4096) * 4096;
+        unsafe {
+            let ptr = sys::mmap_rw(len).map_err(JitError::Mmap)?;
+            core::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+            if let Err(errno) = sys::mprotect_rx(ptr, len) {
+                let _ = sys::munmap(ptr, len);
+                return Err(JitError::Mprotect(errno));
+            }
+            Ok(ExecPage { ptr, len })
+        }
+    }
+
+    /// Entry point of the emitted code (offset 0).
+    pub fn entry(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Mapped length in bytes (page-rounded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never: construction requires code).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for ExecPage {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_a_trivial_function() {
+        // mov eax, 0x2a; ret
+        let code = [0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3];
+        let page = ExecPage::new(&code).expect("page");
+        let f: extern "C" fn() -> u64 = unsafe { core::mem::transmute(page.entry()) };
+        assert_eq!(f(), 0x2a);
+        assert_eq!(page.len(), 4096);
+        assert!(!page.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_code() {
+        assert!(matches!(ExecPage::new(&[]), Err(JitError::EmptyCode)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal raw-syscall bindings for the executable code page.
+//!
+//! The build environment has no registry access, so there is no `libc` crate
+//! to lean on; `std` exposes no anonymous-mapping API either. This module
+//! issues the three syscalls the JIT needs (`mmap`, `mprotect`, `munmap`)
+//! directly via the x86-64 `syscall` instruction. It compiles only on
+//! `x86_64-unknown-linux-*`; every other target takes the interpreter
+//! fallback path and never reaches this code.
+
+/// `PROT_READ`.
+pub const PROT_READ: i64 = 0x1;
+/// `PROT_WRITE`.
+pub const PROT_WRITE: i64 = 0x2;
+/// `PROT_EXEC`.
+pub const PROT_EXEC: i64 = 0x4;
+/// `MAP_PRIVATE | MAP_ANONYMOUS`.
+pub const MAP_PRIVATE_ANON: i64 = 0x02 | 0x20;
+
+const SYS_MMAP: i64 = 9;
+const SYS_MPROTECT: i64 = 10;
+const SYS_MUNMAP: i64 = 11;
+
+/// Raw six-argument syscall. Returns the kernel's raw return value: a
+/// negative errno in `-4095..0` on failure.
+///
+/// # Safety
+/// The caller must uphold the contract of the specific syscall being made.
+unsafe fn syscall6(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+    let ret: i64;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+fn check(ret: i64) -> Result<i64, i64> {
+    if (-4095..0).contains(&ret) {
+        Err(-ret)
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Anonymous private read+write mapping of `len` bytes. Returns the address
+/// or the errno.
+///
+/// # Safety
+/// `len` must be nonzero; the returned region must eventually be unmapped.
+pub unsafe fn mmap_rw(len: usize) -> Result<*mut u8, i64> {
+    let ret = unsafe {
+        syscall6(
+            SYS_MMAP,
+            0,
+            len as i64,
+            PROT_READ | PROT_WRITE,
+            MAP_PRIVATE_ANON,
+            -1,
+            0,
+        )
+    };
+    check(ret).map(|addr| addr as *mut u8)
+}
+
+/// Flip a mapping to read+execute (the W^X transition).
+///
+/// # Safety
+/// `addr`/`len` must describe a live mapping created by [`mmap_rw`].
+pub unsafe fn mprotect_rx(addr: *mut u8, len: usize) -> Result<(), i64> {
+    let ret = unsafe {
+        syscall6(
+            SYS_MPROTECT,
+            addr as i64,
+            len as i64,
+            PROT_READ | PROT_EXEC,
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+/// Unmap a region created by [`mmap_rw`].
+///
+/// # Safety
+/// `addr`/`len` must describe a live mapping; no code in it may be running.
+pub unsafe fn munmap(addr: *mut u8, len: usize) -> Result<(), i64> {
+    let ret = unsafe { syscall6(SYS_MUNMAP, addr as i64, len as i64, 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_write_protect_unmap_cycle() {
+        unsafe {
+            let len = 4096;
+            let addr = mmap_rw(len).expect("mmap");
+            core::ptr::write_bytes(addr, 0xc3, 16); // fill with `ret`s
+            mprotect_rx(addr, len).expect("mprotect");
+            assert_eq!(*addr, 0xc3);
+            munmap(addr, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn zero_length_mmap_fails_cleanly() {
+        unsafe {
+            // The kernel rejects zero-length mappings with EINVAL (22); the
+            // error must surface as Err, not a bogus pointer.
+            assert!(mmap_rw(0).is_err());
+        }
+    }
+}

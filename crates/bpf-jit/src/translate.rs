@@ -1,0 +1,578 @@
+//! BPF → x86-64 translation.
+//!
+//! The translator lowers each BPF instruction to a fixed template that
+//! reproduces the interpreter's observable semantics *exactly*, in the same
+//! order the interpreter performs them:
+//!
+//! 1. step-limit check (before the "fetch"), then step/cost accounting,
+//! 2. uninitialized-register checks for every register in `Insn::uses()`,
+//!    in the interpreter's order,
+//! 3. the operation itself — ALU/branch work inline, memory and helper
+//!    operations through the [`crate::env::CallTable`] thunks,
+//! 4. frame-pointer write traps and statically-known control-flow-escape
+//!    traps, resolved at translation time where the interpreter resolves
+//!    them dynamically.
+//!
+//! Any instruction the translator cannot lower aborts translation with
+//! [`TranslateError`]; callers fall back to the interpreter transparently.
+
+use crate::emit::{gpr, Asm, Cc, Patch8};
+use crate::env::{offs, trap_code};
+use bpf_interp::{CostModel, PACKET_BASE, STACK_BASE};
+use bpf_isa::{AluOp, ByteOrder, Insn, JmpOp, MemSize, Program, Reg, Src, STACK_SIZE};
+
+/// Why a program could not be translated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The program exceeds the translator's size bound.
+    TooLarge {
+        /// Number of instructions in the program.
+        len: usize,
+    },
+    /// An instruction has no lowering (kept for forward compatibility; every
+    /// current `Insn` variant is supported).
+    Unsupported {
+        /// Index of the instruction.
+        pc: usize,
+        /// Display form of the instruction.
+        insn: String,
+    },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::TooLarge { len } => {
+                write!(f, "program too large to translate ({len} insns)")
+            }
+            TranslateError::Unsupported { pc, insn } => {
+                write!(f, "unsupported instruction at {pc}: {insn}")
+            }
+        }
+    }
+}
+
+/// Translator-wide bound on program size (the kernel's own limit is 4096
+/// wire slots; this leaves generous headroom for synthetic stress programs
+/// while keeping every emitted `rel32` in range).
+pub const MAX_INSNS: usize = 65_536;
+
+/// Offsets of the two shared exits inside the emitted function. The header
+/// is fixed-size: `push rbx; mov rbx, rdi` (4 bytes), `jmp body` (5 bytes),
+/// then the two 7-byte epilogues.
+const EXIT_OK: usize = 9;
+const EXIT_TRAP: usize = 16;
+const BODY: usize = 23;
+
+/// Translate a program into a complete x86-64 function body.
+///
+/// The function follows the System V ABI: one argument (the `JitEnv`
+/// pointer) in `rdi`, returns 0 for a normal exit and 1 for a trap.
+pub fn translate(prog: &Program, cost_model: &CostModel) -> Result<Vec<u8>, TranslateError> {
+    let len = prog.insns.len();
+    if len > MAX_INSNS {
+        return Err(TranslateError::TooLarge { len });
+    }
+
+    let mut a = Asm::new();
+    a.prologue();
+    a.jmp32_to(BODY);
+    a.epilogue(0); // EXIT_OK
+    a.epilogue(1); // EXIT_TRAP
+    debug_assert_eq!(a.pos(), BODY);
+
+    // Offsets of each instruction's start, plus the one-past-the-end block.
+    let mut insn_offsets = Vec::with_capacity(len + 1);
+
+    for (pc, insn) in prog.insns.iter().enumerate() {
+        insn_offsets.push(a.pos());
+        emit_step_accounting(&mut a, cost_model.insn_cost(insn));
+        for r in insn.uses() {
+            emit_init_check(&mut a, r, pc);
+        }
+        emit_insn(&mut a, prog, *insn, pc, len);
+    }
+
+    // The one-past-the-end block: reached by running off the end or by a
+    // jump targeting exactly `len`. The interpreter's loop re-checks the
+    // step limit before discovering the missing instruction, so the same
+    // ordering applies here.
+    insn_offsets.push(a.pos());
+    a.load64(gpr::RAX, offs::steps());
+    a.cmp_reg_mem64(gpr::RAX, offs::step_limit());
+    let ok = a.jcc8_fwd(Cc::B);
+    emit_trap(&mut a, trap_code::STEP_LIMIT, 0, 0);
+    a.patch8(ok);
+    emit_trap(&mut a, trap_code::CFG_ESCAPE, 0, len as i64);
+
+    a.resolve(&insn_offsets);
+    Ok(a.code)
+}
+
+/// Record a trap and jump to the trap epilogue.
+fn emit_trap(a: &mut Asm, code: u64, pc: usize, aux: i64) {
+    a.store_simm32(offs::trap_code(), code as i32);
+    if code != trap_code::STEP_LIMIT && code != trap_code::CFG_ESCAPE {
+        a.store_simm32(offs::trap_pc(), pc as i32);
+    }
+    if code == trap_code::UNINIT_REG || code == trap_code::CFG_ESCAPE {
+        if let Ok(imm) = i32::try_from(aux) {
+            a.store_simm32(offs::trap_aux(), imm);
+        } else {
+            a.mov_imm64(gpr::RAX, aux as u64);
+            a.store64(offs::trap_aux(), gpr::RAX);
+        }
+    }
+    a.jmp32_to(EXIT_TRAP);
+}
+
+/// Step-limit check (with the counter value *before* this instruction, as in
+/// the interpreter), then `steps += 1; cost += insn_cost`.
+fn emit_step_accounting(a: &mut Asm, cost: u64) {
+    a.load64(gpr::RAX, offs::steps());
+    a.cmp_reg_mem64(gpr::RAX, offs::step_limit());
+    let ok = a.jcc8_fwd(Cc::B);
+    emit_trap(a, trap_code::STEP_LIMIT, 0, 0);
+    a.patch8(ok);
+    a.inc_mem64(offs::steps());
+    if cost > 0 {
+        if let Ok(small) = i8::try_from(cost) {
+            a.add_mem64_imm8(offs::cost(), small);
+        } else {
+            a.add_mem64_imm32(offs::cost(), cost as i32);
+        }
+    }
+}
+
+/// Trap unless register `r` holds a defined value.
+fn emit_init_check(a: &mut Asm, r: Reg, pc: usize) {
+    a.test_mem32_imm(offs::reg_init(), 1 << r.index());
+    let ok = a.jcc8_fwd(Cc::Ne);
+    emit_trap(a, trap_code::UNINIT_REG, pc, r.index() as i64);
+    a.patch8(ok);
+}
+
+/// Store `rax` into `dst` and mark it initialized; traps on `r10` writes
+/// (statically known), preserving the interpreter's check order: the store
+/// attempt happens after any memory access already performed.
+fn emit_set_dst(a: &mut Asm, dst: Reg, pc: usize) {
+    if dst == Reg::R10 {
+        emit_trap(a, trap_code::FP_WRITE, pc, 0);
+        return;
+    }
+    a.store64(offs::reg(dst), gpr::RAX);
+    a.or_mem32_imm(offs::reg_init(), 1 << dst.index());
+}
+
+/// Load the source operand into `rcx` (64-bit: full value / sign-extended
+/// immediate; 32-bit: low half, which is all the 32-bit templates read).
+fn emit_src_operand(a: &mut Asm, src: Src, wide: bool) {
+    match src {
+        Src::Reg(r) => {
+            if wide {
+                a.load64(gpr::RCX, offs::reg(r));
+            } else {
+                a.load32(gpr::RCX, offs::reg(r));
+            }
+        }
+        Src::Imm(i) => a.mov_simm32(gpr::RCX, i),
+    }
+}
+
+/// After a callback returned, abort if it recorded a trap.
+fn emit_callback_trap_check(a: &mut Asm) {
+    a.cmp_mem64_imm8(offs::trap_code(), 0);
+    a.jcc32_to(Cc::Ne, EXIT_TRAP);
+}
+
+/// `rax = base + off` (the effective address of a memory instruction).
+fn emit_addr(a: &mut Asm, base: Reg, off: i16) {
+    a.load64(gpr::RAX, offs::reg(base));
+    if off != 0 {
+        a.add_rax_simm32(off as i32);
+    }
+}
+
+fn size_code(size: MemSize) -> u32 {
+    size.bytes() as u32
+}
+
+/// The all-bytes-initialized pattern for an n-byte stack chunk (`bool`
+/// flags are 0 or 1 per byte).
+fn init_pattern32(len: usize) -> u32 {
+    match len {
+        1 => 0x01,
+        2 => 0x0101,
+        _ => 0x0101_0101,
+    }
+}
+
+/// Native fast path for stack and packet accesses, bounds-checked against
+/// the `layout.rs` regions. On entry `rax` holds the effective address; for
+/// stores the value is already in `rsi`. A successful fast path leaves the
+/// zero-extended value in `rax` (loads) and jumps to the returned patches;
+/// on any miss — other region, out of bounds, uninitialized stack bytes —
+/// control falls through into the generic callback, which re-classifies the
+/// address and records the interpreter-exact trap.
+fn emit_mem_fast_path(a: &mut Asm, size: MemSize, store: bool) -> Vec<Patch8> {
+    let len = size.bytes();
+    let mut slow: Vec<Patch8> = Vec::new();
+    let mut done: Vec<Patch8> = Vec::new();
+
+    // --- stack: addr - STACK_BASE must leave the whole access in range ---
+    a.mov_rr(gpr::RCX, gpr::RAX);
+    a.sub_reg_imm32(gpr::RCX, STACK_BASE as i32);
+    a.cmp_reg_imm32(gpr::RCX, (STACK_SIZE - len) as i32);
+    let try_packet = a.jcc8_fwd(Cc::A); // also taken for addr < STACK_BASE (wraps)
+    if store {
+        a.load64(gpr::RDX, offs::stack_ptr());
+        a.store_sized_rdx_rcx(len);
+        // Mark every covered byte initialized, exactly like `write_bytes`.
+        a.load64(gpr::RDX, offs::stack_init_ptr());
+        if len == 8 {
+            a.mov_imm64(gpr::RDI, 0x0101_0101_0101_0101);
+            a.store64_rdi_rdx_rcx();
+        } else {
+            a.store_imm_sized_rdx_rcx(len, init_pattern32(len));
+        }
+    } else {
+        // Every covered byte must already be initialized; otherwise the
+        // slow path reports the exact first-uninitialized-byte trap.
+        a.load64(gpr::RDX, offs::stack_init_ptr());
+        if len == 8 {
+            a.load64_rdi_rdx_rcx();
+            a.mov_imm64(gpr::RDX, 0x0101_0101_0101_0101);
+            a.alu64_rr(0x39, gpr::RDI, gpr::RDX); // cmp rdi, rdx
+            slow.push(a.jcc8_fwd(Cc::Ne));
+        } else {
+            a.cmp_sized_rdx_rcx_imm(len, init_pattern32(len));
+            slow.push(a.jcc8_fwd(Cc::Ne));
+        }
+        a.load64(gpr::RDX, offs::stack_ptr());
+        a.load_sized_rdx_rcx(len);
+    }
+    done.push(a.jmp8_fwd());
+
+    // --- packet: data_off <= off && off + len <= packet_len ---
+    a.patch8(try_packet);
+    a.mov_rr(gpr::RCX, gpr::RAX);
+    a.sub_reg_imm32(gpr::RCX, PACKET_BASE as i32);
+    // off < packet_len first: keeps off + len from wrapping below.
+    a.cmp_reg_mem64(gpr::RCX, offs::packet_len());
+    slow.push(a.jcc8_fwd(Cc::Ae));
+    a.cmp_reg_mem64(gpr::RCX, offs::data_off());
+    slow.push(a.jcc8_fwd(Cc::B));
+    a.mov_rr(gpr::RDX, gpr::RCX);
+    a.add_reg_imm8(gpr::RDX, len as i8);
+    a.cmp_reg_mem64(gpr::RDX, offs::packet_len());
+    slow.push(a.jcc8_fwd(Cc::A));
+    a.load64(gpr::RDX, offs::packet_ptr());
+    if store {
+        a.store_sized_rdx_rcx(len);
+    } else {
+        a.load_sized_rdx_rcx(len);
+    }
+    done.push(a.jmp8_fwd());
+
+    for p in slow {
+        a.patch8(p);
+    }
+    done
+}
+
+fn jmp_cc(op: JmpOp) -> Cc {
+    match op {
+        JmpOp::Eq => Cc::E,
+        JmpOp::Ne => Cc::Ne,
+        JmpOp::Gt => Cc::A,
+        JmpOp::Ge => Cc::Ae,
+        JmpOp::Lt => Cc::B,
+        JmpOp::Le => Cc::Be,
+        JmpOp::Sgt => Cc::G,
+        JmpOp::Sge => Cc::Ge,
+        JmpOp::Slt => Cc::L,
+        JmpOp::Sle => Cc::Le,
+        // jset: `test` sets ZF iff (dst & src) == 0, so "taken" is Ne.
+        JmpOp::Set => Cc::Ne,
+    }
+}
+
+/// Emit the ALU computation `rax = rax <op> rcx` (64-bit forms).
+fn emit_alu64_op(a: &mut Asm, op: AluOp) {
+    match op {
+        AluOp::Add => a.alu64_rr(0x01, gpr::RAX, gpr::RCX),
+        AluOp::Sub => a.alu64_rr(0x29, gpr::RAX, gpr::RCX),
+        AluOp::Or => a.alu64_rr(0x09, gpr::RAX, gpr::RCX),
+        AluOp::And => a.alu64_rr(0x21, gpr::RAX, gpr::RCX),
+        AluOp::Xor => a.alu64_rr(0x31, gpr::RAX, gpr::RCX),
+        AluOp::Mul => a.imul64(gpr::RAX, gpr::RCX),
+        AluOp::Mov => a.mov_rr(gpr::RAX, gpr::RCX),
+        AluOp::Neg => a.grp64(3, gpr::RAX),
+        // x86 shifts already mask the count to 0..63 for 64-bit operands,
+        // exactly the BPF `& 63` convention.
+        AluOp::Lsh => a.shift64_cl(4, gpr::RAX),
+        AluOp::Rsh => a.shift64_cl(5, gpr::RAX),
+        AluOp::Arsh => a.shift64_cl(7, gpr::RAX),
+        AluOp::Div => {
+            // BPF convention: x / 0 == 0.
+            a.alu64_rr(0x85, gpr::RCX, gpr::RCX); // test rcx, rcx
+            let div0 = a.jcc8_fwd(Cc::E);
+            a.zero32(gpr::RDX);
+            a.grp64(6, gpr::RCX); // div rcx
+            let done = a.jmp8_fwd();
+            a.patch8(div0);
+            a.zero32(gpr::RAX);
+            a.patch8(done);
+        }
+        AluOp::Mod => {
+            // BPF convention: x % 0 == x (rax already holds x).
+            a.alu64_rr(0x85, gpr::RCX, gpr::RCX);
+            let done = a.jcc8_fwd(Cc::E);
+            a.zero32(gpr::RDX);
+            a.grp64(6, gpr::RCX);
+            a.mov_rr(gpr::RAX, gpr::RDX);
+            a.patch8(done);
+        }
+    }
+}
+
+/// Emit the ALU computation `eax = eax <op> ecx` (32-bit forms; every result
+/// zero-extends into `rax` as the ALU32 class requires).
+fn emit_alu32_op(a: &mut Asm, op: AluOp) {
+    match op {
+        AluOp::Add => a.alu32_rr(0x01, gpr::RAX, gpr::RCX),
+        AluOp::Sub => a.alu32_rr(0x29, gpr::RAX, gpr::RCX),
+        AluOp::Or => a.alu32_rr(0x09, gpr::RAX, gpr::RCX),
+        AluOp::And => a.alu32_rr(0x21, gpr::RAX, gpr::RCX),
+        AluOp::Xor => a.alu32_rr(0x31, gpr::RAX, gpr::RCX),
+        AluOp::Mul => a.imul32(gpr::RAX, gpr::RCX),
+        AluOp::Mov => a.alu32_rr(0x89, gpr::RAX, gpr::RCX),
+        AluOp::Neg => a.grp32(3, gpr::RAX),
+        AluOp::Lsh => a.shift32_cl(4, gpr::RAX),
+        AluOp::Rsh => a.shift32_cl(5, gpr::RAX),
+        AluOp::Arsh => a.shift32_cl(7, gpr::RAX),
+        AluOp::Div => {
+            a.alu32_rr(0x85, gpr::RCX, gpr::RCX);
+            let div0 = a.jcc8_fwd(Cc::E);
+            a.zero32(gpr::RDX);
+            a.grp32(6, gpr::RCX);
+            let done = a.jmp8_fwd();
+            a.patch8(div0);
+            a.zero32(gpr::RAX);
+            a.patch8(done);
+        }
+        AluOp::Mod => {
+            a.alu32_rr(0x85, gpr::RCX, gpr::RCX);
+            let done = a.jcc8_fwd(Cc::E);
+            a.zero32(gpr::RDX);
+            a.grp32(6, gpr::RCX);
+            a.alu32_rr(0x89, gpr::RAX, gpr::RDX); // mov eax, edx
+            a.patch8(done);
+        }
+    }
+}
+
+/// Emit one BPF instruction's template (after step accounting and
+/// initialization checks).
+fn emit_insn(a: &mut Asm, prog: &Program, insn: Insn, pc: usize, len: usize) {
+    match insn {
+        Insn::Alu64 { op, dst, src } => {
+            // The interpreter evaluates the source operand unconditionally —
+            // even `neg`, whose result ignores it — so an uninitialized
+            // source register traps before anything else does. `Insn::uses()`
+            // does not list it for `neg`; re-check it here to match.
+            if !op.uses_src() {
+                if let Src::Reg(r) = src {
+                    emit_init_check(a, r, pc);
+                }
+            }
+            if dst == Reg::R10 {
+                emit_trap(a, trap_code::FP_WRITE, pc, 0);
+                return;
+            }
+            if op.reads_dst() {
+                a.load64(gpr::RAX, offs::reg(dst));
+            }
+            if op.uses_src() {
+                emit_src_operand(a, src, true);
+            }
+            emit_alu64_op(a, op);
+            emit_set_dst(a, dst, pc);
+        }
+        Insn::Alu32 { op, dst, src } => {
+            if !op.uses_src() {
+                if let Src::Reg(r) = src {
+                    emit_init_check(a, r, pc);
+                }
+            }
+            if dst == Reg::R10 {
+                emit_trap(a, trap_code::FP_WRITE, pc, 0);
+                return;
+            }
+            if op.reads_dst() {
+                a.load32(gpr::RAX, offs::reg(dst));
+            }
+            if op.uses_src() {
+                emit_src_operand(a, src, false);
+            }
+            emit_alu32_op(a, op);
+            emit_set_dst(a, dst, pc);
+        }
+        Insn::Endian { order, width, dst } => {
+            if dst == Reg::R10 {
+                emit_trap(a, trap_code::FP_WRITE, pc, 0);
+                return;
+            }
+            a.load64(gpr::RAX, offs::reg(dst));
+            match (order, width) {
+                (ByteOrder::Little, 16) => a.movzx16(gpr::RAX),
+                (ByteOrder::Little, 32) => a.mask32(gpr::RAX),
+                (ByteOrder::Little, _) => {}
+                (ByteOrder::Big, 16) => {
+                    a.movzx16(gpr::RAX);
+                    a.ror16_8(gpr::RAX);
+                }
+                (ByteOrder::Big, 32) => a.bswap32(gpr::RAX),
+                (ByteOrder::Big, _) => a.bswap64(gpr::RAX),
+            }
+            emit_set_dst(a, dst, pc);
+        }
+        Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        } => {
+            emit_addr(a, base, off);
+            let done = emit_mem_fast_path(a, size, false);
+            // Slow path: generic callback (other regions / precise traps).
+            a.mov_rr(gpr::RDI, gpr::RBX);
+            a.mov_rr(gpr::RSI, gpr::RAX);
+            a.mov_imm32(gpr::RDX, pc as u32);
+            a.mov_imm32(gpr::RCX, size_code(size));
+            a.call_mem(offs::cb_load());
+            emit_callback_trap_check(a);
+            for p in done {
+                a.patch8(p);
+            }
+            emit_set_dst(a, dst, pc);
+        }
+        Insn::Store {
+            size,
+            base,
+            off,
+            src,
+        } => {
+            emit_addr(a, base, off);
+            a.load64(gpr::RSI, offs::reg(src));
+            let done = emit_mem_fast_path(a, size, true);
+            a.mov_rr(gpr::RDI, gpr::RBX);
+            a.mov_rr(gpr::RSI, gpr::RAX);
+            a.load64(gpr::RDX, offs::reg(src));
+            a.mov_imm32(gpr::RCX, pc as u32);
+            a.mov_r8d_imm32(size_code(size));
+            a.call_mem(offs::cb_store());
+            emit_callback_trap_check(a);
+            for p in done {
+                a.patch8(p);
+            }
+        }
+        Insn::StoreImm {
+            size,
+            base,
+            off,
+            imm,
+        } => {
+            emit_addr(a, base, off);
+            a.mov_simm32(gpr::RSI, imm);
+            let done = emit_mem_fast_path(a, size, true);
+            a.mov_rr(gpr::RDI, gpr::RBX);
+            a.mov_rr(gpr::RSI, gpr::RAX);
+            a.mov_simm32(gpr::RDX, imm);
+            a.mov_imm32(gpr::RCX, pc as u32);
+            a.mov_r8d_imm32(size_code(size));
+            a.call_mem(offs::cb_store());
+            emit_callback_trap_check(a);
+            for p in done {
+                a.patch8(p);
+            }
+        }
+        Insn::AtomicAdd {
+            size,
+            base,
+            off,
+            src,
+        } => {
+            emit_addr(a, base, off);
+            a.mov_rr(gpr::RDI, gpr::RBX);
+            a.mov_rr(gpr::RSI, gpr::RAX);
+            a.load64(gpr::RDX, offs::reg(src));
+            a.mov_imm32(gpr::RCX, pc as u32);
+            a.mov_r8d_imm32(size_code(size));
+            a.call_mem(offs::cb_xadd());
+            emit_callback_trap_check(a);
+        }
+        Insn::LoadImm64 { dst, imm } => {
+            a.mov_imm64(gpr::RAX, imm as u64);
+            emit_set_dst(a, dst, pc);
+        }
+        Insn::LoadMapFd { dst, map_id } => {
+            // The declaration check happens in the callback (matching the
+            // interpreter's order: map lookup before the r10-write check),
+            // but a statically undeclared map can short-circuit only if the
+            // program set is fixed — it is, so both paths agree.
+            let _ = prog;
+            a.mov_rr(gpr::RDI, gpr::RBX);
+            a.mov_imm32(gpr::RSI, map_id);
+            a.mov_imm32(gpr::RDX, pc as u32);
+            a.call_mem(offs::cb_map_fd());
+            emit_callback_trap_check(a);
+            emit_set_dst(a, dst, pc);
+        }
+        Insn::Ja { off } => {
+            let target = pc as i64 + 1 + off as i64;
+            if (0..=len as i64).contains(&target) {
+                a.jmp32_insn(target as usize);
+            } else {
+                emit_trap(a, trap_code::CFG_ESCAPE, pc, target);
+            }
+        }
+        Insn::Jmp { op, dst, src, off } | Insn::Jmp32 { op, dst, src, off } => {
+            let wide = matches!(insn, Insn::Jmp { .. });
+            if wide {
+                a.load64(gpr::RAX, offs::reg(dst));
+            } else {
+                a.load32(gpr::RAX, offs::reg(dst));
+            }
+            emit_src_operand(a, src, wide);
+            let opcode = if op == JmpOp::Set { 0x85 } else { 0x39 }; // test / cmp
+            if wide {
+                a.alu64_rr(opcode, gpr::RAX, gpr::RCX);
+            } else {
+                a.alu32_rr(opcode, gpr::RAX, gpr::RCX);
+            }
+            let cc = jmp_cc(op);
+            let target = pc as i64 + 1 + off as i64;
+            if (0..=len as i64).contains(&target) {
+                a.jcc32_insn(cc, target as usize);
+            } else {
+                // Taken branch escapes the program: trap with the (static)
+                // bad target; fall through otherwise.
+                let skip = a.jcc8_fwd(cc.invert());
+                emit_trap(a, trap_code::CFG_ESCAPE, pc, target);
+                a.patch8(skip);
+            }
+        }
+        Insn::Call { helper } => {
+            a.mov_rr(gpr::RDI, gpr::RBX);
+            a.mov_imm32(gpr::RSI, helper.number());
+            a.mov_imm32(gpr::RDX, pc as u32);
+            a.call_mem(offs::cb_helper());
+            emit_callback_trap_check(a);
+        }
+        Insn::Exit => {
+            a.jmp32_to(EXIT_OK);
+        }
+        Insn::Nop => {}
+    }
+}

@@ -5,6 +5,7 @@ use crate::cost::CostFunction;
 use crate::params::SearchParams;
 use crate::proposals::ProposalGenerator;
 use crate::search::{ChainStats, MarkovChain};
+use bpf_interp::BackendKind;
 use bpf_isa::Program;
 use bpf_safety::{LinuxVerifier, LinuxVerifierConfig};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,9 @@ pub struct CompilerOptions {
     pub top_k: usize,
     /// Run the chains on multiple threads.
     pub parallel: bool,
+    /// Execution backend for candidate evaluation (threaded into every
+    /// chain's [`crate::cost::CostSettings`]; `K2_BACKEND` overrides it).
+    pub backend: BackendKind,
 }
 
 impl Default for CompilerOptions {
@@ -50,6 +54,7 @@ impl Default for CompilerOptions {
             seed: 0x6b32, // "k2"
             top_k: 1,
             parallel: true,
+            backend: BackendKind::Auto,
         }
     }
 }
@@ -98,7 +103,11 @@ impl K2Compiler {
             let seed = opts
                 .seed
                 .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chain_idx as u64 + 1));
-            let cost = CostFunction::new(src, params.cost, opts.goal, opts.num_tests, seed);
+            let mut cost_settings = params.cost;
+            if opts.backend != BackendKind::Auto {
+                cost_settings.backend = opts.backend;
+            }
+            let cost = CostFunction::new(src, cost_settings, opts.goal, opts.num_tests, seed);
             let generator = ProposalGenerator::new(src, params.rules, seed);
             let mut chain = MarkovChain::new(cost, generator, seed);
             let stats = chain.run(opts.iterations);

@@ -4,7 +4,9 @@
 
 use crate::compiler::OptimizationGoal;
 use bpf_equiv::{EquivChecker, EquivOptions, EquivOutcome};
-use bpf_interp::{run, CostModel, InputGenerator, ProgramInput, ProgramOutput};
+use bpf_interp::{
+    BackendKind, CostModel, ExecBackend, InputGenerator, ProgramInput, ProgramOutput,
+};
 use bpf_isa::Program;
 use bpf_safety::{SafetyChecker, SafetyConfig};
 use serde::{Deserialize, Serialize};
@@ -57,6 +59,10 @@ pub struct CostSettings {
     pub beta: f64,
     /// Weight of the safety cost (γ).
     pub gamma: f64,
+    /// Which execution backend evaluates candidates on the test suite. The
+    /// `K2_BACKEND` environment variable (`interp` / `jit` / `auto`)
+    /// overrides this at [`CostFunction`] construction time.
+    pub backend: BackendKind,
 }
 
 impl Default for CostSettings {
@@ -68,6 +74,7 @@ impl Default for CostSettings {
             alpha: 0.5,
             beta: 5.0,
             gamma: 1.0,
+            backend: BackendKind::Auto,
         }
     }
 }
@@ -102,6 +109,12 @@ pub struct CostStats {
     pub counterexamples: u64,
     /// Candidates rejected as unsafe.
     pub unsafe_candidates: u64,
+    /// Executions of the *source* program. The source's expected outputs are
+    /// precomputed once at construction and reused for every candidate;
+    /// afterwards the source only runs again to grade a fresh counterexample.
+    /// Regression guard for an easy-to-reintroduce inefficiency: re-running
+    /// the unchanged source per candidate inside `evaluate`.
+    pub src_executions: u64,
 }
 
 /// The cost function: owns the test suite, the equivalence checker, the
@@ -118,6 +131,13 @@ pub struct CostFunction {
     safety: SafetyChecker,
     cost_model: CostModel,
     src_perf: f64,
+    /// Effective backend (after the `K2_BACKEND` override), fixed for the
+    /// lifetime of this cost function.
+    backend: BackendKind,
+    /// The prepared executor for the source program, built once at
+    /// construction (for the JIT backend this holds the compiled code page)
+    /// and reused whenever a counterexample must be graded.
+    src_exec: Box<dyn ExecBackend>,
     /// Statistics.
     pub stats: CostStats,
 }
@@ -134,9 +154,18 @@ impl CostFunction {
     ) -> CostFunction {
         let mut generator = InputGenerator::new(seed);
         let tests = generator.generate_suite(src, num_tests.max(1));
-        let expected = tests
+        // Resolve the backend once (env override included) and prepare the
+        // source executor a single time: its expected outputs are computed
+        // here and never re-derived per candidate.
+        let backend = settings.backend.resolved();
+        let src_exec = bpf_jit::backend_for_resolved(src, backend);
+        let mut stats = CostStats::default();
+        let expected: Vec<Option<ProgramOutput>> = tests
             .iter()
-            .map(|t| run(src, t).ok().map(|r| r.output))
+            .map(|t| {
+                stats.src_executions += 1;
+                src_exec.run(t).ok().map(|r| r.output)
+            })
             .collect();
         let cost_model = CostModel::default();
         let src_perf = match goal {
@@ -153,8 +182,20 @@ impl CostFunction {
             safety: SafetyChecker::new(SafetyConfig::default()),
             cost_model,
             src_perf,
-            stats: CostStats::default(),
+            backend,
+            src_exec,
+            stats,
         }
+    }
+
+    /// The execution backend actually in effect (`K2_BACKEND` resolved).
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Name of the executor grading candidates ("interp" or "jit").
+    pub fn backend_name(&self) -> &'static str {
+        self.src_exec.name()
     }
 
     /// The source program this cost function compares against.
@@ -200,13 +241,16 @@ impl CostFunction {
             self.stats.unsafe_candidates += 1;
         }
 
-        // Test-case execution.
+        // Test-case execution. The candidate's executor is prepared once and
+        // reused for the whole corpus, so under the JIT backend the
+        // translation cost amortizes across all test inputs.
+        let cand_exec = bpf_jit::backend_for_resolved(cand, self.backend);
         let mut total_diff = 0.0f64;
         let mut failed = 0usize;
         let mut passed = 0usize;
         for (input, expected) in self.tests.iter().zip(&self.expected) {
             let Some(expected) = expected else { continue };
-            match run(cand, input) {
+            match cand_exec.run(input) {
                 Ok(result) => {
                     let diff = match self.settings.diff {
                         DiffMetric::Popcount => result.output.diff_popcount(expected) as f64,
@@ -241,8 +285,11 @@ impl CostFunction {
                     0.0
                 }
                 EquivOutcome::NotEquivalent(Some(counterexample)) => {
-                    // Feed the counterexample back into the test suite.
-                    if let Ok(expected) = run(&self.src, &counterexample) {
+                    // Feed the counterexample back into the test suite,
+                    // grading it with the cached source executor (the only
+                    // post-construction source execution).
+                    self.stats.src_executions += 1;
+                    if let Ok(expected) = self.src_exec.run(&counterexample) {
                         self.tests.push(*counterexample);
                         self.expected.push(Some(expected.output));
                         self.stats.counterexamples += 1;
@@ -369,6 +416,65 @@ mod tests {
         );
         // Memory operations cost more than 1 each under the latency model.
         assert!(f.src_perf_cost() > 3.0);
+    }
+
+    #[test]
+    fn source_outputs_are_computed_once_not_per_candidate() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let mut f = cost_fn(&src);
+        let after_construction = f.stats.src_executions;
+        assert_eq!(after_construction, f.num_tests() as u64);
+        // Ten candidate evaluations that add no counterexamples: the source
+        // must not run again — its expected outputs were cached up front.
+        for imm in 0..10 {
+            let _ = f.evaluate(&xdp(&format!("mov64 r0, {imm}\nexit")));
+        }
+        assert_eq!(
+            f.stats.src_executions,
+            after_construction + f.stats.counterexamples
+        );
+    }
+
+    #[test]
+    fn counterexamples_are_graded_with_the_cached_source_executor() {
+        // A candidate that agrees on every generated test but not formally:
+        // the counterexample path must account exactly one source execution.
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
+        let cand = xdp("mov64 r0, 64\nexit");
+        let mut f = cost_fn(&src);
+        let base = f.stats.src_executions;
+        let _ = f.evaluate(&cand);
+        assert_eq!(f.stats.src_executions, base + f.stats.counterexamples);
+    }
+
+    #[test]
+    fn backends_produce_identical_costs() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nexit");
+        let candidates = [
+            xdp("mov64 r0, 12\nexit"),
+            xdp("mov64 r0, 11\nexit"),
+            xdp("ldxdw r0, [r10-8]\nexit"),
+            xdp("mov64 r0, 5\nadd64 r0, 7\nexit"),
+        ];
+        let mut settings = CostSettings {
+            backend: BackendKind::Interp,
+            ..CostSettings::default()
+        };
+        let mut interp_fn =
+            CostFunction::new(&src, settings, OptimizationGoal::InstructionCount, 8, 1);
+        settings.backend = BackendKind::Jit;
+        let mut jit_fn =
+            CostFunction::new(&src, settings, OptimizationGoal::InstructionCount, 8, 1);
+        for cand in &candidates {
+            assert_eq!(interp_fn.evaluate(cand), jit_fn.evaluate(cand));
+        }
+        // Backend names only deterministic without a K2_BACKEND override.
+        if BackendKind::from_env().is_none() {
+            assert_eq!(interp_fn.backend_name(), "interp");
+            if bpf_jit::jit_available() {
+                assert_eq!(jit_fn.backend_name(), "jit");
+            }
+        }
     }
 
     #[test]

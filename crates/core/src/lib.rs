@@ -41,6 +41,7 @@ pub mod params;
 pub mod proposals;
 pub mod search;
 
+pub use bpf_interp::BackendKind;
 pub use compiler::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal};
 pub use cost::{
     CostFunction, CostSettings, CostValue, DiffMetric, ErrorNormalization, TestCountMode,

@@ -2,6 +2,7 @@
 
 use crate::cost::{CostSettings, DiffMetric, ErrorNormalization, TestCountMode};
 use crate::proposals::RuleProbabilities;
+use bpf_interp::BackendKind;
 use serde::{Deserialize, Serialize};
 
 /// One complete parameterization of a Markov chain: the cost-function variant
@@ -38,6 +39,7 @@ impl SearchParams {
                     alpha: 0.5,
                     beta: 5.0,
                     gamma: 1.0,
+                    backend: BackendKind::Auto,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -50,6 +52,7 @@ impl SearchParams {
                     alpha: 0.5,
                     beta: 5.0,
                     gamma: 1.0,
+                    backend: BackendKind::Auto,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.17, 0.0, 0.18),
             },
@@ -62,6 +65,7 @@ impl SearchParams {
                     alpha: 0.5,
                     beta: 5.0,
                     gamma: 1.0,
+                    backend: BackendKind::Auto,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -74,6 +78,7 @@ impl SearchParams {
                     alpha: 0.5,
                     beta: 5.0,
                     gamma: 1.0,
+                    backend: BackendKind::Auto,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -86,6 +91,7 @@ impl SearchParams {
                     alpha: 0.5,
                     beta: 1.5,
                     gamma: 1.0,
+                    backend: BackendKind::Auto,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -121,6 +127,7 @@ impl SearchParams {
                                 alpha: 0.5,
                                 beta: 5.0,
                                 gamma: 1.0,
+                                backend: BackendKind::Auto,
                             },
                             rules,
                         });

@@ -31,6 +31,7 @@ fn main() {
         seed: 1234,
         top_k: 5,
         parallel: true,
+        ..CompilerOptions::default()
     });
     let k2 = compiler.optimize(&baseline).best;
     println!(

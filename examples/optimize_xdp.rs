@@ -44,6 +44,7 @@ fn main() {
         seed: 7,
         top_k: 1,
         parallel: true,
+        ..CompilerOptions::default()
     });
     let result = compiler.optimize(&baseline);
     let k2_len = result.best.real_len().min(baseline.real_len());

@@ -36,6 +36,7 @@ fn main() {
         seed: 42,
         top_k: 1,
         parallel: true,
+        ..CompilerOptions::default()
     });
     let result = compiler.optimize(&source);
 

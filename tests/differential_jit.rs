@@ -1,0 +1,409 @@
+//! Differential fuzzing of the two execution backends: the `bpf-interp`
+//! tree-walking interpreter and the `bpf-jit` native x86-64 backend.
+//!
+//! Random programs over the full instruction set — including div/mod by
+//! zero, 32-bit wrap-around, out-of-bounds and uninitialized accesses, bad
+//! jump targets and helper calls — must produce **bit-identical**
+//! `Result<ExecResult, Trap>` values under both backends: same return value,
+//! same final packet and map state, same step and cost accounting, and the
+//! same trap (with identical payload) on aborting executions.
+//!
+//! Two layers:
+//! * a deterministic sweep of ≥ 1000 generated programs (independent of the
+//!   `PROPTEST_CASES` budget, so the acceptance bar holds in CI too), and
+//! * proptest sweeps reusing the same strategy style as the SMT
+//!   differential suite for shrink-style shapes.
+//!
+//! On targets without a native JIT every check degenerates to
+//! interpreter-vs-interpreter and passes trivially.
+
+use bpf_interp::{run, ExecBackend, InputGenerator, ProgramInput};
+use bpf_isa::{AluOp, HelperId, Insn, JmpOp, MemSize, Program, ProgramType, Reg, Src};
+use bpf_jit::JitProgram;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assert both backends agree on `prog` for `input`.
+fn assert_agree(prog: &Program, input: &ProgramInput) {
+    let interp = run(prog, input);
+    if !bpf_jit::jit_available() {
+        return;
+    }
+    let jit = JitProgram::compile(prog).expect("every generated program must translate");
+    let jitted = jit.run(input);
+    assert_eq!(
+        jitted, interp,
+        "jit/interp divergence on input {input:?} for:\n{prog}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: deterministic ≥1000-program sweep over the full instruction set.
+// ---------------------------------------------------------------------------
+
+const SCALARS: [Reg; 6] = [Reg::R0, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6];
+
+fn random_insn(rng: &mut StdRng) -> Insn {
+    let dst = SCALARS[rng.gen_range(0..SCALARS.len())];
+    let src_reg = SCALARS[rng.gen_range(0..SCALARS.len())];
+    // Bias immediates toward interesting values: zero (div/mod-by-zero),
+    // small, and 32-bit-boundary magnitudes (wrap-around).
+    let imm: i32 = match rng.gen_range(0..5) {
+        0 => 0,
+        1 => rng.gen_range(-16..16),
+        2 => i32::MAX - rng.gen_range(0..3),
+        3 => i32::MIN + rng.gen_range(0..3),
+        _ => rng.gen(),
+    };
+    let src = if rng.gen_bool(0.5) {
+        Src::Reg(src_reg)
+    } else {
+        Src::Imm(imm)
+    };
+    let alu_op = AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())];
+    let jmp_op = JmpOp::ALL[rng.gen_range(0..JmpOp::ALL.len())];
+    let size = MemSize::ALL[rng.gen_range(0..MemSize::ALL.len())];
+    // Stack offsets spanning both sides of the region boundaries so some
+    // accesses are out of bounds or cross the top of the stack.
+    let stack_off: i16 = -rng.gen_range(-8..526i32) as i16;
+    // Jump offsets that occasionally escape the program.
+    let jmp_off: i16 = rng.gen_range(-4..8);
+
+    match rng.gen_range(0..10) {
+        0..=2 => Insn::Alu64 {
+            op: alu_op,
+            dst,
+            src,
+        },
+        3..=4 => Insn::Alu32 {
+            op: alu_op,
+            dst,
+            src,
+        },
+        5 => Insn::Jmp {
+            op: jmp_op,
+            dst,
+            src,
+            off: jmp_off,
+        },
+        6 => Insn::Jmp32 {
+            op: jmp_op,
+            dst,
+            src,
+            off: jmp_off,
+        },
+        7 => {
+            // Memory through the frame pointer, a packet-derived pointer
+            // (whatever the register happens to hold), or a scalar.
+            let base = if rng.gen_bool(0.6) { Reg::R10 } else { src_reg };
+            if rng.gen_bool(0.5) {
+                Insn::Load {
+                    size,
+                    dst,
+                    base,
+                    off: stack_off,
+                }
+            } else if rng.gen_bool(0.5) {
+                Insn::Store {
+                    size,
+                    base,
+                    off: stack_off,
+                    src: src_reg,
+                }
+            } else {
+                Insn::StoreImm {
+                    size,
+                    base,
+                    off: stack_off,
+                    imm,
+                }
+            }
+        }
+        8 => match rng.gen_range(0..4) {
+            0 => Insn::LoadImm64 {
+                dst,
+                imm: rng.gen(),
+            },
+            1 => Insn::Endian {
+                order: if rng.gen_bool(0.5) {
+                    bpf_isa::ByteOrder::Big
+                } else {
+                    bpf_isa::ByteOrder::Little
+                },
+                width: [16, 32, 64][rng.gen_range(0..3usize)],
+                dst,
+            },
+            2 => Insn::AtomicAdd {
+                size: if rng.gen_bool(0.5) {
+                    MemSize::Word
+                } else {
+                    MemSize::Dword
+                },
+                base: Reg::R10,
+                off: stack_off,
+                src: src_reg,
+            },
+            _ => Insn::Ja { off: jmp_off },
+        },
+        _ => Insn::Call {
+            helper: [
+                HelperId::KtimeGetNs,
+                HelperId::GetPrandomU32,
+                HelperId::GetSmpProcessorId,
+                HelperId::GetCurrentPidTgid,
+                HelperId::PerfEventOutput,
+            ][rng.gen_range(0..5usize)],
+        },
+    }
+}
+
+fn random_program(rng: &mut StdRng) -> Program {
+    let mut insns: Vec<Insn> = Vec::new();
+    // Initialize a random subset of the scalar registers so uses of the
+    // uninitialized remainder exercise the UninitRegister trap in both
+    // backends at the same pc.
+    for &r in &SCALARS {
+        if rng.gen_bool(0.85) {
+            insns.push(Insn::mov64_imm(r, rng.gen_range(-4..64)));
+        }
+    }
+    // Sometimes read the packet pointers so loads through r2/r3 hit packet
+    // memory (bounds-checked against the real packet length).
+    if rng.gen_bool(0.4) {
+        insns.push(Insn::load(MemSize::Dword, Reg::R2, Reg::R1, 0));
+        insns.push(Insn::load(MemSize::Dword, Reg::R3, Reg::R1, 8));
+    }
+    for _ in 0..rng.gen_range(1..20) {
+        insns.push(random_insn(rng));
+    }
+    if rng.gen_bool(0.9) {
+        insns.push(Insn::Exit);
+    }
+    Program::new(ProgramType::Xdp, insns)
+}
+
+#[test]
+fn thousand_random_programs_agree() {
+    let mut rng = StdRng::seed_from_u64(0x00d1_ff2b_a5e5);
+    let mut generator = InputGenerator::new(0xfeed);
+    let programs = 1_200usize;
+    let mut trapped = 0usize;
+    for _ in 0..programs {
+        let prog = random_program(&mut rng);
+        for input in [
+            ProgramInput::default(),
+            generator.generate(&prog),
+            ProgramInput::with_packet(vec![]),
+        ] {
+            if run(&prog, &input).is_err() {
+                trapped += 1;
+            }
+            assert_agree(&prog, &input);
+        }
+    }
+    // The sweep must actually exercise the trap paths, not just happy paths.
+    assert!(
+        trapped > programs / 10,
+        "only {trapped} trapping executions"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: proptest sweeps (same strategy style as differential_smt.rs).
+// ---------------------------------------------------------------------------
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_jmp_op() -> impl Strategy<Value = JmpOp> {
+    prop::sample::select(JmpOp::ALL.to_vec())
+}
+
+/// Straight-line ALU computations seeded from immediates (the shape where
+/// the JIT runs fully native with no callbacks).
+fn arb_alu_program() -> impl Strategy<Value = Program> {
+    let regs = [Reg::R0, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+    let step = (
+        arb_alu_op(),
+        0usize..regs.len(),
+        0usize..regs.len(),
+        any::<i32>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(move |(op, d, s, imm, use_imm, narrow)| {
+            let (dst, src_reg) = (regs[d], regs[s]);
+            match (use_imm || op == AluOp::Neg, narrow) {
+                (true, false) => Insn::alu64_imm(op, dst, imm),
+                (true, true) => Insn::alu32_imm(op, dst, imm),
+                (false, false) => Insn::alu64(op, dst, src_reg),
+                (false, true) => Insn::alu32(op, dst, src_reg),
+            }
+        });
+    (
+        prop::collection::vec(any::<i32>(), 5),
+        prop::collection::vec(step, 1..24),
+    )
+        .prop_map(move |(seeds, body)| {
+            let mut insns: Vec<Insn> = regs
+                .iter()
+                .zip(&seeds)
+                .map(|(&r, &imm)| Insn::mov64_imm(r, imm))
+                .collect();
+            insns.extend(body);
+            insns.push(Insn::Exit);
+            Program::new(ProgramType::Xdp, insns)
+        })
+}
+
+/// Branchy programs: comparisons with small forward offsets (always
+/// in-bounds because the tail is padded with `exit`s).
+fn arb_branchy_program() -> impl Strategy<Value = Program> {
+    let regs = [Reg::R0, Reg::R2, Reg::R3];
+    let step = (
+        arb_jmp_op(),
+        0usize..regs.len(),
+        any::<i32>(),
+        0i16..4,
+        any::<bool>(),
+    )
+        .prop_map(move |(op, d, imm, off, wide)| {
+            if wide {
+                Insn::Jmp {
+                    op,
+                    dst: regs[d],
+                    src: Src::Imm(imm),
+                    off,
+                }
+            } else {
+                Insn::Jmp32 {
+                    op,
+                    dst: regs[d],
+                    src: Src::Imm(imm),
+                    off,
+                }
+            }
+        });
+    (
+        prop::collection::vec(any::<i16>(), 3),
+        prop::collection::vec(step, 1..10),
+    )
+        .prop_map(move |(seeds, body)| {
+            let mut insns: Vec<Insn> = regs
+                .iter()
+                .zip(&seeds)
+                .map(|(&r, &imm)| Insn::mov64_imm(r, imm as i32))
+                .collect();
+            insns.extend(body);
+            // Padding so every jump offset lands on an exit.
+            for _ in 0..4 {
+                insns.push(Insn::Exit);
+            }
+            Program::new(ProgramType::Xdp, insns)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn straight_line_alu_agrees(prog in arb_alu_program()) {
+        assert_agree(&prog, &ProgramInput::default());
+    }
+
+    #[test]
+    fn branchy_programs_agree(prog in arb_branchy_program()) {
+        assert_agree(&prog, &ProgramInput::default());
+    }
+
+    #[test]
+    fn stack_access_patterns_agree(
+        off in -520i32..8,
+        value in any::<i64>(),
+        wide in any::<bool>(),
+    ) {
+        // Store then reload around the stack boundary: in-bounds offsets
+        // round-trip, out-of-bounds ones trap — identically in both backends.
+        let size = if wide { MemSize::Dword } else { MemSize::Word };
+        let prog = Program::new(ProgramType::Xdp, vec![
+            Insn::LoadImm64 { dst: Reg::R1, imm: value },
+            Insn::store(size, Reg::R10, off as i16, Reg::R1),
+            Insn::load(size, Reg::R0, Reg::R10, off as i16),
+            Insn::Exit,
+        ]);
+        assert_agree(&prog, &ProgramInput::default());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region-boundary agreement (shared layout.rs bounds math, satellite of the
+// JIT issue): both backends must classify edge offsets identically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn region_boundary_offsets_agree() {
+    use bpf_interp::{PACKET_BASE, STACK_BASE};
+    let packet_len = 64i64;
+    // (base register setup, probe offsets)
+    let edges: Vec<(i64, Vec<i64>)> = vec![
+        // Stack: [STACK_BASE, STACK_BASE+512); r10 = STACK_BASE + 512.
+        (STACK_BASE as i64 + 512, vec![-513, -512, -8, -1, 0, 1, 8]),
+        // Packet: data pointer at headroom start; payload is 64 bytes.
+        (
+            PACKET_BASE as i64 + 256,
+            vec![-257, -1, 0, packet_len - 8, packet_len - 1, packet_len],
+        ),
+    ];
+    for (base, offsets) in edges {
+        for off in offsets {
+            for size in MemSize::ALL {
+                // lddw r2, base; (store then load) at r2+off
+                let prog = Program::new(
+                    ProgramType::Xdp,
+                    vec![
+                        Insn::LoadImm64 {
+                            dst: Reg::R2,
+                            imm: base,
+                        },
+                        Insn::store_imm(size, Reg::R2, off as i16, 0x3c),
+                        Insn::load(size, Reg::R0, Reg::R2, off as i16),
+                        Insn::Exit,
+                    ],
+                );
+                assert_agree(&prog, &ProgramInput::with_packet(vec![0xaa; 64]));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a full (tiny) search run must be bit-identical across
+// backends, because every candidate evaluation is.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn search_trajectories_are_backend_invariant() {
+    use k2_core::{BackendKind, CompilerOptions, K2Compiler, SearchParams};
+    if !bpf_jit::jit_available() || bpf_interp::BackendKind::from_env().is_some() {
+        return; // an explicit K2_BACKEND pins both runs to the same backend
+    }
+    let src = Program::new(
+        ProgramType::Xdp,
+        bpf_isa::asm::assemble("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nmov64 r3, 1\nexit").unwrap(),
+    );
+    let mk = |backend| {
+        K2Compiler::new(CompilerOptions {
+            iterations: 800,
+            params: SearchParams::table8().into_iter().take(2).collect(),
+            num_tests: 8,
+            backend,
+            ..CompilerOptions::default()
+        })
+    };
+    let interp = mk(BackendKind::Interp).optimize(&src);
+    let jit = mk(BackendKind::Jit).optimize(&src);
+    assert_eq!(interp.best.insns, jit.best.insns);
+    assert_eq!(interp.best_cost, jit.best_cost);
+}

@@ -17,6 +17,7 @@ fn pipeline_options(iterations: u64) -> CompilerOptions {
         seed: 0xe2e,
         top_k: 1,
         parallel: true,
+        ..CompilerOptions::default()
     }
 }
 
