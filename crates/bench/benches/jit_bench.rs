@@ -143,6 +143,7 @@ fn k2_bench_compress(
         top_k: 1,
         parallel: true,
         backend,
+        ..CompilerOptions::default()
     });
     compiler.optimize(&best_clang).best.real_len()
 }

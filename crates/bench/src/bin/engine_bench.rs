@@ -1,0 +1,208 @@
+//! Engine evaluation: shared-state epoch engine vs. fully isolated chains.
+//!
+//! Runs a table1-style compression sweep twice at equal iteration budgets —
+//! once with the epoch engine's cross-chain cache + counterexample exchange
+//! (the default `EngineConfig`), once with every chain isolated
+//! (`EngineConfig::isolated()`, the pre-engine behaviour) — and reports, per
+//! benchmark and in aggregate: compression, total solver queries, verdict
+//! cache hit rates (including the shared layer's cross-chain hit rate), and
+//! time-to-best. A same-seed re-run of the shared configuration checks
+//! reproducibility. The numbers land in `BENCH_engine.json` at the
+//! repository root so the gain is tracked in-tree.
+
+use bpf_bench_suite::Benchmark;
+use bpf_equiv::CacheStats;
+use bpf_isa::Program;
+use k2_bench::{bench_options, default_iterations, render_table, selected_benchmarks};
+use k2_core::engine::{run_batch, BatchJob};
+use k2_core::{EngineConfig, K2Result, SearchParams};
+
+struct ConfigRun {
+    rows: Vec<K2Result>,
+}
+
+fn run_config(
+    engine: EngineConfig,
+    iterations: u64,
+    benches: &[Benchmark],
+    baselines: &[Program],
+) -> ConfigRun {
+    let params: Vec<SearchParams> = SearchParams::table8();
+    let jobs: Vec<BatchJob> = benches
+        .iter()
+        .zip(baselines)
+        .map(|(bench, baseline)| {
+            let mut options = bench_options(bench, iterations, params.clone());
+            options.engine = engine;
+            BatchJob {
+                program: baseline.clone(),
+                options,
+            }
+        })
+        .collect();
+    ConfigRun {
+        rows: run_batch(jobs, EngineConfig::default().from_env().batch_workers),
+    }
+}
+
+fn mean_compression(run: &ConfigRun, baselines: &[Program]) -> f64 {
+    let mut total = 0.0;
+    for (baseline, result) in baselines.iter().zip(&run.rows) {
+        let base = baseline.real_len();
+        let k2 = result.best.real_len().min(base);
+        total += 100.0 * (base as f64 - k2 as f64) / base as f64;
+    }
+    total / baselines.len().max(1) as f64
+}
+
+fn total_queries(run: &ConfigRun) -> u64 {
+    run.rows.iter().map(|r| r.report.equiv.queries).sum()
+}
+
+fn fold_stats(run: &ConfigRun, pick: impl Fn(&K2Result) -> CacheStats) -> CacheStats {
+    run.rows.iter().fold(CacheStats::default(), |mut acc, r| {
+        let s = pick(r);
+        acc.hits += s.hits;
+        acc.misses += s.misses;
+        acc
+    })
+}
+
+fn cache_hit_rate(run: &ConfigRun) -> f64 {
+    100.0 * fold_stats(run, |r| r.report.cache).hit_rate()
+}
+
+fn shared_hit_rate(run: &ConfigRun) -> f64 {
+    100.0 * fold_stats(run, |r| r.report.shared_cache).hit_rate()
+}
+
+fn mean_time_to_best_s(run: &ConfigRun) -> f64 {
+    let total: u64 = run.rows.iter().map(|r| r.report.time_to_best_us).sum();
+    total as f64 / 1e6 / run.rows.len().max(1) as f64
+}
+
+fn main() {
+    let iterations = default_iterations();
+    let benches = selected_benchmarks();
+    println!(
+        "Engine evaluation over {} benchmarks, {iterations} iterations per chain\n",
+        benches.len()
+    );
+
+    let baselines: Vec<Program> = benches
+        .iter()
+        .map(|b| k2_baseline::best_baseline(&b.prog).1)
+        .collect();
+    let shared = run_config(EngineConfig::default(), iterations, &benches, &baselines);
+    let isolated = run_config(EngineConfig::isolated(), iterations, &benches, &baselines);
+    // Same-seed reproducibility of the shared-state engine.
+    let rerun = run_config(EngineConfig::default(), iterations, &benches, &baselines);
+    let reproducible = shared
+        .rows
+        .iter()
+        .zip(&rerun.rows)
+        .all(|(a, b)| a.best.insns == b.best.insns && a.best_cost == b.best_cost);
+
+    let mut table = Vec::new();
+    for ((bench, s), i) in benches.iter().zip(&shared.rows).zip(&isolated.rows) {
+        table.push(vec![
+            bench.name.to_string(),
+            s.best.real_len().to_string(),
+            i.best.real_len().to_string(),
+            s.report.equiv.queries.to_string(),
+            i.report.equiv.queries.to_string(),
+            format!("{:.0}%", 100.0 * s.report.equiv.cache_hit_rate()),
+            s.report.shared_cache.hits.to_string(),
+            s.report.counterexamples_exchanged.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "K2(shared)",
+                "K2(isolated)",
+                "queries(shared)",
+                "queries(isolated)",
+                "hit rate",
+                "x-chain hits",
+                "cex exchanged"
+            ],
+            &table
+        )
+    );
+
+    let summary = [
+        (
+            "mean compression %",
+            mean_compression(&shared, &baselines),
+            mean_compression(&isolated, &baselines),
+        ),
+        (
+            "total solver queries",
+            total_queries(&shared) as f64,
+            total_queries(&isolated) as f64,
+        ),
+        (
+            "cache hit rate %",
+            cache_hit_rate(&shared),
+            cache_hit_rate(&isolated),
+        ),
+        (
+            "mean time-to-best s",
+            mean_time_to_best_s(&shared),
+            mean_time_to_best_s(&isolated),
+        ),
+    ];
+    for (name, s, i) in &summary {
+        println!("{name:22} shared: {s:10.2}  isolated: {i:10.2}");
+    }
+    println!(
+        "cross-chain shared-layer hit rate: {:.1}%  |  same-seed reproducible: {reproducible}",
+        shared_hit_rate(&shared)
+    );
+
+    // Record the run in BENCH_engine.json at the repository root.
+    let mut rows_json = Vec::new();
+    for ((bench, s), i) in benches.iter().zip(&shared.rows).zip(&isolated.rows) {
+        rows_json.push(format!(
+            "    {{\"benchmark\": \"{}\", \"k2_shared\": {}, \"k2_isolated\": {}, \
+             \"queries_shared\": {}, \"queries_isolated\": {}, \"cache_hit_rate_pct\": {:.2}, \
+             \"shared_layer_hits\": {}, \"cex_exchanged\": {}, \"time_to_best_s\": {:.3}}}",
+            bench.name,
+            s.best.real_len(),
+            i.best.real_len(),
+            s.report.equiv.queries,
+            i.report.equiv.queries,
+            100.0 * s.report.equiv.cache_hit_rate(),
+            s.report.shared_cache.hits,
+            s.report.counterexamples_exchanged,
+            s.report.time_to_best_us as f64 / 1e6,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_bench\",\n  \"iterations_per_chain\": {iterations},\n  \
+         \"mean_compression_shared_pct\": {:.2},\n  \"mean_compression_isolated_pct\": {:.2},\n  \
+         \"total_solver_queries_shared\": {},\n  \"total_solver_queries_isolated\": {},\n  \
+         \"cache_hit_rate_shared_pct\": {:.2},\n  \"cache_hit_rate_isolated_pct\": {:.2},\n  \
+         \"cross_chain_shared_layer_hit_rate_pct\": {:.2},\n  \
+         \"mean_time_to_best_shared_s\": {:.3},\n  \"mean_time_to_best_isolated_s\": {:.3},\n  \
+         \"same_seed_reproducible\": {reproducible},\n  \"results\": [\n{}\n  ]\n}}\n",
+        mean_compression(&shared, &baselines),
+        mean_compression(&isolated, &baselines),
+        total_queries(&shared),
+        total_queries(&isolated),
+        cache_hit_rate(&shared),
+        cache_hit_rate(&isolated),
+        shared_hit_rate(&shared),
+        mean_time_to_best_s(&shared),
+        mean_time_to_best_s(&isolated),
+        rows_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+    }
+}

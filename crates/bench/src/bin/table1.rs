@@ -2,7 +2,9 @@
 //! (`-O1`, `-O2/-O3/-Os`) and of K2, with compression percentages and the
 //! time/iterations at which the smallest program was found.
 
-use k2_bench::{compress_benchmark, default_iterations, render_table, selected_benchmarks};
+use k2_bench::{
+    compress_benchmarks, default_iterations, engine_summary, render_table, selected_benchmarks,
+};
 use k2_core::SearchParams;
 
 fn main() {
@@ -16,8 +18,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut total_compression = 0.0;
     let benches = selected_benchmarks();
-    for bench in &benches {
-        let row = compress_benchmark(bench, iterations, params.clone());
+    // One batch job per benchmark over a bounded worker pool
+    // (K2_BATCH_WORKERS; default one worker per CPU).
+    let compressed = compress_benchmarks(&benches, iterations, &params);
+    for (bench, row) in benches.iter().zip(&compressed) {
         total_compression += row.compression_pct;
         rows.push(vec![
             format!("({})", bench.row),
@@ -53,6 +57,7 @@ fn main() {
         benches.len(),
         total_compression / benches.len() as f64
     );
+    println!("{}", engine_summary(&compressed));
     println!(
         "(paper: 6–26% per benchmark, 13.95% mean; set K2_ITERS / K2_ALL_BENCHMARKS=1 to scale up)"
     );

@@ -17,9 +17,14 @@
 #![warn(missing_docs)]
 
 use bpf_bench_suite::Benchmark;
+use bpf_equiv::CacheStats;
 use bpf_isa::Program;
 use k2_baseline::{best_baseline, OptLevel};
-use k2_core::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal, SearchParams};
+use k2_core::engine::{run_batch, BatchJob};
+use k2_core::{
+    CompilerOptions, EngineConfig, EngineReport, K2Compiler, K2Result, OptimizationGoal,
+    SearchParams,
+};
 
 /// Iterations per Markov chain used by the table harnesses (override with
 /// `K2_ITERS`).
@@ -76,19 +81,20 @@ pub struct CompressionRow {
     pub k2_prog: Program,
     /// The best baseline program.
     pub baseline_prog: Program,
+    /// Engine statistics of the compilation (epochs, solver queries, cache
+    /// hit rates, counterexample exchange, time-to-best).
+    pub report: EngineReport,
 }
 
-/// Run the baseline and K2 (instruction-count goal) on one benchmark.
-pub fn compress_benchmark(
+/// The options a table harness compiles one benchmark with: K2 starts from
+/// the best clang output with a per-benchmark seed, as in the paper's
+/// methodology.
+pub fn bench_options(
     bench: &Benchmark,
     iterations: u64,
     params: Vec<SearchParams>,
-) -> CompressionRow {
-    let o1 = k2_baseline::optimize(&bench.prog, OptLevel::O1);
-    let (best_level, best_clang) = best_baseline(&bench.prog);
-
-    let start = std::time::Instant::now();
-    let mut compiler = K2Compiler::new(CompilerOptions {
+) -> CompilerOptions {
+    CompilerOptions {
         goal: OptimizationGoal::InstructionCount,
         iterations,
         params,
@@ -97,11 +103,17 @@ pub fn compress_benchmark(
         top_k: 1,
         parallel: true,
         ..CompilerOptions::default()
-    });
-    // K2 starts from the best clang output, as in the paper's methodology.
-    let result = compiler.optimize(&best_clang);
-    let time_s = start.elapsed().as_secs_f64();
+    }
+}
 
+fn row_from_result(
+    bench: &Benchmark,
+    baseline: &(OptLevel, Program),
+    result: &K2Result,
+    time_s: f64,
+) -> CompressionRow {
+    let o1 = k2_baseline::optimize(&bench.prog, OptLevel::O1);
+    let (best_level, best_clang) = baseline.clone();
     let k2_len = result.best.real_len().min(best_clang.real_len());
     let compression_pct =
         100.0 * (best_clang.real_len() as f64 - k2_len as f64) / best_clang.real_len() as f64;
@@ -114,14 +126,63 @@ pub fn compress_benchmark(
         k2: k2_len,
         compression_pct,
         time_s,
-        iterations: best_found_iteration(&result),
+        iterations: best_found_iteration(result),
         k2_prog: if result.best.real_len() <= best_clang.real_len() {
-            result.best
+            result.best.clone()
         } else {
             best_clang.clone()
         },
         baseline_prog: best_clang,
+        report: result.report,
     }
+}
+
+/// Run the baseline and K2 (instruction-count goal) on one benchmark.
+pub fn compress_benchmark(
+    bench: &Benchmark,
+    iterations: u64,
+    params: Vec<SearchParams>,
+) -> CompressionRow {
+    let baseline = best_baseline(&bench.prog);
+    let start = std::time::Instant::now();
+    let result = K2Compiler::new(bench_options(bench, iterations, params)).optimize(&baseline.1);
+    row_from_result(bench, &baseline, &result, start.elapsed().as_secs_f64())
+}
+
+/// Compress a whole benchmark suite through the batch API: one job per
+/// benchmark over a bounded worker pool (`K2_BATCH_WORKERS`, default one
+/// worker per CPU). Rows come back in input order and are identical to what
+/// per-benchmark [`compress_benchmark`] calls produce — only the wall-clock
+/// fields differ, since jobs share the machine.
+pub fn compress_benchmarks(
+    benches: &[Benchmark],
+    iterations: u64,
+    params: &[SearchParams],
+) -> Vec<CompressionRow> {
+    let baselines: Vec<(OptLevel, Program)> =
+        benches.iter().map(|b| best_baseline(&b.prog)).collect();
+    let jobs: Vec<BatchJob> = benches
+        .iter()
+        .zip(&baselines)
+        .map(|(bench, baseline)| BatchJob {
+            program: baseline.1.clone(),
+            options: bench_options(bench, iterations, params.to_vec()),
+        })
+        .collect();
+    let results = run_batch(jobs, EngineConfig::default().from_env().batch_workers);
+    benches
+        .iter()
+        .zip(&baselines)
+        .zip(&results)
+        .map(|((bench, baseline), result)| {
+            row_from_result(
+                bench,
+                baseline,
+                result,
+                result.report.wall_time_us as f64 / 1e6,
+            )
+        })
+        .collect()
 }
 
 /// Iteration at which the best program was found, summed over chains (the
@@ -133,6 +194,37 @@ pub fn best_found_iteration(result: &K2Result) -> u64 {
         .map(|(_, _, stats)| stats.best_found_at)
         .max()
         .unwrap_or(0)
+}
+
+/// One-line summary of the engine statistics accumulated over a set of
+/// compression rows: solver load, verdict-cache effectiveness (overall and
+/// the cross-chain shared layer alone), and counterexample exchange.
+pub fn engine_summary(rows: &[CompressionRow]) -> String {
+    let mut queries = 0u64;
+    let mut exchanged = 0u64;
+    let mut time_to_best_us = 0u64;
+    let mut cache = CacheStats::default();
+    let mut shared = CacheStats::default();
+    for row in rows {
+        let r = &row.report;
+        queries += r.equiv.queries;
+        cache.hits += r.cache.hits;
+        cache.misses += r.cache.misses;
+        shared.hits += r.shared_cache.hits;
+        shared.misses += r.shared_cache.misses;
+        exchanged += r.counterexamples_exchanged;
+        time_to_best_us += r.time_to_best_us;
+    }
+    format!(
+        "engine: {queries} solver queries, cache hit rate {:.1}% ({} hits), \
+         cross-chain shared layer {:.1}% ({} hits), {exchanged} counterexamples exchanged, \
+         mean time-to-best {:.2}s",
+        100.0 * cache.hit_rate(),
+        cache.hits,
+        100.0 * shared.hit_rate(),
+        shared.hits,
+        time_to_best_us as f64 / 1e6 / rows.len().max(1) as f64,
+    )
 }
 
 /// Render a simple aligned text table.

@@ -4,7 +4,7 @@
 //! (`bpf-equiv`), the safety checker (`bpf-safety`), the rule-based baseline
 //! optimizer (`k2-baseline`) and the K2 search itself (`k2-core`):
 //!
-//! * [`cfg`] — control-flow graph over basic blocks, reachability,
+//! * [`mod@cfg`] — control-flow graph over basic blocks, reachability,
 //!   topological order, back-edge (loop) detection, and dominators,
 //! * [`liveness`] — per-instruction live register sets and live stack slots,
 //!   used for dead-code elimination and for K2's window-based verification

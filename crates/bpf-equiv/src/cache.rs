@@ -46,6 +46,13 @@ impl CacheStats {
 
 /// A thread-safe verdict cache keyed by the canonicalized instruction
 /// sequence of the candidate program.
+///
+/// When used as the cross-chain shared layer every lookup takes the one
+/// mutex, so concurrent chains serialize here briefly once per private-cache
+/// miss. Because the engine freezes the shared layer between barriers,
+/// lock-free reads (per-epoch snapshots or an RwLock with atomic counters)
+/// would be a correct future optimization if chain counts grow enough for
+/// this lock to show up in profiles.
 #[derive(Debug, Default)]
 pub struct EquivCache {
     inner: Mutex<CacheInner>,
@@ -73,7 +80,11 @@ impl EquivCache {
 
     /// Look up a candidate. Updates hit/miss statistics.
     pub fn lookup(&self, insns: &[Insn]) -> Option<CachedVerdict> {
-        let key = Self::key_of(insns);
+        self.lookup_key(Self::key_of(insns))
+    }
+
+    /// Look up a precomputed canonical key. Updates hit/miss statistics.
+    pub fn lookup_key(&self, key: u64) -> Option<CachedVerdict> {
         let mut inner = self.inner.lock();
         match inner.map.get(&key).copied() {
             Some(v) => {
@@ -89,8 +100,33 @@ impl EquivCache {
 
     /// Record the verdict for a candidate.
     pub fn insert(&self, insns: &[Insn], verdict: CachedVerdict) {
-        let key = Self::key_of(insns);
+        self.insert_key(Self::key_of(insns), verdict);
+    }
+
+    /// Record the verdict for a precomputed canonical key.
+    pub fn insert_key(&self, key: u64, verdict: CachedVerdict) {
         self.inner.lock().map.insert(key, verdict);
+    }
+
+    /// Remove and return every entry, sorted by key. Statistics are kept.
+    ///
+    /// This is the publication half of the cross-chain exchange: at an epoch
+    /// barrier each chain drains its private delta and merges it into the
+    /// shared cache. Sorting makes downstream iteration order deterministic.
+    pub fn drain_entries(&self) -> Vec<(u64, CachedVerdict)> {
+        let mut entries: Vec<(u64, CachedVerdict)> = self.inner.lock().map.drain().collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Merge previously drained entries into this cache. Existing entries
+    /// win: a verdict is a fact about (source, canonical candidate), so any
+    /// duplicate insertion carries the same verdict and the choice is moot.
+    pub fn merge_entries(&self, entries: &[(u64, CachedVerdict)]) {
+        let mut inner = self.inner.lock();
+        for (key, verdict) in entries {
+            inner.map.entry(*key).or_insert(*verdict);
+        }
     }
 
     /// Number of stored entries.
@@ -140,6 +176,26 @@ mod tests {
         assert_eq!(cache.lookup(&a), Some(CachedVerdict::Equivalent));
         assert_eq!(cache.lookup(&b), Some(CachedVerdict::NotEquivalent));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn drained_entries_merge_into_another_cache() {
+        let private = EquivCache::new();
+        let shared = EquivCache::new();
+        let a = asm::assemble("mov64 r0, 1\nexit").unwrap();
+        let b = asm::assemble("mov64 r0, 2\nexit").unwrap();
+        private.insert(&a, CachedVerdict::Equivalent);
+        private.insert(&b, CachedVerdict::NotEquivalent);
+        let entries = private.drain_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        assert!(private.is_empty(), "drain leaves the cache empty");
+        shared.merge_entries(&entries);
+        assert_eq!(shared.lookup(&a), Some(CachedVerdict::Equivalent));
+        assert_eq!(shared.lookup(&b), Some(CachedVerdict::NotEquivalent));
+        // Merging again is idempotent and existing entries win.
+        shared.merge_entries(&entries);
+        assert_eq!(shared.len(), 2);
     }
 
     #[test]

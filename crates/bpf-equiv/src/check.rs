@@ -6,6 +6,7 @@ use crate::encode::{EncodeError, EncodeOptions, Encoder};
 use bitsmt::{CheckResult, Solver, TermPool};
 use bpf_interp::ProgramInput;
 use bpf_isa::Program;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Options controlling the equivalence checker: the paper's optimizations
@@ -79,6 +80,12 @@ impl EquivOutcome {
 pub struct EquivStats {
     /// Number of solver queries issued.
     pub queries: u64,
+    /// Cached checks answered by this checker's private cache layer.
+    pub cache_hits: u64,
+    /// Cached checks answered by the cross-chain shared cache layer.
+    pub shared_cache_hits: u64,
+    /// Checks that missed both cache layers and went to the solver.
+    pub cache_misses: u64,
     /// Total time spent building formulas and solving, in microseconds.
     pub total_time_us: u64,
     /// Microseconds spent in the most recent query.
@@ -87,6 +94,32 @@ pub struct EquivStats {
     pub last_cnf_vars: u64,
     /// CNF clauses in the most recent query.
     pub last_cnf_clauses: u64,
+}
+
+impl EquivStats {
+    /// Fold another checker's totals into this one (per-query `last_*`
+    /// fields are meaningless for an aggregate and reset to zero).
+    pub fn absorb(&mut self, other: &EquivStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.shared_cache_hits += other.shared_cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.total_time_us += other.total_time_us;
+        self.last_time_us = 0;
+        self.last_cnf_vars = 0;
+        self.last_cnf_clauses = 0;
+    }
+
+    /// Fraction of cache-eligible checks answered by either cache layer.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits + self.shared_cache_hits;
+        let total = hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 /// Check the equivalence of two programs once, without caching.
@@ -113,11 +146,20 @@ fn outcome_of_error(e: EncodeError) -> EquivOutcome {
 /// A stateful checker bound to one source program: caches verdicts for the
 /// candidates it sees and accumulates statistics. This is the object the K2
 /// search loop holds for the duration of one compilation.
+///
+/// The cache is layered. Every checker owns a *private* delta that absorbs
+/// new verdicts; optionally it also reads from a *shared* cross-chain
+/// [`EquivCache`] (see [`EquivChecker::with_shared_cache`]). The shared layer
+/// is never written during a search epoch — the engine publishes each
+/// chain's private delta into it only at deterministic barriers via
+/// [`EquivChecker::publish_cache`], which keeps same-seed searches
+/// schedule-independent even though the shared layer is read concurrently.
 #[derive(Debug)]
 pub struct EquivChecker {
     /// Options in effect.
     pub options: EquivOptions,
     cache: EquivCache,
+    shared: Option<Arc<EquivCache>>,
     /// Statistics accumulated across `check` calls.
     pub stats: EquivStats,
 }
@@ -128,36 +170,83 @@ impl EquivChecker {
         EquivChecker {
             options,
             cache: EquivCache::new(),
+            shared: None,
             stats: EquivStats::default(),
         }
     }
 
-    /// Access the verdict cache (for reporting hit rates, Table 6).
+    /// Create a checker that additionally reads verdicts from a shared
+    /// cross-chain cache. All checkers sharing the cache must be bound to the
+    /// same source program: verdicts are facts about (source, candidate).
+    pub fn with_shared_cache(options: EquivOptions, shared: Arc<EquivCache>) -> EquivChecker {
+        EquivChecker {
+            shared: Some(shared),
+            ..EquivChecker::new(options)
+        }
+    }
+
+    /// Access the private verdict cache (for reporting hit rates, Table 6).
     pub fn cache(&self) -> &EquivCache {
         &self.cache
     }
 
+    /// The shared cross-chain layer, when one was attached.
+    pub fn shared_cache(&self) -> Option<&Arc<EquivCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Publish the private cache delta into the shared layer and clear it.
+    /// Returns the number of entries moved; a no-op without a shared layer.
+    ///
+    /// Call this only at points where no other checker is concurrently
+    /// *reading* a deterministic snapshot of the shared layer — i.e. at the
+    /// engine's epoch barriers.
+    pub fn publish_cache(&mut self) -> usize {
+        let Some(shared) = &self.shared else {
+            return 0;
+        };
+        let entries = self.cache.drain_entries();
+        shared.merge_entries(&entries);
+        entries.len()
+    }
+
     /// Check a candidate against the source program.
     pub fn check(&mut self, src: &Program, cand: &Program) -> EquivOutcome {
-        if self.options.enable_cache {
-            if let Some(verdict) = self.cache.lookup(&cand.insns) {
-                return match verdict {
-                    CachedVerdict::Equivalent => EquivOutcome::Equivalent,
-                    CachedVerdict::NotEquivalent => EquivOutcome::NotEquivalent(None),
-                    CachedVerdict::Unknown => EquivOutcome::Unknown("cached".into()),
-                };
+        let key = if self.options.enable_cache {
+            let key = EquivCache::key_of(&cand.insns);
+            if let Some(verdict) = self.cache.lookup_key(key) {
+                self.stats.cache_hits += 1;
+                return Self::cached_outcome(verdict);
             }
-        }
+            if let Some(shared) = &self.shared {
+                if let Some(verdict) = shared.lookup_key(key) {
+                    self.stats.shared_cache_hits += 1;
+                    return Self::cached_outcome(verdict);
+                }
+            }
+            self.stats.cache_misses += 1;
+            Some(key)
+        } else {
+            None
+        };
         let outcome = self.check_uncached(src, cand);
-        if self.options.enable_cache {
+        if let Some(key) = key {
             let verdict = match &outcome {
                 EquivOutcome::Equivalent => CachedVerdict::Equivalent,
                 EquivOutcome::NotEquivalent(_) => CachedVerdict::NotEquivalent,
                 EquivOutcome::Unknown(_) => CachedVerdict::Unknown,
             };
-            self.cache.insert(&cand.insns, verdict);
+            self.cache.insert_key(key, verdict);
         }
         outcome
+    }
+
+    fn cached_outcome(verdict: CachedVerdict) -> EquivOutcome {
+        match verdict {
+            CachedVerdict::Equivalent => EquivOutcome::Equivalent,
+            CachedVerdict::NotEquivalent => EquivOutcome::NotEquivalent(None),
+            CachedVerdict::Unknown => EquivOutcome::Unknown("cached".into()),
+        }
     }
 
     /// Check without consulting the cache (used directly by benchmarks).
@@ -269,6 +358,34 @@ mod tests {
         // Only the first check reached the solver.
         assert_eq!(checker.stats.queries, 1);
         assert_eq!(checker.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_layer_answers_after_publication() {
+        let src = xdp("mov64 r0, 3\nexit");
+        let cand = xdp("mov64 r0, 1\nadd64 r0, 2\nexit");
+        let shared = Arc::new(EquivCache::new());
+        let mut a = EquivChecker::with_shared_cache(EquivOptions::default(), Arc::clone(&shared));
+        let mut b = EquivChecker::with_shared_cache(EquivOptions::default(), Arc::clone(&shared));
+
+        // Chain A solves the query and publishes at the barrier.
+        assert!(a.check(&src, &cand).is_equivalent());
+        assert_eq!(a.stats.cache_misses, 1);
+        assert!(a.publish_cache() >= 1);
+        assert!(a.cache().is_empty(), "publication drains the private delta");
+
+        // Chain B is answered by the shared layer without a solver query.
+        assert!(b.check(&src, &cand).is_equivalent());
+        assert_eq!(b.stats.queries, 0);
+        assert_eq!(b.stats.shared_cache_hits, 1);
+        assert!((b.stats.cache_hit_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(shared.stats().hits, 1);
+
+        // A's next check of the same candidate also hits the shared layer
+        // (its private delta was drained).
+        assert!(a.check(&src, &cand).is_equivalent());
+        assert_eq!(a.stats.shared_cache_hits, 1);
+        assert_eq!(a.stats.queries, 1);
     }
 
     #[test]

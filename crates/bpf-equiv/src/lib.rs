@@ -53,7 +53,7 @@ pub mod counterexample;
 pub mod encode;
 pub mod window;
 
-pub use cache::EquivCache;
+pub use cache::{CacheStats, CachedVerdict, EquivCache};
 pub use check::{check_equivalence, EquivChecker, EquivOptions, EquivOutcome, EquivStats};
 pub use encode::{EncodeError, Encoder, ProgramEncoding};
 pub use window::{check_window, Window};

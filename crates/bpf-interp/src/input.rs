@@ -12,7 +12,12 @@ pub type MapState = BTreeMap<(u32, Vec<u8>), Vec<u8>>;
 
 /// One complete input to a BPF program execution: everything that can
 /// influence its behaviour.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Ord` impl (lexicographic over the fields, in declaration order) has
+/// no semantic meaning; it exists so pools of inputs — e.g. the counterexample
+/// exchange in K2's search engine — can be merged in a deterministic,
+/// schedule-independent order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ProgramInput {
     /// Packet payload (starts at the `data` pointer; headroom is added by the
     /// machine).

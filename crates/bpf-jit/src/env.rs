@@ -14,7 +14,7 @@ use bpf_interp::{MachineState, Trap};
 use bpf_isa::{HelperId, MemSize, Program, Reg};
 
 /// Trap discriminants written by emitted code. `RUST` means a callback
-/// recorded the full [`Trap`] value in [`JitEnv::rust_trap`].
+/// recorded the full [`Trap`] value in `JitEnv::rust_trap`.
 pub mod trap_code {
     /// No trap: normal execution.
     pub const NONE: u64 = 0;

@@ -1,10 +1,9 @@
-//! The K2 compiler driver: parallel Markov chains, top-k selection, and the
-//! kernel-checker post-processing pass.
+//! The K2 compiler driver: the epoch-based search engine, top-k selection,
+//! and the kernel-checker post-processing pass.
 
-use crate::cost::CostFunction;
-use crate::params::SearchParams;
-use crate::proposals::ProposalGenerator;
-use crate::search::{ChainStats, MarkovChain};
+use crate::engine::{run_batch, run_search, BatchJob, EngineReport};
+use crate::params::{EngineConfig, SearchParams};
+use crate::search::ChainStats;
 use bpf_interp::BackendKind;
 use bpf_isa::Program;
 use bpf_safety::{LinuxVerifier, LinuxVerifierConfig};
@@ -42,6 +41,11 @@ pub struct CompilerOptions {
     /// Execution backend for candidate evaluation (threaded into every
     /// chain's [`crate::cost::CostSettings`]; `K2_BACKEND` overrides it).
     pub backend: BackendKind,
+    /// Engine-level knobs: epochs, cross-chain sharing, convergence, the
+    /// wall-clock budget, and the batch worker pool. Environment variables
+    /// (`K2_EPOCHS`, `K2_SHARED_CACHE`, ...) override individual knobs at
+    /// run time; see [`EngineConfig::from_env`].
+    pub engine: EngineConfig,
 }
 
 impl Default for CompilerOptions {
@@ -55,6 +59,7 @@ impl Default for CompilerOptions {
             top_k: 1,
             parallel: true,
             backend: BackendKind::Auto,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -77,6 +82,10 @@ pub struct K2Result {
     /// Number of output candidates rejected by the kernel-checker model in
     /// post-processing (the paper reports zero).
     pub rejected_by_kernel_checker: usize,
+    /// Aggregated engine statistics: epochs run, solver queries, verdict
+    /// cache hit rates (private and cross-chain shared layers),
+    /// counterexample exchange, and time-to-best.
+    pub report: EngineReport,
 }
 
 /// The compiler.
@@ -92,56 +101,18 @@ impl K2Compiler {
         K2Compiler { options }
     }
 
-    /// Optimize one program.
+    /// Optimize one program: run the epoch-based search engine, then filter
+    /// the chain winners through the kernel-checker model and rank them.
     pub fn optimize(&mut self, src: &Program) -> K2Result {
-        /// What one Markov chain reports back: its parameter-setting id, the
-        /// best (program, cost) it found (if any), and its run statistics.
-        type ChainOutcome = (usize, Option<(Program, f64)>, ChainStats);
-
         let opts = &self.options;
-        let run_chain = |params: &SearchParams, chain_idx: usize| -> ChainOutcome {
-            let seed = opts
-                .seed
-                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chain_idx as u64 + 1));
-            let mut cost_settings = params.cost;
-            if opts.backend != BackendKind::Auto {
-                cost_settings.backend = opts.backend;
-            }
-            let cost = CostFunction::new(src, cost_settings, opts.goal, opts.num_tests, seed);
-            let generator = ProposalGenerator::new(src, params.rules, seed);
-            let mut chain = MarkovChain::new(cost, generator, seed);
-            let stats = chain.run(opts.iterations);
-            (params.id, chain.best().cloned(), stats)
-        };
-
-        let run_chain = &run_chain;
-        let chain_results: Vec<ChainOutcome> = if opts.parallel && opts.params.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = opts
-                    .params
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, params)| scope.spawn(move || run_chain(params, idx)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("chain thread panicked"))
-                    .collect()
-            })
-        } else {
-            opts.params
-                .iter()
-                .enumerate()
-                .map(|(idx, p)| run_chain(p, idx))
-                .collect()
-        };
+        let outcome = run_search(src, opts);
 
         // Collect candidates, filter through the kernel-checker model, rank.
         let verifier = LinuxVerifier::new(LinuxVerifierConfig::default());
         let mut rejected = 0usize;
         let mut candidates: Vec<(Program, f64)> = Vec::new();
-        for (_, best, _) in &chain_results {
-            if let Some((prog, cost)) = best {
+        for chain in &outcome.chains {
+            if let Some((prog, cost)) = &chain.best {
                 if verifier.accepts(prog) {
                     if !candidates.iter().any(|(p, _)| p.insns == prog.insns) {
                         candidates.push((prog.clone(), *cost));
@@ -151,7 +122,11 @@ impl K2Compiler {
                 }
             }
         }
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp, not partial_cmp: a NaN cost (which would mean a bug
+        // upstream) must not be able to scramble the top-k order — under
+        // total order NaNs sort after every real cost and the sort stays a
+        // strict weak ordering.
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
         candidates.truncate(opts.top_k.max(1));
 
         let fallback_cost = match opts.goal {
@@ -168,13 +143,32 @@ impl K2Compiler {
             best,
             best_cost,
             top: candidates,
-            chains: chain_results
+            chains: outcome
+                .chains
                 .into_iter()
-                .map(|(id, best, stats)| (id, best.map(|(_, c)| c), stats))
+                .map(|c| (c.param_id, c.best.map(|(_, cost)| cost), c.stats))
                 .collect(),
             improved,
             rejected_by_kernel_checker: rejected,
+            report: outcome.report,
         }
+    }
+
+    /// Optimize many programs concurrently over a bounded worker pool
+    /// (`EngineConfig::batch_workers`, `K2_BATCH_WORKERS`; `0` = one worker
+    /// per CPU). Every program is compiled with this compiler's options and
+    /// the results come back in input order, identical to what per-program
+    /// [`K2Compiler::optimize`] calls would produce.
+    pub fn optimize_batch(&self, programs: &[Program]) -> Vec<K2Result> {
+        let workers = self.options.engine.from_env().batch_workers;
+        let jobs = programs
+            .iter()
+            .map(|program| BatchJob {
+                program: program.clone(),
+                options: self.options.clone(),
+            })
+            .collect();
+        run_batch(jobs, workers)
     }
 }
 

@@ -3,13 +3,14 @@
 //! cost.
 
 use crate::compiler::OptimizationGoal;
-use bpf_equiv::{EquivChecker, EquivOptions, EquivOutcome};
+use bpf_equiv::{CacheStats, EquivCache, EquivChecker, EquivOptions, EquivOutcome, EquivStats};
 use bpf_interp::{
     BackendKind, CostModel, ExecBackend, InputGenerator, ProgramInput, ProgramOutput,
 };
 use bpf_isa::Program;
 use bpf_safety::{SafetyChecker, SafetyConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Safety cost assigned to unsafe candidates (`ERR_MAX` in the paper): large
 /// enough that unsafe programs are almost never accepted, small enough that
@@ -138,6 +139,9 @@ pub struct CostFunction {
     /// construction (for the JIT backend this holds the compiled code page)
     /// and reused whenever a counterexample must be graded.
     src_exec: Box<dyn ExecBackend>,
+    /// Counterexamples discovered since the last [`Self::take_counterexamples`]
+    /// call, in discovery order — the outbox of the cross-chain exchange.
+    pending_cex: Vec<ProgramInput>,
     /// Statistics.
     pub stats: CostStats,
 }
@@ -151,6 +155,21 @@ impl CostFunction {
         goal: OptimizationGoal,
         num_tests: usize,
         seed: u64,
+    ) -> CostFunction {
+        Self::with_shared_cache(src, settings, goal, num_tests, seed, None)
+    }
+
+    /// Like [`CostFunction::new`], but the equivalence checker additionally
+    /// reads verdicts from a shared cross-chain cache (the search engine's
+    /// [`crate::engine::SearchContext`]). The shared layer must be keyed to
+    /// the same source program.
+    pub fn with_shared_cache(
+        src: &Program,
+        settings: CostSettings,
+        goal: OptimizationGoal,
+        num_tests: usize,
+        seed: u64,
+        shared_cache: Option<Arc<EquivCache>>,
     ) -> CostFunction {
         let mut generator = InputGenerator::new(seed);
         let tests = generator.generate_suite(src, num_tests.max(1));
@@ -172,18 +191,23 @@ impl CostFunction {
             OptimizationGoal::InstructionCount => src.real_len() as f64,
             OptimizationGoal::Latency => cost_model.program_cost(src) as f64,
         };
+        let equiv = match shared_cache {
+            Some(shared) => EquivChecker::with_shared_cache(EquivOptions::default(), shared),
+            None => EquivChecker::new(EquivOptions::default()),
+        };
         CostFunction {
             settings,
             goal,
             src: src.clone(),
             tests,
             expected,
-            equiv: EquivChecker::new(EquivOptions::default()),
+            equiv,
             safety: SafetyChecker::new(SafetyConfig::default()),
             cost_model,
             src_perf,
             backend,
             src_exec,
+            pending_cex: Vec::new(),
             stats,
         }
     }
@@ -211,6 +235,50 @@ impl CostFunction {
     /// Access the equivalence checker (for cache statistics).
     pub fn equivalence_checker(&self) -> &EquivChecker {
         &self.equiv
+    }
+
+    /// Accumulated equivalence-checker statistics (solver queries, cache
+    /// hits per layer, solver time).
+    pub fn equiv_stats(&self) -> EquivStats {
+        self.equiv.stats
+    }
+
+    /// Hit/miss statistics of the checker's private cache layer.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.equiv.cache().stats()
+    }
+
+    /// Publish the private equivalence-cache delta into the shared
+    /// cross-chain layer (no-op without one). Returns the entries moved.
+    /// Call only at the engine's epoch barriers.
+    pub fn publish_cache(&mut self) -> usize {
+        self.equiv.publish_cache()
+    }
+
+    /// Drain the counterexamples discovered since the last call (the outbox
+    /// of the cross-chain exchange), in discovery order.
+    pub fn take_counterexamples(&mut self) -> Vec<ProgramInput> {
+        std::mem::take(&mut self.pending_cex)
+    }
+
+    /// Add one test case to the suite unless an identical input is already
+    /// present. The expected output is graded with the cached source
+    /// executor. Returns whether the suite grew.
+    pub fn add_test(&mut self, input: &ProgramInput) -> bool {
+        if self.tests.contains(input) {
+            return false;
+        }
+        self.stats.src_executions += 1;
+        let expected = self.src_exec.run(input).ok().map(|r| r.output);
+        self.tests.push(input.clone());
+        self.expected.push(expected);
+        true
+    }
+
+    /// Add every input of a (merged, deduplicated) counterexample pool that
+    /// is not yet in the suite. Returns how many tests were added.
+    pub fn add_tests(&mut self, inputs: &[ProgramInput]) -> usize {
+        inputs.iter().filter(|i| self.add_test(i)).count()
     }
 
     /// Performance cost of a candidate (absolute, not relative to the
@@ -290,6 +358,7 @@ impl CostFunction {
                     // post-construction source execution).
                     self.stats.src_executions += 1;
                     if let Ok(expected) = self.src_exec.run(&counterexample) {
+                        self.pending_cex.push((*counterexample).clone());
                         self.tests.push(*counterexample);
                         self.expected.push(Some(expected.output));
                         self.stats.counterexamples += 1;

@@ -1,0 +1,131 @@
+//! Batch compilation over a bounded worker pool — the first step toward a
+//! compilation service: many programs in, many [`K2Result`]s out, with the
+//! total thread count bounded by the worker count rather than by
+//! `programs × chains`.
+
+use crate::compiler::{CompilerOptions, K2Compiler, K2Result};
+use bpf_isa::Program;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of batch work: a program and the options to compile it with.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The program to optimize.
+    pub program: Program,
+    /// The options for this job (goal, budget, seed, engine knobs, ...).
+    pub options: CompilerOptions,
+}
+
+/// Resolve the effective worker count: `0` means one per available CPU,
+/// and never more workers than jobs.
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = if requested == 0 { auto } else { requested };
+    workers.clamp(1, jobs.max(1))
+}
+
+/// Compile every job, at most `workers` concurrently (`0` = one per CPU).
+///
+/// Jobs are claimed from a shared queue, so long compilations do not hold up
+/// short ones behind a fixed partition. Each job is an independent,
+/// deterministic compilation: results are identical to calling
+/// [`K2Compiler::optimize`] per job (modulo wall-clock statistics),
+/// regardless of the worker count. When more than one worker runs, each
+/// job's chains are run sequentially inside its worker — chain parallelism
+/// and job parallelism produce bit-identical results, and this keeps the
+/// total thread count at `workers`.
+pub fn run_batch(jobs: Vec<BatchJob>, workers: usize) -> Vec<K2Result> {
+    let workers = effective_workers(workers, jobs.len());
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs
+            .into_iter()
+            .map(|job| K2Compiler::new(job.options).optimize(&job.program))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<K2Result>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let jobs = &jobs;
+    let slots_ref = &slots;
+    let next_ref = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let mut options = job.options.clone();
+                options.parallel = false;
+                let result = K2Compiler::new(options).optimize(&job.program);
+                *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SearchParams;
+    use bpf_isa::{asm, ProgramType};
+
+    fn xdp(text: &str) -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+    }
+
+    fn small_options(seed: u64) -> CompilerOptions {
+        CompilerOptions {
+            iterations: 250,
+            params: SearchParams::table8().into_iter().take(2).collect(),
+            num_tests: 6,
+            seed,
+            ..CompilerOptions::default()
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_jobs_and_floors_at_one() {
+        assert_eq!(effective_workers(4, 2), 2);
+        assert_eq!(effective_workers(2, 10), 2);
+        assert_eq!(effective_workers(1, 0), 1);
+        assert!(effective_workers(0, 64) >= 1);
+    }
+
+    #[test]
+    fn batch_matches_individual_compilations() {
+        let programs = [
+            xdp("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nexit"),
+            xdp("mov64 r2, 0\nmov64 r0, 9\nmov64 r3, r0\nexit"),
+            xdp("mov64 r0, 1\nexit"),
+        ];
+        let jobs: Vec<BatchJob> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| BatchJob {
+                program: p.clone(),
+                options: small_options(100 + i as u64),
+            })
+            .collect();
+        let batched = run_batch(jobs.clone(), 2);
+        assert_eq!(batched.len(), programs.len());
+        for (job, batch_result) in jobs.into_iter().zip(&batched) {
+            let solo = K2Compiler::new(job.options).optimize(&job.program);
+            assert_eq!(solo.best.insns, batch_result.best.insns);
+            assert_eq!(solo.best_cost, batch_result.best_cost);
+            assert_eq!(solo.top.len(), batch_result.top.len());
+        }
+    }
+}

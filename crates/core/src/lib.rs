@@ -10,10 +10,13 @@
 //!   safety ([`cost`]),
 //! * Metropolis–Hastings acceptance and the Markov-chain search loop
 //!   ([`search`]),
-//! * the user-facing compiler driver that runs multiple chains with
-//!   different parameter settings and post-processes the winners through the
-//!   kernel-checker model ([`compiler`]),
-//! * the canonical parameter settings of the paper's Table 8 ([`params`]).
+//! * the epoch-based multi-chain search engine with cross-chain verdict
+//!   caching, counterexample exchange, and batch compilation ([`engine`]),
+//! * the user-facing compiler driver that runs the engine and
+//!   post-processes the winners through the kernel-checker model
+//!   ([`compiler`]),
+//! * the canonical parameter settings of the paper's Table 8 and the
+//!   engine knobs ([`params`]).
 //!
 //! ```no_run
 //! use bpf_isa::{asm, Program, ProgramType};
@@ -37,6 +40,7 @@
 
 pub mod compiler;
 pub mod cost;
+pub mod engine;
 pub mod params;
 pub mod proposals;
 pub mod search;
@@ -46,6 +50,7 @@ pub use compiler::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal};
 pub use cost::{
     CostFunction, CostSettings, CostValue, DiffMetric, ErrorNormalization, TestCountMode,
 };
-pub use params::SearchParams;
+pub use engine::{BatchJob, ChainOutcome, EngineOutcome, EngineReport, SearchContext};
+pub use params::{EngineConfig, SearchParams};
 pub use proposals::{ProposalGenerator, RewriteRule};
 pub use search::{ChainStats, MarkovChain};

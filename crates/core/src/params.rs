@@ -1,9 +1,116 @@
-//! Search parameter settings (paper §8 and Appendix F.1, Table 8).
+//! Search parameter settings (paper §8 and Appendix F.1, Table 8) and the
+//! engine-level knobs controlling epochs, cross-chain sharing, convergence
+//! and the batch worker pool.
 
 use crate::cost::{CostSettings, DiffMetric, ErrorNormalization, TestCountMode};
 use crate::proposals::RuleProbabilities;
 use bpf_interp::BackendKind;
 use serde::{Deserialize, Serialize};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn env_bool(name: &str) -> Option<bool> {
+    std::env::var(name).ok().map(|v| {
+        let v = v.to_ascii_lowercase();
+        !(v == "0" || v == "false" || v == "off" || v.is_empty())
+    })
+}
+
+/// Configuration of the epoch-based search engine: how chains are scheduled,
+/// what state they share at barriers, and when the search stops early.
+///
+/// Every knob has an environment-variable override (applied per-knob by
+/// [`EngineConfig::from_env`]) so harnesses can reshape a run without a
+/// rebuild: `K2_EPOCHS`, `K2_SHARED_CACHE`, `K2_EXCHANGE_CEX`,
+/// `K2_RESTART_FROM_BEST`, `K2_STALL_EPOCHS`, `K2_TIME_BUDGET_MS`,
+/// `K2_BATCH_WORKERS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of epochs the iteration budget is split into. Chains
+    /// synchronize (exchange caches, counterexamples and the global best) at
+    /// the barrier after each epoch. `1` reproduces fully independent chains.
+    pub num_epochs: u64,
+    /// Share one cross-chain equivalence-verdict cache: chains read a frozen
+    /// shared layer during an epoch and publish their private deltas at the
+    /// barrier, so a verdict any chain proved is never re-proved elsewhere.
+    pub shared_cache: bool,
+    /// Merge all chains' SAT counterexamples at each barrier (sorted,
+    /// deduplicated) and grow every chain's test suite from the pool.
+    pub exchange_counterexamples: bool,
+    /// At each barrier, restart chains whose best is strictly worse than the
+    /// global best from the global best program.
+    pub restart_from_best: bool,
+    /// Stop early when no chain has improved the global best for this many
+    /// consecutive epochs. `None` always runs the full budget.
+    pub stall_epochs: Option<u64>,
+    /// Wall-clock budget for one compilation, checked at epoch barriers.
+    /// `None` means unbounded. Note that enabling it trades determinism for
+    /// punctuality: how many epochs fit in the budget depends on machine
+    /// speed (the best-so-far invariant still holds on early exit).
+    pub time_budget_ms: Option<u64>,
+    /// Worker threads for [`crate::K2Compiler::optimize_batch`];
+    /// `0` means one per available CPU (capped by the number of jobs).
+    pub batch_workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_epochs: 4,
+            shared_cache: true,
+            exchange_counterexamples: true,
+            restart_from_best: false,
+            stall_epochs: None,
+            time_budget_ms: None,
+            batch_workers: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Apply the per-knob environment overrides to this configuration.
+    pub fn from_env(self) -> EngineConfig {
+        EngineConfig {
+            num_epochs: env_u64("K2_EPOCHS").unwrap_or(self.num_epochs).max(1),
+            shared_cache: env_bool("K2_SHARED_CACHE").unwrap_or(self.shared_cache),
+            exchange_counterexamples: env_bool("K2_EXCHANGE_CEX")
+                .unwrap_or(self.exchange_counterexamples),
+            restart_from_best: env_bool("K2_RESTART_FROM_BEST").unwrap_or(self.restart_from_best),
+            // For the two optional knobs the env value wins outright, with
+            // `0` meaning "off" — so the environment can also *disable* a
+            // programmatically configured criterion.
+            stall_epochs: match env_u64("K2_STALL_EPOCHS") {
+                Some(0) => None,
+                Some(n) => Some(n),
+                None => self.stall_epochs,
+            },
+            time_budget_ms: match env_u64("K2_TIME_BUDGET_MS") {
+                Some(0) => None,
+                Some(n) => Some(n),
+                None => self.time_budget_ms,
+            },
+            batch_workers: env_u64("K2_BATCH_WORKERS")
+                .map(|v| v as usize)
+                .unwrap_or(self.batch_workers),
+        }
+    }
+
+    /// A configuration with all cross-chain sharing disabled and a single
+    /// epoch: every chain runs exactly as it would in isolation (the
+    /// pre-engine behaviour, and the "per-chain caches" baseline in
+    /// `BENCH_engine.json`).
+    pub fn isolated() -> EngineConfig {
+        EngineConfig {
+            num_epochs: 1,
+            shared_cache: false,
+            exchange_counterexamples: false,
+            restart_from_best: false,
+            ..EngineConfig::default()
+        }
+    }
+}
 
 /// One complete parameterization of a Markov chain: the cost-function variant
 /// plus the proposal-rule probabilities.
@@ -159,6 +266,20 @@ mod tests {
             let sum = s.rules.sum();
             assert!((sum - 1.0).abs() < 1e-6, "setting {} sums to {sum}", s.id);
         }
+    }
+
+    #[test]
+    fn engine_config_defaults_share_state_across_epochs() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.num_epochs > 1);
+        assert!(cfg.shared_cache);
+        assert!(cfg.exchange_counterexamples);
+        assert_eq!(cfg.stall_epochs, None);
+        assert_eq!(cfg.time_budget_ms, None);
+        let isolated = EngineConfig::isolated();
+        assert_eq!(isolated.num_epochs, 1);
+        assert!(!isolated.shared_cache);
+        assert!(!isolated.exchange_counterexamples);
     }
 
     #[test]

@@ -67,6 +67,33 @@ impl MarkovChain {
         &self.cost
     }
 
+    /// Mutable access to the cost function, used by the search engine at
+    /// epoch barriers to publish cache deltas and exchange counterexamples.
+    pub fn cost_function_mut(&mut self) -> &mut CostFunction {
+        &mut self.cost
+    }
+
+    /// Performance cost of the best program found so far.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.best.as_ref().map(|(_, c)| *c)
+    }
+
+    /// Re-evaluate the current program, refreshing the cached cost. The
+    /// engine calls this after growing the test suite at a barrier so the
+    /// next acceptance decision compares costs under the same suite.
+    pub fn refresh_current(&mut self) {
+        let current = self.cost.source().with_insns(self.current.clone());
+        self.current_cost = self.cost.evaluate(&current);
+    }
+
+    /// Restart the walk from the given program (the engine's
+    /// restart-from-best move). The best-so-far record is left untouched.
+    pub fn restart_from(&mut self, prog: &Program) {
+        self.current = prog.insns.clone();
+        let current = self.cost.source().with_insns(self.current.clone());
+        self.current_cost = self.cost.evaluate(&current);
+    }
+
     /// Run the chain for `iterations` steps.
     pub fn run(&mut self, iterations: u64) -> ChainStats {
         let start = std::time::Instant::now();

@@ -144,7 +144,8 @@ impl DutModel {
         }
 
         let duration = last_completion.max(arrival).max(1e-12);
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp so a NaN latency could never scramble the percentile sort.
+        latencies.sort_by(f64::total_cmp);
         let p99 = if latencies.is_empty() {
             0.0
         } else {

@@ -55,4 +55,17 @@ fn main() {
             cost, stats.iterations, stats.accepted
         );
     }
+    let report = &result.report;
+    println!(
+        "engine: {} epochs, {} solver queries ({} ms solving), cache hit rate {:.1}%",
+        report.epochs_run,
+        report.equiv.queries,
+        report.equiv.total_time_us / 1000,
+        100.0 * report.equiv.cache_hit_rate(),
+    );
+    println!(
+        "        cross-chain cache: {} entries, {} hits served to other chains; \
+         {} counterexamples exchanged",
+        report.shared_cache_entries, report.shared_cache.hits, report.counterexamples_exchanged
+    );
 }

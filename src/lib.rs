@@ -13,7 +13,7 @@
 //!   ([`bpf_bench_suite`]),
 //! * [`baseline`] — the rule-based comparator ([`k2_baseline`]),
 //! * [`core`] — the MCMC search itself ([`k2_core`]),
-//! * [`bench`] — table/figure regeneration harnesses ([`k2_bench`]),
+//! * [`mod@bench`] — table/figure regeneration harnesses ([`k2_bench`]),
 //! * [`netsim`] — the throughput/latency model ([`k2_netsim`]).
 //!
 //! ## Quickstart
