@@ -1,0 +1,731 @@
+//! The versioned request/response protocol (`v: 1`) spoken by
+//! [`crate::K2Session::optimize`] and the `k2c` JSONL service binary.
+//!
+//! Requests carry the program (as assembly text or as hex-encoded
+//! instruction bytes) plus optional per-request overrides that layer on top
+//! of the session configuration. Responses carry the best program in both
+//! encodings, the top-k alternatives, per-chain statistics, and the
+//! deterministic part of the [`k2_core::EngineReport`].
+//!
+//! Responses deliberately contain **no wall-clock fields**: with a fixed
+//! seed the serialized response is bit-identical across runs, machines, and
+//! in-process vs. `k2c` service invocations — which makes responses
+//! cacheable and the golden tests exact. Timing lives in
+//! [`k2_core::EngineReport`], available in-process via
+//! [`crate::K2Session::optimize_program`].
+
+use crate::config::{goal_name, parse_goal};
+use crate::json::Json;
+use bpf_isa::{asm, wire, Program, ProgramType};
+use k2_core::{K2Result, OptimizationGoal};
+use std::fmt;
+
+/// The protocol schema version this crate speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A request or response that could not be built or parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    msg: String,
+}
+
+impl ProtoError {
+    fn new(msg: impl Into<String>) -> ProtoError {
+        ProtoError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// How a request carries its program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramSource {
+    /// Assembly text (field `asm`), the format `bpf_isa::asm` assembles.
+    Asm(String),
+    /// Hex-encoded little-endian instruction bytes (field `insns_hex`),
+    /// 16 hex digits per 8-byte instruction slot.
+    BytesHex(String),
+}
+
+/// One optimization request (schema `v: 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: Option<String>,
+    /// Attach point of the program.
+    pub prog_type: ProgramType,
+    /// The program itself.
+    pub program: ProgramSource,
+    /// Per-request override of the session goal.
+    pub goal: Option<OptimizationGoal>,
+    /// Per-request override of iterations per chain.
+    pub iterations: Option<u64>,
+    /// Per-request override of the RNG seed.
+    pub seed: Option<u64>,
+    /// Per-request override of the generated test count.
+    pub num_tests: Option<u64>,
+    /// Per-request override of how many programs to return.
+    pub top_k: Option<u64>,
+}
+
+fn parse_prog_type(s: &str) -> Option<ProgramType> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "xdp" => Some(ProgramType::Xdp),
+        "socket_filter" => Some(ProgramType::SocketFilter),
+        "sched_cls" => Some(ProgramType::SchedCls),
+        "tracepoint" => Some(ProgramType::Tracepoint),
+        _ => None,
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, ProtoError> {
+    let text = text.trim();
+    if !text.len().is_multiple_of(2) {
+        return Err(ProtoError::new("insns_hex has odd length"));
+    }
+    let mut out = Vec::with_capacity(text.len() / 2);
+    let bytes = text.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let s = std::str::from_utf8(pair).map_err(|_| ProtoError::new("insns_hex not ASCII"))?;
+        let v =
+            u8::from_str_radix(s, 16).map_err(|_| ProtoError::new("insns_hex not hex digits"))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn opt_u64(json: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match json.get(key) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtoError::new(format!("field {key:?} must be an unsigned integer"))),
+    }
+}
+
+fn check_version(json: &Json) -> Result<(), ProtoError> {
+    match json.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => Ok(()),
+        Some(v) => Err(ProtoError::new(format!(
+            "unsupported protocol version {v} (this build speaks v={PROTOCOL_VERSION})"
+        ))),
+        None => Err(ProtoError::new(
+            "missing required field \"v\" (protocol version)",
+        )),
+    }
+}
+
+impl OptimizeRequest {
+    /// A request for an XDP program given as assembly text, with no
+    /// per-request overrides.
+    pub fn from_asm(asm_text: impl Into<String>) -> OptimizeRequest {
+        OptimizeRequest {
+            id: None,
+            prog_type: ProgramType::Xdp,
+            program: ProgramSource::Asm(asm_text.into()),
+            goal: None,
+            iterations: None,
+            seed: None,
+            num_tests: None,
+            top_k: None,
+        }
+    }
+
+    /// A request carrying the program as hex-encoded instruction bytes.
+    pub fn from_program(prog: &Program) -> OptimizeRequest {
+        OptimizeRequest {
+            prog_type: prog.prog_type,
+            program: ProgramSource::BytesHex(hex_encode(&wire::encode_bytes(&prog.insns))),
+            ..OptimizeRequest::from_asm(String::new())
+        }
+    }
+
+    /// Materialize the program carried by this request.
+    pub fn program(&self) -> Result<Program, ProtoError> {
+        let insns = match &self.program {
+            ProgramSource::Asm(text) => asm::assemble(text)
+                .map_err(|e| ProtoError::new(format!("cannot assemble \"asm\": {e}")))?,
+            ProgramSource::BytesHex(hex) => {
+                let bytes = hex_decode(hex)?;
+                wire::decode_bytes(&bytes)
+                    .map_err(|e| ProtoError::new(format!("cannot decode \"insns_hex\": {e}")))?
+            }
+        };
+        if insns.is_empty() {
+            return Err(ProtoError::new("request carries an empty program"));
+        }
+        Ok(Program::new(self.prog_type, insns))
+    }
+
+    /// Serialize to the versioned JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> =
+            vec![("v".into(), Json::Int(PROTOCOL_VERSION as i64))];
+        if let Some(id) = &self.id {
+            fields.push(("id".into(), Json::Str(id.clone())));
+        }
+        fields.push(("prog_type".into(), Json::Str(self.prog_type.name().into())));
+        match &self.program {
+            ProgramSource::Asm(text) => fields.push(("asm".into(), Json::Str(text.clone()))),
+            ProgramSource::BytesHex(hex) => {
+                fields.push(("insns_hex".into(), Json::Str(hex.clone())))
+            }
+        }
+        if let Some(goal) = self.goal {
+            fields.push(("goal".into(), Json::Str(goal_name(goal).into())));
+        }
+        for (key, value) in [
+            ("iterations", self.iterations),
+            ("seed", self.seed),
+            ("num_tests", self.num_tests),
+            ("top_k", self.top_k),
+        ] {
+            if let Some(v) = value {
+                fields.push((key.into(), Json::Int(v as i64)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Serialize to a single JSON line.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parse the versioned JSON object.
+    pub fn from_json(json: &Json) -> Result<OptimizeRequest, ProtoError> {
+        if !matches!(json, Json::Obj(_)) {
+            return Err(ProtoError::new("request must be a JSON object"));
+        }
+        check_version(json)?;
+        let id = match json.get("id") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ProtoError::new("field \"id\" must be a string"))?
+                    .to_string(),
+            ),
+        };
+        let prog_type = match json.get("prog_type") {
+            None => ProgramType::Xdp,
+            Some(v) => v.as_str().and_then(parse_prog_type).ok_or_else(|| {
+                ProtoError::new(
+                    "field \"prog_type\" must be one of: xdp, socket_filter, sched_cls, \
+                         tracepoint",
+                )
+            })?,
+        };
+        let program = match (json.get("asm"), json.get("insns_hex")) {
+            (Some(asm_text), None) => ProgramSource::Asm(
+                asm_text
+                    .as_str()
+                    .ok_or_else(|| ProtoError::new("field \"asm\" must be a string"))?
+                    .to_string(),
+            ),
+            (None, Some(hex)) => ProgramSource::BytesHex(
+                hex.as_str()
+                    .ok_or_else(|| ProtoError::new("field \"insns_hex\" must be a string"))?
+                    .to_string(),
+            ),
+            (Some(_), Some(_)) => {
+                return Err(ProtoError::new(
+                    "request must carry exactly one of \"asm\" and \"insns_hex\", not both",
+                ))
+            }
+            (None, None) => {
+                return Err(ProtoError::new(
+                    "request must carry the program as \"asm\" or \"insns_hex\"",
+                ))
+            }
+        };
+        let goal = match json.get("goal") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(v.as_str().and_then(parse_goal).ok_or_else(|| {
+                ProtoError::new("field \"goal\" must be \"insns\" or \"latency\"")
+            })?),
+        };
+        Ok(OptimizeRequest {
+            id,
+            prog_type,
+            program,
+            goal,
+            iterations: opt_u64(json, "iterations")?,
+            seed: opt_u64(json, "seed")?,
+            num_tests: opt_u64(json, "num_tests")?,
+            top_k: opt_u64(json, "top_k")?,
+        })
+    }
+
+    /// Parse one JSON line.
+    pub fn from_json_str(text: &str) -> Result<OptimizeRequest, ProtoError> {
+        let json = Json::parse(text).map_err(|e| ProtoError::new(format!("invalid JSON: {e}")))?;
+        OptimizeRequest::from_json(&json)
+    }
+}
+
+/// One program of a response's `top` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedProgram {
+    /// Assembly text of the program.
+    pub asm: String,
+    /// Performance cost under the request's goal.
+    pub cost: f64,
+}
+
+/// Per-chain statistics of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSummary {
+    /// Parameter-setting identifier (Table 8 numbering).
+    pub param_id: u64,
+    /// Best cost the chain found, if any candidate survived.
+    pub cost: Option<f64>,
+    /// Iterations the chain executed.
+    pub iterations: u64,
+    /// Proposals the chain accepted.
+    pub accepted: u64,
+    /// Iteration at which the chain's best was first found.
+    pub best_found_at: u64,
+}
+
+/// The deterministic subset of [`k2_core::EngineReport`] a response carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSummary {
+    /// Epochs the schedule planned.
+    pub epochs_planned: u64,
+    /// Epochs that actually ran.
+    pub epochs_run: u64,
+    /// Whether the stall-epochs criterion stopped the search.
+    pub early_exit: bool,
+    /// Solver queries issued, summed over chains.
+    pub solver_queries: u64,
+    /// Private verdict-cache hits.
+    pub cache_hits: u64,
+    /// Cross-chain shared-layer hits.
+    pub shared_cache_hits: u64,
+    /// Checks that missed both cache layers.
+    pub cache_misses: u64,
+    /// Entries in the shared cache at the end of the run.
+    pub shared_cache_entries: u64,
+    /// Counterexamples pulled from the cross-chain pool into test suites.
+    pub counterexamples_exchanged: u64,
+}
+
+/// One optimization response (schema `v: 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResponse {
+    /// The request's `id`, echoed back.
+    pub id: Option<String>,
+    /// Whether optimization ran; `false` carries `error` instead of a result.
+    pub ok: bool,
+    /// What went wrong, when `ok` is false.
+    pub error: Option<String>,
+    /// Attach point of the programs below.
+    pub prog_type: ProgramType,
+    /// Assembly text of the best program.
+    pub asm: String,
+    /// Hex-encoded instruction bytes of the best program.
+    pub insns_hex: String,
+    /// Instruction count of the source program.
+    pub insns_before: u64,
+    /// Instruction count of the best program.
+    pub insns_after: u64,
+    /// Performance cost of the best program.
+    pub cost: f64,
+    /// Whether the best program differs from (and beats) the source.
+    pub improved: bool,
+    /// Candidates the kernel-checker model rejected in post-processing.
+    pub rejected_by_kernel_checker: u64,
+    /// The top-k distinct programs, best first.
+    pub top: Vec<RankedProgram>,
+    /// Per-chain statistics.
+    pub chains: Vec<ChainSummary>,
+    /// Deterministic engine statistics.
+    pub report: ReportSummary,
+}
+
+impl OptimizeResponse {
+    /// An error response echoing the request id.
+    pub fn from_error(id: Option<String>, error: impl Into<String>) -> OptimizeResponse {
+        OptimizeResponse {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            prog_type: ProgramType::Xdp,
+            asm: String::new(),
+            insns_hex: String::new(),
+            insns_before: 0,
+            insns_after: 0,
+            cost: 0.0,
+            improved: false,
+            rejected_by_kernel_checker: 0,
+            top: Vec::new(),
+            chains: Vec::new(),
+            report: ReportSummary {
+                epochs_planned: 0,
+                epochs_run: 0,
+                early_exit: false,
+                solver_queries: 0,
+                cache_hits: 0,
+                shared_cache_hits: 0,
+                cache_misses: 0,
+                shared_cache_entries: 0,
+                counterexamples_exchanged: 0,
+            },
+        }
+    }
+
+    /// Build a success response from an engine result.
+    pub fn from_result(id: Option<String>, src: &Program, result: &K2Result) -> OptimizeResponse {
+        let report = &result.report;
+        OptimizeResponse {
+            id,
+            ok: true,
+            error: None,
+            prog_type: src.prog_type,
+            asm: asm::disassemble(&result.best.insns),
+            insns_hex: hex_encode(&wire::encode_bytes(&result.best.insns)),
+            insns_before: src.real_len() as u64,
+            insns_after: result.best.real_len() as u64,
+            cost: result.best_cost,
+            improved: result.improved,
+            rejected_by_kernel_checker: result.rejected_by_kernel_checker as u64,
+            top: result
+                .top
+                .iter()
+                .map(|(prog, cost)| RankedProgram {
+                    asm: asm::disassemble(&prog.insns),
+                    cost: *cost,
+                })
+                .collect(),
+            chains: result
+                .chains
+                .iter()
+                .map(|(param_id, cost, stats)| ChainSummary {
+                    param_id: *param_id as u64,
+                    cost: *cost,
+                    iterations: stats.iterations,
+                    accepted: stats.accepted,
+                    best_found_at: stats.best_found_at,
+                })
+                .collect(),
+            report: ReportSummary {
+                epochs_planned: report.epochs_planned,
+                epochs_run: report.epochs_run,
+                early_exit: report.early_exit,
+                solver_queries: report.equiv.queries,
+                cache_hits: report.equiv.cache_hits,
+                shared_cache_hits: report.equiv.shared_cache_hits,
+                cache_misses: report.equiv.cache_misses,
+                shared_cache_entries: report.shared_cache_entries as u64,
+                counterexamples_exchanged: report.counterexamples_exchanged,
+            },
+        }
+    }
+
+    /// Serialize to the versioned JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> =
+            vec![("v".into(), Json::Int(PROTOCOL_VERSION as i64))];
+        fields.push((
+            "id".into(),
+            match &self.id {
+                Some(id) => Json::Str(id.clone()),
+                None => Json::Null,
+            },
+        ));
+        fields.push(("ok".into(), Json::Bool(self.ok)));
+        if let Some(error) = &self.error {
+            fields.push(("error".into(), Json::Str(error.clone())));
+            return Json::Obj(fields);
+        }
+        fields.push(("prog_type".into(), Json::Str(self.prog_type.name().into())));
+        fields.push(("asm".into(), Json::Str(self.asm.clone())));
+        fields.push(("insns_hex".into(), Json::Str(self.insns_hex.clone())));
+        fields.push(("insns_before".into(), Json::Int(self.insns_before as i64)));
+        fields.push(("insns_after".into(), Json::Int(self.insns_after as i64)));
+        fields.push(("cost".into(), Json::Float(self.cost)));
+        fields.push(("improved".into(), Json::Bool(self.improved)));
+        fields.push((
+            "rejected_by_kernel_checker".into(),
+            Json::Int(self.rejected_by_kernel_checker as i64),
+        ));
+        fields.push((
+            "top".into(),
+            Json::Arr(
+                self.top
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("asm".into(), Json::Str(r.asm.clone())),
+                            ("cost".into(), Json::Float(r.cost)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "chains".into(),
+            Json::Arr(
+                self.chains
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("param_id".into(), Json::Int(c.param_id as i64)),
+                            (
+                                "cost".into(),
+                                match c.cost {
+                                    Some(cost) => Json::Float(cost),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("iterations".into(), Json::Int(c.iterations as i64)),
+                            ("accepted".into(), Json::Int(c.accepted as i64)),
+                            ("best_found_at".into(), Json::Int(c.best_found_at as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        let r = &self.report;
+        fields.push((
+            "report".into(),
+            Json::Obj(vec![
+                ("epochs_planned".into(), Json::Int(r.epochs_planned as i64)),
+                ("epochs_run".into(), Json::Int(r.epochs_run as i64)),
+                ("early_exit".into(), Json::Bool(r.early_exit)),
+                ("solver_queries".into(), Json::Int(r.solver_queries as i64)),
+                ("cache_hits".into(), Json::Int(r.cache_hits as i64)),
+                (
+                    "shared_cache_hits".into(),
+                    Json::Int(r.shared_cache_hits as i64),
+                ),
+                ("cache_misses".into(), Json::Int(r.cache_misses as i64)),
+                (
+                    "shared_cache_entries".into(),
+                    Json::Int(r.shared_cache_entries as i64),
+                ),
+                (
+                    "counterexamples_exchanged".into(),
+                    Json::Int(r.counterexamples_exchanged as i64),
+                ),
+            ]),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Serialize to a single JSON line.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parse the versioned JSON object.
+    pub fn from_json(json: &Json) -> Result<OptimizeResponse, ProtoError> {
+        if !matches!(json, Json::Obj(_)) {
+            return Err(ProtoError::new("response must be a JSON object"));
+        }
+        check_version(json)?;
+        let id = match json.get("id") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ProtoError::new("field \"id\" must be a string"))?
+                    .to_string(),
+            ),
+        };
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ProtoError::new("missing boolean field \"ok\""))?;
+        if !ok {
+            let error = json
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::new("error response missing \"error\""))?;
+            return Ok(OptimizeResponse::from_error(id, error));
+        }
+        let str_field = |key: &str| -> Result<String, ProtoError> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError::new(format!("missing string field {key:?}")))
+        };
+        let u64_field = |key: &str| -> Result<u64, ProtoError> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtoError::new(format!("missing integer field {key:?}")))
+        };
+        let prog_type = parse_prog_type(&str_field("prog_type")?)
+            .ok_or_else(|| ProtoError::new("invalid \"prog_type\""))?;
+        let top = json
+            .get("top")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ProtoError::new("missing array field \"top\""))?
+            .iter()
+            .map(|item| {
+                Ok(RankedProgram {
+                    asm: item
+                        .get("asm")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ProtoError::new("top entry missing \"asm\""))?
+                        .to_string(),
+                    cost: item
+                        .get("cost")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| ProtoError::new("top entry missing \"cost\""))?,
+                })
+            })
+            .collect::<Result<Vec<_>, ProtoError>>()?;
+        let chains = json
+            .get("chains")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ProtoError::new("missing array field \"chains\""))?
+            .iter()
+            .map(|item| {
+                let field = |key: &str| -> Result<u64, ProtoError> {
+                    item.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("chain entry missing {key:?}")))
+                };
+                Ok(ChainSummary {
+                    param_id: field("param_id")?,
+                    cost: item.get("cost").and_then(Json::as_f64),
+                    iterations: field("iterations")?,
+                    accepted: field("accepted")?,
+                    best_found_at: field("best_found_at")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ProtoError>>()?;
+        let report_json = json
+            .get("report")
+            .ok_or_else(|| ProtoError::new("missing object field \"report\""))?;
+        let rfield = |key: &str| -> Result<u64, ProtoError> {
+            report_json
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtoError::new(format!("report missing {key:?}")))
+        };
+        Ok(OptimizeResponse {
+            id,
+            ok,
+            error: None,
+            prog_type,
+            asm: str_field("asm")?,
+            insns_hex: str_field("insns_hex")?,
+            insns_before: u64_field("insns_before")?,
+            insns_after: u64_field("insns_after")?,
+            cost: json
+                .get("cost")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtoError::new("missing number field \"cost\""))?,
+            improved: json
+                .get("improved")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ProtoError::new("missing boolean field \"improved\""))?,
+            rejected_by_kernel_checker: u64_field("rejected_by_kernel_checker")?,
+            top,
+            chains,
+            report: ReportSummary {
+                epochs_planned: rfield("epochs_planned")?,
+                epochs_run: rfield("epochs_run")?,
+                early_exit: report_json
+                    .get("early_exit")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ProtoError::new("report missing \"early_exit\""))?,
+                solver_queries: rfield("solver_queries")?,
+                cache_hits: rfield("cache_hits")?,
+                shared_cache_hits: rfield("shared_cache_hits")?,
+                cache_misses: rfield("cache_misses")?,
+                shared_cache_entries: rfield("shared_cache_entries")?,
+                counterexamples_exchanged: rfield("counterexamples_exchanged")?,
+            },
+        })
+    }
+
+    /// Parse one JSON line.
+    pub fn from_json_str(text: &str) -> Result<OptimizeResponse, ProtoError> {
+        let json = Json::parse(text).map_err(|e| ProtoError::new(format!("invalid JSON: {e}")))?;
+        OptimizeResponse::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ASM: &str = "mov64 r0, 2\nexit";
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let mut req = OptimizeRequest::from_asm(ASM);
+        req.id = Some("r1".into());
+        req.goal = Some(OptimizationGoal::Latency);
+        req.iterations = Some(500);
+        req.seed = Some(7);
+        let line = req.to_json_string();
+        assert_eq!(OptimizeRequest::from_json_str(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_accepts_hex_program_and_round_trips_insns() {
+        let prog = Program::new(ProgramType::Xdp, asm::assemble(ASM).unwrap());
+        let req = OptimizeRequest::from_program(&prog);
+        let line = req.to_json_string();
+        let parsed = OptimizeRequest::from_json_str(&line).unwrap();
+        assert_eq!(parsed.program().unwrap().insns, prog.insns);
+    }
+
+    #[test]
+    fn request_rejects_bad_documents() {
+        for line in [
+            "{}",
+            r#"{"v": 2, "asm": "exit"}"#,
+            r#"{"v": 1}"#,
+            r#"{"v": 1, "asm": "exit", "insns_hex": "00"}"#,
+            r#"{"v": 1, "asm": "not bpf at all"}"#,
+            r#"{"v": 1, "prog_type": "kprobe", "asm": "exit"}"#,
+            r#"{"v": 1, "asm": "exit", "iterations": "many"}"#,
+            "[]",
+            "not json",
+        ] {
+            let parsed = OptimizeRequest::from_json_str(line).and_then(|r| r.program());
+            assert!(parsed.is_err(), "should reject {line}");
+        }
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let resp = OptimizeResponse::from_error(Some("x".into()), "boom");
+        let line = resp.to_json_string();
+        let parsed = OptimizeResponse::from_json_str(&line).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error.as_deref(), Some("boom"));
+        assert_eq!(parsed.id.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn hex_codec_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+}

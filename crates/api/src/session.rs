@@ -1,0 +1,419 @@
+//! `K2Session`: the one supported way to drive K2.
+//!
+//! A session is built once — resolving the configuration layers
+//! defaults → config file → `K2_*` environment → builder overrides — and
+//! then serves any number of requests: typed in-process calls
+//! ([`K2Session::optimize_program`]), the versioned request/response
+//! protocol ([`K2Session::optimize`], [`K2Session::optimize_batch`]), and
+//! standalone equivalence checks ([`K2Session::verify_equivalence`]).
+
+use crate::config::{ConfigError, K2Config};
+use crate::proto::{OptimizeRequest, OptimizeResponse};
+use bpf_equiv::{check_equivalence, EquivOptions, EquivOutcome};
+use bpf_interp::BackendKind;
+use k2_core::engine::{run_batch, BatchJob};
+use k2_core::{CompilerOptions, EventSink, EventSinkRef, K2Result, OptimizationGoal, SearchParams};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A configured compilation session. Create one with [`K2Session::builder`].
+#[derive(Debug, Clone)]
+pub struct K2Session {
+    config: K2Config,
+    params: Vec<SearchParams>,
+    sink: EventSinkRef,
+}
+
+impl K2Session {
+    /// Start building a session.
+    pub fn builder() -> K2SessionBuilder {
+        K2SessionBuilder::default()
+    }
+
+    /// The fully-resolved configuration this session runs with.
+    pub fn config(&self) -> &K2Config {
+        &self.config
+    }
+
+    /// The engine-level options one compilation runs with: the resolved
+    /// configuration plus the session's parameter settings and event sink.
+    pub fn options(&self) -> CompilerOptions {
+        CompilerOptions {
+            params: self.params.clone(),
+            sink: self.sink.clone(),
+            ..self.config.options()
+        }
+    }
+
+    /// Optimize one program, returning the full typed result (including
+    /// wall-clock statistics in [`K2Result::report`]).
+    pub fn optimize_program(&self, src: &bpf_isa::Program) -> K2Result {
+        k2_core::optimize_with(&self.options(), src)
+    }
+
+    /// Serve one versioned request. Equivalent to a one-element
+    /// [`K2Session::optimize_batch`]; with the same seed the response is
+    /// bit-identical to what the `k2c` service binary emits.
+    pub fn optimize(&self, request: &OptimizeRequest) -> OptimizeResponse {
+        self.optimize_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Serve many requests over the bounded batch worker pool
+    /// ([`k2_core::EngineConfig::batch_workers`]). Responses come back in
+    /// request order and are identical to per-request [`K2Session::optimize`]
+    /// calls; requests that fail to parse produce `ok: false` responses
+    /// without disturbing their neighbours.
+    pub fn optimize_batch(&self, requests: &[OptimizeRequest]) -> Vec<OptimizeResponse> {
+        // Separate parseable programs from per-request errors, preserving
+        // order.
+        let mut slots: Vec<Option<OptimizeResponse>> = Vec::with_capacity(requests.len());
+        let mut jobs: Vec<BatchJob> = Vec::new();
+        let mut job_sources: Vec<(usize, bpf_isa::Program)> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            match request.program() {
+                Ok(program) => {
+                    let mut options = self.options();
+                    if let Some(goal) = request.goal {
+                        options.goal = goal;
+                    }
+                    if let Some(iterations) = request.iterations {
+                        options.iterations = iterations.max(1);
+                    }
+                    if let Some(seed) = request.seed {
+                        options.seed = seed;
+                    }
+                    if let Some(num_tests) = request.num_tests {
+                        options.num_tests = (num_tests as usize).max(1);
+                    }
+                    if let Some(top_k) = request.top_k {
+                        options.top_k = (top_k as usize).max(1);
+                    }
+                    jobs.push(BatchJob {
+                        program: program.clone(),
+                        options,
+                    });
+                    job_sources.push((index, program));
+                    slots.push(None);
+                }
+                Err(e) => {
+                    slots.push(Some(OptimizeResponse::from_error(
+                        request.id.clone(),
+                        e.to_string(),
+                    )));
+                }
+            }
+        }
+        let results = run_batch(jobs, self.config.engine.batch_workers);
+        for ((index, src), result) in job_sources.into_iter().zip(results) {
+            slots[index] = Some(OptimizeResponse::from_result(
+                requests[index].id.clone(),
+                &src,
+                &result,
+            ));
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request produced a response"))
+            .collect()
+    }
+
+    /// Formally check two programs for equivalence, independent of any
+    /// search: UNSAT means equivalent, SAT carries a counterexample input.
+    pub fn verify_equivalence(
+        &self,
+        src: &bpf_isa::Program,
+        cand: &bpf_isa::Program,
+    ) -> EquivOutcome {
+        check_equivalence(src, cand, &EquivOptions::default()).0
+    }
+}
+
+/// Builder for [`K2Session`]. Setters are the fourth (highest-precedence)
+/// configuration layer: they override the config file and the environment.
+#[derive(Default)]
+pub struct K2SessionBuilder {
+    config_file: Option<PathBuf>,
+    goal: Option<OptimizationGoal>,
+    iterations: Option<u64>,
+    num_tests: Option<usize>,
+    seed: Option<u64>,
+    top_k: Option<usize>,
+    parallel: Option<bool>,
+    backend: Option<BackendKind>,
+    epochs: Option<u64>,
+    shared_cache: Option<bool>,
+    exchange_counterexamples: Option<bool>,
+    restart_from_best: Option<bool>,
+    stall_epochs: Option<u64>,
+    time_budget_ms: Option<u64>,
+    batch_workers: Option<usize>,
+    params: Option<Vec<SearchParams>>,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for K2SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("K2SessionBuilder")
+            .field("config_file", &self.config_file)
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl K2SessionBuilder {
+    /// Layer an explicit config file (instead of the `K2_CONFIG` path).
+    pub fn config_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config_file = Some(path.into());
+        self
+    }
+
+    /// Override the optimization goal.
+    pub fn goal(mut self, goal: OptimizationGoal) -> Self {
+        self.goal = Some(goal);
+        self
+    }
+
+    /// Override iterations per Markov chain.
+    pub fn iterations(mut self, iterations: u64) -> Self {
+        self.iterations = Some(iterations.max(1));
+        self
+    }
+
+    /// Override the number of generated test cases.
+    pub fn num_tests(mut self, num_tests: usize) -> Self {
+        self.num_tests = Some(num_tests.max(1));
+        self
+    }
+
+    /// Override the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Override how many best programs to return.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.top_k = Some(top_k.max(1));
+        self
+    }
+
+    /// Override whether chains run on multiple threads.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Override the candidate execution backend.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Override the number of epochs per compilation.
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.epochs = Some(epochs.max(1));
+        self
+    }
+
+    /// Override cross-chain verdict-cache sharing.
+    pub fn shared_cache(mut self, enabled: bool) -> Self {
+        self.shared_cache = Some(enabled);
+        self
+    }
+
+    /// Override counterexample exchange at barriers.
+    pub fn exchange_counterexamples(mut self, enabled: bool) -> Self {
+        self.exchange_counterexamples = Some(enabled);
+        self
+    }
+
+    /// Override restart-from-best at barriers.
+    pub fn restart_from_best(mut self, enabled: bool) -> Self {
+        self.restart_from_best = Some(enabled);
+        self
+    }
+
+    /// Override the stall-epochs convergence criterion (`0` disables it).
+    pub fn stall_epochs(mut self, epochs: u64) -> Self {
+        self.stall_epochs = Some(epochs);
+        self
+    }
+
+    /// Override the wall-clock budget per compilation (`0` removes it).
+    pub fn time_budget_ms(mut self, ms: u64) -> Self {
+        self.time_budget_ms = Some(ms);
+        self
+    }
+
+    /// Override the wall-clock budget as a [`std::time::Duration`].
+    pub fn time_budget(self, budget: std::time::Duration) -> Self {
+        self.time_budget_ms(budget.as_millis() as u64)
+    }
+
+    /// Override the batch worker count (`0` = one per CPU).
+    pub fn batch_workers(mut self, workers: usize) -> Self {
+        self.batch_workers = Some(workers);
+        self
+    }
+
+    /// Replace the Markov-chain parameter settings (defaults to the five
+    /// best settings from the paper's Table 8).
+    pub fn params(mut self, params: Vec<SearchParams>) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Attach a streaming event sink.
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Resolve all four configuration layers and build the session.
+    pub fn build(self) -> Result<K2Session, ConfigError> {
+        let mut config = K2Config::resolve_with(self.config_file.as_deref())?;
+
+        // Layer 4: builder overrides.
+        if let Some(goal) = self.goal {
+            config.goal = goal;
+        }
+        if let Some(iterations) = self.iterations {
+            config.iterations = iterations;
+        }
+        if let Some(num_tests) = self.num_tests {
+            config.num_tests = num_tests;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(top_k) = self.top_k {
+            config.top_k = top_k;
+        }
+        if let Some(parallel) = self.parallel {
+            config.parallel = parallel;
+        }
+        if let Some(backend) = self.backend {
+            config.backend = backend;
+        }
+        if let Some(epochs) = self.epochs {
+            config.engine.num_epochs = epochs;
+        }
+        if let Some(enabled) = self.shared_cache {
+            config.engine.shared_cache = enabled;
+        }
+        if let Some(enabled) = self.exchange_counterexamples {
+            config.engine.exchange_counterexamples = enabled;
+        }
+        if let Some(enabled) = self.restart_from_best {
+            config.engine.restart_from_best = enabled;
+        }
+        if let Some(epochs) = self.stall_epochs {
+            config.engine.stall_epochs = if epochs == 0 { None } else { Some(epochs) };
+        }
+        if let Some(ms) = self.time_budget_ms {
+            config.engine.time_budget_ms = if ms == 0 { None } else { Some(ms) };
+        }
+        if let Some(workers) = self.batch_workers {
+            config.engine.batch_workers = workers;
+        }
+
+        Ok(K2Session {
+            config,
+            params: self.params.unwrap_or_else(SearchParams::table8),
+            sink: match self.sink {
+                Some(sink) => EventSinkRef::new(sink),
+                None => EventSinkRef::none(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpf_isa::{asm, Program, ProgramType};
+
+    fn small_session() -> K2Session {
+        K2Session::builder()
+            .iterations(300)
+            .num_tests(8)
+            .seed(11)
+            .params(SearchParams::table8().into_iter().take(2).collect())
+            .build()
+            .expect("session builds")
+    }
+
+    fn xdp(text: &str) -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+    }
+
+    #[test]
+    fn builder_overrides_reach_options() {
+        let session = K2Session::builder()
+            .goal(OptimizationGoal::Latency)
+            .iterations(123)
+            .seed(9)
+            .epochs(2)
+            .stall_epochs(0)
+            .time_budget_ms(0)
+            .batch_workers(3)
+            .build()
+            .unwrap();
+        let options = session.options();
+        assert_eq!(options.goal, OptimizationGoal::Latency);
+        assert_eq!(options.iterations, 123);
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.engine.num_epochs, 2);
+        assert_eq!(options.engine.stall_epochs, None);
+        assert_eq!(options.engine.time_budget_ms, None);
+        assert_eq!(options.engine.batch_workers, 3);
+    }
+
+    #[test]
+    fn optimize_serves_versioned_responses() {
+        let session = small_session();
+        let mut request = OptimizeRequest::from_asm(
+            "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit",
+        );
+        request.id = Some("t".into());
+        let response = session.optimize(&request);
+        assert!(response.ok, "error: {:?}", response.error);
+        assert_eq!(response.id.as_deref(), Some("t"));
+        assert_eq!(response.insns_before, 5);
+        assert!(response.insns_after <= 5);
+        assert_eq!(response.chains.len(), 2);
+        // The response asm must reassemble to the reported program.
+        let reassembled = asm::assemble(&response.asm).unwrap();
+        assert_eq!(reassembled.len() as u64, response.insns_after);
+    }
+
+    #[test]
+    fn batch_matches_individual_and_isolates_errors() {
+        let session = small_session();
+        let good = OptimizeRequest::from_asm("mov64 r0, 1\nmov64 r2, 3\nexit");
+        let mut bad = OptimizeRequest::from_asm("this is not bpf");
+        bad.id = Some("bad".into());
+        let responses = session.optimize_batch(&[good.clone(), bad, good.clone()]);
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].ok);
+        assert!(!responses[1].ok);
+        assert_eq!(responses[1].id.as_deref(), Some("bad"));
+        assert!(responses[2].ok);
+        let solo = session.optimize(&good);
+        assert_eq!(responses[0], solo);
+        assert_eq!(responses[2], solo);
+        assert_eq!(responses[0].to_json_string(), solo.to_json_string());
+    }
+
+    #[test]
+    fn verify_equivalence_distinguishes_programs() {
+        let session = small_session();
+        let a = xdp("mov64 r0, 2\nexit");
+        let b = xdp("mov64 r0, 1\nadd64 r0, 1\nexit");
+        let c = xdp("mov64 r0, 3\nexit");
+        assert!(session.verify_equivalence(&a, &b).is_equivalent());
+        assert!(!session.verify_equivalence(&a, &c).is_equivalent());
+    }
+}

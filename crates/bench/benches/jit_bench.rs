@@ -132,9 +132,9 @@ fn k2_bench_compress(
     params: Vec<SearchParams>,
     backend: BackendKind,
 ) -> usize {
-    use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal};
+    use k2_core::{optimize_with, CompilerOptions, OptimizationGoal};
     let (_, best_clang) = k2_baseline::best_baseline(&bench.prog);
-    let mut compiler = K2Compiler::new(CompilerOptions {
+    let options = CompilerOptions {
         goal: OptimizationGoal::InstructionCount,
         iterations,
         params,
@@ -144,8 +144,8 @@ fn k2_bench_compress(
         parallel: true,
         backend,
         ..CompilerOptions::default()
-    });
-    compiler.optimize(&best_clang).best.real_len()
+    };
+    optimize_with(&options, &best_clang).best.real_len()
 }
 
 criterion_group!(benches, bench_backends, bench_table1_style_jit);

@@ -4,7 +4,8 @@
 
 use bpf_equiv::{check_equivalence, check_window, EquivOptions, Window};
 use bpf_isa::{asm, Program, ProgramType};
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_api::K2Session;
+use k2_core::{OptimizationGoal, SearchParams};
 
 fn main() {
     println!("Optimizations discovered / verified by K2\n");
@@ -68,17 +69,17 @@ fn main() {
     );
 
     // And let the search rediscover example 1 on its own.
-    let mut compiler = K2Compiler::new(CompilerOptions {
-        goal: OptimizationGoal::InstructionCount,
-        iterations: k2_bench::default_iterations().max(4_000),
-        params: SearchParams::table8(),
-        num_tests: 16,
-        seed: 9,
-        top_k: 1,
-        parallel: true,
-        ..CompilerOptions::default()
-    });
-    let result = compiler.optimize(&src);
+    let session = K2Session::builder()
+        .goal(OptimizationGoal::InstructionCount)
+        .iterations(k2_bench::default_iterations().max(4_000))
+        .params(SearchParams::table8())
+        .num_tests(16)
+        .seed(9)
+        .top_k(1)
+        .parallel(true)
+        .build()
+        .expect("bench session configuration resolves");
+    let result = session.optimize_program(&src);
     println!(
         "Search starting from example 1's source found ({} insns):",
         result.best.real_len()

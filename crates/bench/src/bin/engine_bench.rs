@@ -13,9 +13,13 @@
 use bpf_bench_suite::Benchmark;
 use bpf_equiv::CacheStats;
 use bpf_isa::Program;
-use k2_bench::{bench_options, default_iterations, render_table, selected_benchmarks};
+use k2_api::CountingSink;
+use k2_bench::{
+    batch_workers, bench_options, default_iterations, render_table, selected_benchmarks,
+};
 use k2_core::engine::{run_batch, BatchJob};
-use k2_core::{EngineConfig, K2Result, SearchParams};
+use k2_core::{EngineConfig, EventSinkRef, K2Result, SearchParams};
+use std::sync::Arc;
 
 struct ConfigRun {
     rows: Vec<K2Result>,
@@ -26,6 +30,7 @@ fn run_config(
     iterations: u64,
     benches: &[Benchmark],
     baselines: &[Program],
+    sink: &Arc<CountingSink>,
 ) -> ConfigRun {
     let params: Vec<SearchParams> = SearchParams::table8();
     let jobs: Vec<BatchJob> = benches
@@ -34,6 +39,9 @@ fn run_config(
         .map(|(bench, baseline)| {
             let mut options = bench_options(bench, iterations, params.clone());
             options.engine = engine;
+            // One shared counting sink observes every job of the sweep: the
+            // streamed event totals land in the summary below.
+            options.sink = EventSinkRef::new(sink.clone());
             BatchJob {
                 program: baseline.clone(),
                 options,
@@ -41,7 +49,7 @@ fn run_config(
         })
         .collect();
     ConfigRun {
-        rows: run_batch(jobs, EngineConfig::default().from_env().batch_workers),
+        rows: run_batch(jobs, batch_workers()),
     }
 }
 
@@ -93,10 +101,29 @@ fn main() {
         .iter()
         .map(|b| k2_baseline::best_baseline(&b.prog).1)
         .collect();
-    let shared = run_config(EngineConfig::default(), iterations, &benches, &baselines);
-    let isolated = run_config(EngineConfig::isolated(), iterations, &benches, &baselines);
+    let events = Arc::new(CountingSink::new());
+    let shared = run_config(
+        EngineConfig::default(),
+        iterations,
+        &benches,
+        &baselines,
+        &events,
+    );
+    let isolated = run_config(
+        EngineConfig::isolated(),
+        iterations,
+        &benches,
+        &baselines,
+        &events,
+    );
     // Same-seed reproducibility of the shared-state engine.
-    let rerun = run_config(EngineConfig::default(), iterations, &benches, &baselines);
+    let rerun = run_config(
+        EngineConfig::default(),
+        iterations,
+        &benches,
+        &baselines,
+        &events,
+    );
     let reproducible = shared
         .rows
         .iter()
@@ -161,6 +188,11 @@ fn main() {
     println!(
         "cross-chain shared-layer hit rate: {:.1}%  |  same-seed reproducible: {reproducible}",
         shared_hit_rate(&shared)
+    );
+    let counts = events.counts();
+    println!(
+        "streamed events: {} runs, {} epoch barriers, {} new global bests, {} solver-stat frames",
+        counts.started, counts.epoch_barriers, counts.new_global_best, counts.solver_stats
     );
 
     // Record the run in BENCH_engine.json at the repository root.

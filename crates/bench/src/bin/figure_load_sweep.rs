@@ -3,8 +3,9 @@
 //! measured XDP programs. Emits a CSV-like series per program.
 
 use bpf_bench_suite::throughput_subset;
+use k2_api::K2Session;
 use k2_bench::default_iterations;
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{OptimizationGoal, SearchParams};
 use k2_netsim::{load_sweep, DutConfig, DutModel};
 
 fn main() {
@@ -13,17 +14,17 @@ fn main() {
     println!("Appendix H: offered-load sweeps (CSV: benchmark,variant,offered_mpps,throughput_mpps,avg_latency_us,drop_rate)\n");
     for bench in throughput_subset().into_iter().take(3) {
         let (_, baseline) = k2_baseline::best_baseline(&bench.prog);
-        let mut compiler = K2Compiler::new(CompilerOptions {
-            goal: OptimizationGoal::Latency,
-            iterations,
-            params: SearchParams::table8(),
-            num_tests: 16,
-            seed: 0xf16 + bench.row as u64,
-            top_k: 5,
-            parallel: true,
-            ..CompilerOptions::default()
-        });
-        let k2 = compiler.optimize(&baseline).best;
+        let session = K2Session::builder()
+            .goal(OptimizationGoal::Latency)
+            .iterations(iterations)
+            .params(SearchParams::table8())
+            .num_tests(16)
+            .seed(0xf16 + bench.row as u64)
+            .top_k(5)
+            .parallel(true)
+            .build()
+            .expect("bench session configuration resolves");
+        let k2 = session.optimize_program(&baseline).best;
         for (variant, prog) in [("clang", &baseline), ("k2", &k2)] {
             let model = DutModel::measure(prog, DutConfig::default());
             for point in load_sweep(&model, points) {

@@ -2,10 +2,13 @@
 //! (`-O1`, `-O2/-O3/-Os`) and of K2, with compression percentages and the
 //! time/iterations at which the smallest program was found.
 
+use k2_api::CountingSink;
 use k2_bench::{
-    compress_benchmarks, default_iterations, engine_summary, render_table, selected_benchmarks,
+    compress_benchmarks_observed, default_iterations, engine_summary, render_table,
+    selected_benchmarks,
 };
-use k2_core::SearchParams;
+use k2_core::{EventSinkRef, SearchParams};
+use std::sync::Arc;
 
 fn main() {
     let iterations = default_iterations();
@@ -19,8 +22,15 @@ fn main() {
     let mut total_compression = 0.0;
     let benches = selected_benchmarks();
     // One batch job per benchmark over a bounded worker pool
-    // (K2_BATCH_WORKERS; default one worker per CPU).
-    let compressed = compress_benchmarks(&benches, iterations, &params);
+    // (K2_BATCH_WORKERS; default one worker per CPU), with one counting sink
+    // observing every job's streamed search events.
+    let events = Arc::new(CountingSink::new());
+    let compressed = compress_benchmarks_observed(
+        &benches,
+        iterations,
+        &params,
+        EventSinkRef::new(events.clone()),
+    );
     for (bench, row) in benches.iter().zip(&compressed) {
         total_compression += row.compression_pct;
         rows.push(vec![
@@ -58,6 +68,11 @@ fn main() {
         total_compression / benches.len() as f64
     );
     println!("{}", engine_summary(&compressed));
+    let counts = events.counts();
+    println!(
+        "events: {} compilations, {} epoch barriers, {} new global bests",
+        counts.started, counts.epoch_barriers, counts.new_global_best
+    );
     println!(
         "(paper: 6–26% per benchmark, 13.95% mean; set K2_ITERS / K2_ALL_BENCHMARKS=1 to scale up)"
     );

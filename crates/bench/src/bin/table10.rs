@@ -2,9 +2,10 @@
 //! memory exchange type 1 / type 2 and contiguous-instruction replacement —
 //! and their effect on the smallest program found.
 
+use k2_api::K2Session;
 use k2_bench::{default_iterations, render_table, selected_benchmarks};
 use k2_core::proposals::RuleProbabilities;
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{OptimizationGoal, SearchParams};
 
 fn main() {
     let iterations = default_iterations();
@@ -41,18 +42,18 @@ fn main() {
             for p in &mut params {
                 p.rules = *rules;
             }
-            let mut compiler = K2Compiler::new(CompilerOptions {
-                goal: OptimizationGoal::InstructionCount,
-                iterations,
-                params,
-                num_tests: 16,
-                seed: 0xab1a + bench.row as u64 * 31 + idx as u64,
-                top_k: 1,
-                parallel: true,
-                ..CompilerOptions::default()
-            });
-            let size = compiler
-                .optimize(&baseline)
+            let session = K2Session::builder()
+                .goal(OptimizationGoal::InstructionCount)
+                .iterations(iterations)
+                .params(params)
+                .num_tests(16)
+                .seed(0xab1a + bench.row as u64 * 31 + idx as u64)
+                .top_k(1)
+                .parallel(true)
+                .build()
+                .expect("bench session configuration resolves");
+            let size = session
+                .optimize_program(&baseline)
                 .best
                 .real_len()
                 .min(baseline.real_len());

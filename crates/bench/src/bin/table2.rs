@@ -3,8 +3,9 @@
 //! latency-optimized output, for the six XDP benchmarks the paper measures.
 
 use bpf_bench_suite::throughput_subset;
+use k2_api::K2Session;
 use k2_bench::{default_iterations, render_table};
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{OptimizationGoal, SearchParams};
 use k2_netsim::{find_mlffr, DutConfig, DutModel};
 
 fn main() {
@@ -13,17 +14,17 @@ fn main() {
     let mut rows = Vec::new();
     for bench in throughput_subset() {
         let (_, baseline) = k2_baseline::best_baseline(&bench.prog);
-        let mut compiler = K2Compiler::new(CompilerOptions {
-            goal: OptimizationGoal::Latency,
-            iterations,
-            params: SearchParams::table8(),
-            num_tests: 16,
-            seed: 0x7ab2 + bench.row as u64,
-            top_k: 5,
-            parallel: true,
-            ..CompilerOptions::default()
-        });
-        let k2 = compiler.optimize(&baseline).best;
+        let session = K2Session::builder()
+            .goal(OptimizationGoal::Latency)
+            .iterations(iterations)
+            .params(SearchParams::table8())
+            .num_tests(16)
+            .seed(0x7ab2 + bench.row as u64)
+            .top_k(5)
+            .parallel(true)
+            .build()
+            .expect("bench session configuration resolves");
+        let k2 = session.optimize_program(&baseline).best;
 
         let base_model = DutModel::measure(&baseline, DutConfig::default());
         let k2_model = DutModel::measure(&k2, DutConfig::default());

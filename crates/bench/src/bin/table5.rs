@@ -2,8 +2,9 @@
 //! kernel-checker model; the paper reports 38/38 accepted.
 
 use bpf_safety::LinuxVerifier;
+use k2_api::K2Session;
 use k2_bench::{default_iterations, render_table, selected_benchmarks};
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{OptimizationGoal, SearchParams};
 
 fn main() {
     let iterations = default_iterations();
@@ -14,17 +15,17 @@ fn main() {
     let mut accepted = 0usize;
     for bench in selected_benchmarks() {
         let (_, baseline) = k2_baseline::best_baseline(&bench.prog);
-        let mut compiler = K2Compiler::new(CompilerOptions {
-            goal: OptimizationGoal::InstructionCount,
-            iterations,
-            params: SearchParams::table8(),
-            num_tests: 16,
-            seed: 0x5afe + bench.row as u64,
-            top_k: 5,
-            parallel: true,
-            ..CompilerOptions::default()
-        });
-        let result = compiler.optimize(&baseline);
+        let session = K2Session::builder()
+            .goal(OptimizationGoal::InstructionCount)
+            .iterations(iterations)
+            .params(SearchParams::table8())
+            .num_tests(16)
+            .seed(0x5afe + bench.row as u64)
+            .top_k(5)
+            .parallel(true)
+            .build()
+            .expect("bench session configuration resolves");
+        let result = session.optimize_program(&baseline);
         let variants = result.top.len().max(1);
         let ok = result
             .top

@@ -3,8 +3,9 @@
 //! baseline, together with when the lowest-cost program was found.
 
 use bpf_interp::static_latency;
+use k2_api::K2Session;
 use k2_bench::{best_found_iteration, default_iterations, render_table, selected_benchmarks};
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{OptimizationGoal, SearchParams};
 
 fn main() {
     let iterations = default_iterations();
@@ -14,17 +15,17 @@ fn main() {
         let o1 = k2_baseline::optimize(&bench.prog, k2_baseline::OptLevel::O1);
         let (_, best_clang) = k2_baseline::best_baseline(&bench.prog);
         let start = std::time::Instant::now();
-        let mut compiler = K2Compiler::new(CompilerOptions {
-            goal: OptimizationGoal::Latency,
-            iterations,
-            params: SearchParams::table8(),
-            num_tests: 16,
-            seed: 0x7ab7e + bench.row as u64,
-            top_k: 5,
-            parallel: true,
-            ..CompilerOptions::default()
-        });
-        let result = compiler.optimize(&best_clang);
+        let session = K2Session::builder()
+            .goal(OptimizationGoal::Latency)
+            .iterations(iterations)
+            .params(SearchParams::table8())
+            .num_tests(16)
+            .seed(0x7ab7e + bench.row as u64)
+            .top_k(5)
+            .parallel(true)
+            .build()
+            .expect("bench session configuration resolves");
+        let result = session.optimize_program(&best_clang);
         let secs = start.elapsed().as_secs_f64();
         let base_cost = static_latency(&best_clang);
         let k2_cost = static_latency(&result.best).min(base_cost);

@@ -11,7 +11,9 @@
 //! The search budgets default to laptop-scale values so the whole suite runs
 //! in minutes rather than the paper's multi-hour cluster runs; set the
 //! `K2_ITERS` environment variable (iterations per Markov chain) and
-//! `K2_ALL_BENCHMARKS=1` (include the largest programs) to scale up.
+//! `K2_ALL_BENCHMARKS=1` (include the largest programs) to scale up. All
+//! environment knobs are read through the audited `k2_api::env` module and
+//! the `K2Session` configuration layering — never via raw `std::env::var`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,28 +21,23 @@
 use bpf_bench_suite::Benchmark;
 use bpf_equiv::CacheStats;
 use bpf_isa::Program;
+use k2_api::K2Session;
 use k2_baseline::{best_baseline, OptLevel};
 use k2_core::engine::{run_batch, BatchJob};
 use k2_core::{
-    CompilerOptions, EngineConfig, EngineReport, K2Compiler, K2Result, OptimizationGoal,
-    SearchParams,
+    CompilerOptions, EngineReport, EventSinkRef, K2Result, OptimizationGoal, SearchParams,
 };
 
 /// Iterations per Markov chain used by the table harnesses (override with
 /// `K2_ITERS`).
 pub fn default_iterations() -> u64 {
-    std::env::var("K2_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000)
+    k2_api::env::u64("K2_ITERS").unwrap_or(2_000)
 }
 
 /// Whether to include the largest benchmarks in the sweeps (override with
 /// `K2_ALL_BENCHMARKS=1`).
 pub fn include_all_benchmarks() -> bool {
-    std::env::var("K2_ALL_BENCHMARKS")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    k2_api::env::flag("K2_ALL_BENCHMARKS").unwrap_or(false)
 }
 
 /// The benchmarks a harness should iterate over: all 19 when requested, a
@@ -86,24 +83,34 @@ pub struct CompressionRow {
     pub report: EngineReport,
 }
 
-/// The options a table harness compiles one benchmark with: K2 starts from
+/// The session a table harness compiles one benchmark with: K2 starts from
 /// the best clang output with a per-benchmark seed, as in the paper's
-/// methodology.
+/// methodology. Built through the `K2Session` builder so the full
+/// configuration layering applies — `K2_*` engine/backend knobs
+/// (`K2_EPOCHS`, `K2_BACKEND`, ...) and a `K2_CONFIG` file reshape a table
+/// run without a rebuild, while the harness pins goal/seed/iterations as
+/// explicit builder overrides.
+pub fn bench_session(bench: &Benchmark, iterations: u64, params: Vec<SearchParams>) -> K2Session {
+    K2Session::builder()
+        .goal(OptimizationGoal::InstructionCount)
+        .iterations(iterations)
+        .num_tests(16)
+        .seed(0x6b32 + bench.row as u64)
+        .top_k(1)
+        .parallel(true)
+        .params(params)
+        .build()
+        .expect("bench session configuration resolves")
+}
+
+/// The [`CompilerOptions`] of [`bench_session`], for harnesses that feed the
+/// engine-level batch API directly.
 pub fn bench_options(
     bench: &Benchmark,
     iterations: u64,
     params: Vec<SearchParams>,
 ) -> CompilerOptions {
-    CompilerOptions {
-        goal: OptimizationGoal::InstructionCount,
-        iterations,
-        params,
-        num_tests: 16,
-        seed: 0x6b32 + bench.row as u64,
-        top_k: 1,
-        parallel: true,
-        ..CompilerOptions::default()
-    }
+    bench_session(bench, iterations, params).options()
 }
 
 fn row_from_result(
@@ -137,6 +144,18 @@ fn row_from_result(
     }
 }
 
+/// The batch worker count after configuration layering (`K2_BATCH_WORKERS`,
+/// `K2_CONFIG`; `0` = one worker per CPU).
+pub fn batch_workers() -> usize {
+    match k2_api::K2Config::resolve() {
+        Ok(config) => config.engine.batch_workers,
+        Err(e) => {
+            eprintln!("k2-bench: {e}; using default worker count");
+            k2_api::K2Config::default().engine.batch_workers
+        }
+    }
+}
+
 /// Run the baseline and K2 (instruction-count goal) on one benchmark.
 pub fn compress_benchmark(
     bench: &Benchmark,
@@ -145,7 +164,7 @@ pub fn compress_benchmark(
 ) -> CompressionRow {
     let baseline = best_baseline(&bench.prog);
     let start = std::time::Instant::now();
-    let result = K2Compiler::new(bench_options(bench, iterations, params)).optimize(&baseline.1);
+    let result = bench_session(bench, iterations, params).optimize_program(&baseline.1);
     row_from_result(bench, &baseline, &result, start.elapsed().as_secs_f64())
 }
 
@@ -159,17 +178,34 @@ pub fn compress_benchmarks(
     iterations: u64,
     params: &[SearchParams],
 ) -> Vec<CompressionRow> {
+    compress_benchmarks_observed(benches, iterations, params, EventSinkRef::none())
+}
+
+/// [`compress_benchmarks`] with a streaming [`k2_core::EventSink`] attached
+/// to every job: one sink observes the interleaved `SearchEvent`s of the
+/// whole sweep (the harnesses report the totals instead of printing progress
+/// themselves).
+pub fn compress_benchmarks_observed(
+    benches: &[Benchmark],
+    iterations: u64,
+    params: &[SearchParams],
+    sink: EventSinkRef,
+) -> Vec<CompressionRow> {
     let baselines: Vec<(OptLevel, Program)> =
         benches.iter().map(|b| best_baseline(&b.prog)).collect();
     let jobs: Vec<BatchJob> = benches
         .iter()
         .zip(&baselines)
-        .map(|(bench, baseline)| BatchJob {
-            program: baseline.1.clone(),
-            options: bench_options(bench, iterations, params.to_vec()),
+        .map(|(bench, baseline)| {
+            let mut options = bench_options(bench, iterations, params.to_vec());
+            options.sink = sink.clone();
+            BatchJob {
+                program: baseline.1.clone(),
+                options,
+            }
         })
         .collect();
-    let results = run_batch(jobs, EngineConfig::default().from_env().batch_workers);
+    let results = run_batch(jobs, batch_workers());
     benches
         .iter()
         .zip(&baselines)

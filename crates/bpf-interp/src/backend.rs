@@ -12,9 +12,10 @@
 //!
 //! Backend selection is a [`BackendKind`]: `Interp`, `Jit`, or `Auto`
 //! (use the JIT when the target supports it, fall back to the interpreter
-//! otherwise). The `K2_BACKEND` environment variable overrides whatever a
-//! caller configured, so any bench binary can be re-run under either backend
-//! without a rebuild.
+//! otherwise). The `K2_BACKEND` environment variable still lets any harness
+//! switch backends without a rebuild, but it is read in exactly one place —
+//! the `k2::api` configuration layering — and arrives here already resolved
+//! into the configured kind.
 
 use crate::cost::CostModel;
 use crate::error::Trap;
@@ -96,19 +97,6 @@ impl BackendKind {
             "auto" => Some(BackendKind::Auto),
             _ => None,
         }
-    }
-
-    /// The backend requested via `K2_BACKEND`, if the variable is set and
-    /// valid. Read afresh on every call so tests and harnesses can toggle it.
-    pub fn from_env() -> Option<BackendKind> {
-        std::env::var("K2_BACKEND")
-            .ok()
-            .and_then(|v| Self::parse(&v))
-    }
-
-    /// Resolve the effective kind: the environment override wins, then `self`.
-    pub fn resolved(self) -> BackendKind {
-        Self::from_env().unwrap_or(self)
     }
 
     /// Display name.

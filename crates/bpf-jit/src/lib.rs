@@ -179,16 +179,14 @@ impl ExecBackend for JitProgram {
 }
 
 /// Build the execution backend for a program under the given selection
-/// policy, resolving the `K2_BACKEND` environment override and falling back
-/// to the interpreter whenever the JIT is unavailable or translation fails.
+/// policy, falling back to the interpreter whenever the JIT is unavailable
+/// or translation fails.
+///
+/// The kind is taken exactly as given. The `K2_BACKEND` environment override
+/// is resolved once by the `k2::api` configuration layering, not here — hot
+/// paths construct one executor per candidate and must not re-read the
+/// environment per evaluation.
 pub fn backend_for(prog: &Program, kind: BackendKind) -> Box<dyn ExecBackend> {
-    backend_for_resolved(prog, kind.resolved())
-}
-
-/// [`backend_for`] without the environment lookup: `kind` is taken as
-/// already resolved. Hot paths that construct one executor per candidate
-/// use this so the `K2_BACKEND` read happens once, not per evaluation.
-pub fn backend_for_resolved(prog: &Program, kind: BackendKind) -> Box<dyn ExecBackend> {
     match kind {
         BackendKind::Interp => Box::new(InterpBackend::new(prog.clone())),
         BackendKind::Jit | BackendKind::Auto => match JitProgram::compile(prog) {
@@ -209,40 +207,15 @@ mod tests {
 
     #[test]
     fn backend_for_respects_interp_kind() {
-        if BackendKind::from_env().is_some() {
-            return; // a K2_BACKEND override deliberately wins over the kind
-        }
+        // The configured kind is authoritative: environment variables are
+        // resolved by the api layer, never consulted down here.
         let prog = xdp("mov64 r0, 1\nexit");
         let backend = backend_for(&prog, BackendKind::Interp);
         assert_eq!(backend.name(), "interp");
     }
 
     #[test]
-    fn env_override_beats_configured_kind() {
-        // Whatever K2_BACKEND resolves to must apply even when the caller
-        // asked for the other backend explicitly.
-        let prog = xdp("mov64 r0, 1\nexit");
-        if let Some(kind) = BackendKind::from_env() {
-            let expect = match kind {
-                BackendKind::Interp => "interp",
-                BackendKind::Jit | BackendKind::Auto => {
-                    if jit_available() {
-                        "jit"
-                    } else {
-                        "interp"
-                    }
-                }
-            };
-            assert_eq!(backend_for(&prog, BackendKind::Interp).name(), expect);
-            assert_eq!(backend_for(&prog, BackendKind::Jit).name(), expect);
-        }
-    }
-
-    #[test]
     fn backend_for_auto_uses_jit_when_available() {
-        if BackendKind::from_env().is_some() {
-            return;
-        }
         let prog = xdp("mov64 r0, 1\nexit");
         let backend = backend_for(&prog, BackendKind::Auto);
         if jit_available() {

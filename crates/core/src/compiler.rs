@@ -1,7 +1,7 @@
 //! The K2 compiler driver: the epoch-based search engine, top-k selection,
 //! and the kernel-checker post-processing pass.
 
-use crate::engine::{run_batch, run_search, BatchJob, EngineReport};
+use crate::engine::{run_batch, run_search, BatchJob, EngineReport, EventSinkRef};
 use crate::params::{EngineConfig, SearchParams};
 use crate::search::ChainStats;
 use bpf_interp::BackendKind;
@@ -39,13 +39,17 @@ pub struct CompilerOptions {
     /// Run the chains on multiple threads.
     pub parallel: bool,
     /// Execution backend for candidate evaluation (threaded into every
-    /// chain's [`crate::cost::CostSettings`]; `K2_BACKEND` overrides it).
+    /// chain's [`crate::cost::CostSettings`]). The `K2_BACKEND` environment
+    /// override is applied by the `k2::api` configuration layering before
+    /// these options are built, not here.
     pub backend: BackendKind,
     /// Engine-level knobs: epochs, cross-chain sharing, convergence, the
-    /// wall-clock budget, and the batch worker pool. Environment variables
-    /// (`K2_EPOCHS`, `K2_SHARED_CACHE`, ...) override individual knobs at
-    /// run time; see [`EngineConfig::from_env`].
+    /// wall-clock budget, and the batch worker pool. Values are taken as
+    /// given; the `K2_*` environment overrides are resolved by `k2::api`.
     pub engine: EngineConfig,
+    /// Observer of the engine's streaming [`crate::engine::SearchEvent`]s.
+    /// Defaults to no sink (zero overhead).
+    pub sink: EventSinkRef,
 }
 
 impl Default for CompilerOptions {
@@ -60,6 +64,7 @@ impl Default for CompilerOptions {
             parallel: true,
             backend: BackendKind::Auto,
             engine: EngineConfig::default(),
+            sink: EventSinkRef::none(),
         }
     }
 }
@@ -88,79 +93,102 @@ pub struct K2Result {
     pub report: EngineReport,
 }
 
-/// The compiler.
+/// Optimize one program under the given options: run the epoch-based search
+/// engine, then filter the chain winners through the kernel-checker model
+/// and rank them.
+///
+/// This is the engine-level driver. User code should normally go through
+/// `k2::api::K2Session`, which layers configuration (defaults → config file
+/// → environment → builder overrides) on top and speaks the versioned
+/// request/response types.
+pub fn optimize_with(options: &CompilerOptions, src: &Program) -> K2Result {
+    let opts = options;
+    let outcome = run_search(src, opts);
+
+    // Collect candidates, filter through the kernel-checker model, rank.
+    let verifier = LinuxVerifier::new(LinuxVerifierConfig::default());
+    let mut rejected = 0usize;
+    let mut candidates: Vec<(Program, f64)> = Vec::new();
+    for chain in &outcome.chains {
+        if let Some((prog, cost)) = &chain.best {
+            if verifier.accepts(prog) {
+                if !candidates.iter().any(|(p, _)| p.insns == prog.insns) {
+                    candidates.push((prog.clone(), *cost));
+                }
+            } else {
+                rejected += 1;
+            }
+        }
+    }
+    // total_cmp, not partial_cmp: a NaN cost (which would mean a bug
+    // upstream) must not be able to scramble the top-k order — under
+    // total order NaNs sort after every real cost and the sort stays a
+    // strict weak ordering.
+    candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+    candidates.truncate(opts.top_k.max(1));
+
+    let fallback_cost = match opts.goal {
+        OptimizationGoal::InstructionCount => src.real_len() as f64,
+        OptimizationGoal::Latency => bpf_interp::CostModel::default().program_cost(src) as f64,
+    };
+    let (best, best_cost) = candidates
+        .first()
+        .cloned()
+        .unwrap_or_else(|| (src.clone(), fallback_cost));
+    let improved = best.insns != src.insns && best_cost < fallback_cost;
+
+    K2Result {
+        best,
+        best_cost,
+        top: candidates,
+        chains: outcome
+            .chains
+            .into_iter()
+            .map(|c| (c.param_id, c.best.map(|(_, cost)| cost), c.stats))
+            .collect(),
+        improved,
+        rejected_by_kernel_checker: rejected,
+        report: outcome.report,
+    }
+}
+
+/// The pre-session compiler handle: a thin compatibility shim over
+/// [`optimize_with`] and [`run_batch`].
+#[deprecated(
+    since = "0.1.0",
+    note = "drive K2 through `k2::api::K2Session`, which owns configuration \
+            layering (config file, K2_* environment, builder overrides) and \
+            the versioned request/response types"
+)]
 #[derive(Debug, Clone)]
 pub struct K2Compiler {
     /// Options in effect.
     pub options: CompilerOptions,
 }
 
+#[allow(deprecated)]
 impl K2Compiler {
     /// Create a compiler.
     pub fn new(options: CompilerOptions) -> K2Compiler {
         K2Compiler { options }
     }
 
-    /// Optimize one program: run the epoch-based search engine, then filter
-    /// the chain winners through the kernel-checker model and rank them.
+    /// Optimize one program. See [`optimize_with`].
+    ///
+    /// Unlike the historical behaviour, `K2_*` environment variables are
+    /// *not* consulted here: the options are used exactly as given. Build
+    /// the options through `k2::api::K2Session` to get environment layering.
     pub fn optimize(&mut self, src: &Program) -> K2Result {
-        let opts = &self.options;
-        let outcome = run_search(src, opts);
-
-        // Collect candidates, filter through the kernel-checker model, rank.
-        let verifier = LinuxVerifier::new(LinuxVerifierConfig::default());
-        let mut rejected = 0usize;
-        let mut candidates: Vec<(Program, f64)> = Vec::new();
-        for chain in &outcome.chains {
-            if let Some((prog, cost)) = &chain.best {
-                if verifier.accepts(prog) {
-                    if !candidates.iter().any(|(p, _)| p.insns == prog.insns) {
-                        candidates.push((prog.clone(), *cost));
-                    }
-                } else {
-                    rejected += 1;
-                }
-            }
-        }
-        // total_cmp, not partial_cmp: a NaN cost (which would mean a bug
-        // upstream) must not be able to scramble the top-k order — under
-        // total order NaNs sort after every real cost and the sort stays a
-        // strict weak ordering.
-        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
-        candidates.truncate(opts.top_k.max(1));
-
-        let fallback_cost = match opts.goal {
-            OptimizationGoal::InstructionCount => src.real_len() as f64,
-            OptimizationGoal::Latency => bpf_interp::CostModel::default().program_cost(src) as f64,
-        };
-        let (best, best_cost) = candidates
-            .first()
-            .cloned()
-            .unwrap_or_else(|| (src.clone(), fallback_cost));
-        let improved = best.insns != src.insns && best_cost < fallback_cost;
-
-        K2Result {
-            best,
-            best_cost,
-            top: candidates,
-            chains: outcome
-                .chains
-                .into_iter()
-                .map(|c| (c.param_id, c.best.map(|(_, cost)| cost), c.stats))
-                .collect(),
-            improved,
-            rejected_by_kernel_checker: rejected,
-            report: outcome.report,
-        }
+        optimize_with(&self.options, src)
     }
 
     /// Optimize many programs concurrently over a bounded worker pool
-    /// (`EngineConfig::batch_workers`, `K2_BATCH_WORKERS`; `0` = one worker
-    /// per CPU). Every program is compiled with this compiler's options and
-    /// the results come back in input order, identical to what per-program
+    /// (`EngineConfig::batch_workers`; `0` = one worker per CPU). Every
+    /// program is compiled with this compiler's options and the results come
+    /// back in input order, identical to what per-program
     /// [`K2Compiler::optimize`] calls would produce.
     pub fn optimize_batch(&self, programs: &[Program]) -> Vec<K2Result> {
-        let workers = self.options.engine.from_env().batch_workers;
+        let workers = self.options.engine.batch_workers;
         let jobs = programs
             .iter()
             .map(|program| BatchJob {
@@ -195,8 +223,7 @@ mod tests {
     #[test]
     fn compiler_shrinks_redundant_code() {
         let src = xdp("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nmov64 r3, 1\nexit");
-        let mut compiler = K2Compiler::new(small_options(3000));
-        let result = compiler.optimize(&src);
+        let result = optimize_with(&small_options(3000), &src);
         assert!(
             result.best.real_len() < src.real_len(),
             "not improved: {}",
@@ -213,8 +240,7 @@ mod tests {
     #[test]
     fn compiler_returns_source_when_nothing_better_exists() {
         let src = xdp("mov64 r0, 2\nexit");
-        let mut compiler = K2Compiler::new(small_options(300));
-        let result = compiler.optimize(&src);
+        let result = optimize_with(&small_options(300), &src);
         assert_eq!(result.best.real_len(), 2);
         assert!(!result.improved);
     }
@@ -222,8 +248,7 @@ mod tests {
     #[test]
     fn chain_results_are_reported_per_parameter_setting() {
         let src = xdp("mov64 r0, 1\nmov64 r2, 3\nexit");
-        let mut compiler = K2Compiler::new(small_options(200));
-        let result = compiler.optimize(&src);
+        let result = optimize_with(&small_options(200), &src);
         assert_eq!(result.chains.len(), 2);
         for (_, _, stats) in &result.chains {
             assert_eq!(stats.iterations, 200);
@@ -235,9 +260,21 @@ mod tests {
         let src = xdp("mov64 r0, 9\nmov64 r4, 4\nexit");
         let mut opts = small_options(500);
         opts.parallel = false;
-        let seq = K2Compiler::new(opts.clone()).optimize(&src);
+        let seq = optimize_with(&opts, &src);
         opts.parallel = true;
-        let par = K2Compiler::new(opts).optimize(&src);
+        let par = optimize_with(&opts, &src);
         assert_eq!(seq.best.insns, par.best.insns);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compiler_shim_matches_optimize_with() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nexit");
+        let options = small_options(400);
+        let direct = optimize_with(&options, &src);
+        let shimmed = K2Compiler::new(options).optimize(&src);
+        assert_eq!(direct.best.insns, shimmed.best.insns);
+        assert_eq!(direct.best_cost, shimmed.best_cost);
+        assert_eq!(direct.chains.len(), shimmed.chains.len());
     }
 }

@@ -60,9 +60,10 @@ pub struct CostSettings {
     pub beta: f64,
     /// Weight of the safety cost (γ).
     pub gamma: f64,
-    /// Which execution backend evaluates candidates on the test suite. The
-    /// `K2_BACKEND` environment variable (`interp` / `jit` / `auto`)
-    /// overrides this at [`CostFunction`] construction time.
+    /// Which execution backend evaluates candidates on the test suite
+    /// (`Auto` picks the JIT when the target supports it). The `K2_BACKEND`
+    /// environment override is resolved by the `k2::api` configuration
+    /// layering before options reach the engine.
     pub backend: BackendKind,
 }
 
@@ -132,8 +133,8 @@ pub struct CostFunction {
     safety: SafetyChecker,
     cost_model: CostModel,
     src_perf: f64,
-    /// Effective backend (after the `K2_BACKEND` override), fixed for the
-    /// lifetime of this cost function.
+    /// Backend selection policy in effect, fixed for the lifetime of this
+    /// cost function.
     backend: BackendKind,
     /// The prepared executor for the source program, built once at
     /// construction (for the JIT backend this holds the compiled code page)
@@ -173,11 +174,10 @@ impl CostFunction {
     ) -> CostFunction {
         let mut generator = InputGenerator::new(seed);
         let tests = generator.generate_suite(src, num_tests.max(1));
-        // Resolve the backend once (env override included) and prepare the
-        // source executor a single time: its expected outputs are computed
-        // here and never re-derived per candidate.
-        let backend = settings.backend.resolved();
-        let src_exec = bpf_jit::backend_for_resolved(src, backend);
+        // Prepare the source executor a single time: its expected outputs
+        // are computed here and never re-derived per candidate.
+        let backend = settings.backend;
+        let src_exec = bpf_jit::backend_for(src, backend);
         let mut stats = CostStats::default();
         let expected: Vec<Option<ProgramOutput>> = tests
             .iter()
@@ -212,7 +212,7 @@ impl CostFunction {
         }
     }
 
-    /// The execution backend actually in effect (`K2_BACKEND` resolved).
+    /// The backend selection policy this cost function was built with.
     pub fn backend(&self) -> BackendKind {
         self.backend
     }
@@ -312,7 +312,7 @@ impl CostFunction {
         // Test-case execution. The candidate's executor is prepared once and
         // reused for the whole corpus, so under the JIT backend the
         // translation cost amortizes across all test inputs.
-        let cand_exec = bpf_jit::backend_for_resolved(cand, self.backend);
+        let cand_exec = bpf_jit::backend_for(cand, self.backend);
         let mut total_diff = 0.0f64;
         let mut failed = 0usize;
         let mut passed = 0usize;
@@ -537,12 +537,11 @@ mod tests {
         for cand in &candidates {
             assert_eq!(interp_fn.evaluate(cand), jit_fn.evaluate(cand));
         }
-        // Backend names only deterministic without a K2_BACKEND override.
-        if BackendKind::from_env().is_none() {
-            assert_eq!(interp_fn.backend_name(), "interp");
-            if bpf_jit::jit_available() {
-                assert_eq!(jit_fn.backend_name(), "jit");
-            }
+        // The configured kind is authoritative: no environment override can
+        // change which executor a constructed cost function uses.
+        assert_eq!(interp_fn.backend_name(), "interp");
+        if bpf_jit::jit_available() {
+            assert_eq!(jit_fn.backend_name(), "jit");
         }
     }
 

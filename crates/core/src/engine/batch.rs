@@ -3,7 +3,7 @@
 //! total thread count bounded by the worker count rather than by
 //! `programs × chains`.
 
-use crate::compiler::{CompilerOptions, K2Compiler, K2Result};
+use crate::compiler::{optimize_with, CompilerOptions, K2Result};
 use bpf_isa::Program;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -32,7 +32,7 @@ fn effective_workers(requested: usize, jobs: usize) -> usize {
 /// Jobs are claimed from a shared queue, so long compilations do not hold up
 /// short ones behind a fixed partition. Each job is an independent,
 /// deterministic compilation: results are identical to calling
-/// [`K2Compiler::optimize`] per job (modulo wall-clock statistics),
+/// [`optimize_with`] per job (modulo wall-clock statistics),
 /// regardless of the worker count. When more than one worker runs, each
 /// job's chains are run sequentially inside its worker — chain parallelism
 /// and job parallelism produce bit-identical results, and this keeps the
@@ -42,7 +42,7 @@ pub fn run_batch(jobs: Vec<BatchJob>, workers: usize) -> Vec<K2Result> {
     if workers <= 1 || jobs.len() <= 1 {
         return jobs
             .into_iter()
-            .map(|job| K2Compiler::new(job.options).optimize(&job.program))
+            .map(|job| optimize_with(&job.options, &job.program))
             .collect();
     }
 
@@ -61,7 +61,7 @@ pub fn run_batch(jobs: Vec<BatchJob>, workers: usize) -> Vec<K2Result> {
                 let job = &jobs[i];
                 let mut options = job.options.clone();
                 options.parallel = false;
-                let result = K2Compiler::new(options).optimize(&job.program);
+                let result = optimize_with(&options, &job.program);
                 *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -122,7 +122,7 @@ mod tests {
         let batched = run_batch(jobs.clone(), 2);
         assert_eq!(batched.len(), programs.len());
         for (job, batch_result) in jobs.into_iter().zip(&batched) {
-            let solo = K2Compiler::new(job.options).optimize(&job.program);
+            let solo = optimize_with(&job.options, &job.program);
             assert_eq!(solo.best.insns, batch_result.best.insns);
             assert_eq!(solo.best_cost, batch_result.best_cost);
             assert_eq!(solo.top.len(), batch_result.top.len());

@@ -27,8 +27,10 @@
 
 pub mod batch;
 pub mod context;
+pub mod events;
 pub mod orchestrator;
 
 pub use batch::{run_batch, BatchJob};
 pub use context::SearchContext;
+pub use events::{EventSink, EventSinkRef, SearchEvent, StopReason};
 pub use orchestrator::{run_search, ChainOutcome, EngineOutcome, EngineReport};

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use super::context::SearchContext;
+use super::events::{SearchEvent, StopReason};
 
 /// What one chain contributes to the engine outcome.
 #[derive(Debug, Clone)]
@@ -119,8 +120,13 @@ fn run_epoch(chains: &mut [MarkovChain], steps: u64, parallel: bool) {
 }
 
 /// Run the epoch-based multi-chain search for one source program.
+///
+/// The configuration is taken exactly as given: environment overrides are a
+/// concern of the `k2::api` layer, which resolves them *before* building the
+/// options. Progress is streamed to `opts.sink` as [`SearchEvent`]s.
 pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
-    let cfg: EngineConfig = opts.engine.from_env();
+    let cfg: EngineConfig = opts.engine;
+    let sink = &opts.sink;
     let start = Instant::now();
     let mut ctx = SearchContext::new();
 
@@ -169,8 +175,16 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
         ctx.observe_best(src, src_perf);
     }
 
+    sink.emit(SearchEvent::Started {
+        chains: chains.len(),
+        epochs_planned: report.epochs_planned,
+        iterations: opts.iterations,
+    });
+
     let mut stall = 0u64;
+    let mut ever_improved = false;
     for (epoch_idx, steps) in schedule.iter().enumerate() {
+        let epoch = epoch_idx as u64 + 1;
         run_epoch(&mut chains, *steps, opts.parallel);
         report.epochs_run += 1;
 
@@ -213,9 +227,48 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
         if improved {
             report.time_to_best_us = start.elapsed().as_micros() as u64;
             stall = 0;
+            ever_improved = true;
         } else {
             stall += 1;
         }
+
+        // Stream the barrier to observers: new-best first (if any), then the
+        // aggregated solver/cache counters, then the barrier marker itself.
+        // All payloads are barrier-synchronized state, so the sequence is
+        // deterministic for a fixed seed.
+        let (best_cost, best_insns) = ctx
+            .best()
+            .map(|(prog, cost)| (*cost, prog.real_len()))
+            .unwrap_or((f64::INFINITY, 0));
+        if improved {
+            sink.emit(SearchEvent::NewGlobalBest {
+                epoch,
+                cost: best_cost,
+                insns: best_insns,
+            });
+        }
+        if sink.is_set() {
+            let mut equiv = EquivStats::default();
+            for chain in chains.iter() {
+                equiv.absorb(&chain.cost_function().equiv_stats());
+            }
+            sink.emit(SearchEvent::SolverStats {
+                epoch,
+                queries: equiv.queries,
+                cache_hits: equiv.cache_hits,
+                shared_cache_hits: equiv.shared_cache_hits,
+                cache_misses: equiv.cache_misses,
+                shared_cache_entries: ctx.cache().len(),
+                counterexample_pool: ctx.pool().len(),
+            });
+        }
+        sink.emit(SearchEvent::EpochBarrier {
+            epoch,
+            steps: *steps,
+            best_cost,
+            best_insns,
+            improved,
+        });
 
         // 4. Optionally restart stragglers from the global best.
         if cfg.restart_from_best {
@@ -234,17 +287,30 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
             if let Some(n) = cfg.stall_epochs {
                 if stall >= n.max(1) {
                     report.early_exit = true;
+                    sink.emit(SearchEvent::BudgetExhausted {
+                        epoch,
+                        reason: StopReason::StallEpochs,
+                    });
                     break;
                 }
             }
             if let Some(ms) = cfg.time_budget_ms {
                 if start.elapsed().as_millis() as u64 >= ms {
                     report.time_budget_hit = true;
+                    sink.emit(SearchEvent::BudgetExhausted {
+                        epoch,
+                        reason: StopReason::TimeBudget,
+                    });
                     break;
                 }
             }
         }
     }
+
+    sink.emit(SearchEvent::Finished {
+        epochs_run: report.epochs_run,
+        improved: ever_improved,
+    });
 
     // Aggregate per-chain statistics.
     let outcomes: Vec<ChainOutcome> = chains

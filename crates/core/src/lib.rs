@@ -20,20 +20,25 @@
 //!
 //! ```no_run
 //! use bpf_isa::{asm, Program, ProgramType};
-//! use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal};
+//! use k2_core::{compiler::optimize_with, CompilerOptions, OptimizationGoal};
 //!
 //! let prog = Program::new(
 //!     ProgramType::Xdp,
 //!     asm::assemble("mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit").unwrap(),
 //! );
-//! let mut compiler = K2Compiler::new(CompilerOptions {
+//! let options = CompilerOptions {
 //!     goal: OptimizationGoal::InstructionCount,
 //!     iterations: 20_000,
 //!     ..CompilerOptions::default()
-//! });
-//! let result = compiler.optimize(&prog);
+//! };
+//! let result = optimize_with(&options, &prog);
 //! println!("{} -> {} instructions", prog.real_len(), result.best.real_len());
 //! ```
+//!
+//! User-facing code should prefer the `k2::api` session layer, which adds
+//! configuration layering (config file, `K2_*` environment, builder
+//! overrides), streaming [`engine::SearchEvent`]s, and the versioned
+//! request/response types.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,11 +51,16 @@ pub mod proposals;
 pub mod search;
 
 pub use bpf_interp::BackendKind;
-pub use compiler::{CompilerOptions, K2Compiler, K2Result, OptimizationGoal};
+#[allow(deprecated)]
+pub use compiler::K2Compiler;
+pub use compiler::{optimize_with, CompilerOptions, K2Result, OptimizationGoal};
 pub use cost::{
     CostFunction, CostSettings, CostValue, DiffMetric, ErrorNormalization, TestCountMode,
 };
-pub use engine::{BatchJob, ChainOutcome, EngineOutcome, EngineReport, SearchContext};
+pub use engine::{
+    BatchJob, ChainOutcome, EngineOutcome, EngineReport, EventSink, EventSinkRef, SearchContext,
+    SearchEvent, StopReason,
+};
 pub use params::{EngineConfig, SearchParams};
 pub use proposals::{ProposalGenerator, RewriteRule};
 pub use search::{ChainStats, MarkovChain};

@@ -7,25 +7,16 @@ use crate::proposals::RuleProbabilities;
 use bpf_interp::BackendKind;
 use serde::{Deserialize, Serialize};
 
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
-}
-
-fn env_bool(name: &str) -> Option<bool> {
-    std::env::var(name).ok().map(|v| {
-        let v = v.to_ascii_lowercase();
-        !(v == "0" || v == "false" || v == "off" || v.is_empty())
-    })
-}
-
 /// Configuration of the epoch-based search engine: how chains are scheduled,
 /// what state they share at barriers, and when the search stops early.
 ///
-/// Every knob has an environment-variable override (applied per-knob by
-/// [`EngineConfig::from_env`]) so harnesses can reshape a run without a
-/// rebuild: `K2_EPOCHS`, `K2_SHARED_CACHE`, `K2_EXCHANGE_CEX`,
-/// `K2_RESTART_FROM_BEST`, `K2_STALL_EPOCHS`, `K2_TIME_BUDGET_MS`,
-/// `K2_BATCH_WORKERS`.
+/// This struct holds *resolved* values. Every knob still has an
+/// environment-variable override (`K2_EPOCHS`, `K2_SHARED_CACHE`,
+/// `K2_EXCHANGE_CEX`, `K2_RESTART_FROM_BEST`, `K2_STALL_EPOCHS`,
+/// `K2_TIME_BUDGET_MS`, `K2_BATCH_WORKERS`), but the environment is read in
+/// exactly one place — the `k2::api` configuration layering
+/// (defaults → config file → environment → builder overrides) — not by the
+/// engine itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of epochs the iteration budget is split into. Chains
@@ -70,33 +61,6 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Apply the per-knob environment overrides to this configuration.
-    pub fn from_env(self) -> EngineConfig {
-        EngineConfig {
-            num_epochs: env_u64("K2_EPOCHS").unwrap_or(self.num_epochs).max(1),
-            shared_cache: env_bool("K2_SHARED_CACHE").unwrap_or(self.shared_cache),
-            exchange_counterexamples: env_bool("K2_EXCHANGE_CEX")
-                .unwrap_or(self.exchange_counterexamples),
-            restart_from_best: env_bool("K2_RESTART_FROM_BEST").unwrap_or(self.restart_from_best),
-            // For the two optional knobs the env value wins outright, with
-            // `0` meaning "off" — so the environment can also *disable* a
-            // programmatically configured criterion.
-            stall_epochs: match env_u64("K2_STALL_EPOCHS") {
-                Some(0) => None,
-                Some(n) => Some(n),
-                None => self.stall_epochs,
-            },
-            time_budget_ms: match env_u64("K2_TIME_BUDGET_MS") {
-                Some(0) => None,
-                Some(n) => Some(n),
-                None => self.time_budget_ms,
-            },
-            batch_workers: env_u64("K2_BATCH_WORKERS")
-                .map(|v| v as usize)
-                .unwrap_or(self.batch_workers),
-        }
-    }
-
     /// A configuration with all cross-chain sharing disabled and a single
     /// epoch: every chain runs exactly as it would in isolation (the
     /// pre-engine behaviour, and the "per-chain caches" baseline in

@@ -2,7 +2,7 @@
 //! counterexample input, and confirm the counterexample with the interpreter.
 //!
 //! ```text
-//! cargo run --release -p k2-core --example equivalence_check
+//! cargo run --release --example equivalence_check
 //! ```
 
 use bpf_equiv::{check_equivalence, EquivChecker, EquivOptions, EquivOutcome};

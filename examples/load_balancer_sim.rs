@@ -4,11 +4,18 @@
 //! behind Tables 2 and 3.
 //!
 //! ```text
-//! cargo run --release -p k2-core --example load_balancer_sim
+//! cargo run --release --example load_balancer_sim
 //! ```
 
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{CompilerOptions, OptimizationGoal, SearchParams};
 use k2_netsim::{find_mlffr, load_sweep, DutConfig, DutModel};
+
+// This example deliberately stays on the deprecated pre-session entry point:
+// it proves the `K2Compiler` compatibility shim keeps working for code that
+// has not migrated to `k2::api::K2Session` yet. New code should use the
+// session builder (see `examples/quickstart.rs`).
+#[allow(deprecated)]
+use k2_core::K2Compiler;
 
 fn main() {
     let bench = bpf_bench_suite::by_name("xdp-balancer").expect("benchmark exists");
@@ -20,12 +27,10 @@ fn main() {
     );
 
     let (_, baseline) = k2_baseline::best_baseline(&bench.prog);
+    #[allow(deprecated)]
     let mut compiler = K2Compiler::new(CompilerOptions {
         goal: OptimizationGoal::Latency,
-        iterations: std::env::var("K2_ITERS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(2_000),
+        iterations: k2::api::env::u64("K2_ITERS").unwrap_or(2_000),
         params: SearchParams::table8().into_iter().take(2).collect(),
         num_tests: 12,
         seed: 1234,

@@ -2,11 +2,12 @@
 //! baseline first, then K2, and report the compression the way Table 1 does.
 //!
 //! ```text
-//! cargo run --release -p k2-core --example optimize_xdp [benchmark-name]
+//! cargo run --release --example optimize_xdp [benchmark-name]
 //! ```
 
+use k2::api::K2Session;
+use k2::core::OptimizationGoal;
 use k2_baseline::best_baseline;
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
 
 fn main() {
     let name = std::env::args()
@@ -33,20 +34,19 @@ fn main() {
         baseline.real_len()
     );
 
-    let mut compiler = K2Compiler::new(CompilerOptions {
-        goal: OptimizationGoal::InstructionCount,
-        iterations: std::env::var("K2_ITERS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(5_000),
-        params: SearchParams::table8(),
-        num_tests: 16,
-        seed: 7,
-        top_k: 1,
-        parallel: true,
-        ..CompilerOptions::default()
-    });
-    let result = compiler.optimize(&baseline);
+    // `K2_ITERS` is read through the audited env module (malformed values
+    // warn instead of silently falling back); the session builder layers
+    // the remaining `K2_*` knobs and an optional `K2_CONFIG` file.
+    let session = K2Session::builder()
+        .goal(OptimizationGoal::InstructionCount)
+        .iterations(k2::api::env::u64("K2_ITERS").unwrap_or(5_000))
+        .num_tests(16)
+        .seed(7)
+        .top_k(1)
+        .parallel(true)
+        .build()
+        .expect("configuration resolves");
+    let result = session.optimize_program(&baseline);
     let k2_len = result.best.real_len().min(baseline.real_len());
     println!("  K2:          {} instructions", k2_len);
     println!(

@@ -1,11 +1,15 @@
-//! Quickstart: optimize a small BPF program with K2 and print the result.
+//! Quickstart: optimize a small BPF program through the `k2::api` session
+//! layer and print the result, with engine progress streamed to stderr by an
+//! [`k2::api::StderrProgress`] event sink.
 //!
 //! ```text
-//! cargo run --release -p k2-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use bpf_isa::{asm, Program, ProgramType};
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2::api::{K2Session, StderrProgress};
+use k2::core::OptimizationGoal;
+use std::sync::Arc;
 
 fn main() {
     // The paper's running example (from Facebook's xdp_pktcntr): clang emits
@@ -28,17 +32,21 @@ fn main() {
         source
     );
 
-    let mut compiler = K2Compiler::new(CompilerOptions {
-        goal: OptimizationGoal::InstructionCount,
-        iterations: 10_000,
-        params: SearchParams::table8(),
-        num_tests: 16,
-        seed: 42,
-        top_k: 1,
-        parallel: true,
-        ..CompilerOptions::default()
-    });
-    let result = compiler.optimize(&source);
+    // A session resolves the configuration layers (defaults → K2_CONFIG
+    // file → K2_* environment → these builder overrides) once; the sink
+    // receives the engine's streaming events instead of the harness
+    // polling or printing from inside the search.
+    let session = K2Session::builder()
+        .goal(OptimizationGoal::InstructionCount)
+        .iterations(10_000)
+        .num_tests(16)
+        .seed(42)
+        .top_k(1)
+        .parallel(true)
+        .sink(Arc::new(StderrProgress::labeled("quickstart")))
+        .build()
+        .expect("configuration resolves");
+    let result = session.optimize_program(&source);
 
     println!(
         "optimized program ({} instructions):\n{}",

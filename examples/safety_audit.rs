@@ -2,7 +2,7 @@
 //! model: see exactly which §6 property each unsafe program violates.
 //!
 //! ```text
-//! cargo run --release -p k2-core --example safety_audit
+//! cargo run --release --example safety_audit
 //! ```
 
 use bpf_isa::{asm, MapDef, Program, ProgramType};

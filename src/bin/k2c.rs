@@ -1,0 +1,97 @@
+//! `k2c` — the K2 compilation service, JSONL edition.
+//!
+//! Reads one schema-`v: 1` [`OptimizeRequest`] per stdin line, optimizes
+//! them over the engine's bounded batch worker pool, and writes one
+//! [`OptimizeResponse`] per line to stdout, in request order. Malformed
+//! lines produce `ok: false` responses in place without disturbing their
+//! neighbours, so a pipeline can always match responses to requests by
+//! position (or by the echoed `id`).
+//!
+//! The session is built once from the standard configuration layers
+//! (defaults → `K2_CONFIG` file → `K2_*` environment), and each request may
+//! override `goal`, `iterations`, `seed`, `num_tests` and `top_k`. With a
+//! fixed seed a response is bit-identical to the in-process
+//! `K2Session::optimize` result — responses carry no wall-clock fields.
+//!
+//! ```text
+//! echo '{"v":1,"id":"a","asm":"mov64 r0, 2\nexit"}' | k2c
+//! ```
+
+use k2::api::{Json, K2Session, OptimizeRequest, OptimizeResponse};
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+k2c: K2 compilation service (JSONL over stdin/stdout)
+
+usage: k2c [--help]
+
+Reads one JSON request per line:
+  {\"v\": 1, \"id\": \"r1\", \"prog_type\": \"xdp\", \"asm\": \"mov64 r0, 2\\nexit\"}
+  {\"v\": 1, \"insns_hex\": \"b700000002000000...\", \"iterations\": 5000, \"seed\": 7}
+and writes one JSON response per line, in request order.
+
+Configuration layers: defaults, then the JSON config file named by
+K2_CONFIG, then K2_* environment variables, then per-request overrides
+(goal, iterations, seed, num_tests, top_k). See the README knob table.";
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    let session = match K2Session::builder().build() {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("k2c: configuration error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Read every request up front: the batch pool compiles them
+    // concurrently while keeping responses in request order.
+    let stdin = std::io::stdin();
+    let mut parsed: Vec<Result<OptimizeRequest, OptimizeResponse>> = Vec::new();
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("k2c: stdin read error: {e}");
+                std::process::exit(2);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        parsed.push(OptimizeRequest::from_json_str(&line).map_err(|e| {
+            // Echo the request id even when the envelope is unusable (wrong
+            // version, missing program, ...), so clients matching responses
+            // by id — not just by position — see which request failed.
+            let id = Json::parse(&line)
+                .ok()
+                .and_then(|json| json.get("id").and_then(Json::as_str).map(str::to_string));
+            OptimizeResponse::from_error(id, format!("line {}: {e}", lineno + 1))
+        }));
+    }
+
+    let requests: Vec<OptimizeRequest> = parsed
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    let mut responses = session.optimize_batch(&requests).into_iter();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for slot in parsed {
+        let response = match slot {
+            Ok(_) => responses.next().expect("one response per valid request"),
+            Err(error_response) => error_response,
+        };
+        if writeln!(out, "{}", response.to_json_string()).is_err() {
+            std::process::exit(1); // downstream pipe closed
+        }
+    }
+    if out.flush().is_err() {
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,9 @@
 //! Re-exports every layer of the K2 reproduction so downstream users (and the
 //! root-level integration tests and examples) can depend on a single crate:
 //!
+//! * [`api`] — **the supported public surface**: layered configuration,
+//!   builder sessions, streaming search events, and the versioned
+//!   request/response protocol served by the `k2c` binary ([`k2_api`]),
 //! * [`isa`] — the eBPF instruction model ([`bpf_isa`]),
 //! * [`analysis`] — CFG, liveness, DCE ([`bpf_analysis`]),
 //! * [`interp`] — the reference interpreter ([`bpf_interp`]),
@@ -18,19 +21,24 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use k2::core::{CompilerOptions, K2Compiler};
-//! use k2::isa::{asm, Program, ProgramType};
+//! Drive K2 through a session: configuration resolves through explicit
+//! layers (defaults → config file → `K2_*` environment → builder
+//! overrides), and requests/responses are versioned (`v: 1`) — the same
+//! protocol the `k2c` JSONL service binary speaks.
 //!
-//! let prog = Program::new(
-//!     ProgramType::Xdp,
-//!     asm::assemble("mov64 r0, 0\nadd64 r0, 1\nexit").unwrap(),
-//! );
-//! let mut options = CompilerOptions::default();
-//! options.iterations = 50; // keep the doc-test fast
-//! options.num_tests = 4;
-//! let result = K2Compiler::new(options).optimize(&prog);
-//! assert!(result.best.insns.len() <= prog.insns.len());
+//! ```
+//! use k2::api::{K2Session, OptimizeRequest};
+//!
+//! let session = K2Session::builder()
+//!     .iterations(50) // keep the doc-test fast
+//!     .num_tests(4)
+//!     .seed(42)
+//!     .build()
+//!     .expect("config layers resolve");
+//! let request = OptimizeRequest::from_asm("mov64 r0, 0\nadd64 r0, 1\nexit");
+//! let response = session.optimize(&request);
+//! assert!(response.ok);
+//! assert!(response.insns_after <= response.insns_before);
 //! ```
 
 pub use bitsmt as smt;
@@ -40,6 +48,7 @@ pub use bpf_equiv as equiv;
 pub use bpf_interp as interp;
 pub use bpf_isa as isa;
 pub use bpf_safety as safety;
+pub use k2_api as api;
 pub use k2_baseline as baseline;
 pub use k2_bench as bench;
 pub use k2_core as core;

@@ -1,0 +1,376 @@
+//! Integration tests of the `k2::api` surface: configuration layering
+//! precedence (defaults < config file < environment < builder), JSON
+//! round-trips of the versioned protocol, the `k2c` JSONL service binary
+//! (bit-identical to the in-process session), and the ordering/determinism
+//! of streamed search events.
+
+use k2::api::{CollectingSink, Json, K2Session, OptimizeRequest, OptimizeResponse, SearchEvent};
+use k2::core::{OptimizationGoal, SearchParams};
+use std::io::Write;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Environment plumbing: the process environment is global, so every test
+// that reads or writes it serializes on one lock, and mutations are undone
+// by guard drop (restoring whatever the surrounding harness — e.g. a CI run
+// with K2_CONFIG + conflicting K2_* variables — had set).
+// ---------------------------------------------------------------------------
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct EnvGuard {
+    saved: Vec<(&'static str, Option<String>)>,
+}
+
+impl EnvGuard {
+    fn set(vars: &[(&'static str, Option<&str>)]) -> EnvGuard {
+        let saved = vars
+            .iter()
+            .map(|(name, value)| {
+                let previous = std::env::var(name).ok();
+                match value {
+                    Some(v) => std::env::set_var(name, v),
+                    None => std::env::remove_var(name),
+                }
+                (*name, previous)
+            })
+            .collect();
+        EnvGuard { saved }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        for (name, previous) in &self.saved {
+            match previous {
+                Some(v) => std::env::set_var(name, v),
+                None => std::env::remove_var(name),
+            }
+        }
+    }
+}
+
+fn temp_config_file(contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "k2-api-test-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, contents).expect("write temp config");
+    path
+}
+
+const SHRINKABLE: &str = "mov64 r1, 0\nstxw [r10-4], r1\nstxw [r10-8], r1\nmov64 r0, 2\nexit";
+
+// ---------------------------------------------------------------------------
+// Configuration layering.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn config_layering_precedence_file_env_builder() {
+    let _lock = env_lock();
+    let path = temp_config_file(
+        r#"{"iterations": 111, "epochs": 2, "seed": 5, "backend": "interp", "top_k": 4}"#,
+    );
+    let path_str = path.to_str().unwrap().to_string();
+
+    // Layer 2 only: the file beats the defaults.
+    {
+        let _env = EnvGuard::set(&[
+            ("K2_CONFIG", Some(&path_str)),
+            ("K2_ITERS", None),
+            ("K2_SEED", None),
+            ("K2_EPOCHS", None),
+            ("K2_TOP_K", None),
+            ("K2_BACKEND", None),
+        ]);
+        let session = K2Session::builder().build().unwrap();
+        assert_eq!(session.config().iterations, 111);
+        assert_eq!(session.config().engine.num_epochs, 2);
+        assert_eq!(session.config().seed, 5);
+        assert_eq!(session.config().top_k, 4);
+    }
+
+    // Layer 3: the environment beats the file...
+    {
+        let _env = EnvGuard::set(&[
+            ("K2_CONFIG", Some(&path_str)),
+            ("K2_ITERS", Some("222")),
+            ("K2_SEED", None),
+            ("K2_EPOCHS", None),
+            ("K2_TOP_K", None),
+            ("K2_BACKEND", None),
+        ]);
+        let session = K2Session::builder().build().unwrap();
+        assert_eq!(session.config().iterations, 222, "env beats file");
+        assert_eq!(session.config().engine.num_epochs, 2, "file value survives");
+
+        // ... and layer 4: builder overrides beat the environment.
+        let session = K2Session::builder()
+            .iterations(333)
+            .epochs(7)
+            .build()
+            .unwrap();
+        assert_eq!(session.config().iterations, 333, "builder beats env");
+        assert_eq!(session.config().engine.num_epochs, 7, "builder beats file");
+        assert_eq!(session.config().seed, 5, "untouched file value survives");
+    }
+
+    // A malformed environment value warns and falls back to the lower layer
+    // instead of silently acting unset-like *and* instead of failing.
+    {
+        let _env = EnvGuard::set(&[
+            ("K2_CONFIG", Some(&path_str)),
+            ("K2_ITERS", Some("not-a-number")),
+            ("K2_EPOCHS", Some("abc")),
+            ("K2_SEED", None),
+            ("K2_TOP_K", None),
+            ("K2_BACKEND", None),
+        ]);
+        let session = K2Session::builder().build().unwrap();
+        assert_eq!(session.config().iterations, 111, "falls back to the file");
+        assert_eq!(session.config().engine.num_epochs, 2);
+    }
+
+    // A broken config file is a hard error (it was explicitly named).
+    {
+        let bad = temp_config_file(r#"{"no_such_knob": 1}"#);
+        let result = K2Session::builder().config_file(&bad).build();
+        assert!(result.is_err());
+        let message = result.err().unwrap().to_string();
+        assert!(message.contains("no_such_knob"), "got: {message}");
+        std::fs::remove_file(bad).ok();
+    }
+
+    std::fs::remove_file(path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol round-trips.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn request_and_response_round_trip_through_json() {
+    let _lock = env_lock();
+    let mut request = OptimizeRequest::from_asm(SHRINKABLE);
+    request.id = Some("round-trip".into());
+    request.goal = Some(OptimizationGoal::InstructionCount);
+    request.iterations = Some(300);
+    request.seed = Some(7);
+    request.top_k = Some(2);
+
+    // Request: parse(serialize(r)) == r, including via a reparsed Json tree.
+    let line = request.to_json_string();
+    assert_eq!(OptimizeRequest::from_json_str(&line).unwrap(), request);
+    let tree = Json::parse(&line).unwrap();
+    assert_eq!(tree.to_string(), line);
+
+    // Response: serve the request, then parse(serialize(resp)) == resp.
+    let session = K2Session::builder()
+        .params(SearchParams::table8().into_iter().take(2).collect())
+        .num_tests(8)
+        .build()
+        .unwrap();
+    let response = session.optimize(&request);
+    assert!(response.ok, "error: {:?}", response.error);
+    let line = response.to_json_string();
+    let parsed = OptimizeResponse::from_json_str(&line).unwrap();
+    assert_eq!(parsed, response);
+    assert_eq!(parsed.to_json_string(), line);
+
+    // The versioned envelope is really there.
+    let tree = Json::parse(&line).unwrap();
+    assert_eq!(tree.get("v").and_then(Json::as_u64), Some(1));
+    assert_eq!(tree.get("id").and_then(Json::as_str), Some("round-trip"));
+}
+
+// ---------------------------------------------------------------------------
+// The k2c service binary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn k2c_jsonl_matches_in_process_session_bit_for_bit() {
+    let _lock = env_lock();
+    // Pin the layers the comparison depends on: both sides (subprocess and
+    // in-process session) resolve the same environment, but a K2_CONFIG
+    // pointing at a transient file from another test would be fragile.
+    let _env = EnvGuard::set(&[("K2_CONFIG", None)]);
+
+    let mut requests = Vec::new();
+    for (id, asm, seed) in [
+        ("a", SHRINKABLE, 9),
+        ("b", "mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nexit", 10),
+        ("c", "mov64 r0, 1\nmov64 r2, 3\nexit", 11),
+    ] {
+        let mut request = OptimizeRequest::from_asm(asm);
+        request.id = Some(id.into());
+        request.iterations = Some(250);
+        request.seed = Some(seed);
+        requests.push(request);
+    }
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_k2c"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn k2c");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for request in &requests {
+            writeln!(stdin, "{}", request.to_json_string()).unwrap();
+        }
+    }
+    let output = child.wait_with_output().expect("k2c runs");
+    assert!(output.status.success(), "k2c failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one response line per request:\n{stdout}");
+
+    let session = K2Session::builder().build().unwrap();
+    for (request, line) in requests.iter().zip(&lines) {
+        let parsed = OptimizeResponse::from_json_str(line).expect("valid response JSON");
+        assert!(parsed.ok, "error response: {line}");
+        assert_eq!(parsed.id, request.id);
+        // Same seed ⇒ the service response is bit-identical to the
+        // in-process one (responses carry no wall-clock fields).
+        let in_process = session.optimize(request);
+        assert_eq!(*line, in_process.to_json_string(), "k2c vs in-process");
+    }
+}
+
+#[test]
+fn k2c_reports_malformed_lines_in_place() {
+    let _lock = env_lock();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_k2c"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .env("K2_EPOCHS", "abc") // malformed knob: must warn, not break
+        .spawn()
+        .expect("spawn k2c");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, "this is not json").unwrap();
+        writeln!(
+            stdin,
+            "{}",
+            OptimizeRequest::from_asm("mov64 r0, 2\nexit").to_json_string()
+        )
+        .unwrap();
+        writeln!(stdin, "{{\"v\": 2, \"id\": \"v2\", \"asm\": \"exit\"}}").unwrap();
+    }
+    let output = child.wait_with_output().expect("k2c runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let responses: Vec<OptimizeResponse> = stdout
+        .lines()
+        .map(|l| OptimizeResponse::from_json_str(l).expect("valid response JSON"))
+        .collect();
+    assert_eq!(responses.len(), 3);
+    assert!(!responses[0].ok);
+    assert!(responses[1].ok);
+    assert!(!responses[2].ok);
+    assert!(
+        responses[2].error.as_deref().unwrap().contains("version"),
+        "got: {:?}",
+        responses[2].error
+    );
+    // The id is echoed even though the envelope itself was rejected, so
+    // clients matching by id (not position) see which request failed.
+    assert_eq!(responses[2].id.as_deref(), Some("v2"));
+    // The malformed-knob satellite: a one-line stderr warning, loud not silent.
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(
+        stderr.contains("warning") && stderr.contains("K2_EPOCHS"),
+        "expected a malformed-knob warning on stderr, got: {stderr}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming events.
+// ---------------------------------------------------------------------------
+
+fn collect_events(parallel: bool) -> Vec<SearchEvent> {
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    let session = K2Session::builder()
+        .iterations(400)
+        .num_tests(8)
+        .seed(13)
+        .parallel(parallel)
+        .params(SearchParams::table8().into_iter().take(2).collect())
+        .sink(sink.clone())
+        .build()
+        .unwrap();
+    let program = k2::isa::Program::new(
+        k2::isa::ProgramType::Xdp,
+        k2::isa::asm::assemble(SHRINKABLE).unwrap(),
+    );
+    let result = session.optimize_program(&program);
+    assert!(result.best.real_len() <= 5);
+    sink.take()
+}
+
+#[test]
+fn events_arrive_in_barrier_order_and_are_deterministic() {
+    let _lock = env_lock();
+    let events = collect_events(true);
+
+    // Envelope: one Started first, one Finished last.
+    assert!(
+        matches!(events.first(), Some(SearchEvent::Started { .. })),
+        "first event: {:?}",
+        events.first()
+    );
+    assert!(
+        matches!(events.last(), Some(SearchEvent::Finished { .. })),
+        "last event: {:?}",
+        events.last()
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(
+                e,
+                SearchEvent::Started { .. } | SearchEvent::Finished { .. }
+            ))
+            .count(),
+        2
+    );
+
+    // Epoch barriers arrive strictly in order 1, 2, ..., and every
+    // NewGlobalBest/SolverStats frame belongs to the barrier that follows it.
+    let mut expected_epoch = 1;
+    let mut pending: Option<u64> = None;
+    for event in &events {
+        match event {
+            SearchEvent::NewGlobalBest { epoch, .. } | SearchEvent::SolverStats { epoch, .. } => {
+                assert_eq!(*epoch, expected_epoch, "frame out of barrier order");
+                pending = Some(*epoch);
+            }
+            SearchEvent::EpochBarrier { epoch, .. } => {
+                assert_eq!(*epoch, expected_epoch, "barrier out of order");
+                if let Some(p) = pending.take() {
+                    assert_eq!(p, *epoch);
+                }
+                expected_epoch += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(expected_epoch > 1, "no barriers observed");
+
+    // Deterministic: a same-seed rerun and a sequential run stream the
+    // identical event sequence (events carry no wall-clock state).
+    assert_eq!(events, collect_events(true), "rerun differs");
+    assert_eq!(
+        events,
+        collect_events(false),
+        "parallel vs sequential differs"
+    );
+}

@@ -1,11 +1,11 @@
-//! Reproducibility of the search: `K2Compiler::optimize` is a deterministic
+//! Reproducibility of the search: `optimize_with` is a deterministic
 //! function of (program, options). Two runs with the same seed must produce
 //! identical best programs, identical top-k sets and identical per-chain
 //! statistics — otherwise reported results cannot be reproduced and
 //! regressions cannot be bisected.
 
 use bpf_isa::{asm, Program, ProgramType};
-use k2_core::{ChainStats, CompilerOptions, K2Compiler, K2Result};
+use k2_core::{optimize_with, ChainStats, CompilerOptions, K2Result};
 
 /// `ChainStats` minus wall-clock time, which legitimately differs run-to-run.
 fn logical_stats(stats: &ChainStats) -> ChainStats {
@@ -37,7 +37,7 @@ fn optimize_with_seed(seed: u64, parallel: bool) -> K2Result {
         parallel,
         ..CompilerOptions::default()
     };
-    K2Compiler::new(options).optimize(&test_program())
+    optimize_with(&options, &test_program())
 }
 
 fn assert_identical(a: &K2Result, b: &K2Result) {

@@ -385,25 +385,26 @@ fn region_boundary_offsets_agree() {
 
 #[test]
 fn search_trajectories_are_backend_invariant() {
-    use k2_core::{BackendKind, CompilerOptions, K2Compiler, SearchParams};
-    if !bpf_jit::jit_available() || bpf_interp::BackendKind::from_env().is_some() {
-        return; // an explicit K2_BACKEND pins both runs to the same backend
+    use k2_core::{optimize_with, BackendKind, CompilerOptions, SearchParams};
+    // The configured backend is authoritative: K2_BACKEND is resolved by the
+    // api layer before options are built, so an ambient override cannot pin
+    // these two explicitly-configured runs to the same backend.
+    if !bpf_jit::jit_available() {
+        return;
     }
     let src = Program::new(
         ProgramType::Xdp,
         bpf_isa::asm::assemble("mov64 r0, 5\nadd64 r0, 7\nadd64 r0, 0\nmov64 r3, 1\nexit").unwrap(),
     );
-    let mk = |backend| {
-        K2Compiler::new(CompilerOptions {
-            iterations: 800,
-            params: SearchParams::table8().into_iter().take(2).collect(),
-            num_tests: 8,
-            backend,
-            ..CompilerOptions::default()
-        })
+    let mk = |backend| CompilerOptions {
+        iterations: 800,
+        params: SearchParams::table8().into_iter().take(2).collect(),
+        num_tests: 8,
+        backend,
+        ..CompilerOptions::default()
     };
-    let interp = mk(BackendKind::Interp).optimize(&src);
-    let jit = mk(BackendKind::Jit).optimize(&src);
+    let interp = optimize_with(&mk(BackendKind::Interp), &src);
+    let jit = optimize_with(&mk(BackendKind::Jit), &src);
     assert_eq!(interp.best.insns, jit.best.insns);
     assert_eq!(interp.best_cost, jit.best_cost);
 }

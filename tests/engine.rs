@@ -5,7 +5,7 @@
 use bpf_isa::{asm, Program, ProgramType};
 use k2_core::engine::SearchContext;
 use k2_core::{
-    ChainStats, CompilerOptions, CostFunction, CostSettings, EngineConfig, K2Compiler, K2Result,
+    optimize_with, ChainStats, CompilerOptions, CostFunction, CostSettings, EngineConfig, K2Result,
     OptimizationGoal, SearchParams,
 };
 use std::sync::Arc;
@@ -39,7 +39,7 @@ fn optimize(seed: u64, parallel: bool, engine: EngineConfig) -> K2Result {
         engine,
         ..CompilerOptions::default()
     };
-    K2Compiler::new(options).optimize(&test_program())
+    optimize_with(&options, &test_program())
 }
 
 /// `ChainStats` minus wall-clock time, which legitimately differs run-to-run.
@@ -156,7 +156,7 @@ fn early_exit_honors_the_best_so_far_invariant() {
         },
         ..CompilerOptions::default()
     };
-    let result = K2Compiler::new(options).optimize(&src);
+    let result = optimize_with(&options, &src);
     assert!(result.report.early_exit);
     assert!(result.report.epochs_run < result.report.epochs_planned);
     // Best-so-far invariant: early exit still returns a program no worse
@@ -178,12 +178,12 @@ fn time_budget_stops_the_search_and_keeps_the_best_so_far() {
         },
         ..CompilerOptions::default()
     };
-    let result = K2Compiler::new(options).optimize(&src);
+    let result = optimize_with(&options, &src);
     assert!(result.report.time_budget_hit);
     assert_eq!(result.report.epochs_run, 1);
     // The chains only ran the first epoch's slice of the budget. (Computed
-    // from `epochs_planned` rather than hard-coded so the assertion also
-    // holds when CI forces a different epoch count through `K2_EPOCHS`.)
+    // from `epochs_planned` rather than hard-coded so the assertion is
+    // robust to a different configured epoch count.)
     let planned = result.report.epochs_planned;
     let first_epoch = 2_000 / planned + u64::from(2_000 % planned > 0);
     for (_, _, stats) in &result.chains {
@@ -206,11 +206,17 @@ fn batch_api_matches_individual_compilations() {
         params: SearchParams::table8().into_iter().take(2).collect(),
         ..CompilerOptions::default()
     };
-    let compiler = K2Compiler::new(options.clone());
-    let batched = compiler.optimize_batch(&programs);
+    let jobs: Vec<k2_core::BatchJob> = programs
+        .iter()
+        .map(|program| k2_core::BatchJob {
+            program: program.clone(),
+            options: options.clone(),
+        })
+        .collect();
+    let batched = k2_core::engine::run_batch(jobs, options.engine.batch_workers);
     assert_eq!(batched.len(), programs.len());
     for (program, from_batch) in programs.iter().zip(&batched) {
-        let solo = K2Compiler::new(options.clone()).optimize(program);
+        let solo = optimize_with(&options, program);
         assert_eq!(solo.best.insns, from_batch.best.insns);
         assert_eq!(solo.best_cost, from_batch.best_cost);
         assert_eq!(solo.report.equiv.queries, from_batch.report.equiv.queries);

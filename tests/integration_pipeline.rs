@@ -6,7 +6,7 @@ use bpf_equiv::{check_equivalence, EquivOptions};
 use bpf_interp::{run, InputGenerator};
 use bpf_safety::LinuxVerifier;
 use k2_baseline::best_baseline;
-use k2_core::{CompilerOptions, K2Compiler, OptimizationGoal, SearchParams};
+use k2_core::{optimize_with, CompilerOptions, OptimizationGoal, SearchParams};
 
 fn pipeline_options(iterations: u64) -> CompilerOptions {
     CompilerOptions {
@@ -25,8 +25,7 @@ fn pipeline_options(iterations: u64) -> CompilerOptions {
 fn pktcntr_pipeline_produces_a_verified_smaller_program() {
     let bench = bpf_bench_suite::by_name("xdp_pktcntr").unwrap();
     let (_, baseline) = best_baseline(&bench.prog);
-    let mut compiler = K2Compiler::new(pipeline_options(4_000));
-    let result = compiler.optimize(&baseline);
+    let result = optimize_with(&pipeline_options(4_000), &baseline);
 
     // The output is never larger than the baseline it started from.
     assert!(result.best.real_len() <= baseline.real_len());
@@ -55,11 +54,11 @@ fn pktcntr_pipeline_produces_a_verified_smaller_program() {
 fn latency_goal_never_increases_the_estimated_cost() {
     let bench = bpf_bench_suite::by_name("xdp_exception").unwrap();
     let (_, baseline) = best_baseline(&bench.prog);
-    let mut compiler = K2Compiler::new(CompilerOptions {
+    let options = CompilerOptions {
         goal: OptimizationGoal::Latency,
         ..pipeline_options(2_000)
-    });
-    let result = compiler.optimize(&baseline);
+    };
+    let result = optimize_with(&options, &baseline);
     assert!(
         bpf_interp::static_latency(&result.best) <= bpf_interp::static_latency(&baseline),
         "latency goal regressed the cost model estimate"
@@ -70,8 +69,7 @@ fn latency_goal_never_increases_the_estimated_cost() {
 fn compiler_reports_consistent_chain_statistics() {
     let bench = bpf_bench_suite::by_name("xdp_redirect_err").unwrap();
     let (_, baseline) = best_baseline(&bench.prog);
-    let mut compiler = K2Compiler::new(pipeline_options(500));
-    let result = compiler.optimize(&baseline);
+    let result = optimize_with(&pipeline_options(500), &baseline);
     assert_eq!(result.chains.len(), 2);
     for (id, _, stats) in &result.chains {
         assert!(*id >= 1);
