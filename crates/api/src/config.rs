@@ -79,6 +79,12 @@ pub struct K2Config {
     pub parallel: bool,
     /// Candidate execution backend (`K2_BACKEND`, file key `backend`).
     pub backend: BackendKind,
+    /// Window-based (modular) equivalence verification, the paper's
+    /// optimization IV (`K2_WINDOW`, file key `window_verification`). On by
+    /// default; turning it off forces every equivalence check through the
+    /// full program pair. A pure solver-work knob: results are bit-identical
+    /// either way.
+    pub window_verification: bool,
     /// Engine knobs: epochs/sharing/convergence/budget/workers
     /// (`K2_EPOCHS`, `K2_SHARED_CACHE`, `K2_EXCHANGE_CEX`,
     /// `K2_RESTART_FROM_BEST`, `K2_STALL_EPOCHS`, `K2_TIME_BUDGET_MS`,
@@ -99,6 +105,7 @@ impl Default for K2Config {
             top_k: base.top_k,
             parallel: base.parallel,
             backend: base.backend,
+            window_verification: base.window_verification,
             engine: base.engine,
         }
     }
@@ -192,6 +199,10 @@ impl K2Config {
                 Some(kind) => self.backend = kind,
                 None => return bad("\"interp\", \"jit\" or \"auto\""),
             },
+            "window_verification" => match value.as_bool() {
+                Some(v) => self.window_verification = v,
+                None => return bad("a boolean"),
+            },
             "epochs" => match value.as_u64() {
                 Some(v) if v > 0 => self.engine.num_epochs = v,
                 _ => return bad("a positive integer"),
@@ -259,6 +270,9 @@ impl K2Config {
         if let Some(kind) = env::backend("K2_BACKEND") {
             self.backend = kind;
         }
+        if let Some(v) = env::flag("K2_WINDOW") {
+            self.window_verification = v;
+        }
         if let Some(v) = env::u64("K2_EPOCHS") {
             self.engine.num_epochs = v.max(1);
         }
@@ -301,6 +315,7 @@ impl K2Config {
             top_k: self.top_k,
             parallel: self.parallel,
             backend: self.backend,
+            window_verification: self.window_verification,
             engine: self.engine,
             ..CompilerOptions::default()
         }

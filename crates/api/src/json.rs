@@ -450,6 +450,48 @@ mod tests {
     }
 
     #[test]
+    fn astral_plane_strings_round_trip() {
+        // Astral-plane characters arrive either as raw UTF-8 or as escaped
+        // surrogate pairs; both must decode to the same string, and the
+        // writer's raw-UTF-8 output must parse back unchanged.
+        let cases = [
+            ("\u{1F600}", r#""😀""#), // 😀 U+1F600
+            ("\u{1D11E}", r#""𝄞""#),  // 𝄞 U+1D11E
+            ("\u{10000}", r#""𐀀""#),  // first astral code point
+            ("\u{10FFFF}", r#""􏿿""#), // last code point
+        ];
+        for (raw, escaped) in cases {
+            assert_eq!(Json::parse(escaped).unwrap().as_str(), Some(raw));
+            let rendered = Json::Str(raw.into()).to_string();
+            assert_eq!(
+                Json::parse(&rendered).unwrap().as_str(),
+                Some(raw),
+                "round trip of {raw:?}"
+            );
+        }
+        // Mixed content with BMP neighbours on both sides.
+        let v = Json::parse(r#""a😀béc""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\u{1F600}béc"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        // RFC 8259 strings are Unicode text: unpaired surrogate halves have
+        // no scalar value and must be rejected, never smuggled through.
+        for text in [
+            r#""\ud800""#,       // lone high surrogate at end
+            r#""\ud800x""#,      // high surrogate followed by a raw char
+            r#""\ud800\n""#,     // high surrogate + non-\u escape
+            r#""\ud800\ud800""#, // two high surrogates
+            r#""\udc00""#,       // lone low surrogate
+            r#""\ude00\ud83d""#, // pair in the wrong order
+            r#""\ud83d""#,       // truncated emoji pair
+        ] {
+            assert!(Json::parse(text).is_err(), "should reject {text}");
+        }
+    }
+
+    #[test]
     fn objects_preserve_order_and_round_trip() {
         let text = r#"{"b": 1, "a": [true, null, {"x": 2.5}], "c": "s"}"#;
         let v = Json::parse(text).unwrap();

@@ -322,6 +322,11 @@ pub struct ReportSummary {
     pub shared_cache_hits: u64,
     /// Checks that missed both cache layers.
     pub cache_misses: u64,
+    /// Checks resolved by the window-local fast path (optimization IV):
+    /// full-program solver queries that never had to be built.
+    pub window_hits: u64,
+    /// Windowed checks that fell back to the full program pair.
+    pub window_fallbacks: u64,
     /// Entries in the shared cache at the end of the run.
     pub shared_cache_entries: u64,
     /// Counterexamples pulled from the cross-chain pool into test suites.
@@ -386,6 +391,8 @@ impl OptimizeResponse {
                 cache_hits: 0,
                 shared_cache_hits: 0,
                 cache_misses: 0,
+                window_hits: 0,
+                window_fallbacks: 0,
                 shared_cache_entries: 0,
                 counterexamples_exchanged: 0,
             },
@@ -434,6 +441,8 @@ impl OptimizeResponse {
                 cache_hits: report.equiv.cache_hits,
                 shared_cache_hits: report.equiv.shared_cache_hits,
                 cache_misses: report.equiv.cache_misses,
+                window_hits: report.equiv.window_hits,
+                window_fallbacks: report.equiv.window_fallbacks,
                 shared_cache_entries: report.shared_cache_entries as u64,
                 counterexamples_exchanged: report.counterexamples_exchanged,
             },
@@ -518,6 +527,11 @@ impl OptimizeResponse {
                     Json::Int(r.shared_cache_hits as i64),
                 ),
                 ("cache_misses".into(), Json::Int(r.cache_misses as i64)),
+                ("window_hits".into(), Json::Int(r.window_hits as i64)),
+                (
+                    "window_fallbacks".into(),
+                    Json::Int(r.window_fallbacks as i64),
+                ),
                 (
                     "shared_cache_entries".into(),
                     Json::Int(r.shared_cache_entries as i64),
@@ -654,6 +668,17 @@ impl OptimizeResponse {
                 cache_hits: rfield("cache_hits")?,
                 shared_cache_hits: rfield("shared_cache_hits")?,
                 cache_misses: rfield("cache_misses")?,
+                // Added within v:1 (window verification): absent in
+                // responses serialized by earlier builds, so default to 0
+                // instead of rejecting an otherwise valid document.
+                window_hits: report_json
+                    .get("window_hits")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                window_fallbacks: report_json
+                    .get("window_fallbacks")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 shared_cache_entries: rfield("shared_cache_entries")?,
                 counterexamples_exchanged: rfield("counterexamples_exchanged")?,
             },
@@ -709,6 +734,32 @@ mod tests {
             let parsed = OptimizeRequest::from_json_str(line).and_then(|r| r.program());
             assert!(parsed.is_err(), "should reject {line}");
         }
+    }
+
+    #[test]
+    fn pre_window_v1_responses_still_parse() {
+        // Responses serialized before the window counters were added to the
+        // v:1 report must keep parsing (the fields default to zero); a
+        // current response with the fields round-trips them.
+        let legacy = r#"{"v": 1, "id": null, "ok": true, "prog_type": "xdp",
+            "asm": "mov64 r0, 2\nexit\n", "insns_hex": "", "insns_before": 2,
+            "insns_after": 2, "cost": 2.0, "improved": false,
+            "rejected_by_kernel_checker": 0, "top": [], "chains": [],
+            "report": {"epochs_planned": 1, "epochs_run": 1,
+                "early_exit": false, "solver_queries": 3, "cache_hits": 0,
+                "shared_cache_hits": 0, "cache_misses": 3,
+                "shared_cache_entries": 0, "counterexamples_exchanged": 0}}"#;
+        let parsed = OptimizeResponse::from_json_str(legacy).expect("legacy v:1 parses");
+        assert_eq!(parsed.report.window_hits, 0);
+        assert_eq!(parsed.report.window_fallbacks, 0);
+        assert_eq!(parsed.report.solver_queries, 3);
+        // Round trip of the extended form keeps the counters.
+        let mut extended = parsed.clone();
+        extended.report.window_hits = 7;
+        extended.report.window_fallbacks = 2;
+        let reparsed = OptimizeResponse::from_json_str(&extended.to_json_string()).unwrap();
+        assert_eq!(reparsed.report.window_hits, 7);
+        assert_eq!(reparsed.report.window_fallbacks, 2);
     }
 
     #[test]

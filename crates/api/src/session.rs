@@ -142,6 +142,7 @@ pub struct K2SessionBuilder {
     top_k: Option<usize>,
     parallel: Option<bool>,
     backend: Option<BackendKind>,
+    window_verification: Option<bool>,
     epochs: Option<u64>,
     shared_cache: Option<bool>,
     exchange_counterexamples: Option<bool>,
@@ -208,6 +209,12 @@ impl K2SessionBuilder {
     /// Override the candidate execution backend.
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Override window-based (modular) equivalence verification.
+    pub fn window_verification(mut self, enabled: bool) -> Self {
+        self.window_verification = Some(enabled);
         self
     }
 
@@ -296,6 +303,9 @@ impl K2SessionBuilder {
         }
         if let Some(backend) = self.backend {
             config.backend = backend;
+        }
+        if let Some(enabled) = self.window_verification {
+            config.window_verification = enabled;
         }
         if let Some(epochs) = self.epochs {
             config.engine.num_epochs = epochs;

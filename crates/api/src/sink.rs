@@ -158,10 +158,13 @@ impl EventSink for StderrProgress {
                 cache_hits,
                 shared_cache_hits,
                 cache_misses,
+                window_hits,
+                window_fallbacks,
                 ..
             } => eprintln!(
                 "{p}: epoch {epoch}: {queries} solver queries, cache {cache_hits}+\
-                 {shared_cache_hits} hits / {cache_misses} misses"
+                 {shared_cache_hits} hits / {cache_misses} misses, windows \
+                 {window_hits} hits / {window_fallbacks} fallbacks"
             ),
             SearchEvent::EpochBarrier {
                 epoch,

@@ -7,8 +7,13 @@
 //! benchmark and in aggregate: compression, total solver queries, verdict
 //! cache hit rates (including the shared layer's cross-chain hit rate), and
 //! time-to-best. A same-seed re-run of the shared configuration checks
-//! reproducibility. The numbers land in `BENCH_engine.json` at the
-//! repository root so the gain is tracked in-tree.
+//! reproducibility, and a third sweep with window-based (modular)
+//! verification disabled measures optimization IV: the run asserts that
+//! windows change no result bit and that full-program solver queries do not
+//! increase with windows on (they should strictly decrease). The numbers —
+//! including the window-hit rate and the solver-query delta — land in
+//! `BENCH_engine.json` at the repository root so the gain is tracked
+//! in-tree.
 
 use bpf_bench_suite::Benchmark;
 use bpf_equiv::CacheStats;
@@ -27,6 +32,7 @@ struct ConfigRun {
 
 fn run_config(
     engine: EngineConfig,
+    windows: bool,
     iterations: u64,
     benches: &[Benchmark],
     baselines: &[Program],
@@ -39,6 +45,7 @@ fn run_config(
         .map(|(bench, baseline)| {
             let mut options = bench_options(bench, iterations, params.clone());
             options.engine = engine;
+            options.window_verification = windows;
             // One shared counting sink observes every job of the sweep: the
             // streamed event totals land in the summary below.
             options.sink = EventSinkRef::new(sink.clone());
@@ -65,6 +72,43 @@ fn mean_compression(run: &ConfigRun, baselines: &[Program]) -> f64 {
 
 fn total_queries(run: &ConfigRun) -> u64 {
     run.rows.iter().map(|r| r.report.equiv.queries).sum()
+}
+
+fn total_window_hits(run: &ConfigRun) -> u64 {
+    run.rows.iter().map(|r| r.report.equiv.window_hits).sum()
+}
+
+fn total_window_fallbacks(run: &ConfigRun) -> u64 {
+    run.rows
+        .iter()
+        .map(|r| r.report.equiv.window_fallbacks)
+        .sum()
+}
+
+fn total_window_time_s(run: &ConfigRun) -> f64 {
+    run.rows
+        .iter()
+        .map(|r| r.report.equiv.window_time_us)
+        .sum::<u64>() as f64
+        / 1e6
+}
+
+fn total_solver_time_s(run: &ConfigRun) -> f64 {
+    run.rows
+        .iter()
+        .map(|r| r.report.equiv.total_time_us)
+        .sum::<u64>() as f64
+        / 1e6
+}
+
+fn window_hit_rate_pct(run: &ConfigRun) -> f64 {
+    let hits = total_window_hits(run);
+    let total = hits + total_window_fallbacks(run);
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total as f64
+    }
 }
 
 fn fold_stats(run: &ConfigRun, pick: impl Fn(&K2Result) -> CacheStats) -> CacheStats {
@@ -104,6 +148,7 @@ fn main() {
     let events = Arc::new(CountingSink::new());
     let shared = run_config(
         EngineConfig::default(),
+        true,
         iterations,
         &benches,
         &baselines,
@@ -111,6 +156,7 @@ fn main() {
     );
     let isolated = run_config(
         EngineConfig::isolated(),
+        true,
         iterations,
         &benches,
         &baselines,
@@ -119,6 +165,16 @@ fn main() {
     // Same-seed reproducibility of the shared-state engine.
     let rerun = run_config(
         EngineConfig::default(),
+        true,
+        iterations,
+        &benches,
+        &baselines,
+        &events,
+    );
+    // Optimization IV ablation: identical configuration, windows off.
+    let nowin = run_config(
+        EngineConfig::default(),
+        false,
         iterations,
         &benches,
         &baselines,
@@ -130,15 +186,74 @@ fn main() {
         .zip(&rerun.rows)
         .all(|(a, b)| a.best.insns == b.best.insns && a.best_cost == b.best_cost);
 
+    // Window verification must be a pure solver-work optimization: same
+    // seed, windows on vs. off, bit-identical results — and with windows on,
+    // full-program solver queries must not increase (CI gates on this run).
+    for ((bench, s), n) in benches.iter().zip(&shared.rows).zip(&nowin.rows) {
+        assert_eq!(
+            s.best.insns, n.best.insns,
+            "windows changed the result on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.best_cost, n.best_cost,
+            "windows changed the cost on {}",
+            bench.name
+        );
+        assert!(
+            s.report.equiv.queries <= n.report.equiv.queries,
+            "windows increased solver queries on {}: {} > {}",
+            bench.name,
+            s.report.equiv.queries,
+            n.report.equiv.queries
+        );
+        // Trajectory-level purity, not just the final program: the same
+        // counterexamples must flow and every chain must accept the same
+        // moves. A window verdict that diverges from the full check shows
+        // up here long before it corrupts a best program.
+        assert_eq!(
+            s.report.counterexamples_exchanged, n.report.counterexamples_exchanged,
+            "windows changed the counterexample flow on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.report.equiv.cache_misses, n.report.equiv.cache_misses,
+            "windows changed the verdict-cache behaviour on {}",
+            bench.name
+        );
+        for ((id_s, cost_s, st_s), (id_n, cost_n, st_n)) in s.chains.iter().zip(&n.chains) {
+            assert_eq!(id_s, id_n);
+            assert_eq!(
+                (cost_s, st_s.iterations, st_s.accepted, st_s.best_found_at),
+                (cost_n, st_n.iterations, st_n.accepted, st_n.best_found_at),
+                "windows changed chain {id_s}'s trajectory on {}",
+                bench.name
+            );
+        }
+    }
+    assert!(
+        total_queries(&shared) <= total_queries(&nowin),
+        "windows must not increase total solver queries ({} > {})",
+        total_queries(&shared),
+        total_queries(&nowin)
+    );
+
     let mut table = Vec::new();
-    for ((bench, s), i) in benches.iter().zip(&shared.rows).zip(&isolated.rows) {
+    for (((bench, s), i), n) in benches
+        .iter()
+        .zip(&shared.rows)
+        .zip(&isolated.rows)
+        .zip(&nowin.rows)
+    {
         table.push(vec![
             bench.name.to_string(),
             s.best.real_len().to_string(),
             i.best.real_len().to_string(),
             s.report.equiv.queries.to_string(),
+            n.report.equiv.queries.to_string(),
             i.report.equiv.queries.to_string(),
             format!("{:.0}%", 100.0 * s.report.equiv.cache_hit_rate()),
+            s.report.equiv.window_hits.to_string(),
             s.report.shared_cache.hits.to_string(),
             s.report.counterexamples_exchanged.to_string(),
         ]);
@@ -150,9 +265,11 @@ fn main() {
                 "benchmark",
                 "K2(shared)",
                 "K2(isolated)",
-                "queries(shared)",
+                "queries",
+                "queries(no-win)",
                 "queries(isolated)",
                 "hit rate",
+                "win hits",
                 "x-chain hits",
                 "cex exchanged"
             ],
@@ -189,6 +306,23 @@ fn main() {
         "cross-chain shared-layer hit rate: {:.1}%  |  same-seed reproducible: {reproducible}",
         shared_hit_rate(&shared)
     );
+    println!(
+        "window verification: {} hits / {} fallbacks ({:.1}% hit rate), \
+         solver queries {} with windows vs {} without ({} saved, results identical)",
+        total_window_hits(&shared),
+        total_window_fallbacks(&shared),
+        window_hit_rate_pct(&shared),
+        total_queries(&shared),
+        total_queries(&nowin),
+        total_queries(&nowin) - total_queries(&shared),
+    );
+    println!(
+        "window solve time: {:.2}s on top of {:.2}s full-check time (windows on) \
+         vs {:.2}s full-check time (windows off)",
+        total_window_time_s(&shared),
+        total_solver_time_s(&shared),
+        total_solver_time_s(&nowin),
+    );
     let counts = events.counts();
     println!(
         "streamed events: {} runs, {} epoch barriers, {} new global bests, {} solver-stat frames",
@@ -197,17 +331,26 @@ fn main() {
 
     // Record the run in BENCH_engine.json at the repository root.
     let mut rows_json = Vec::new();
-    for ((bench, s), i) in benches.iter().zip(&shared.rows).zip(&isolated.rows) {
+    for (((bench, s), i), n) in benches
+        .iter()
+        .zip(&shared.rows)
+        .zip(&isolated.rows)
+        .zip(&nowin.rows)
+    {
         rows_json.push(format!(
             "    {{\"benchmark\": \"{}\", \"k2_shared\": {}, \"k2_isolated\": {}, \
-             \"queries_shared\": {}, \"queries_isolated\": {}, \"cache_hit_rate_pct\": {:.2}, \
+             \"queries_shared\": {}, \"queries_window_off\": {}, \"queries_isolated\": {}, \
+             \"cache_hit_rate_pct\": {:.2}, \"window_hits\": {}, \"window_fallbacks\": {}, \
              \"shared_layer_hits\": {}, \"cex_exchanged\": {}, \"time_to_best_s\": {:.3}}}",
             bench.name,
             s.best.real_len(),
             i.best.real_len(),
             s.report.equiv.queries,
+            n.report.equiv.queries,
             i.report.equiv.queries,
             100.0 * s.report.equiv.cache_hit_rate(),
+            s.report.equiv.window_hits,
+            s.report.equiv.window_fallbacks,
             s.report.shared_cache.hits,
             s.report.counterexamples_exchanged,
             s.report.time_to_best_us as f64 / 1e6,
@@ -216,15 +359,30 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"engine_bench\",\n  \"iterations_per_chain\": {iterations},\n  \
          \"mean_compression_shared_pct\": {:.2},\n  \"mean_compression_isolated_pct\": {:.2},\n  \
-         \"total_solver_queries_shared\": {},\n  \"total_solver_queries_isolated\": {},\n  \
+         \"mean_compression_window_off_pct\": {:.2},\n  \
+         \"total_solver_queries_shared\": {},\n  \"total_solver_queries_window_off\": {},\n  \
+         \"total_solver_queries_isolated\": {},\n  \
+         \"window_hits\": {},\n  \"window_fallbacks\": {},\n  \
+         \"window_hit_rate_pct\": {:.2},\n  \"solver_queries_saved_by_windows\": {},\n  \
+         \"window_time_s\": {:.3},\n  \"solver_time_shared_s\": {:.3},\n  \
+         \"solver_time_window_off_s\": {:.3},\n  \
          \"cache_hit_rate_shared_pct\": {:.2},\n  \"cache_hit_rate_isolated_pct\": {:.2},\n  \
          \"cross_chain_shared_layer_hit_rate_pct\": {:.2},\n  \
          \"mean_time_to_best_shared_s\": {:.3},\n  \"mean_time_to_best_isolated_s\": {:.3},\n  \
          \"same_seed_reproducible\": {reproducible},\n  \"results\": [\n{}\n  ]\n}}\n",
         mean_compression(&shared, &baselines),
         mean_compression(&isolated, &baselines),
+        mean_compression(&nowin, &baselines),
         total_queries(&shared),
+        total_queries(&nowin),
         total_queries(&isolated),
+        total_window_hits(&shared),
+        total_window_fallbacks(&shared),
+        window_hit_rate_pct(&shared),
+        total_queries(&nowin) - total_queries(&shared),
+        total_window_time_s(&shared),
+        total_solver_time_s(&shared),
+        total_solver_time_s(&nowin),
         cache_hit_rate(&shared),
         cache_hit_rate(&isolated),
         shared_hit_rate(&shared),

@@ -26,7 +26,7 @@ fn main() {
         let mut current = bench.prog.insns.clone();
         let mut solver_calls = 0u64;
         for _ in 0..iterations {
-            let (proposal, rule) = generator.propose(&current);
+            let (proposal, rule, _region) = generator.propose(&current);
             let cand = bench.prog.with_insns(proposal.clone());
             // Only candidates with plausible structure reach the checker in
             // the real search; here every proposal goes through the cache to

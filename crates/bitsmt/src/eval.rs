@@ -83,9 +83,13 @@ pub fn eval(pool: &TermPool, assignment: &Assignment, root: TermId) -> u64 {
                 (get(a) & mask(pool.width(*a))).checked_div(d).unwrap_or(0)
             }
             Op::URem(a, b) => {
+                // Rem-by-zero yields the dividend (BPF convention), masked to
+                // the term width like every other arm: memoized operands are
+                // already width-masked, but the mask here keeps the arm
+                // correct even if the memoization invariant ever changes.
                 let d = get(b) & mask(pool.width(*b));
                 let x = get(a) & mask(pool.width(*a));
-                x.checked_rem(d).unwrap_or_else(|| get(a))
+                x.checked_rem(d).unwrap_or(x)
             }
             Op::Shl(a, b) => {
                 let sh = (get(b) & mask(pool.width(*b))) % w as u64;
@@ -199,6 +203,55 @@ mod tests {
         a.set("x", 42).set("y", 0);
         assert_eq!(eval(&p, &a, d), 0);
         assert_eq!(eval(&p, &a, r), 42);
+    }
+
+    #[test]
+    fn eval_rem_by_zero_is_masked_at_sub_64_widths() {
+        // Regression: the rem-by-zero arm must return the *masked* dividend.
+        // An assignment may set a variable to a value wider than its term
+        // (callers are not obliged to pre-mask), and the result must still
+        // stay inside the term width — at 8 and 32 bits here.
+        for (width, raw, want) in [
+            (8u32, 0x1ff_u64, 0xff_u64),
+            (8, 0xabcd, 0xcd),
+            (32, 0x1_2345_6789, 0x2345_6789),
+            (32, u64::MAX, 0xffff_ffff),
+        ] {
+            let mut p = TermPool::new();
+            let x = p.var("x", width);
+            let zero = p.constant(0, width);
+            let r = p.urem(x, zero);
+            let mut a = Assignment::new();
+            a.set("x", raw);
+            assert_eq!(eval(&p, &a, r), want, "width {width}, raw {raw:#x}");
+            // And with a variable divisor pinned to zero via the assignment.
+            let y = p.var("y", width);
+            let r2 = p.urem(x, y);
+            a.set("y", 0);
+            assert_eq!(eval(&p, &a, r2), want, "width {width} (var divisor)");
+        }
+    }
+
+    #[test]
+    fn eval_shifts_reduce_amount_modulo_width() {
+        // Shift amounts >= width reduce modulo the term width — the same
+        // semantics the bit-blasted barrel shifter implements (and, at the
+        // BPF widths 32/64, what the interpreter's `& 31` / `& 63` does).
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let s = p.var("s", 8);
+        let shl = p.shl(x, s);
+        let lshr = p.lshr(x, s);
+        let ashr = p.ashr(x, s);
+        let mut a = Assignment::new();
+        a.set("x", 0x81).set("s", 9); // 9 % 8 == 1
+        assert_eq!(eval(&p, &a, shl), 0x02);
+        assert_eq!(eval(&p, &a, lshr), 0x40);
+        assert_eq!(eval(&p, &a, ashr), 0xc0);
+        a.set("s", 8); // 8 % 8 == 0: identity
+        assert_eq!(eval(&p, &a, shl), 0x81);
+        assert_eq!(eval(&p, &a, lshr), 0x81);
+        assert_eq!(eval(&p, &a, ashr), 0x81);
     }
 
     #[test]

@@ -180,6 +180,60 @@ proptest! {
         prop_assert_eq!(solver.check(), CheckResult::Unsat);
     }
 
+    /// Variable-amount shifts: the evaluator and the bit-blasted barrel
+    /// shifter must agree for every width (including non-powers-of-two,
+    /// where the blaster uses a remainder circuit) and for shift amounts
+    /// `>= width`, which both sides reduce modulo the width.
+    ///
+    /// The `bitblast_agrees_with_eval` sweep above only feeds *constant*
+    /// shift amounts, which the term pool folds away before blasting — this
+    /// test is what actually exercises (and locks in) the `shift(...)`
+    /// circuit against `eval`'s `% width` semantics.
+    #[test]
+    fn variable_shifts_agree_with_eval(
+        width in 1u32..=64,
+        kind in 0u8..3,
+        a in any::<u64>(),
+        s in any::<u64>(),
+    ) {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", width);
+        let y = pool.var("y", width);
+        let term = match kind {
+            0 => pool.shl(x, y),
+            1 => pool.lshr(x, y),
+            _ => pool.ashr(x, y),
+        };
+        let mut assignment = Assignment::new();
+        assignment.set("x", a).set("y", s);
+        let expected = eval(&pool, &assignment, term);
+
+        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let xc = pool.constant(a & mask, width);
+        let yc = pool.constant(s & mask, width);
+        let px = pool.eq(x, xc);
+        let py = pool.eq(y, yc);
+        let expected_c = pool.constant(expected, width);
+        let matches = pool.eq(term, expected_c);
+        let differs = pool.ne(term, expected_c);
+        {
+            let mut solver = Solver::new(&mut pool);
+            solver.assert(px);
+            solver.assert(py);
+            solver.assert(matches);
+            prop_assert!(solver.check().is_sat(),
+                "w={width} kind={kind}: blaster rejects eval's result {expected:#x}");
+        }
+        {
+            let mut solver = Solver::new(&mut pool);
+            solver.assert(px);
+            solver.assert(py);
+            solver.assert(differs);
+            prop_assert_eq!(solver.check(), CheckResult::Unsat,
+                "w={width} kind={kind}: blaster admits a result other than eval's {expected:#x}");
+        }
+    }
+
     /// Models returned for satisfiable random constraints actually satisfy
     /// them (checked with the evaluator).
     #[test]

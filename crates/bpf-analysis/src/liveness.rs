@@ -7,7 +7,8 @@
 //! which registers are safe to overwrite.
 
 use crate::cfg::Cfg;
-use bpf_isa::{Insn, MemSize, Reg};
+use crate::types::{AbsVal, MemRegion, Types};
+use bpf_isa::{HelperId, Insn, MapDef, MemSize, Reg, STACK_SIZE};
 
 /// A small bit-set of registers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
@@ -74,8 +75,13 @@ pub struct LiveMap {
     /// `live_out[i]` — registers live immediately after instruction `i`.
     pub live_out: Vec<RegSet>,
     /// Stack byte offsets (relative to `r10`, so negative) that may be read
-    /// after instruction `i` executes, for offsets that are statically
-    /// known. Conservative: unknown-offset loads make every slot live.
+    /// after instruction `i` executes. Conservative: helper calls and loads
+    /// through unresolved pointers make every frame byte live. Only
+    /// populated by [`Liveness::analyze_with_types`] — the plain
+    /// [`Liveness::analyze`] leaves these sets empty, because its only
+    /// consumers (dead-code elimination, the proposal generator) read
+    /// register liveness and the stack fixpoint is too expensive for the
+    /// per-candidate canonicalization hot path.
     pub stack_live_out: Vec<Vec<i16>>,
 }
 
@@ -96,8 +102,33 @@ impl Liveness {
         Liveness { live_at_exit }
     }
 
-    /// Run the analysis.
+    /// Run the register-liveness analysis. `stack_live_out` is left empty:
+    /// stack-byte liveness needs pointer provenance to be both sound and
+    /// precise, and its whole-frame conservative sets are too expensive to
+    /// drag through the per-candidate canonicalization hot path — use
+    /// [`Liveness::analyze_with_types`] (window verification does) when the
+    /// stack sets are actually needed.
     pub fn analyze(&self, insns: &[Insn], cfg: &Cfg) -> LiveMap {
+        self.run(insns, cfg, None)
+    }
+
+    /// [`Liveness::analyze`] with a [`Types`] analysis of the same program
+    /// and its map definitions: loads whose base pointer is statically known
+    /// *not* to point into the stack no longer make the frame live,
+    /// stack-pointer loads at a known offset make only their bytes live, and
+    /// helper calls with fully-resolved map arguments pin down exactly the
+    /// key/value bytes the helper reads instead of the whole frame.
+    pub fn analyze_with_types(
+        &self,
+        insns: &[Insn],
+        cfg: &Cfg,
+        types: &Types,
+        maps: &[MapDef],
+    ) -> LiveMap {
+        self.run(insns, cfg, Some((types, maps)))
+    }
+
+    fn run(&self, insns: &[Insn], cfg: &Cfg, types: Option<(&Types, &[MapDef])>) -> LiveMap {
         let n = insns.len();
         let mut live_in = vec![RegSet::EMPTY; n];
         let mut live_out = vec![RegSet::EMPTY; n];
@@ -144,7 +175,10 @@ impl Liveness {
             }
         }
 
-        let stack_live_out = self.stack_liveness(insns, cfg);
+        let stack_live_out = match types {
+            Some((t, m)) => self.stack_liveness(insns, cfg, t, m),
+            None => vec![Vec::new(); n],
+        };
         LiveMap {
             live_in,
             live_out,
@@ -155,7 +189,13 @@ impl Liveness {
     /// Backward liveness of statically-known stack slots (byte granularity,
     /// offsets relative to `r10`). Returns the live-*out* set per
     /// instruction: the stack bytes that may still be read after it executes.
-    fn stack_liveness(&self, insns: &[Insn], cfg: &Cfg) -> Vec<Vec<i16>> {
+    fn stack_liveness(
+        &self,
+        insns: &[Insn],
+        cfg: &Cfg,
+        types: &Types,
+        maps: &[MapDef],
+    ) -> Vec<Vec<i16>> {
         let n = insns.len();
         let mut live_in: Vec<Vec<i16>> = vec![Vec::new(); n];
         let mut live_out: Vec<Vec<i16>> = vec![Vec::new(); n];
@@ -214,8 +254,51 @@ impl Liveness {
                             push_bytes(&mut inn, *off, *size);
                         }
                         // A helper may read stack memory through a pointer
-                        // argument; conservatively keep everything live.
-                        Insn::Call { .. } => {}
+                        // argument (e.g. a map key prepared at [r10-4] and
+                        // passed in r2); without proof to the contrary the
+                        // whole frame is live. (Regression: this arm used to
+                        // be an empty no-op, which let window verification
+                        // treat helper-read key bytes as dead and accept
+                        // rewrites that corrupt them.) With type and map-def
+                        // information the known helper signatures pin down
+                        // the exact bytes read.
+                        Insn::Call { helper } => {
+                            match call_stack_reads(*helper, idx, types, maps) {
+                                Some(reads) => {
+                                    for (off, len) in reads {
+                                        for b in 0..len {
+                                            let o = off + b as i16;
+                                            if !inn.contains(&o) {
+                                                inn.push(o);
+                                            }
+                                        }
+                                    }
+                                }
+                                None => inn = whole_frame(),
+                            }
+                        }
+                        // A load or atomic through a non-r10 base (the r10
+                        // cases matched above) may alias the stack via a
+                        // copied pointer. With type information the base's
+                        // provenance decides; without it, or when the
+                        // pointer is a stack pointer at an unknown offset,
+                        // the whole frame is live.
+                        Insn::Load { size, .. } | Insn::AtomicAdd { size, .. } => {
+                            match types.mem_access(idx, insn) {
+                                Some((MemRegion::Stack, Some(o))) => {
+                                    if let Ok(off) = i16::try_from(o) {
+                                        push_bytes(&mut inn, off, *size);
+                                    } else {
+                                        inn = whole_frame();
+                                    }
+                                }
+                                Some((MemRegion::Stack, None)) | None => {
+                                    inn = whole_frame();
+                                }
+                                // Provably not a stack access.
+                                Some((_, _)) => {}
+                            }
+                        }
                         _ => {}
                     }
                     inn.sort_unstable();
@@ -232,6 +315,76 @@ impl Liveness {
             }
         }
         live_out
+    }
+}
+
+/// Every addressable byte of the frame, `[-STACK_SIZE, 0)` relative to
+/// `r10` — the "anything may be read later" element of the stack lattice.
+fn whole_frame() -> Vec<i16> {
+    (-(STACK_SIZE as i16)..0).collect()
+}
+
+/// The stack byte ranges `(offset, length)` a helper call at `idx` reads,
+/// derived from the modelled helper signatures (the same set `bpf-interp`
+/// implements). `Some(vec![])` means "provably reads no stack byte";
+/// `None` means the reads cannot be bounded and the whole frame must be
+/// treated as live.
+fn call_stack_reads(
+    helper: HelperId,
+    idx: usize,
+    types: &Types,
+    maps: &[MapDef],
+) -> Option<Vec<(i16, u32)>> {
+    // A pointer argument resolved to a concrete region/offset; scalars and
+    // unknowns make the call unboundable.
+    let ptr_arg = |reg: Reg| -> Option<Option<i16>> {
+        match types.reg_before(idx, reg) {
+            AbsVal::Ptr {
+                region: MemRegion::Stack,
+                offset: Some(o),
+            } => i16::try_from(o).ok().map(Some),
+            // A pointer provably outside the stack: no stack bytes read.
+            AbsVal::Ptr { region, .. } if region != MemRegion::Stack => Some(None),
+            _ => None,
+        }
+    };
+    let map_def = || -> Option<&MapDef> {
+        let id = types.map_id_at_call(idx)?;
+        maps.iter().find(|def| def.id.0 == id)
+    };
+    match helper {
+        // No pointer arguments (or, for redirect_map, a by-value key; for
+        // perf_event_output, modelled as a no-op that reads nothing).
+        HelperId::KtimeGetNs
+        | HelperId::GetPrandomU32
+        | HelperId::GetSmpProcessorId
+        | HelperId::GetCurrentPidTgid
+        | HelperId::XdpAdjustHead
+        | HelperId::RedirectMap
+        | HelperId::PerfEventOutput => Some(Vec::new()),
+        // Key pointer in r2.
+        HelperId::MapLookup | HelperId::MapDelete => {
+            let def = map_def()?;
+            match ptr_arg(Reg::R2)? {
+                Some(off) => Some(vec![(off, def.key_size)]),
+                None => Some(Vec::new()),
+            }
+        }
+        // Key pointer in r2, value pointer in r3.
+        HelperId::MapUpdate => {
+            let def = map_def()?;
+            let mut reads = Vec::new();
+            if let Some(off) = ptr_arg(Reg::R2)? {
+                reads.push((off, def.key_size));
+            }
+            if let Some(off) = ptr_arg(Reg::R3)? {
+                reads.push((off, def.value_size));
+            }
+            Some(reads)
+        }
+        // csum_diff reads caller-sized buffers through r1 and r3; bounding
+        // them would need constant-propagated sizes, so stay conservative.
+        HelperId::CsumDiff | HelperId::Unknown(_) => None,
     }
 }
 
@@ -253,6 +406,15 @@ mod tests {
         let insns = asm::assemble(text).unwrap();
         let cfg = Cfg::build(&insns).unwrap();
         let live = Liveness::new().analyze(&insns, &cfg);
+        (insns, live)
+    }
+
+    /// Analysis including stack-byte liveness (which needs type info).
+    fn analyze_stack(text: &str) -> (Vec<Insn>, LiveMap) {
+        let insns = asm::assemble(text).unwrap();
+        let cfg = Cfg::build(&insns).unwrap();
+        let types = crate::Types::analyze(&insns, &cfg);
+        let live = Liveness::new().analyze_with_types(&insns, &cfg, &types, &[]);
         (insns, live)
     }
 
@@ -326,7 +488,7 @@ mod tests {
             ldxdw r0, [r10-8]
             exit
         ";
-        let (_, live) = analyze(text);
+        let (_, live) = analyze_stack(text);
         // After instruction 1 (store to -8), bytes -8..0 are live (read at 3),
         // but -16..-9 are not (never read).
         assert!(live.stack_live_out[1].contains(&-8));
@@ -344,11 +506,83 @@ mod tests {
             ldxdw r0, [r10-8]
             exit
         ";
-        let (_, live) = analyze(text);
+        let (_, live) = analyze_stack(text);
         // Before instruction 1 the slot is about to be overwritten, so the
         // bytes are not live out of instruction 0.
         assert!(live.stack_live_out[0].is_empty());
         assert!(live.stack_live_out[1].contains(&-8));
+    }
+
+    #[test]
+    fn helper_calls_keep_the_whole_frame_live() {
+        // Regression: the Call arm used to be an empty no-op, so the map key
+        // at [r10-4] (passed to the helper through the r2 pointer) was
+        // reported dead — which let window verification accept rewrites that
+        // corrupt helper-read stack bytes. (The map id is not statically
+        // known here, so the call cannot be bounded by a signature and the
+        // whole frame must stay live.)
+        let text = r"
+            mov64 r7, 1
+            stxw [r10-4], r7
+            mov64 r2, r10
+            add64 r2, -4
+            call map_lookup_elem
+            mov64 r0, 0
+            exit
+        ";
+        let insns = asm::assemble(text).unwrap();
+        let cfg = Cfg::build(&insns).unwrap();
+        let types = crate::Types::analyze(&insns, &cfg);
+        let live = Liveness::new().analyze_with_types(&insns, &cfg, &types, &[]);
+        // The key bytes are live out of the store: a helper may read them.
+        for b in [-4i16, -3, -2, -1] {
+            assert!(
+                live.stack_live_out[1].contains(&b),
+                "byte {b} not live before the call"
+            );
+        }
+        // After the call, nothing keeps them live.
+        assert!(!live.stack_live_out[4].contains(&-4));
+        // The plain register-only analysis leaves the stack sets empty (they
+        // are not computed on the canonicalization hot path).
+        let plain = Liveness::new().analyze(&insns, &cfg);
+        assert!(plain.stack_live_out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn pointer_loads_make_their_stack_bytes_live() {
+        // A load through a non-r10 base may alias the stack via a copied
+        // pointer; the stack pointer's concrete offset makes exactly the
+        // loaded bytes live — and a provably-non-stack load keeps none.
+        let text = r"
+            stdw [r10-8], 7
+            mov64 r6, r10
+            ldxdw r0, [r6-8]
+            exit
+        ";
+        let insns = asm::assemble(text).unwrap();
+        let cfg = Cfg::build(&insns).unwrap();
+        let types = crate::Types::analyze(&insns, &cfg);
+        let typed = Liveness::new().analyze_with_types(&insns, &cfg, &types, &[]);
+        assert!(typed.stack_live_out[0].contains(&-8));
+        assert!(!typed.stack_live_out[0].contains(&-16));
+
+        let ctx_text = r"
+            stdw [r10-8], 7
+            ldxw r0, [r1+0]
+            ldxdw r0, [r10-8]
+            exit
+        ";
+        let ctx_insns = asm::assemble(ctx_text).unwrap();
+        let ctx_cfg = Cfg::build(&ctx_insns).unwrap();
+        let ctx_types = crate::Types::analyze(&ctx_insns, &ctx_cfg);
+        let ctx_live = Liveness::new().analyze_with_types(&ctx_insns, &ctx_cfg, &ctx_types, &[]);
+        // The ctx load (r1 is the context pointer) does not touch the stack;
+        // [r10-8] is live only because of the later r10 load.
+        assert_eq!(
+            ctx_live.stack_live_out[0],
+            vec![-8, -7, -6, -5, -4, -3, -2, -1]
+        );
     }
 
     #[test]

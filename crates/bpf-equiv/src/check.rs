@@ -3,6 +3,7 @@
 use crate::cache::{CachedVerdict, EquivCache};
 use crate::counterexample::input_from_model;
 use crate::encode::{EncodeError, EncodeOptions, Encoder};
+use crate::window::{check_window_with, Window, WindowContext};
 use bitsmt::{CheckResult, Solver, TermPool};
 use bpf_interp::ProgramInput;
 use bpf_isa::Program;
@@ -10,7 +11,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Options controlling the equivalence checker: the paper's optimizations
-/// I–III and V (IV, modular verification, lives in [`crate::window`]).
+/// I–V (IV, modular verification, engages on [`EquivChecker::check_in_window`]
+/// calls).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EquivOptions {
     /// Optimization I: per-memory-region read/write tables.
@@ -20,6 +22,14 @@ pub struct EquivOptions {
     /// Optimization III: compile-time resolution of concrete address
     /// comparisons.
     pub offset_concretization: bool,
+    /// Optimization IV: modular (window-based) verification. When a
+    /// candidate differs from the source only inside a straight-line span,
+    /// [`EquivChecker::check_in_window`] first tries the much smaller
+    /// window-local formula ([`crate::window`]) and falls back to the full
+    /// program pair only when the window verdict is inconclusive. A pure
+    /// optimization: verdicts (and therefore search trajectories) are
+    /// identical with it on or off.
+    pub window_verification: bool,
     /// Optimization V: cache verdicts keyed by canonicalized candidates.
     pub enable_cache: bool,
 }
@@ -30,6 +40,7 @@ impl Default for EquivOptions {
             memory_type_concretization: true,
             map_concretization: true,
             offset_concretization: true,
+            window_verification: true,
             enable_cache: true,
         }
     }
@@ -42,6 +53,7 @@ impl EquivOptions {
             memory_type_concretization: false,
             map_concretization: false,
             offset_concretization: false,
+            window_verification: false,
             enable_cache: false,
         }
     }
@@ -86,6 +98,14 @@ pub struct EquivStats {
     pub shared_cache_hits: u64,
     /// Checks that missed both cache layers and went to the solver.
     pub cache_misses: u64,
+    /// Checks answered by the window-local fast path (optimization IV):
+    /// each one is a full-program solver query that never had to be built.
+    pub window_hits: u64,
+    /// Checks where the windowed fast path ran but was inconclusive and the
+    /// full-program check was performed after all.
+    pub window_fallbacks: u64,
+    /// Microseconds spent inside window-local checks (hits and fallbacks).
+    pub window_time_us: u64,
     /// Total time spent building formulas and solving, in microseconds.
     pub total_time_us: u64,
     /// Microseconds spent in the most recent query.
@@ -104,6 +124,9 @@ impl EquivStats {
         self.cache_hits += other.cache_hits;
         self.shared_cache_hits += other.shared_cache_hits;
         self.cache_misses += other.cache_misses;
+        self.window_hits += other.window_hits;
+        self.window_fallbacks += other.window_fallbacks;
+        self.window_time_us += other.window_time_us;
         self.total_time_us += other.total_time_us;
         self.last_time_us = 0;
         self.last_cnf_vars = 0;
@@ -118,6 +141,17 @@ impl EquivStats {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of window-attempted checks the window-local fast path
+    /// resolved (zero when the windowed path never ran).
+    pub fn window_hit_rate(&self) -> f64 {
+        let total = self.window_hits + self.window_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.window_hits as f64 / total as f64
         }
     }
 }
@@ -160,6 +194,14 @@ pub struct EquivChecker {
     pub options: EquivOptions,
     cache: EquivCache,
     shared: Option<Arc<EquivCache>>,
+    /// Lazily computed static analysis of the source program for window
+    /// verification, keyed by a fingerprint of the source instructions.
+    /// `None` = not computed yet; `Some((_, None))` = that source has no CFG
+    /// and windows never apply. Unlike the verdict cache — which simply
+    /// documents its single-source assumption — a stale analysis here could
+    /// panic or misprove a window, so the fingerprint is checked on every
+    /// use and the context rebuilt when the source changes.
+    window_ctx: Option<(u64, Option<WindowContext>)>,
     /// Statistics accumulated across `check` calls.
     pub stats: EquivStats,
 }
@@ -171,6 +213,7 @@ impl EquivChecker {
             options,
             cache: EquivCache::new(),
             shared: None,
+            window_ctx: None,
             stats: EquivStats::default(),
         }
     }
@@ -212,6 +255,36 @@ impl EquivChecker {
 
     /// Check a candidate against the source program.
     pub fn check(&mut self, src: &Program, cand: &Program) -> EquivOutcome {
+        self.check_in_window(src, cand, None)
+    }
+
+    /// Check a candidate that came out of a rewrite of `region` (the span
+    /// the proposal touched, as reported by the proposal generator).
+    ///
+    /// This is [`EquivChecker::check`] plus the paper's optimization IV:
+    /// when a region is given and the candidate differs from the source only
+    /// inside a straight-line span, the checker first discharges the much
+    /// smaller window-local formula — preconditions from the source's
+    /// type/liveness analysis, postcondition restricted to live-out state —
+    /// and only falls back to the full program pair when the window verdict
+    /// is inconclusive. Window `Equivalent` verdicts are sound for the whole
+    /// program (the precondition is what actually holds at window entry, the
+    /// postcondition covers everything later code can observe), so they
+    /// enter the same layered verdict cache; anything weaker falls through,
+    /// which keeps verdicts — and search trajectories — bit-identical with
+    /// windows on or off.
+    ///
+    /// `Some(region)` is a *provenance gate*: it says "this candidate came
+    /// from a localized rewrite, try the windowed path". The span itself is
+    /// advisory — a chain's current program accumulates rewrites against the
+    /// source, so the checker recomputes the candidate's true minimal
+    /// deviation and windows that, never trusting the caller's bounds.
+    pub fn check_in_window(
+        &mut self,
+        src: &Program,
+        cand: &Program,
+        region: Option<Window>,
+    ) -> EquivOutcome {
         let key = if self.options.enable_cache {
             let key = EquivCache::key_of(&cand.insns);
             if let Some(verdict) = self.cache.lookup_key(key) {
@@ -229,6 +302,16 @@ impl EquivChecker {
         } else {
             None
         };
+        if self.options.window_verification && region.is_some() {
+            if let Some(outcome) = self.try_window(src, cand) {
+                // Window verdicts are whole-program facts; record them in
+                // the same layered cache as full-check verdicts.
+                if let Some(key) = key {
+                    self.cache.insert_key(key, CachedVerdict::Equivalent);
+                }
+                return outcome;
+            }
+        }
         let outcome = self.check_uncached(src, cand);
         if let Some(key) = key {
             let verdict = match &outcome {
@@ -239,6 +322,89 @@ impl EquivChecker {
             self.cache.insert_key(key, verdict);
         }
         outcome
+    }
+
+    /// Attempt the window-local fast path. Returns `Some(Equivalent)` when
+    /// the candidate's deviation from the source is a straight-line span the
+    /// window checker proves splice-safe; `None` means "use the full check"
+    /// (the span is not windowable, or the window verdict was inconclusive).
+    fn try_window(&mut self, src: &Program, cand: &Program) -> Option<EquivOutcome> {
+        // The window is the minimal span of differing instructions — the
+        // proposal region only says where the *last* rewrite landed, while
+        // the chain's current program accumulates rewrites against the
+        // source, so the actual deviation is recomputed here.
+        if src.insns.len() != cand.insns.len() {
+            return None;
+        }
+        let differs = |idx: &usize| src.insns[*idx] != cand.insns[*idx];
+        let window = match (0..src.insns.len()).find(differs) {
+            // Identical programs: an empty window, which the window checker
+            // resolves as a no-op without a solver query.
+            None => Window { start: 0, end: 0 },
+            Some(lo) => Window {
+                start: lo,
+                end: (lo..src.insns.len()).rfind(differs).unwrap_or(lo) + 1,
+            },
+        };
+        // Windowable spans are straight-line (no jumps, no exits) ...
+        let straight = |insns: &[bpf_isa::Insn]| {
+            !insns[window.start..window.end]
+                .iter()
+                .any(|i| i.is_branch())
+        };
+        if !straight(&src.insns) || !straight(&cand.insns) {
+            return None;
+        }
+        // ... and nothing outside the window may jump into its interior:
+        // entry at `window.start` is covered by the precondition analysis
+        // (a join over all predecessors), a landing pad past it is not.
+        let jumps_inside = cand.insns.iter().enumerate().any(|(idx, insn)| {
+            if (window.start..window.end).contains(&idx) {
+                return false;
+            }
+            insn.jump_target(idx)
+                .is_some_and(|t| t > window.start as i64 && t < window.end as i64)
+        });
+        if jumps_inside {
+            return None;
+        }
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            src.insns.hash(&mut hasher);
+            hasher.finish()
+        };
+        if !matches!(&self.window_ctx, Some((fp, _)) if *fp == fingerprint) {
+            self.window_ctx = Some((fingerprint, WindowContext::new(src)));
+        }
+        let ctx = self
+            .window_ctx
+            .as_ref()
+            .expect("just inserted")
+            .1
+            .as_ref()?;
+        let (outcome, us) = check_window_with(
+            ctx,
+            src,
+            window,
+            &cand.insns[window.start..window.end],
+            &self.options.encode_options(),
+        );
+        self.stats.window_time_us += us;
+        match outcome {
+            EquivOutcome::Equivalent => {
+                self.stats.window_hits += 1;
+                Some(EquivOutcome::Equivalent)
+            }
+            // A window mismatch is *not* a whole-program verdict: the
+            // window's free entry state over-approximates what actually
+            // reaches it, so only the full check may conclude NotEquivalent
+            // (and produce a counterexample input).
+            _ => {
+                self.stats.window_fallbacks += 1;
+                None
+            }
+        }
     }
 
     fn cached_outcome(verdict: CachedVerdict) -> EquivOutcome {
@@ -386,6 +552,186 @@ mod tests {
         assert!(a.check(&src, &cand).is_equivalent());
         assert_eq!(a.stats.shared_cache_hits, 1);
         assert_eq!(a.stats.queries, 1);
+    }
+
+    #[test]
+    fn windowed_check_resolves_straight_line_rewrites_without_full_queries() {
+        // r3 is known to be 4 entering the window, so the context-dependent
+        // mul -> shift rewrite is provable window-locally (§5.IV).
+        let src = xdp("mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
+        let cand = xdp("mov64 r3, 4\nmov64 r1, 10\nlsh64 r1, 2\nmov64 r0, r1\nexit");
+        let region = Some(Window { start: 2, end: 3 });
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        assert!(checker.check_in_window(&src, &cand, region).is_equivalent());
+        assert_eq!(checker.stats.window_hits, 1);
+        assert_eq!(checker.stats.window_fallbacks, 0);
+        assert_eq!(checker.stats.queries, 0, "no full-program query was built");
+        // The window verdict entered the layered cache.
+        assert!(checker.check(&src, &cand).is_equivalent());
+        assert_eq!(checker.stats.cache_hits, 1);
+        assert_eq!(checker.stats.queries, 0);
+    }
+
+    #[test]
+    fn windowed_check_falls_back_and_still_finds_counterexamples() {
+        // The rewrite is wrong (r3 == 3, not 4): the window refutes it, and
+        // the full check must still run and produce a counterexample.
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
+        let cand = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nadd64 r0, r2\nexit");
+        let region = Some(Window { start: 3, end: 4 });
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        match checker.check_in_window(&src, &cand, region) {
+            EquivOutcome::NotEquivalent(Some(_)) => {}
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+        assert_eq!(checker.stats.window_hits, 0);
+        assert_eq!(checker.stats.window_fallbacks, 1);
+        assert_eq!(
+            checker.stats.queries, 1,
+            "full check ran after the fallback"
+        );
+    }
+
+    #[test]
+    fn windowed_and_full_checks_agree_on_verdicts() {
+        // The windowed path is a pure optimization: across a spread of
+        // single-instruction rewrites, verdicts match the full check exactly.
+        let src =
+            xdp("mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nstxdw [r10-8], r1\nmov64 r0, r1\nexit");
+        let rewrites: &[(usize, &str)] = &[
+            (2, "lsh64 r1, 2"),      // valid under the r3 == 4 precondition
+            (2, "lsh64 r1, 3"),      // wrong
+            (1, "mov64 r1, 10"),     // identity
+            (3, "stxw [r10-8], r1"), // narrower store: changes live memory
+        ];
+        for &(idx, text) in rewrites {
+            let mut insns = src.insns.clone();
+            insns[idx] = bpf_isa::asm::assemble(text).unwrap()[0];
+            let cand = src.with_insns(insns);
+            let region = Some(Window {
+                start: idx,
+                end: idx + 1,
+            });
+            let mut with = EquivChecker::new(EquivOptions::default());
+            let mut without = EquivChecker::new(EquivOptions {
+                window_verification: false,
+                ..EquivOptions::default()
+            });
+            let a = with.check_in_window(&src, &cand, region).is_equivalent();
+            let b = without.check_in_window(&src, &cand, region).is_equivalent();
+            assert_eq!(a, b, "verdict drift on rewrite {text:?} at {idx}");
+            assert_eq!(without.stats.window_hits, 0);
+            assert_eq!(without.stats.window_fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn window_context_rebinds_when_the_source_changes() {
+        // The lazily built window analysis is fingerprinted: reusing one
+        // checker against a different source must rebuild it, not apply the
+        // old program's preconditions (r3 == 4 below) to the new one
+        // (r3 == 3), and must not index a shorter program's analysis.
+        let opts = EquivOptions {
+            enable_cache: false,
+            ..EquivOptions::default()
+        };
+        let mut checker = EquivChecker::new(opts);
+        let src_a = xdp("mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
+        let mut cand_a = src_a.insns.clone();
+        cand_a[2] = asm::assemble("lsh64 r1, 2").unwrap()[0];
+        let cand_a = src_a.with_insns(cand_a);
+        let region = Some(Window { start: 2, end: 3 });
+        assert!(checker
+            .check_in_window(&src_a, &cand_a, region)
+            .is_equivalent());
+        assert_eq!(checker.stats.window_hits, 1);
+
+        // Same rewrite against a source where it is wrong (r3 == 3): a stale
+        // context would window-prove it with r3 == 4 as the precondition.
+        let src_b = xdp("mov64 r3, 3\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
+        let mut cand_b = src_b.insns.clone();
+        cand_b[2] = asm::assemble("lsh64 r1, 2").unwrap()[0];
+        let cand_b = src_b.with_insns(cand_b);
+        assert!(!checker
+            .check_in_window(&src_b, &cand_b, region)
+            .is_equivalent());
+
+        // A shorter source with a rewrite near its end: a stale longer
+        // analysis would be indexed out of bounds without the rebind.
+        let src_c = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let cand_c = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let region_c = Some(Window { start: 1, end: 2 });
+        assert!(checker
+            .check_in_window(&src_c, &cand_c, region_c)
+            .is_equivalent());
+    }
+
+    #[test]
+    fn window_does_not_trust_helper_read_stack_bytes() {
+        // Regression for the stack-liveness soundness hole: the map key at
+        // [r10-4] is read by map_lookup_elem through the r2 pointer, and the
+        // lookup result is observable. Rewriting *which register* is stored
+        // as the key (r7 = 1 vs r6 = 2) changes behaviour, so the windowed
+        // path must refute or fall back — never return Equivalent.
+        let text = "mov64 r7, 1\nmov64 r6, 2\nstxw [r10-4], r7\nmov64 r2, r10\n\
+                    add64 r2, -4\nld_map_fd r1, 1\ncall map_lookup_elem\n\
+                    jeq r0, 0, +1\nldxdw r0, [r0+0]\nexit";
+        let mut src = Program::new(bpf_isa::ProgramType::Xdp, asm::assemble(text).unwrap());
+        src.maps = vec![bpf_isa::MapDef {
+            id: bpf_isa::MapId(1),
+            kind: bpf_isa::MapKind::Hash,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 4,
+        }];
+        let mut cand_insns = src.insns.clone();
+        cand_insns[2] = asm::assemble("stxw [r10-4], r6").unwrap()[0];
+        let cand = src.with_insns(cand_insns);
+        let region = Some(Window { start: 2, end: 3 });
+        let mut with = EquivChecker::new(EquivOptions {
+            enable_cache: false,
+            ..EquivOptions::default()
+        });
+        let windowed = with.check_in_window(&src, &cand, region);
+        let mut without = EquivChecker::new(EquivOptions {
+            enable_cache: false,
+            window_verification: false,
+            ..EquivOptions::default()
+        });
+        let full = without.check(&src, &cand);
+        assert!(
+            !full.is_equivalent(),
+            "keys 1 and 2 look up different values"
+        );
+        assert!(
+            !windowed.is_equivalent(),
+            "window accepted a rewrite of a helper-read key byte"
+        );
+        assert_eq!(with.stats.window_hits, 0);
+    }
+
+    #[test]
+    fn window_path_requires_a_region_and_skips_branchy_spans() {
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let cand = xdp("mov64 r0, 12\nadd64 r0, 0\nexit");
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        // Plain check (no region): the windowed path must not engage.
+        assert!(checker.check(&src, &cand).is_equivalent());
+        assert_eq!(
+            checker.stats.window_hits + checker.stats.window_fallbacks,
+            0
+        );
+        assert_eq!(checker.stats.queries, 1);
+
+        // A rewrite that replaces a jump is not straight-line: full check.
+        let src_j = xdp("mov64 r0, 1\njeq r0, 0, +0\nmov64 r2, 2\nexit");
+        let cand_j = xdp("mov64 r0, 1\nmov64 r3, 3\nmov64 r2, 2\nexit");
+        let mut checker_j = EquivChecker::new(EquivOptions::default());
+        let region = Some(Window { start: 1, end: 2 });
+        let outcome = checker_j.check_in_window(&src_j, &cand_j, region);
+        assert!(outcome.is_equivalent(), "{outcome:?}");
+        assert_eq!(checker_j.stats.window_hits, 0);
+        assert_eq!(checker_j.stats.queries, 1);
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub mod window;
 pub use cache::{CacheStats, CachedVerdict, EquivCache};
 pub use check::{check_equivalence, EquivChecker, EquivOptions, EquivOutcome, EquivStats};
 pub use encode::{EncodeError, Encoder, ProgramEncoding};
-pub use window::{check_window, Window};
+pub use window::{check_window, check_window_with, Window, WindowContext};

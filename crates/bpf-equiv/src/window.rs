@@ -12,7 +12,7 @@
 use crate::check::EquivOutcome;
 use crate::encode::{EncodeOptions, Encoder, STACK_TOP};
 use bitsmt::{CheckResult, Solver, TermId, TermPool};
-use bpf_analysis::{AbsVal, Cfg, Liveness, MemRegion, Types};
+use bpf_analysis::{AbsVal, Cfg, LiveMap, Liveness, MemRegion, Types};
 use bpf_isa::{Insn, Program, Reg, NUM_REGS};
 use std::time::Instant;
 
@@ -38,13 +38,69 @@ impl Window {
     }
 }
 
+/// Precomputed static analysis of one source program, reusable across many
+/// [`check_window_with`] calls against the same source.
+///
+/// Window verification derives its precondition (register constants entering
+/// the window) from [`Types`] and its postcondition (registers and stack
+/// bytes live out of the window) from [`Liveness`] — both are whole-program
+/// analyses that do not depend on the window, so a checker bound to one
+/// source program computes them once instead of per proposal.
+#[derive(Debug, Clone)]
+pub struct WindowContext {
+    types: Types,
+    live: LiveMap,
+}
+
+impl WindowContext {
+    /// Analyze a source program. Returns `None` when no CFG can be built
+    /// (malformed control flow), in which case window verification does not
+    /// apply and callers should use the full check.
+    pub fn new(src: &Program) -> Option<WindowContext> {
+        let cfg = Cfg::build(&src.insns).ok()?;
+        let types = Types::analyze(&src.insns, &cfg);
+        // Type-sharpened liveness: loads through pointers provably outside
+        // the stack do not make the frame live, while helper calls and
+        // unknown pointer loads conservatively keep every byte live.
+        let live = Liveness::new().analyze_with_types(&src.insns, &cfg, &types, &src.maps);
+        Some(WindowContext { types, live })
+    }
+}
+
 /// Check whether replacing `window` of `src` with `replacement` preserves
 /// behaviour, using window-local reasoning.
 ///
 /// Returns `Equivalent` only when the replacement is provably safe to splice
 /// in: it may be (and often is) more conservative than a full-program check.
-/// The windows must be straight-line code (no jumps, calls are allowed).
+/// The windows must be straight-line code (no jumps, calls are allowed). An
+/// empty window with an empty replacement is a no-op rewrite and
+/// short-circuits to `Equivalent` without touching the solver.
+///
+/// This convenience wrapper analyzes `src` on every call; the search hot
+/// path builds a [`WindowContext`] once and uses [`check_window_with`].
 pub fn check_window(
+    src: &Program,
+    window: Window,
+    replacement: &[Insn],
+    options: &EncodeOptions,
+) -> (EquivOutcome, u64) {
+    let start_time = Instant::now();
+    match WindowContext::new(src) {
+        Some(ctx) => {
+            let (outcome, _) = check_window_with(&ctx, src, window, replacement, options);
+            (outcome, start_time.elapsed().as_micros() as u64)
+        }
+        None => (
+            EquivOutcome::Unknown("source has no CFG".into()),
+            start_time.elapsed().as_micros() as u64,
+        ),
+    }
+}
+
+/// [`check_window`] with a precomputed [`WindowContext`] for the source
+/// program (which must be the program the context was built from).
+pub fn check_window_with(
+    ctx: &WindowContext,
     src: &Program,
     window: Window,
     replacement: &[Insn],
@@ -53,11 +109,23 @@ pub fn check_window(
     let start_time = Instant::now();
     let elapsed = |t: Instant| t.elapsed().as_micros() as u64;
 
-    if window.is_empty() || window.end > src.insns.len() {
+    if window.end > src.insns.len() {
         return (
-            EquivOutcome::Unknown("empty or out-of-range window".into()),
+            EquivOutcome::Unknown("out-of-range window".into()),
             elapsed(start_time),
         );
+    }
+    if window.is_empty() {
+        // A no-op rewrite region: splicing nothing for nothing cannot change
+        // behaviour, so there is nothing to ask the solver.
+        return if replacement.is_empty() {
+            (EquivOutcome::Equivalent, elapsed(start_time))
+        } else {
+            (
+                EquivOutcome::Unknown("empty window with a non-empty replacement".into()),
+                elapsed(start_time),
+            )
+        };
     }
     let src_window = &src.insns[window.start..window.end];
     if src_window.iter().any(Insn::is_branch) || replacement.iter().any(Insn::is_branch) {
@@ -70,12 +138,8 @@ pub fn check_window(
     // Static analysis of the full source program: concrete register values
     // entering the window (stronger precondition) and registers live out of
     // the window (weaker postcondition).
-    let cfg = match Cfg::build(&src.insns) {
-        Ok(c) => c,
-        Err(e) => return (EquivOutcome::Unknown(e.to_string()), elapsed(start_time)),
-    };
-    let types = Types::analyze(&src.insns, &cfg);
-    let live = Liveness::new().analyze(&src.insns, &cfg);
+    let types = &ctx.types;
+    let live = &ctx.live;
     let live_out: Vec<Reg> = if window.end < src.insns.len() {
         live.live_in[window.end].iter().collect()
     } else {
@@ -219,6 +283,53 @@ mod tests {
         let bad = asm::assemble("stdw [r10-8], 1\nmov64 r1, 0").unwrap();
         let (outcome2, _) = check_window(&src, window, &bad, &opts());
         assert!(!outcome2.is_equivalent());
+    }
+
+    #[test]
+    fn empty_window_is_a_noop_and_skips_the_solver() {
+        // Regression: an empty rewrite region (no-op proposal) used to come
+        // back `Unknown`, forcing a full-program solver query. Splicing
+        // nothing for nothing is trivially behaviour-preserving.
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        for start in 0..=src.insns.len() {
+            let window = Window { start, end: start };
+            let (outcome, _) = check_window(&src, window, &[], &opts());
+            assert!(outcome.is_equivalent(), "start {start}: {outcome:?}");
+        }
+        // An empty window with a non-empty replacement is an insertion, not
+        // a rewrite this checker reasons about: stay conservative.
+        let insertion = asm::assemble("mov64 r1, 0").unwrap();
+        let (outcome, _) = check_window(&src, Window { start: 1, end: 1 }, &insertion, &opts());
+        assert!(matches!(outcome, EquivOutcome::Unknown(_)));
+        // Out-of-range windows are still rejected, even empty ones.
+        let far = src.insns.len() + 1;
+        let (outcome, _) = check_window(
+            &src,
+            Window {
+                start: far,
+                end: far,
+            },
+            &[],
+            &opts(),
+        );
+        assert!(matches!(outcome, EquivOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn reused_context_matches_fresh_analysis() {
+        let src = xdp("mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
+        let ctx = WindowContext::new(&src).expect("source has a CFG");
+        let window = Window { start: 2, end: 3 };
+        let good = asm::assemble("lsh64 r1, 2").unwrap();
+        let bad = asm::assemble("lsh64 r1, 3").unwrap();
+        let (fresh_good, _) = check_window(&src, window, &good, &opts());
+        let (ctx_good, _) = check_window_with(&ctx, &src, window, &good, &opts());
+        assert_eq!(fresh_good, ctx_good);
+        assert!(ctx_good.is_equivalent());
+        let (fresh_bad, _) = check_window(&src, window, &bad, &opts());
+        let (ctx_bad, _) = check_window_with(&ctx, &src, window, &bad, &opts());
+        assert_eq!(fresh_bad, ctx_bad);
+        assert!(!ctx_bad.is_equivalent());
     }
 
     #[test]

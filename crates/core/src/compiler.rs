@@ -43,6 +43,12 @@ pub struct CompilerOptions {
     /// override is applied by the `k2::api` configuration layering before
     /// these options are built, not here.
     pub backend: BackendKind,
+    /// Window-based (modular) equivalence verification — the paper's
+    /// optimization IV, on by default and threaded into every chain's
+    /// [`crate::cost::CostSettings`]. A pure solver-work optimization:
+    /// results are bit-identical with it on or off. The `K2_WINDOW`
+    /// environment override is applied by the `k2::api` layering.
+    pub window_verification: bool,
     /// Engine-level knobs: epochs, cross-chain sharing, convergence, the
     /// wall-clock budget, and the batch worker pool. Values are taken as
     /// given; the `K2_*` environment overrides are resolved by `k2::api`.
@@ -63,6 +69,7 @@ impl Default for CompilerOptions {
             top_k: 1,
             parallel: true,
             backend: BackendKind::Auto,
+            window_verification: true,
             engine: EngineConfig::default(),
             sink: EventSinkRef::none(),
         }

@@ -65,6 +65,14 @@ pub struct CostSettings {
     /// environment override is resolved by the `k2::api` configuration
     /// layering before options reach the engine.
     pub backend: BackendKind,
+    /// Window-based (modular) equivalence verification — the paper's
+    /// optimization IV. When on, candidates whose deviation from the source
+    /// is a straight-line span are first checked window-locally; the full
+    /// program pair is only encoded when the window is inconclusive. Pure
+    /// optimization: verdicts and search trajectories are identical either
+    /// way. The `K2_WINDOW` environment override is resolved by the
+    /// `k2::api` configuration layering.
+    pub window_verification: bool,
 }
 
 impl Default for CostSettings {
@@ -77,6 +85,7 @@ impl Default for CostSettings {
             beta: 5.0,
             gamma: 1.0,
             backend: BackendKind::Auto,
+            window_verification: true,
         }
     }
 }
@@ -191,9 +200,13 @@ impl CostFunction {
             OptimizationGoal::InstructionCount => src.real_len() as f64,
             OptimizationGoal::Latency => cost_model.program_cost(src) as f64,
         };
+        let equiv_options = EquivOptions {
+            window_verification: settings.window_verification,
+            ..EquivOptions::default()
+        };
         let equiv = match shared_cache {
-            Some(shared) => EquivChecker::with_shared_cache(EquivOptions::default(), shared),
-            None => EquivChecker::new(EquivOptions::default()),
+            Some(shared) => EquivChecker::with_shared_cache(equiv_options, shared),
+            None => EquivChecker::new(equiv_options),
         };
         CostFunction {
             settings,
@@ -298,6 +311,21 @@ impl CostFunction {
 
     /// Evaluate the full cost of a candidate.
     pub fn evaluate(&mut self, cand: &Program) -> CostValue {
+        self.evaluate_with_region(cand, None)
+    }
+
+    /// [`CostFunction::evaluate`] for a candidate produced by a localized
+    /// rewrite: `region` is the instruction span the proposal touched
+    /// ([`crate::proposals::RewriteRegion`]). When window verification is
+    /// enabled, the equivalence check first tries the window-local formula
+    /// over the candidate's actual deviation from the source and only falls
+    /// back to the full program pair when that is inconclusive. Costs are
+    /// identical to [`CostFunction::evaluate`] — only solver work differs.
+    pub fn evaluate_with_region(
+        &mut self,
+        cand: &Program,
+        region: Option<crate::proposals::RewriteRegion>,
+    ) -> CostValue {
         self.stats.evaluations += 1;
         let perf = self.perf_cost(cand);
 
@@ -347,7 +375,8 @@ impl CostFunction {
         let mut equivalent = false;
         let unequal = if failed == 0 {
             self.stats.equivalence_checks += 1;
-            match self.equiv.check(&self.src, cand) {
+            let window = region.map(bpf_equiv::Window::from);
+            match self.equiv.check_in_window(&self.src, cand, window) {
                 EquivOutcome::Equivalent => {
                     equivalent = true;
                     0.0

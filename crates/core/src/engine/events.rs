@@ -67,6 +67,11 @@ pub enum SearchEvent {
         shared_cache_hits: u64,
         /// Checks that missed both cache layers so far.
         cache_misses: u64,
+        /// Checks resolved by the window-local fast path so far
+        /// (optimization IV: full-program queries that were never built).
+        window_hits: u64,
+        /// Windowed checks that fell back to the full program pair so far.
+        window_fallbacks: u64,
         /// Entries in the shared cache after the barrier's publish step.
         shared_cache_entries: usize,
         /// Counterexamples in the merged cross-chain pool.

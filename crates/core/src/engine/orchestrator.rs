@@ -145,6 +145,7 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
             if opts.backend != BackendKind::Auto {
                 cost_settings.backend = opts.backend;
             }
+            cost_settings.window_verification = opts.window_verification;
             let shared = cfg.shared_cache.then(|| Arc::clone(ctx.cache()));
             let cost = CostFunction::with_shared_cache(
                 src,
@@ -258,6 +259,8 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
                 cache_hits: equiv.cache_hits,
                 shared_cache_hits: equiv.shared_cache_hits,
                 cache_misses: equiv.cache_misses,
+                window_hits: equiv.window_hits,
+                window_fallbacks: equiv.window_fallbacks,
                 shared_cache_entries: ctx.cache().len(),
                 counterexample_pool: ctx.pool().len(),
             });

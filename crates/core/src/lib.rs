@@ -62,5 +62,5 @@ pub use engine::{
     SearchEvent, StopReason,
 };
 pub use params::{EngineConfig, SearchParams};
-pub use proposals::{ProposalGenerator, RewriteRule};
+pub use proposals::{ProposalGenerator, RewriteRegion, RewriteRule};
 pub use search::{ChainStats, MarkovChain};

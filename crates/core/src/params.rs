@@ -111,6 +111,7 @@ impl SearchParams {
                     beta: 5.0,
                     gamma: 1.0,
                     backend: BackendKind::Auto,
+                    window_verification: true,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -124,6 +125,7 @@ impl SearchParams {
                     beta: 5.0,
                     gamma: 1.0,
                     backend: BackendKind::Auto,
+                    window_verification: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.17, 0.0, 0.18),
             },
@@ -137,6 +139,7 @@ impl SearchParams {
                     beta: 5.0,
                     gamma: 1.0,
                     backend: BackendKind::Auto,
+                    window_verification: true,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -150,6 +153,7 @@ impl SearchParams {
                     beta: 5.0,
                     gamma: 1.0,
                     backend: BackendKind::Auto,
+                    window_verification: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -163,6 +167,7 @@ impl SearchParams {
                     beta: 1.5,
                     gamma: 1.0,
                     backend: BackendKind::Auto,
+                    window_verification: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -199,6 +204,7 @@ impl SearchParams {
                                 beta: 5.0,
                                 gamma: 1.0,
                                 backend: BackendKind::Auto,
+                                window_verification: true,
                             },
                             rules,
                         });

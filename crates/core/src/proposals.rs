@@ -24,6 +24,56 @@ pub enum RewriteRule {
     ReplaceContiguous,
 }
 
+/// The half-open instruction span `[start, end)` a rewrite touched.
+///
+/// Every [`ProposalGenerator::propose`] call reports the span alongside the
+/// mutated program; the cost function forwards it to the equivalence checker,
+/// whose window-based fast path (the paper's optimization IV) uses it as the
+/// signal that the candidate came out of a localized rewrite. A rule that
+/// ended up mutating nothing (e.g. a memory-exchange rule on a program with
+/// no memory accesses) reports an empty span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RewriteRegion {
+    /// Index of the first rewritten instruction.
+    pub start: usize,
+    /// One past the last rewritten instruction.
+    pub end: usize,
+}
+
+impl RewriteRegion {
+    /// The empty span (a proposal that changed nothing).
+    pub fn empty() -> RewriteRegion {
+        RewriteRegion { start: 0, end: 0 }
+    }
+
+    /// The single-instruction span at `idx`.
+    pub fn at(idx: usize) -> RewriteRegion {
+        RewriteRegion {
+            start: idx,
+            end: idx + 1,
+        }
+    }
+
+    /// Number of instructions in the span.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl From<RewriteRegion> for bpf_equiv::Window {
+    fn from(region: RewriteRegion) -> bpf_equiv::Window {
+        bpf_equiv::Window {
+            start: region.start,
+            end: region.end,
+        }
+    }
+}
+
 /// Sampling probabilities of the rewrite rules (`prob(.)` in §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuleProbabilities {
@@ -159,45 +209,59 @@ impl ProposalGenerator {
         }
     }
 
-    /// Generate one proposal: a mutated copy of `current`, plus the rule used.
-    pub fn propose(&mut self, current: &[Insn]) -> (Vec<Insn>, RewriteRule) {
+    /// Generate one proposal: a mutated copy of `current`, the rule used,
+    /// and the instruction span the rule rewrote.
+    pub fn propose(&mut self, current: &[Insn]) -> (Vec<Insn>, RewriteRule, RewriteRegion) {
         let mut out = current.to_vec();
         if out.is_empty() {
-            return (out, RewriteRule::ReplaceByNop);
+            return (out, RewriteRule::ReplaceByNop, RewriteRegion::empty());
         }
         let rule = self.probabilities.sample(&mut self.rng);
-        match rule {
+        let region = match rule {
             RewriteRule::ReplaceInstruction => {
                 let idx = self.pick_index(&out);
                 out[idx] = self.random_insn(idx);
+                RewriteRegion::at(idx)
             }
             RewriteRule::ReplaceOperand => {
                 let idx = self.pick_index(&out);
                 out[idx] = self.mutate_operand(out[idx]);
+                RewriteRegion::at(idx)
             }
             RewriteRule::ReplaceByNop => {
                 let idx = self.pick_index(&out);
                 out[idx] = Insn::Nop;
+                RewriteRegion::at(idx)
             }
-            RewriteRule::MemExchangeType1 => {
-                if let Some(idx) = self.pick_memory_index(&out) {
+            RewriteRule::MemExchangeType1 => match self.pick_memory_index(&out) {
+                Some(idx) => {
                     out[idx] = self.exchange_memory(out[idx], true);
+                    RewriteRegion::at(idx)
                 }
-            }
-            RewriteRule::MemExchangeType2 => {
-                if let Some(idx) = self.pick_memory_index(&out) {
+                None => RewriteRegion::empty(),
+            },
+            RewriteRule::MemExchangeType2 => match self.pick_memory_index(&out) {
+                Some(idx) => {
                     out[idx] = self.exchange_memory(out[idx], false);
+                    RewriteRegion::at(idx)
                 }
-            }
+                None => RewriteRegion::empty(),
+            },
             RewriteRule::ReplaceContiguous => {
                 let idx = self.pick_index(&out);
                 out[idx] = self.random_insn(idx);
                 if idx + 1 < out.len() && !matches!(out[idx + 1], Insn::Exit) {
                     out[idx + 1] = self.random_insn(idx + 1);
+                    RewriteRegion {
+                        start: idx,
+                        end: idx + 2,
+                    }
+                } else {
+                    RewriteRegion::at(idx)
                 }
             }
-        }
-        (out, rule)
+        };
+        (out, rule, region)
     }
 
     /// Pick an index to mutate, never the final `exit`.
@@ -485,7 +549,9 @@ mod tests {
         let mut generator = ProposalGenerator::new(&prog, RuleProbabilities::default(), 7);
         let mut current = prog.insns.clone();
         for _ in 0..500 {
-            let (next, _rule) = generator.propose(&current);
+            let (next, _rule, region) = generator.propose(&current);
+            assert!(region.end <= next.len());
+            assert!(region.start <= region.end);
             assert_eq!(next.len(), current.len());
             assert_eq!(*next.last().unwrap(), Insn::Exit);
             current = next;
@@ -508,7 +574,7 @@ mod tests {
         let mut generator = ProposalGenerator::new(&prog, RuleProbabilities::default(), 3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {
-            let (_, rule) = generator.propose(&prog.insns);
+            let (_, rule, _) = generator.propose(&prog.insns);
             seen.insert(rule);
         }
         assert!(seen.contains(&RewriteRule::ReplaceInstruction));
@@ -524,7 +590,7 @@ mod tests {
         let mut generator = ProposalGenerator::new(&prog, RuleProbabilities::default(), 5);
         let mut current = prog.insns.clone();
         for _ in 0..1000 {
-            let (next, _) = generator.propose(&current);
+            let (next, _, _) = generator.propose(&current);
             for (idx, insn) in next.iter().enumerate() {
                 if let Some(target) = insn.jump_target(idx) {
                     assert!(target > idx as i64, "backward jump generated at {idx}");
@@ -542,7 +608,7 @@ mod tests {
         assert!((probs.sum() - 1.0).abs() < 1e-9);
         let mut generator = ProposalGenerator::new(&prog, probs, 9);
         for _ in 0..1000 {
-            let (_, rule) = generator.propose(&prog.insns);
+            let (_, rule, _) = generator.propose(&prog.insns);
             assert!(!matches!(
                 rule,
                 RewriteRule::MemExchangeType1

@@ -107,9 +107,9 @@ impl MarkovChain {
     /// One Metropolis–Hastings step.
     pub fn step(&mut self) {
         self.stats.iterations += 1;
-        let (proposal, _rule) = self.generator.propose(&self.current);
+        let (proposal, _rule, region) = self.generator.propose(&self.current);
         let cand = self.cost.source().with_insns(proposal.clone());
-        let cand_cost = self.cost.evaluate(&cand);
+        let cand_cost = self.cost.evaluate_with_region(&cand, Some(region));
 
         // Track the best equivalent & safe program (by performance cost).
         if cand_cost.equivalent && cand_cost.safe {

@@ -76,4 +76,11 @@ fn main() {
          {} counterexamples exchanged",
         report.shared_cache_entries, report.shared_cache.hits, report.counterexamples_exchanged
     );
+    println!(
+        "        windows: {} checks verified window-locally, {} fell back to \
+         the full program pair ({:.1}% hit rate)",
+        report.equiv.window_hits,
+        report.equiv.window_fallbacks,
+        100.0 * report.equiv.window_hit_rate(),
+    );
 }

@@ -292,6 +292,72 @@ fn k2c_reports_malformed_lines_in_place() {
     );
 }
 
+#[test]
+fn k2c_request_lines_handle_astral_ids_and_reject_lone_surrogates() {
+    let _lock = env_lock();
+    // An astral-plane id survives the full trip: JSONL request line →
+    // service → response echo, whether written as raw UTF-8 or as an
+    // escaped surrogate pair.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_k2c"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn k2c");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        let mut raw = OptimizeRequest::from_asm("mov64 r0, 2\nexit");
+        raw.id = Some("job-\u{1F600}-𝄞".into());
+        raw.iterations = Some(50);
+        writeln!(stdin, "{}", raw.to_json_string()).unwrap();
+        // The same id as an escaped surrogate pair.
+        writeln!(
+            stdin,
+            r#"{{"v": 1, "id": "job-😀-𝄞", "asm": "mov64 r0, 2\nexit", "iterations": 50}}"#
+        )
+        .unwrap();
+        // Lone surrogates are not Unicode text: the line must be rejected
+        // in place, without disturbing its neighbours.
+        writeln!(stdin, r#"{{"v": 1, "id": "\ud800", "asm": "exit"}}"#).unwrap();
+        writeln!(stdin, r#"{{"v": 1, "id": "\udc00-low", "asm": "exit"}}"#).unwrap();
+        writeln!(
+            stdin,
+            "{}",
+            OptimizeRequest::from_asm("mov64 r0, 1\nexit").to_json_string()
+        )
+        .unwrap();
+    }
+    let output = child.wait_with_output().expect("k2c runs");
+    assert!(output.status.success(), "k2c failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let responses: Vec<OptimizeResponse> = stdout
+        .lines()
+        .map(|l| OptimizeResponse::from_json_str(l).expect("valid response JSON"))
+        .collect();
+    assert_eq!(responses.len(), 5);
+    assert!(responses[0].ok);
+    assert_eq!(responses[0].id.as_deref(), Some("job-\u{1F600}-\u{1D11E}"));
+    assert!(responses[1].ok);
+    assert_eq!(responses[1].id, responses[0].id, "escape vs raw UTF-8");
+    assert!(!responses[2].ok, "lone high surrogate must be rejected");
+    assert!(!responses[3].ok, "lone low surrogate must be rejected");
+    assert!(responses[4].ok, "later lines are unaffected");
+}
+
+#[test]
+fn request_parser_rejects_lone_surrogates() {
+    for line in [
+        r#"{"v": 1, "id": "\ud800", "asm": "exit"}"#,
+        r#"{"v": 1, "asm": "exit\ud83d"}"#,
+        r#"{"v": 1, "asm": "\udc00exit"}"#,
+    ] {
+        assert!(
+            OptimizeRequest::from_json_str(line).is_err(),
+            "should reject {line}"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Streaming events.
 // ---------------------------------------------------------------------------
