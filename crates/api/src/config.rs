@@ -92,6 +92,15 @@ pub struct K2Config {
     /// `exchange_counterexamples`, `restart_from_best`, `stall_epochs`,
     /// `time_budget_ms`, `batch_workers`).
     pub engine: EngineConfig,
+    /// Collect telemetry — solver-time attribution, per-rule counters, cache
+    /// path labels, service timing (`K2_TELEMETRY`, file key `telemetry`).
+    /// Off by default. A pure observability knob: search results are
+    /// bit-identical with it on or off.
+    pub telemetry: bool,
+    /// Write the session's aggregated telemetry snapshot as JSON to this
+    /// path when the session is asked to dump it (`K2_TELEMETRY_JSON`, file
+    /// key `telemetry_json`). Setting a path implies `telemetry`.
+    pub telemetry_json: Option<String>,
 }
 
 impl Default for K2Config {
@@ -107,6 +116,8 @@ impl Default for K2Config {
             backend: base.backend,
             window_verification: base.window_verification,
             engine: base.engine,
+            telemetry: false,
+            telemetry_json: None,
         }
     }
 }
@@ -233,6 +244,14 @@ impl K2Config {
                 Some(v) => self.engine.batch_workers = v as usize,
                 None => return bad("an unsigned integer (0 = one per CPU)"),
             },
+            "telemetry" => match value.as_bool() {
+                Some(v) => self.telemetry = v,
+                None => return bad("a boolean"),
+            },
+            "telemetry_json" => match value.as_str() {
+                Some(path) if !path.is_empty() => self.telemetry_json = Some(path.to_string()),
+                _ => return bad("a non-empty path string"),
+            },
             _ => {
                 return Err(ConfigError::new(format!(
                     "unknown config key {key:?} (see the README knob table)"
@@ -301,6 +320,22 @@ impl K2Config {
         if let Some(v) = env::usize("K2_BATCH_WORKERS") {
             self.engine.batch_workers = v;
         }
+        if let Some(v) = env::flag("K2_TELEMETRY") {
+            self.telemetry = v;
+        }
+        if let Some(path) = env::string("K2_TELEMETRY_JSON") {
+            if path.is_empty() {
+                self.telemetry_json = None;
+            } else {
+                self.telemetry_json = Some(path);
+            }
+        }
+    }
+
+    /// Whether a telemetry recorder should be attached: explicitly enabled,
+    /// or implied by a JSON dump path.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry || self.telemetry_json.is_some()
     }
 
     /// Materialize engine-level [`CompilerOptions`] from this configuration
@@ -362,6 +397,32 @@ mod tests {
             r#"{"no_such_knob": 1}"#,
             r#"[1, 2]"#,
         ] {
+            let mut c = K2Config::default();
+            assert!(
+                c.apply_json(&Json::parse(bad).unwrap()).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_keys_layer_and_imply_enablement() {
+        let mut config = K2Config::default();
+        assert!(!config.telemetry_enabled());
+        config
+            .apply_json(&Json::parse(r#"{"telemetry": true}"#).unwrap())
+            .unwrap();
+        assert!(config.telemetry && config.telemetry_enabled());
+
+        let mut config = K2Config::default();
+        config
+            .apply_json(&Json::parse(r#"{"telemetry_json": "/tmp/t.json"}"#).unwrap())
+            .unwrap();
+        assert!(!config.telemetry, "dump path must not flip the flag itself");
+        assert!(config.telemetry_enabled(), "dump path implies a recorder");
+        assert_eq!(config.telemetry_json.as_deref(), Some("/tmp/t.json"));
+
+        for bad in [r#"{"telemetry": 1}"#, r#"{"telemetry_json": ""}"#] {
             let mut c = K2Config::default();
             assert!(
                 c.apply_json(&Json::parse(bad).unwrap()).is_err(),

@@ -364,6 +364,15 @@ pub struct OptimizeResponse {
     pub chains: Vec<ChainSummary>,
     /// Deterministic engine statistics.
     pub report: ReportSummary,
+    /// Engine wall-clock time of this compilation, milliseconds. Absent
+    /// (`None`, not serialized) unless the serving side opted into timing
+    /// ([`crate::K2Session::optimize_batch_timed`], the `k2c` binary) —
+    /// keeping the default response bit-identical across runs and parseable
+    /// by pre-telemetry v:1 clients.
+    pub duration_ms: Option<u64>,
+    /// Time this request waited behind other jobs in the batch queue,
+    /// milliseconds. Same opt-in and compatibility rules as `duration_ms`.
+    pub queue_wait_ms: Option<u64>,
 }
 
 impl OptimizeResponse {
@@ -396,6 +405,8 @@ impl OptimizeResponse {
                 shared_cache_entries: 0,
                 counterexamples_exchanged: 0,
             },
+            duration_ms: None,
+            queue_wait_ms: None,
         }
     }
 
@@ -446,6 +457,8 @@ impl OptimizeResponse {
                 shared_cache_entries: report.shared_cache_entries as u64,
                 counterexamples_exchanged: report.counterexamples_exchanged,
             },
+            duration_ms: None,
+            queue_wait_ms: None,
         }
     }
 
@@ -542,6 +555,14 @@ impl OptimizeResponse {
                 ),
             ]),
         ));
+        // Service timing is opt-in and serialized only when present, so the
+        // default response stays bit-identical across runs.
+        if let Some(ms) = self.duration_ms {
+            fields.push(("duration_ms".into(), Json::Int(ms as i64)));
+        }
+        if let Some(ms) = self.queue_wait_ms {
+            fields.push(("queue_wait_ms".into(), Json::Int(ms as i64)));
+        }
         Json::Obj(fields)
     }
 
@@ -682,6 +703,10 @@ impl OptimizeResponse {
                 shared_cache_entries: rfield("shared_cache_entries")?,
                 counterexamples_exchanged: rfield("counterexamples_exchanged")?,
             },
+            // Added within v:1 (telemetry): optional service timing, absent
+            // in responses from earlier builds and from untimed calls.
+            duration_ms: json.get("duration_ms").and_then(Json::as_u64),
+            queue_wait_ms: json.get("queue_wait_ms").and_then(Json::as_u64),
         })
     }
 
@@ -760,6 +785,45 @@ mod tests {
         let reparsed = OptimizeResponse::from_json_str(&extended.to_json_string()).unwrap();
         assert_eq!(reparsed.report.window_hits, 7);
         assert_eq!(reparsed.report.window_fallbacks, 2);
+    }
+
+    #[test]
+    fn service_timing_fields_are_optional_and_round_trip() {
+        // Golden: a pre-telemetry v:1 response (no duration/queue-wait
+        // fields) must keep parsing, with the fields absent — and an untimed
+        // response must not serialize them, so pre-telemetry clients that
+        // reject unknown keys never see them.
+        let legacy = r#"{"v": 1, "id": "g", "ok": true, "prog_type": "xdp",
+            "asm": "mov64 r0, 2\nexit\n", "insns_hex": "", "insns_before": 2,
+            "insns_after": 2, "cost": 2.0, "improved": false,
+            "rejected_by_kernel_checker": 0, "top": [], "chains": [],
+            "report": {"epochs_planned": 1, "epochs_run": 1,
+                "early_exit": false, "solver_queries": 3, "cache_hits": 0,
+                "shared_cache_hits": 0, "cache_misses": 3, "window_hits": 0,
+                "window_fallbacks": 0, "shared_cache_entries": 0,
+                "counterexamples_exchanged": 0}}"#;
+        let parsed = OptimizeResponse::from_json_str(legacy).expect("legacy v:1 parses");
+        assert_eq!(parsed.duration_ms, None);
+        assert_eq!(parsed.queue_wait_ms, None);
+        let untimed_line = parsed.to_json_string();
+        assert!(!untimed_line.contains("duration_ms"));
+        assert!(!untimed_line.contains("queue_wait_ms"));
+
+        // A timed response round-trips the fields.
+        let mut timed = parsed.clone();
+        timed.duration_ms = Some(42);
+        timed.queue_wait_ms = Some(3);
+        let line = timed.to_json_string();
+        assert!(line.contains("\"duration_ms\": 42"));
+        assert!(line.contains("\"queue_wait_ms\": 3"));
+        let reparsed = OptimizeResponse::from_json_str(&line).unwrap();
+        assert_eq!(reparsed.duration_ms, Some(42));
+        assert_eq!(reparsed.queue_wait_ms, Some(3));
+        // And masking the timing fields recovers the untimed serialization.
+        let mut masked = reparsed;
+        masked.duration_ms = None;
+        masked.queue_wait_ms = None;
+        assert_eq!(masked.to_json_string(), untimed_line);
     }
 
     #[test]

@@ -12,7 +12,10 @@ use crate::proto::{OptimizeRequest, OptimizeResponse};
 use bpf_equiv::{check_equivalence, EquivOptions, EquivOutcome};
 use bpf_interp::BackendKind;
 use k2_core::engine::{run_batch, BatchJob};
-use k2_core::{CompilerOptions, EventSink, EventSinkRef, K2Result, OptimizationGoal, SearchParams};
+use k2_core::{
+    CompilerOptions, EventSink, EventSinkRef, K2Result, OptimizationGoal, SearchParams,
+    TelemetryRef, TelemetrySnapshot,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -22,6 +25,7 @@ pub struct K2Session {
     config: K2Config,
     params: Vec<SearchParams>,
     sink: EventSinkRef,
+    telemetry: TelemetryRef,
 }
 
 impl K2Session {
@@ -41,8 +45,30 @@ impl K2Session {
         CompilerOptions {
             params: self.params.clone(),
             sink: self.sink.clone(),
+            telemetry: self.telemetry.clone(),
             ..self.config.options()
         }
+    }
+
+    /// The session's aggregated telemetry: every compilation served so far
+    /// folded into one snapshot. `None` unless telemetry is enabled
+    /// (`K2_TELEMETRY`, `telemetry`/`telemetry_json` keys, or the builder).
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.snapshot()
+    }
+
+    /// Write the aggregated telemetry snapshot as JSON to the configured
+    /// `telemetry_json` path. Returns the path written, `None` when no dump
+    /// path is configured or telemetry is disabled. Call once at end of run;
+    /// the file is overwritten atomically-enough for an offline report.
+    pub fn dump_telemetry(&self) -> std::io::Result<Option<PathBuf>> {
+        let (Some(path), Some(snapshot)) = (&self.config.telemetry_json, self.telemetry_snapshot())
+        else {
+            return Ok(None);
+        };
+        let path = PathBuf::from(path);
+        std::fs::write(&path, snapshot.to_json_string())?;
+        Ok(Some(path))
     }
 
     /// Optimize one program, returning the full typed result (including
@@ -66,6 +92,23 @@ impl K2Session {
     /// calls; requests that fail to parse produce `ok: false` responses
     /// without disturbing their neighbours.
     pub fn optimize_batch(&self, requests: &[OptimizeRequest]) -> Vec<OptimizeResponse> {
+        self.optimize_batch_inner(requests, false)
+    }
+
+    /// [`K2Session::optimize_batch`] with service timing: every successful
+    /// response additionally carries `duration_ms` (engine wall-clock) and
+    /// `queue_wait_ms` (time spent behind other jobs in the batch queue).
+    /// The search itself is bit-identical to the untimed call — only the two
+    /// timing fields differ, and pre-telemetry (v:1) clients ignore them.
+    pub fn optimize_batch_timed(&self, requests: &[OptimizeRequest]) -> Vec<OptimizeResponse> {
+        self.optimize_batch_inner(requests, true)
+    }
+
+    fn optimize_batch_inner(
+        &self,
+        requests: &[OptimizeRequest],
+        timed: bool,
+    ) -> Vec<OptimizeResponse> {
         // Separate parseable programs from per-request errors, preserving
         // order.
         let mut slots: Vec<Option<OptimizeResponse>> = Vec::with_capacity(requests.len());
@@ -107,11 +150,13 @@ impl K2Session {
         }
         let results = run_batch(jobs, self.config.engine.batch_workers);
         for ((index, src), result) in job_sources.into_iter().zip(results) {
-            slots[index] = Some(OptimizeResponse::from_result(
-                requests[index].id.clone(),
-                &src,
-                &result,
-            ));
+            let mut response =
+                OptimizeResponse::from_result(requests[index].id.clone(), &src, &result);
+            if timed {
+                response.duration_ms = Some(result.report.wall_time_us / 1000);
+                response.queue_wait_ms = Some(result.report.queue_wait_us / 1000);
+            }
+            slots[index] = Some(response);
         }
         slots
             .into_iter()
@@ -150,6 +195,8 @@ pub struct K2SessionBuilder {
     stall_epochs: Option<u64>,
     time_budget_ms: Option<u64>,
     batch_workers: Option<usize>,
+    telemetry: Option<bool>,
+    telemetry_json: Option<String>,
     params: Option<Vec<SearchParams>>,
     sink: Option<Arc<dyn EventSink>>,
 }
@@ -265,6 +312,21 @@ impl K2SessionBuilder {
         self
     }
 
+    /// Override telemetry collection (solver-time attribution, per-rule
+    /// counters, service timing). A pure observability knob: results are
+    /// bit-identical with it on or off.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = Some(enabled);
+        self
+    }
+
+    /// Override the telemetry JSON dump path (implies telemetry collection;
+    /// written by [`K2Session::dump_telemetry`]).
+    pub fn telemetry_json(mut self, path: impl Into<String>) -> Self {
+        self.telemetry_json = Some(path.into());
+        self
+    }
+
     /// Replace the Markov-chain parameter settings (defaults to the five
     /// best settings from the paper's Table 8).
     pub fn params(mut self, params: Vec<SearchParams>) -> Self {
@@ -328,7 +390,18 @@ impl K2SessionBuilder {
         if let Some(workers) = self.batch_workers {
             config.engine.batch_workers = workers;
         }
+        if let Some(enabled) = self.telemetry {
+            config.telemetry = enabled;
+        }
+        if let Some(path) = self.telemetry_json {
+            config.telemetry_json = if path.is_empty() { None } else { Some(path) };
+        }
 
+        let telemetry = if config.telemetry_enabled() {
+            TelemetryRef::collector()
+        } else {
+            TelemetryRef::none()
+        };
         Ok(K2Session {
             config,
             params: self.params.unwrap_or_else(SearchParams::table8),
@@ -336,6 +409,7 @@ impl K2SessionBuilder {
                 Some(sink) => EventSinkRef::new(sink),
                 None => EventSinkRef::none(),
             },
+            telemetry,
         })
     }
 }

@@ -8,6 +8,8 @@
 //! compact human-readable progress line per event for interactive harnesses.
 
 use k2_core::{EventSink, SearchEvent};
+use std::fmt::Write as _;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -58,6 +60,8 @@ pub struct SinkCounts {
     pub epoch_barriers: u64,
     /// `BudgetExhausted` events.
     pub budget_exhausted: u64,
+    /// `Telemetry` events.
+    pub telemetry: u64,
     /// `Finished` events.
     pub finished: u64,
 }
@@ -72,6 +76,7 @@ pub struct CountingSink {
     solver_stats: AtomicU64,
     epoch_barriers: AtomicU64,
     budget_exhausted: AtomicU64,
+    telemetry: AtomicU64,
     finished: AtomicU64,
 }
 
@@ -89,6 +94,7 @@ impl CountingSink {
             solver_stats: self.solver_stats.load(Ordering::Relaxed),
             epoch_barriers: self.epoch_barriers.load(Ordering::Relaxed),
             budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+            telemetry: self.telemetry.load(Ordering::Relaxed),
             finished: self.finished.load(Ordering::Relaxed),
         }
     }
@@ -102,6 +108,7 @@ impl EventSink for CountingSink {
             SearchEvent::SolverStats { .. } => &self.solver_stats,
             SearchEvent::EpochBarrier { .. } => &self.epoch_barriers,
             SearchEvent::BudgetExhausted { .. } => &self.budget_exhausted,
+            SearchEvent::Telemetry { .. } => &self.telemetry,
             SearchEvent::Finished { .. } => &self.finished,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -111,9 +118,16 @@ impl EventSink for CountingSink {
 /// Prints one compact line per event to stderr, optionally prefixed with a
 /// label — the interactive replacement for the `println!` progress reporting
 /// the harnesses used to hard-code.
+///
+/// Lines are buffered and written out in one `write_all` per epoch (at the
+/// barrier, budget-exhaustion, and finish events) rather than one unbuffered
+/// write per event: a search emits several events per barrier, and per-event
+/// `eprintln!` calls each take the stderr lock and issue their own syscall,
+/// which interleaves badly when concurrent batch jobs share one sink.
 #[derive(Debug, Default)]
 pub struct StderrProgress {
     label: Option<String>,
+    buffer: Mutex<String>,
 }
 
 impl StderrProgress {
@@ -126,6 +140,7 @@ impl StderrProgress {
     pub fn labeled(label: impl Into<String>) -> StderrProgress {
         StderrProgress {
             label: Some(label.into()),
+            buffer: Mutex::new(String::new()),
         }
     }
 
@@ -135,22 +150,47 @@ impl StderrProgress {
             None => "k2".to_string(),
         }
     }
+
+    fn flush(&self, buffer: &mut String) {
+        if buffer.is_empty() {
+            return;
+        }
+        let mut stderr = std::io::stderr().lock();
+        let _ = stderr.write_all(buffer.as_bytes());
+        let _ = stderr.flush();
+        buffer.clear();
+    }
+}
+
+impl Drop for StderrProgress {
+    fn drop(&mut self) {
+        let mut buffer = std::mem::take(self.buffer.get_mut().expect("progress lock poisoned"));
+        self.flush(&mut buffer);
+    }
 }
 
 impl EventSink for StderrProgress {
     fn on_event(&self, event: &SearchEvent) {
         let p = self.prefix();
+        let mut buffer = self.buffer.lock().expect("progress lock poisoned");
+        let out = &mut *buffer;
         match event {
             SearchEvent::Started {
                 chains,
                 epochs_planned,
                 iterations,
-            } => eprintln!(
-                "{p}: search started: {chains} chains x {iterations} iterations, \
-                 {epochs_planned} epochs"
-            ),
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{p}: search started: {chains} chains x {iterations} iterations, \
+                     {epochs_planned} epochs"
+                );
+            }
             SearchEvent::NewGlobalBest { epoch, cost, insns } => {
-                eprintln!("{p}: epoch {epoch}: new global best: {insns} insns, cost {cost}")
+                let _ = writeln!(
+                    out,
+                    "{p}: epoch {epoch}: new global best: {insns} insns, cost {cost}"
+                );
             }
             SearchEvent::SolverStats {
                 epoch,
@@ -161,27 +201,49 @@ impl EventSink for StderrProgress {
                 window_hits,
                 window_fallbacks,
                 ..
-            } => eprintln!(
-                "{p}: epoch {epoch}: {queries} solver queries, cache {cache_hits}+\
-                 {shared_cache_hits} hits / {cache_misses} misses, windows \
-                 {window_hits} hits / {window_fallbacks} fallbacks"
-            ),
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{p}: epoch {epoch}: {queries} solver queries, cache {cache_hits}+\
+                     {shared_cache_hits} hits / {cache_misses} misses, windows \
+                     {window_hits} hits / {window_fallbacks} fallbacks"
+                );
+            }
             SearchEvent::EpochBarrier {
                 epoch,
                 best_insns,
                 improved,
                 ..
-            } => eprintln!(
-                "{p}: epoch {epoch} barrier: best {best_insns} insns{}",
-                if *improved { " (improved)" } else { "" }
-            ),
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{p}: epoch {epoch} barrier: best {best_insns} insns{}",
+                    if *improved { " (improved)" } else { "" }
+                );
+                self.flush(out);
+            }
             SearchEvent::BudgetExhausted { epoch, reason } => {
-                eprintln!("{p}: stopping after epoch {epoch}: {reason:?}")
+                let _ = writeln!(out, "{p}: stopping after epoch {epoch}: {reason:?}");
+                self.flush(out);
+            }
+            SearchEvent::Telemetry { counts } => {
+                let _ = writeln!(
+                    out,
+                    "{p}: telemetry: {} solver queries, {} steps",
+                    counts.counter("bitsmt.queries"),
+                    counts.counter("core.steps")
+                );
             }
             SearchEvent::Finished {
                 epochs_run,
                 improved,
-            } => eprintln!("{p}: finished after {epochs_run} epochs, improved: {improved}"),
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{p}: finished after {epochs_run} epochs, improved: {improved}"
+                );
+                self.flush(out);
+            }
         }
     }
 }
@@ -214,6 +276,9 @@ mod tests {
                 epoch: 1,
                 reason: StopReason::TimeBudget,
             },
+            SearchEvent::Telemetry {
+                counts: k2_core::TelemetrySnapshot::default(),
+            },
             SearchEvent::Finished {
                 epochs_run: 1,
                 improved: true,
@@ -243,6 +308,7 @@ mod tests {
         assert_eq!(counts.new_global_best, 1);
         assert_eq!(counts.epoch_barriers, 1);
         assert_eq!(counts.budget_exhausted, 1);
+        assert_eq!(counts.telemetry, 1);
         assert_eq!(counts.finished, 1);
         assert_eq!(counts.solver_stats, 0);
     }

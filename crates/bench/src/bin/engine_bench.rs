@@ -23,7 +23,7 @@ use k2_bench::{
     batch_workers, bench_options, default_iterations, render_table, selected_benchmarks,
 };
 use k2_core::engine::{run_batch, BatchJob};
-use k2_core::{EngineConfig, EventSinkRef, K2Result, SearchParams};
+use k2_core::{EngineConfig, EngineReport, EventSinkRef, K2Result, SearchParams, TelemetryRef};
 use std::sync::Arc;
 
 struct ConfigRun {
@@ -37,6 +37,7 @@ fn run_config(
     benches: &[Benchmark],
     baselines: &[Program],
     sink: &Arc<CountingSink>,
+    telemetry: &TelemetryRef,
 ) -> ConfigRun {
     let params: Vec<SearchParams> = SearchParams::table8();
     let jobs: Vec<BatchJob> = benches
@@ -49,6 +50,11 @@ fn run_config(
             // One shared counting sink observes every job of the sweep: the
             // streamed event totals land in the summary below.
             options.sink = EventSinkRef::new(sink.clone());
+            // Telemetry is always on for the bench: each job's report gains
+            // the solver-time breakdown, and the shared recorder accumulates
+            // the sweep-wide totals. A pure observer — the reproducibility
+            // and window-purity assertions below run with it attached.
+            options.telemetry = telemetry.clone();
             BatchJob {
                 program: baseline.clone(),
                 options,
@@ -58,6 +64,44 @@ fn run_config(
     ConfigRun {
         rows: run_batch(jobs, batch_workers()),
     }
+}
+
+/// Seconds spent in one named telemetry timer of a compilation.
+fn timer_s(report: &EngineReport, name: &str) -> f64 {
+    report
+        .telemetry
+        .timer(name)
+        .map_or(0.0, |t| t.total_us as f64 / 1e6)
+}
+
+/// p99 latency of one full equivalence check (encode + solve), microseconds.
+fn p99_query_us(report: &EngineReport) -> u64 {
+    report
+        .telemetry
+        .timer("equiv.check")
+        .map_or(0, |t| t.p99_us())
+}
+
+/// The three proposal rules this compilation spent the most evaluation time
+/// on, most expensive first, as `rule_a,rule_b,rule_c`.
+fn top_rules(report: &EngineReport) -> String {
+    let mut rules: Vec<(&str, u64)> = report
+        .telemetry
+        .timers
+        .iter()
+        .filter_map(|(name, t)| {
+            name.strip_prefix("core.rule.")
+                .and_then(|rest| rest.strip_suffix(".eval"))
+                .map(|rule| (rule, t.total_us))
+        })
+        .collect();
+    rules.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    rules.truncate(3);
+    rules
+        .iter()
+        .map(|(rule, _)| *rule)
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn mean_compression(run: &ConfigRun, baselines: &[Program]) -> f64 {
@@ -146,6 +190,7 @@ fn main() {
         .map(|b| k2_baseline::best_baseline(&b.prog).1)
         .collect();
     let events = Arc::new(CountingSink::new());
+    let telemetry = TelemetryRef::collector();
     let shared = run_config(
         EngineConfig::default(),
         true,
@@ -153,6 +198,7 @@ fn main() {
         &benches,
         &baselines,
         &events,
+        &telemetry,
     );
     let isolated = run_config(
         EngineConfig::isolated(),
@@ -161,6 +207,7 @@ fn main() {
         &benches,
         &baselines,
         &events,
+        &telemetry,
     );
     // Same-seed reproducibility of the shared-state engine.
     let rerun = run_config(
@@ -170,6 +217,7 @@ fn main() {
         &benches,
         &baselines,
         &events,
+        &telemetry,
     );
     // Optimization IV ablation: identical configuration, windows off.
     let nowin = run_config(
@@ -179,6 +227,7 @@ fn main() {
         &benches,
         &baselines,
         &events,
+        &telemetry,
     );
     let reproducible = shared
         .rows
@@ -277,6 +326,34 @@ fn main() {
         )
     );
 
+    // Solver-time attribution per benchmark (shared configuration), from
+    // the per-compilation telemetry snapshot: where the solver seconds went
+    // (encoding vs. SAT solving), tail query latency, and which proposal
+    // rules cost the most evaluation time.
+    let mut attribution = Vec::new();
+    for (bench, s) in benches.iter().zip(&shared.rows) {
+        attribution.push(vec![
+            bench.name.to_string(),
+            format!("{:.3}", timer_s(&s.report, "equiv.encode")),
+            format!("{:.3}", timer_s(&s.report, "bitsmt.solve")),
+            p99_query_us(&s.report).to_string(),
+            top_rules(&s.report),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "encode s",
+                "solve s",
+                "p99 query us",
+                "top rules by eval time"
+            ],
+            &attribution
+        )
+    );
+
     let summary = [
         (
             "mean compression %",
@@ -341,7 +418,9 @@ fn main() {
             "    {{\"benchmark\": \"{}\", \"k2_shared\": {}, \"k2_isolated\": {}, \
              \"queries_shared\": {}, \"queries_window_off\": {}, \"queries_isolated\": {}, \
              \"cache_hit_rate_pct\": {:.2}, \"window_hits\": {}, \"window_fallbacks\": {}, \
-             \"shared_layer_hits\": {}, \"cex_exchanged\": {}, \"time_to_best_s\": {:.3}}}",
+             \"shared_layer_hits\": {}, \"cex_exchanged\": {}, \"time_to_best_s\": {:.3}, \
+             \"encode_s\": {:.3}, \"solve_s\": {:.3}, \"p99_query_us\": {}, \
+             \"top_rules\": \"{}\"}}",
             bench.name,
             s.best.real_len(),
             i.best.real_len(),
@@ -354,6 +433,10 @@ fn main() {
             s.report.shared_cache.hits,
             s.report.counterexamples_exchanged,
             s.report.time_to_best_us as f64 / 1e6,
+            timer_s(&s.report, "equiv.encode"),
+            timer_s(&s.report, "bitsmt.solve"),
+            p99_query_us(&s.report),
+            top_rules(&s.report),
         ));
     }
     let json = format!(
@@ -394,5 +477,19 @@ fn main() {
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+    }
+
+    // Sweep-wide telemetry: every job of all four configurations folded into
+    // one snapshot, printed as the standard stats table and optionally
+    // dumped as JSON (K2_TELEMETRY_JSON=<path>).
+    if let Some(snapshot) = telemetry.snapshot() {
+        println!("\nsweep telemetry (all four configurations):");
+        println!("{}", snapshot.render_table());
+        if let Some(path) = k2_api::env::string("K2_TELEMETRY_JSON") {
+            match std::fs::write(&path, snapshot.to_json_string()) {
+                Ok(()) => println!("wrote telemetry to {path}"),
+                Err(e) => eprintln!("could not write telemetry dump {path}: {e}"),
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@ use k2_bench::{
     compress_benchmarks_observed, default_iterations, engine_summary, render_table,
     selected_benchmarks,
 };
-use k2_core::{EventSinkRef, SearchParams};
+use k2_core::{EventSinkRef, SearchParams, TelemetrySnapshot};
 use std::sync::Arc;
 
 fn main() {
@@ -73,6 +73,17 @@ fn main() {
         "events: {} compilations, {} epoch barriers, {} new global bests",
         counts.started, counts.epoch_barriers, counts.new_global_best
     );
+    // Solver-time attribution over the whole sweep: each row's report
+    // carries the per-compilation telemetry snapshot when K2_TELEMETRY=1
+    // (or another telemetry config key) was set; fold them into one table.
+    let mut telemetry = TelemetrySnapshot::default();
+    for row in &compressed {
+        telemetry.absorb(&row.report.telemetry);
+    }
+    if !telemetry.is_empty() {
+        println!("\ntelemetry (aggregated over all benchmarks):");
+        println!("{}", telemetry.render_table());
+    }
     println!(
         "(paper: 6–26% per benchmark, 13.95% mean; set K2_ITERS / K2_ALL_BENCHMARKS=1 to scale up)"
     );

@@ -140,7 +140,7 @@ fn row_from_result(
             best_clang.clone()
         },
         baseline_prog: best_clang,
-        report: result.report,
+        report: result.report.clone(),
     }
 }
 

@@ -5,6 +5,7 @@ use crate::bitblast::BitBlaster;
 use crate::eval::Assignment;
 use crate::sat::{SatResult, SatSolver};
 use crate::term::{TermId, TermPool};
+use k2_telemetry::TelemetryRef;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -76,6 +77,8 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// SAT decisions.
     pub decisions: u64,
+    /// SAT unit propagations.
+    pub propagations: u64,
     /// Total wall-clock time of the check, in microseconds.
     pub time_us: u64,
 }
@@ -90,6 +93,7 @@ pub struct Solver<'p> {
     assertions: Vec<TermId>,
     /// Statistics from the most recent `check()`.
     pub stats: SolverStats,
+    telemetry: TelemetryRef,
 }
 
 impl<'p> Solver<'p> {
@@ -99,7 +103,16 @@ impl<'p> Solver<'p> {
             pool,
             assertions: Vec::new(),
             stats: SolverStats::default(),
+            telemetry: TelemetryRef::none(),
         }
+    }
+
+    /// Attach a telemetry recorder. `check()` then records the bit-blast
+    /// and SAT-solve phase timings (`bitsmt.bitblast` / `bitsmt.solve`)
+    /// and the conflict/decision/propagation counters. Recording is
+    /// write-only: results are identical with or without a recorder.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryRef) {
+        self.telemetry = telemetry;
     }
 
     /// Access the underlying pool (e.g. to build more terms between asserts).
@@ -116,6 +129,7 @@ impl<'p> Solver<'p> {
     /// Decide the conjunction of all assertions.
     pub fn check(&mut self) -> CheckResult {
         let start = Instant::now();
+        let blast_span = self.telemetry.span("bitsmt.bitblast");
         let mut blaster = BitBlaster::new();
         for &a in &self.assertions {
             blaster.assert_true(self.pool, a);
@@ -124,12 +138,26 @@ impl<'p> Solver<'p> {
         let clauses = std::mem::take(&mut blaster.cnf.clauses);
         self.stats.cnf_vars = num_vars as u64;
         self.stats.cnf_clauses = clauses.len() as u64;
+        blast_span.finish();
 
+        let solve_span = self.telemetry.span("bitsmt.solve");
         let mut sat = SatSolver::new(num_vars, clauses);
         let result = sat.solve();
+        solve_span.finish();
         self.stats.conflicts = sat.conflicts;
         self.stats.decisions = sat.decisions;
+        self.stats.propagations = sat.propagations;
         self.stats.time_us = start.elapsed().as_micros() as u64;
+        if self.telemetry.is_enabled() {
+            self.telemetry.count("bitsmt.queries", 1);
+            self.telemetry.count("bitsmt.cnf_vars", self.stats.cnf_vars);
+            self.telemetry
+                .count("bitsmt.cnf_clauses", self.stats.cnf_clauses);
+            self.telemetry.count("bitsmt.conflicts", sat.conflicts);
+            self.telemetry.count("bitsmt.decisions", sat.decisions);
+            self.telemetry
+                .count("bitsmt.propagations", sat.propagations);
+        }
 
         match result {
             SatResult::Unsat => CheckResult::Unsat,
@@ -238,6 +266,31 @@ mod tests {
         let _ = solver.check();
         assert!(solver.stats.cnf_vars > 0);
         assert!(solver.stats.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn telemetry_records_phase_spans_and_sat_counters() {
+        use k2_telemetry::{Recorder, Telemetry};
+        use std::sync::Arc;
+        let recorder = Arc::new(Telemetry::new());
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 32);
+        let five = pool.constant(5, 32);
+        let a = pool.eq(x, five);
+        let mut solver = Solver::new(&mut pool);
+        solver.set_telemetry(TelemetryRef::new(recorder.clone()));
+        solver.assert(a);
+        assert!(solver.check().is_sat());
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("bitsmt.queries"), 1);
+        assert!(snap.counter("bitsmt.cnf_vars") > 0);
+        assert!(snap.counter("bitsmt.cnf_clauses") > 0);
+        assert_eq!(snap.timer("bitsmt.bitblast").unwrap().count, 1);
+        assert_eq!(snap.timer("bitsmt.solve").unwrap().count, 1);
+        assert_eq!(
+            snap.counter("bitsmt.propagations"),
+            solver.stats.propagations
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::window::{check_window_with, Window, WindowContext};
 use bitsmt::{CheckResult, Solver, TermPool};
 use bpf_interp::ProgramInput;
 use bpf_isa::Program;
+use k2_telemetry::TelemetryRef;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -204,6 +205,7 @@ pub struct EquivChecker {
     window_ctx: Option<(u64, Option<WindowContext>)>,
     /// Statistics accumulated across `check` calls.
     pub stats: EquivStats,
+    telemetry: TelemetryRef,
 }
 
 impl EquivChecker {
@@ -215,7 +217,18 @@ impl EquivChecker {
             shared: None,
             window_ctx: None,
             stats: EquivStats::default(),
+            telemetry: TelemetryRef::none(),
         }
+    }
+
+    /// Attach a telemetry recorder. Every [`EquivChecker::check_in_window`]
+    /// call then records a per-check span (`equiv.check`) plus counters for
+    /// the resolution path (private/shared cache hit, window hit, full
+    /// query), the verdict, and the distinct query fingerprints seen; the
+    /// recorder is also threaded into the underlying [`Solver`]. Recording
+    /// is write-only — verdicts are identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryRef) {
+        self.telemetry = telemetry;
     }
 
     /// Create a checker that additionally reads verdicts from a shared
@@ -280,6 +293,46 @@ impl EquivChecker {
     /// source, so the checker recomputes the candidate's true minimal
     /// deviation and windows that, never trusting the caller's bounds.
     pub fn check_in_window(
+        &mut self,
+        src: &Program,
+        cand: &Program,
+        region: Option<Window>,
+    ) -> EquivOutcome {
+        if !self.telemetry.is_enabled() {
+            return self.check_in_window_impl(src, cand, region);
+        }
+        let telemetry = self.telemetry.clone();
+        let before = self.stats;
+        let span = telemetry.span("equiv.check");
+        let outcome = self.check_in_window_impl(src, cand, region);
+        span.finish();
+        // Label the check by how it was resolved (exactly one path fires
+        // per check) and by its verdict. The fingerprint is the verdict
+        // cache key: counting distinct values sizes the clause-reuse
+        // opportunity for incremental solving.
+        let path = if self.stats.cache_hits > before.cache_hits {
+            "equiv.check.private_hit"
+        } else if self.stats.shared_cache_hits > before.shared_cache_hits {
+            "equiv.check.shared_hit"
+        } else if self.stats.window_hits > before.window_hits {
+            "equiv.check.window_hit"
+        } else {
+            "equiv.check.full"
+        };
+        telemetry.count(path, 1);
+        telemetry.count(
+            match &outcome {
+                EquivOutcome::Equivalent => "equiv.verdict.equivalent",
+                EquivOutcome::NotEquivalent(_) => "equiv.verdict.not_equivalent",
+                EquivOutcome::Unknown(_) => "equiv.verdict.unknown",
+            },
+            1,
+        );
+        telemetry.observe_distinct("equiv.fingerprint", EquivCache::key_of(&cand.insns));
+        outcome
+    }
+
+    fn check_in_window_impl(
         &mut self,
         src: &Program,
         cand: &Program,
@@ -391,6 +444,7 @@ impl EquivChecker {
             &self.options.encode_options(),
         );
         self.stats.window_time_us += us;
+        self.telemetry.time_us("equiv.window", us);
         match outcome {
             EquivOutcome::Equivalent => {
                 self.stats.window_hits += 1;
@@ -417,10 +471,15 @@ impl EquivChecker {
 
     /// Check without consulting the cache (used directly by benchmarks).
     pub fn check_uncached(&mut self, src: &Program, cand: &Program) -> EquivOutcome {
+        let telemetry = self.telemetry.clone();
         let start = Instant::now();
         let mut pool = TermPool::new();
         let mut encoder = Encoder::new(&mut pool, self.options.encode_options());
 
+        // The encode span covers formula construction up to (but not
+        // including) bit-blasting; an encode failure still records the
+        // time spent failing (the span drops on the early return).
+        let encode_span = telemetry.span("equiv.encode");
         let enc_src = match encoder.encode_program(src, 0) {
             Ok(e) => e,
             Err(e) => return self.finish(outcome_of_error(e), start),
@@ -443,12 +502,14 @@ impl EquivChecker {
             p.or(out_diff, calls_differ)
         };
         let constraints = encoder.constraints.clone();
+        encode_span.finish();
 
         // Solve. The solver needs the pool mutably, so run it in a scope that
         // does not touch the encoder, then use the model with the encoder's
         // read-only metadata for counterexample extraction.
         let (result, cnf_vars, cnf_clauses) = {
             let mut solver = Solver::new(encoder.pool());
+            solver.set_telemetry(telemetry.clone());
             for c in &constraints {
                 solver.assert(*c);
             }
@@ -732,6 +793,43 @@ mod tests {
         assert!(outcome.is_equivalent(), "{outcome:?}");
         assert_eq!(checker_j.stats.window_hits, 0);
         assert_eq!(checker_j.stats.queries, 1);
+    }
+
+    #[test]
+    fn telemetry_labels_resolution_paths_and_verdicts() {
+        use k2_telemetry::{Recorder, Telemetry};
+        let recorder = Arc::new(Telemetry::new());
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        checker.set_telemetry(TelemetryRef::new(recorder.clone()));
+        let src = xdp("mov64 r0, 5\nadd64 r0, 7\nexit");
+        let good = xdp("mov64 r0, 12\nexit");
+        let bad = xdp("mov64 r0, 13\nexit");
+        assert!(checker.check(&src, &good).is_equivalent());
+        assert!(checker.check(&src, &good).is_equivalent()); // private cache hit
+        assert!(!checker.check(&src, &bad).is_equivalent());
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("equiv.check.full"), 2);
+        assert_eq!(snap.counter("equiv.check.private_hit"), 1);
+        assert_eq!(snap.counter("equiv.verdict.equivalent"), 2);
+        assert_eq!(snap.counter("equiv.verdict.not_equivalent"), 1);
+        assert_eq!(snap.timer("equiv.check").unwrap().count, 3);
+        assert_eq!(snap.timer("equiv.encode").unwrap().count, 2);
+        assert_eq!(snap.timer("bitsmt.solve").unwrap().count, 2);
+        assert!(snap.counter("bitsmt.cnf_clauses") > 0);
+        assert_eq!(snap.distinct, vec![("equiv.fingerprint".to_string(), 2)]);
+
+        // The windowed fast path is labelled as a window hit.
+        let wsrc = xdp("mov64 r3, 4\nmov64 r1, 10\nmul64 r1, r3\nmov64 r0, r1\nexit");
+        let wcand = xdp("mov64 r3, 4\nmov64 r1, 10\nlsh64 r1, 2\nmov64 r0, r1\nexit");
+        let mut windowed = EquivChecker::new(EquivOptions::default());
+        windowed.set_telemetry(TelemetryRef::new(recorder.clone()));
+        let region = Some(Window { start: 2, end: 3 });
+        assert!(windowed
+            .check_in_window(&wsrc, &wcand, region)
+            .is_equivalent());
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("equiv.check.window_hit"), 1);
+        assert_eq!(snap.timer("equiv.window").unwrap().count, 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::search::ChainStats;
 use bpf_interp::BackendKind;
 use bpf_isa::Program;
 use bpf_safety::{LinuxVerifier, LinuxVerifierConfig};
+use k2_telemetry::TelemetryRef;
 use serde::{Deserialize, Serialize};
 
 /// What the search optimizes for (§3.2's two performance cost functions).
@@ -56,6 +57,16 @@ pub struct CompilerOptions {
     /// Observer of the engine's streaming [`crate::engine::SearchEvent`]s.
     /// Defaults to no sink (zero overhead).
     pub sink: EventSinkRef,
+    /// Telemetry recorder handle. When attached, the engine collects a
+    /// per-compilation [`k2_telemetry::TelemetrySnapshot`] (surfaced on
+    /// [`EngineReport::telemetry`] and as a
+    /// [`crate::engine::SearchEvent::Telemetry`] event) and folds it into
+    /// this recorder at the end of the run. Defaults to no recorder (zero
+    /// overhead). Telemetry never feeds back into search decisions: results
+    /// are bit-identical with it on or off. The `K2_TELEMETRY` /
+    /// `K2_TELEMETRY_JSON` environment overrides are resolved by the
+    /// `k2::api` configuration layering, not here.
+    pub telemetry: TelemetryRef,
 }
 
 impl Default for CompilerOptions {
@@ -72,6 +83,7 @@ impl Default for CompilerOptions {
             window_verification: true,
             engine: EngineConfig::default(),
             sink: EventSinkRef::none(),
+            telemetry: TelemetryRef::none(),
         }
     }
 }

@@ -9,6 +9,7 @@ use bpf_interp::{
 };
 use bpf_isa::Program;
 use bpf_safety::{SafetyChecker, SafetyConfig};
+use k2_telemetry::TelemetryRef;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -154,6 +155,9 @@ pub struct CostFunction {
     pending_cex: Vec<ProgramInput>,
     /// Statistics.
     pub stats: CostStats,
+    /// Telemetry recorder handle (no-op by default); also threaded into the
+    /// equivalence checker and, through it, the SMT solver.
+    telemetry: TelemetryRef,
 }
 
 impl CostFunction {
@@ -222,7 +226,21 @@ impl CostFunction {
             src_exec,
             pending_cex: Vec::new(),
             stats,
+            telemetry: TelemetryRef::none(),
         }
+    }
+
+    /// Attach a telemetry recorder and thread it into the equivalence
+    /// checker (and through it, the SMT solver). Recording is write-only:
+    /// costs and verdicts are identical with or without a recorder.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryRef) {
+        self.equiv.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle in effect (the no-op handle by default).
+    pub fn telemetry(&self) -> &TelemetryRef {
+        &self.telemetry
     }
 
     /// The backend selection policy this cost function was built with.
@@ -340,6 +358,11 @@ impl CostFunction {
         // Test-case execution. The candidate's executor is prepared once and
         // reused for the whole corpus, so under the JIT backend the
         // translation cost amortizes across all test inputs.
+        let telemetry = self.telemetry.clone();
+        let eval_span = telemetry.span(match self.src_exec.name() {
+            "jit" => "core.eval.jit",
+            _ => "core.eval.interp",
+        });
         let cand_exec = bpf_jit::backend_for(cand, self.backend);
         let mut total_diff = 0.0f64;
         let mut failed = 0usize;
@@ -365,6 +388,7 @@ impl CostFunction {
                 }
             }
         }
+        eval_span.finish();
 
         let c = match self.settings.normalization {
             ErrorNormalization::Full => 1.0,

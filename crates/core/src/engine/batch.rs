@@ -7,6 +7,34 @@ use crate::compiler::{optimize_with, CompilerOptions, K2Result};
 use bpf_isa::Program;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Compile one claimed job, recording service-level telemetry on the job's
+/// recorder: how long it sat in the queue before a worker claimed it
+/// (`service.queue_wait`, also surfaced as `EngineReport::queue_wait_us`),
+/// the end-to-end request duration (`service.request`), and the queue-depth
+/// and in-flight gauges at claim time. Telemetry never influences the
+/// compilation itself.
+fn run_job(
+    job: &BatchJob,
+    options: &CompilerOptions,
+    queued_at: Instant,
+    queue_depth: usize,
+    in_flight: usize,
+) -> K2Result {
+    let telemetry = &options.telemetry;
+    let queue_wait_us = queued_at.elapsed().as_micros() as u64;
+    if telemetry.is_enabled() {
+        telemetry.time_us("service.queue_wait", queue_wait_us);
+        telemetry.gauge("service.queue_depth", queue_depth as u64);
+        telemetry.gauge("service.in_flight", in_flight as u64);
+    }
+    let request_span = telemetry.span("service.request");
+    let mut result = optimize_with(options, &job.program);
+    request_span.finish();
+    result.report.queue_wait_us = queue_wait_us;
+    result
+}
 
 /// One unit of batch work: a program and the options to compile it with.
 #[derive(Debug, Clone)]
@@ -39,18 +67,23 @@ fn effective_workers(requested: usize, jobs: usize) -> usize {
 /// total thread count at `workers`.
 pub fn run_batch(jobs: Vec<BatchJob>, workers: usize) -> Vec<K2Result> {
     let workers = effective_workers(workers, jobs.len());
+    let queued_at = Instant::now();
     if workers <= 1 || jobs.len() <= 1 {
+        let total = jobs.len();
         return jobs
             .into_iter()
-            .map(|job| optimize_with(&job.options, &job.program))
+            .enumerate()
+            .map(|(i, job)| run_job(&job, &job.options, queued_at, total - i - 1, 1))
             .collect();
     }
 
     let next = AtomicUsize::new(0);
+    let in_flight = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<K2Result>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let jobs = &jobs;
     let slots_ref = &slots;
     let next_ref = &next;
+    let in_flight_ref = &in_flight;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(move || loop {
@@ -58,10 +91,12 @@ pub fn run_batch(jobs: Vec<BatchJob>, workers: usize) -> Vec<K2Result> {
                 if i >= jobs.len() {
                     break;
                 }
+                let running = in_flight_ref.fetch_add(1, Ordering::Relaxed) + 1;
                 let job = &jobs[i];
                 let mut options = job.options.clone();
                 options.parallel = false;
-                let result = optimize_with(&options, &job.program);
+                let result = run_job(job, &options, queued_at, jobs.len() - i - 1, running);
+                in_flight_ref.fetch_sub(1, Ordering::Relaxed);
                 *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
             });
         }

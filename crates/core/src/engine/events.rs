@@ -33,7 +33,8 @@ pub enum StopReason {
 /// per epoch barrier — [`SearchEvent::NewGlobalBest`] (only when the barrier
 /// improved the global best), [`SearchEvent::SolverStats`],
 /// [`SearchEvent::EpochBarrier`] — optionally one
-/// [`SearchEvent::BudgetExhausted`], and finally one
+/// [`SearchEvent::BudgetExhausted`], then one [`SearchEvent::Telemetry`]
+/// (only when a telemetry recorder is attached), and finally one
 /// [`SearchEvent::Finished`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SearchEvent {
@@ -96,6 +97,16 @@ pub enum SearchEvent {
         epoch: u64,
         /// Which budget stopped the search.
         reason: StopReason,
+    },
+    /// Count-valued telemetry totals of the whole run. Emitted once, just
+    /// before [`SearchEvent::Finished`], and only when a telemetry recorder
+    /// is attached ([`crate::CompilerOptions::telemetry`]). The snapshot is
+    /// the [`k2_telemetry::TelemetrySnapshot::counts_only`] projection —
+    /// wall-clock fields are masked — so, like every other event, it is
+    /// deterministic for a fixed seed.
+    Telemetry {
+        /// Counts-only telemetry snapshot of the run.
+        counts: k2_telemetry::TelemetrySnapshot,
     },
     /// The run is over; per-chain results are being aggregated.
     Finished {

@@ -17,6 +17,7 @@ use crate::search::{ChainStats, MarkovChain};
 use bpf_equiv::{CacheStats, EquivStats};
 use bpf_interp::BackendKind;
 use bpf_isa::Program;
+use k2_telemetry::{TelemetryRef, TelemetrySnapshot};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,7 +41,7 @@ pub struct ChainOutcome {
 }
 
 /// Aggregated engine-level statistics of one compilation.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineReport {
     /// Epochs the schedule planned.
     pub epochs_planned: u64,
@@ -76,6 +77,17 @@ pub struct EngineReport {
     /// global best last improved; zero when the search never beat the source
     /// program (the best was available at t = 0).
     pub time_to_best_us: u64,
+    /// Time this compilation waited in [`super::run_batch`]'s queue before a
+    /// worker picked it up, in microseconds. Zero for direct
+    /// [`run_search`]/[`crate::optimize_with`] calls; filled by `run_batch`.
+    pub queue_wait_us: u64,
+    /// Per-compilation telemetry snapshot: solver-phase timing, per-rule
+    /// accept/reject counters, cache-path labels, query fingerprints. Empty
+    /// unless a recorder is attached ([`crate::CompilerOptions::telemetry`]).
+    /// Count-valued fields are deterministic for a fixed seed; wall-clock
+    /// fields are not (mask with [`TelemetrySnapshot::counts_only`] before
+    /// comparing runs).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The outcome of one engine run: per-chain results plus the report.
@@ -130,6 +142,16 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
     let start = Instant::now();
     let mut ctx = SearchContext::new();
 
+    // Per-compilation telemetry collector. A local collector (rather than
+    // recording straight into `opts.telemetry`) keeps the snapshot scoped to
+    // this run even when one recorder is shared across batch jobs; the local
+    // totals are folded into the caller's recorder at the end.
+    let telemetry = if opts.telemetry.is_enabled() {
+        TelemetryRef::collector()
+    } else {
+        TelemetryRef::none()
+    };
+
     // Build the chains in parameter order; each derives its own seed from
     // the base seed exactly as the pre-engine driver did.
     let mut param_ids = Vec::with_capacity(opts.params.len());
@@ -147,7 +169,7 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
             }
             cost_settings.window_verification = opts.window_verification;
             let shared = cfg.shared_cache.then(|| Arc::clone(ctx.cache()));
-            let cost = CostFunction::with_shared_cache(
+            let mut cost = CostFunction::with_shared_cache(
                 src,
                 cost_settings,
                 opts.goal,
@@ -155,6 +177,7 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
                 seed,
                 shared,
             );
+            cost.set_telemetry(telemetry.clone());
             let generator = ProposalGenerator::new(src, params.rules, seed);
             param_ids.push(params.id);
             MarkovChain::new(cost, generator, seed)
@@ -186,7 +209,9 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
     let mut ever_improved = false;
     for (epoch_idx, steps) in schedule.iter().enumerate() {
         let epoch = epoch_idx as u64 + 1;
+        let epoch_span = telemetry.span("core.epoch");
         run_epoch(&mut chains, *steps, opts.parallel);
+        epoch_span.finish();
         report.epochs_run += 1;
 
         // --- barrier: all exchanges happen here, in chain-index order ---
@@ -308,6 +333,18 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
                 }
             }
         }
+    }
+
+    // Surface the run's telemetry: the counts-only projection goes out as an
+    // event (so it stays deterministic like every other event), the full
+    // snapshot — timings included — lands on the report and is folded into
+    // the caller's recorder.
+    if let Some(snapshot) = telemetry.snapshot() {
+        sink.emit(SearchEvent::Telemetry {
+            counts: snapshot.counts_only(),
+        });
+        opts.telemetry.absorb(&snapshot);
+        report.telemetry = snapshot;
     }
 
     sink.emit(SearchEvent::Finished {

@@ -61,6 +61,7 @@ pub use engine::{
     BatchJob, ChainOutcome, EngineOutcome, EngineReport, EventSink, EventSinkRef, SearchContext,
     SearchEvent, StopReason,
 };
+pub use k2_telemetry::{Recorder, Telemetry, TelemetryRef, TelemetrySnapshot};
 pub use params::{EngineConfig, SearchParams};
 pub use proposals::{ProposalGenerator, RewriteRegion, RewriteRule};
 pub use search::{ChainStats, MarkovChain};

@@ -24,6 +24,22 @@ pub enum RewriteRule {
     ReplaceContiguous,
 }
 
+impl RewriteRule {
+    /// Stable snake_case name: the label under which telemetry reports this
+    /// rule's accept/reject counters and evaluation timer, and the value
+    /// `BENCH_engine.json` uses in its per-benchmark `top_rules` lists.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteRule::ReplaceInstruction => "replace_instruction",
+            RewriteRule::ReplaceOperand => "replace_operand",
+            RewriteRule::ReplaceByNop => "replace_by_nop",
+            RewriteRule::MemExchangeType1 => "mem_exchange_type1",
+            RewriteRule::MemExchangeType2 => "mem_exchange_type2",
+            RewriteRule::ReplaceContiguous => "replace_contiguous",
+        }
+    }
+}
+
 /// The half-open instruction span `[start, end)` a rewrite touched.
 ///
 /// Every [`ProposalGenerator::propose`] call reports the span alongside the

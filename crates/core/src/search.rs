@@ -1,11 +1,49 @@
 //! The Metropolis–Hastings search loop (§3.3).
 
 use crate::cost::{CostFunction, CostValue};
-use crate::proposals::ProposalGenerator;
+use crate::proposals::{ProposalGenerator, RewriteRule};
 use bpf_analysis::canonicalize;
 use bpf_isa::{Insn, Program};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Static telemetry keys for one rewrite rule: `(eval timer, accepted
+/// counter, rejected counter)`. A table of literals so the hot path never
+/// formats a key.
+fn rule_keys(rule: RewriteRule) -> (&'static str, &'static str, &'static str) {
+    match rule {
+        RewriteRule::ReplaceInstruction => (
+            "core.rule.replace_instruction.eval",
+            "core.rule.replace_instruction.accepted",
+            "core.rule.replace_instruction.rejected",
+        ),
+        RewriteRule::ReplaceOperand => (
+            "core.rule.replace_operand.eval",
+            "core.rule.replace_operand.accepted",
+            "core.rule.replace_operand.rejected",
+        ),
+        RewriteRule::ReplaceByNop => (
+            "core.rule.replace_by_nop.eval",
+            "core.rule.replace_by_nop.accepted",
+            "core.rule.replace_by_nop.rejected",
+        ),
+        RewriteRule::MemExchangeType1 => (
+            "core.rule.mem_exchange_type1.eval",
+            "core.rule.mem_exchange_type1.accepted",
+            "core.rule.mem_exchange_type1.rejected",
+        ),
+        RewriteRule::MemExchangeType2 => (
+            "core.rule.mem_exchange_type2.eval",
+            "core.rule.mem_exchange_type2.accepted",
+            "core.rule.mem_exchange_type2.rejected",
+        ),
+        RewriteRule::ReplaceContiguous => (
+            "core.rule.replace_contiguous.eval",
+            "core.rule.replace_contiguous.accepted",
+            "core.rule.replace_contiguous.rejected",
+        ),
+    }
+}
 
 /// Statistics of one Markov chain run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -96,20 +134,30 @@ impl MarkovChain {
 
     /// Run the chain for `iterations` steps.
     pub fn run(&mut self, iterations: u64) -> ChainStats {
+        // One `core.chain_epoch` span per (chain, epoch): the engine calls
+        // `run` once per epoch, so the span count is chains × epochs.
+        let telemetry = self.cost.telemetry().clone();
+        let span = telemetry.span("core.chain_epoch");
         let start = std::time::Instant::now();
         for _ in 0..iterations {
             self.step();
         }
         self.stats.time_us += start.elapsed().as_micros() as u64;
+        span.finish();
+        telemetry.count("core.steps", iterations);
         self.stats
     }
 
     /// One Metropolis–Hastings step.
     pub fn step(&mut self) {
         self.stats.iterations += 1;
-        let (proposal, _rule, region) = self.generator.propose(&self.current);
+        let telemetry = self.cost.telemetry().clone();
+        let (proposal, rule, region) = self.generator.propose(&self.current);
+        let (eval_key, accepted_key, rejected_key) = rule_keys(rule);
         let cand = self.cost.source().with_insns(proposal.clone());
+        let eval_span = telemetry.span(eval_key);
         let cand_cost = self.cost.evaluate_with_region(&cand, Some(region));
+        eval_span.finish();
 
         // Track the best equivalent & safe program (by performance cost).
         if cand_cost.equivalent && cand_cost.safe {
@@ -140,6 +188,9 @@ impl MarkovChain {
             self.current = proposal;
             self.current_cost = cand_cost;
             self.stats.accepted += 1;
+            telemetry.count(accepted_key, 1);
+        } else {
+            telemetry.count(rejected_key, 1);
         }
     }
 }

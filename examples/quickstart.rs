@@ -43,6 +43,7 @@ fn main() {
         .seed(42)
         .top_k(1)
         .parallel(true)
+        .telemetry(true)
         .sink(Arc::new(StderrProgress::labeled("quickstart")))
         .build()
         .expect("configuration resolves");
@@ -83,4 +84,16 @@ fn main() {
         report.equiv.window_fallbacks,
         100.0 * report.equiv.window_hit_rate(),
     );
+    // Solver-time attribution: the session's aggregated telemetry snapshot
+    // (enabled by `.telemetry(true)` above, or K2_TELEMETRY=1 / a config key).
+    if let Some(snapshot) = session.telemetry_snapshot() {
+        println!("\ntelemetry:");
+        println!("{}", snapshot.render_table());
+    }
+    // K2_TELEMETRY_JSON=<path> writes the snapshot as JSON at end of run.
+    match session.dump_telemetry() {
+        Ok(Some(path)) => println!("telemetry written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("cannot write telemetry dump: {e}"),
+    }
 }

@@ -11,13 +11,22 @@
 //! (defaults → `K2_CONFIG` file → `K2_*` environment), and each request may
 //! override `goal`, `iterations`, `seed`, `num_tests` and `top_k`. With a
 //! fixed seed a response is bit-identical to the in-process
-//! `K2Session::optimize` result — responses carry no wall-clock fields.
+//! `K2Session::optimize` result after masking the two service-timing fields
+//! (`duration_ms`, `queue_wait_ms`) every `k2c` response carries — all other
+//! fields are deterministic.
+//!
+//! A line `{"v": 1, "op": "stats"}` is a stats request: it is answered with
+//! the session's aggregated telemetry snapshot (`K2_TELEMETRY=1` to enable)
+//! covering every compilation of this invocation, regardless of the line's
+//! position. `K2_TELEMETRY_JSON=<path>` additionally writes the snapshot to
+//! `<path>` at exit.
 //!
 //! ```text
 //! echo '{"v":1,"id":"a","asm":"mov64 r0, 2\nexit"}' | k2c
 //! ```
 
 use k2::api::{Json, K2Session, OptimizeRequest, OptimizeResponse};
+use k2::telemetry::TelemetrySnapshot;
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -28,11 +37,125 @@ usage: k2c [--help]
 Reads one JSON request per line:
   {\"v\": 1, \"id\": \"r1\", \"prog_type\": \"xdp\", \"asm\": \"mov64 r0, 2\\nexit\"}
   {\"v\": 1, \"insns_hex\": \"b700000002000000...\", \"iterations\": 5000, \"seed\": 7}
-and writes one JSON response per line, in request order.
+  {\"v\": 1, \"id\": \"s\", \"op\": \"stats\"}
+and writes one JSON response per line, in request order. Every optimize
+response carries duration_ms and queue_wait_ms; a stats request returns the
+session's aggregated telemetry (set K2_TELEMETRY=1 to collect it).
 
 Configuration layers: defaults, then the JSON config file named by
 K2_CONFIG, then K2_* environment variables, then per-request overrides
 (goal, iterations, seed, num_tests, top_k). See the README knob table.";
+
+/// One parsed stdin line, awaiting its response.
+enum Slot {
+    /// A well-formed optimize request.
+    Request(OptimizeRequest),
+    /// A `{"op": "stats"}` request; answered after the batch completes so
+    /// the snapshot covers every compilation of this invocation.
+    Stats { id: Option<String> },
+    /// A malformed line, answered in place.
+    Error(OptimizeResponse),
+}
+
+/// Compact (single-line-safe) JSON form of a telemetry snapshot, mirroring
+/// the `K2_TELEMETRY_JSON` dump schema: counters and distinct cardinalities
+/// as flat objects, gauges as `{last, max}`, timers as
+/// `{count, total_us, p50_us, p90_us, p99_us, max_us}`.
+fn snapshot_json(snapshot: &TelemetrySnapshot) -> Json {
+    let int = |v: u64| Json::Int(v as i64);
+    Json::Obj(vec![
+        (
+            "counters".into(),
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(name, v)| (name.clone(), int(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "distinct".into(),
+            Json::Obj(
+                snapshot
+                    .distinct
+                    .iter()
+                    .map(|(name, v)| (name.clone(), int(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Json::Obj(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|(name, g)| {
+                        (
+                            name.clone(),
+                            Json::Obj(vec![
+                                ("last".into(), int(g.last)),
+                                ("max".into(), int(g.max)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "timers".into(),
+            Json::Obj(
+                snapshot
+                    .timers
+                    .iter()
+                    .map(|(name, t)| {
+                        (
+                            name.clone(),
+                            Json::Obj(vec![
+                                ("count".into(), int(t.count)),
+                                ("total_us".into(), int(t.total_us)),
+                                ("p50_us".into(), int(t.p50_us())),
+                                ("p90_us".into(), int(t.p90_us())),
+                                ("p99_us".into(), int(t.p99_us())),
+                                ("max_us".into(), int(t.max_us)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Build the response line for a stats request.
+fn stats_response(session: &K2Session, id: Option<String>) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("v".into(), Json::Int(1))];
+    fields.push((
+        "id".into(),
+        match id {
+            Some(id) => Json::Str(id),
+            None => Json::Null,
+        },
+    ));
+    match session.telemetry_snapshot() {
+        Some(snapshot) => {
+            fields.push(("ok".into(), Json::Bool(true)));
+            fields.push(("stats".into(), snapshot_json(&snapshot)));
+        }
+        None => {
+            fields.push(("ok".into(), Json::Bool(false)));
+            fields.push((
+                "error".into(),
+                Json::Str(
+                    "telemetry disabled; set K2_TELEMETRY=1 (or a telemetry config key) \
+                     to collect stats"
+                        .into(),
+                ),
+            ));
+        }
+    }
+    Json::Obj(fields)
+}
 
 fn main() {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
@@ -51,7 +174,7 @@ fn main() {
     // Read every request up front: the batch pool compiles them
     // concurrently while keeping responses in request order.
     let stdin = std::io::stdin();
-    let mut parsed: Vec<Result<OptimizeRequest, OptimizeResponse>> = Vec::new();
+    let mut parsed: Vec<Slot> = Vec::new();
     for (lineno, line) in stdin.lock().lines().enumerate() {
         let line = match line {
             Ok(line) => line,
@@ -63,35 +186,61 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        parsed.push(OptimizeRequest::from_json_str(&line).map_err(|e| {
+        let envelope = Json::parse(&line).ok();
+        let id = envelope
+            .as_ref()
+            .and_then(|json| json.get("id").and_then(Json::as_str).map(str::to_string));
+        if envelope
+            .as_ref()
+            .and_then(|json| json.get("op").and_then(Json::as_str))
+            == Some("stats")
+        {
+            parsed.push(Slot::Stats { id });
+            continue;
+        }
+        parsed.push(match OptimizeRequest::from_json_str(&line) {
+            Ok(request) => Slot::Request(request),
             // Echo the request id even when the envelope is unusable (wrong
             // version, missing program, ...), so clients matching responses
             // by id — not just by position — see which request failed.
-            let id = Json::parse(&line)
-                .ok()
-                .and_then(|json| json.get("id").and_then(Json::as_str).map(str::to_string));
-            OptimizeResponse::from_error(id, format!("line {}: {e}", lineno + 1))
-        }));
+            Err(e) => Slot::Error(OptimizeResponse::from_error(
+                id,
+                format!("line {}: {e}", lineno + 1),
+            )),
+        });
     }
 
     let requests: Vec<OptimizeRequest> = parsed
         .iter()
-        .filter_map(|r| r.as_ref().ok().cloned())
+        .filter_map(|slot| match slot {
+            Slot::Request(request) => Some(request.clone()),
+            _ => None,
+        })
         .collect();
-    let mut responses = session.optimize_batch(&requests).into_iter();
+    let mut responses = session.optimize_batch_timed(&requests).into_iter();
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for slot in parsed {
-        let response = match slot {
-            Ok(_) => responses.next().expect("one response per valid request"),
-            Err(error_response) => error_response,
+        let line = match slot {
+            Slot::Request(_) => responses
+                .next()
+                .expect("one response per valid request")
+                .to_json_string(),
+            Slot::Stats { id } => stats_response(&session, id).to_string(),
+            Slot::Error(error_response) => error_response.to_json_string(),
         };
-        if writeln!(out, "{}", response.to_json_string()).is_err() {
+        if writeln!(out, "{line}").is_err() {
             std::process::exit(1); // downstream pipe closed
         }
     }
     if out.flush().is_err() {
         std::process::exit(1);
+    }
+
+    match session.dump_telemetry() {
+        Ok(Some(path)) => eprintln!("k2c: telemetry written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("k2c: cannot write telemetry dump: {e}"),
     }
 }

@@ -16,6 +16,8 @@
 //!   ([`bpf_bench_suite`]),
 //! * [`baseline`] — the rule-based comparator ([`k2_baseline`]),
 //! * [`core`] — the MCMC search itself ([`k2_core`]),
+//! * [`telemetry`] — offline metrics and tracing: counters, gauges,
+//!   latency histograms, span timers ([`k2_telemetry`]),
 //! * [`mod@bench`] — table/figure regeneration harnesses ([`k2_bench`]),
 //! * [`netsim`] — the throughput/latency model ([`k2_netsim`]).
 //!
@@ -53,3 +55,4 @@ pub use k2_baseline as baseline;
 pub use k2_bench as bench;
 pub use k2_core as core;
 pub use k2_netsim as netsim;
+pub use k2_telemetry as telemetry;

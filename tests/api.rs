@@ -5,7 +5,8 @@
 //! of streamed search events.
 
 use k2::api::{CollectingSink, Json, K2Session, OptimizeRequest, OptimizeResponse, SearchEvent};
-use k2::core::{OptimizationGoal, SearchParams};
+use k2::core::{BackendKind, OptimizationGoal, SearchParams};
+use k2::telemetry::TelemetrySnapshot;
 use std::io::Write;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -234,14 +235,110 @@ fn k2c_jsonl_matches_in_process_session_bit_for_bit() {
 
     let session = K2Session::builder().build().unwrap();
     for (request, line) in requests.iter().zip(&lines) {
-        let parsed = OptimizeResponse::from_json_str(line).expect("valid response JSON");
+        let mut parsed = OptimizeResponse::from_json_str(line).expect("valid response JSON");
         assert!(parsed.ok, "error response: {line}");
         assert_eq!(parsed.id, request.id);
-        // Same seed ⇒ the service response is bit-identical to the
-        // in-process one (responses carry no wall-clock fields).
+        // Every k2c response carries the two service-timing fields ...
+        assert!(parsed.duration_ms.is_some(), "missing duration_ms: {line}");
+        assert!(
+            parsed.queue_wait_ms.is_some(),
+            "missing queue_wait_ms: {line}"
+        );
+        // ... and masking them recovers the deterministic payload: same
+        // seed ⇒ bit-identical to the in-process response (which carries
+        // no wall-clock fields at all).
+        parsed.duration_ms = None;
+        parsed.queue_wait_ms = None;
         let in_process = session.optimize(request);
-        assert_eq!(*line, in_process.to_json_string(), "k2c vs in-process");
+        assert_eq!(
+            parsed.to_json_string(),
+            in_process.to_json_string(),
+            "k2c vs in-process"
+        );
     }
+}
+
+#[test]
+fn k2c_stats_request_returns_telemetry_and_respects_the_knob() {
+    let _lock = env_lock();
+    let run = |telemetry: Option<&str>| -> Vec<String> {
+        let mut command = std::process::Command::new(env!("CARGO_BIN_EXE_k2c"));
+        command
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .env_remove("K2_TELEMETRY")
+            .env_remove("K2_TELEMETRY_JSON")
+            .env_remove("K2_CONFIG");
+        if let Some(v) = telemetry {
+            command.env("K2_TELEMETRY", v);
+        }
+        let mut child = command.spawn().expect("spawn k2c");
+        {
+            let mut stdin = child.stdin.take().unwrap();
+            let mut request = OptimizeRequest::from_asm("mov64 r0, 5\nadd64 r0, 7\nexit");
+            request.id = Some("opt".into());
+            request.iterations = Some(150);
+            request.seed = Some(21);
+            writeln!(stdin, "{}", request.to_json_string()).unwrap();
+            writeln!(stdin, r#"{{"v": 1, "id": "s", "op": "stats"}}"#).unwrap();
+        }
+        let output = child.wait_with_output().expect("k2c runs");
+        assert!(output.status.success(), "k2c failed: {output:?}");
+        String::from_utf8(output.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+
+    // Telemetry on: the stats line answers with the aggregated snapshot
+    // covering the compilations of this invocation.
+    let lines = run(Some("1"));
+    assert_eq!(lines.len(), 2, "one response per line: {lines:?}");
+    let stats = Json::parse(&lines[1]).expect("stats response is JSON");
+    assert_eq!(stats.get("v").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("id").and_then(Json::as_str), Some("s"));
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    let counters = stats
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .expect("stats.counters object");
+    assert!(
+        counters
+            .get("bitsmt.queries")
+            .and_then(Json::as_u64)
+            .is_some_and(|q| q > 0),
+        "expected solver queries in {}",
+        lines[1]
+    );
+    assert!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("timers"))
+            .and_then(|t| t.get("equiv.check"))
+            .and_then(|t| t.get("p99_us"))
+            .is_some(),
+        "expected equiv.check timer with quantiles in {}",
+        lines[1]
+    );
+
+    // Telemetry off: the stats request fails loudly with a hint, without
+    // disturbing the optimize response before it.
+    let lines = run(None);
+    assert_eq!(lines.len(), 2);
+    let stats = Json::parse(&lines[1]).unwrap();
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        stats
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("K2_TELEMETRY")),
+        "expected an enablement hint: {}",
+        lines[1]
+    );
+    let optimize = OptimizeResponse::from_json_str(&lines[0]).unwrap();
+    assert!(optimize.ok);
 }
 
 #[test]
@@ -439,4 +536,139 @@ fn events_arrive_in_barrier_order_and_are_deterministic() {
         collect_events(false),
         "parallel vs sequential differs"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: a pure observer. Count-valued fields are part of the
+// reproducibility contract; timing-valued fields are excluded (the
+// engine's Telemetry event already carries the counts-only projection).
+// ---------------------------------------------------------------------------
+
+fn telemetry_counts(parallel: bool, backend: BackendKind) -> TelemetrySnapshot {
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    let session = K2Session::builder()
+        .iterations(400)
+        .num_tests(8)
+        .seed(13)
+        .parallel(parallel)
+        .backend(backend)
+        .telemetry(true)
+        .params(SearchParams::table8().into_iter().take(2).collect())
+        .sink(sink.clone())
+        .build()
+        .unwrap();
+    let program = k2::isa::Program::new(
+        k2::isa::ProgramType::Xdp,
+        k2::isa::asm::assemble(SHRINKABLE).unwrap(),
+    );
+    session.optimize_program(&program);
+    sink.take()
+        .into_iter()
+        .find_map(|event| match event {
+            SearchEvent::Telemetry { counts } => Some(counts),
+            _ => None,
+        })
+        .expect("telemetry event emitted when a recorder is attached")
+}
+
+#[test]
+fn telemetry_count_snapshots_are_schedule_independent() {
+    let _lock = env_lock();
+    let _env = EnvGuard::set(&[
+        ("K2_CONFIG", None),
+        ("K2_TELEMETRY", None),
+        ("K2_TELEMETRY_JSON", None),
+        ("K2_BACKEND", None),
+    ]);
+    for backend in [BackendKind::Interp, BackendKind::Jit] {
+        let counts = telemetry_counts(true, backend);
+        assert!(!counts.is_empty(), "{backend:?}: empty snapshot");
+        // The count-valued telemetry is part of the determinism contract:
+        // identical across a same-seed rerun and across parallel vs
+        // sequential chain scheduling (the event already masks timings via
+        // the counts-only projection, so this is an exact comparison).
+        assert_eq!(
+            counts,
+            telemetry_counts(true, backend),
+            "{backend:?}: rerun differs"
+        );
+        assert_eq!(
+            counts,
+            telemetry_counts(false, backend),
+            "{backend:?}: parallel vs sequential differs"
+        );
+        // Spot-check the schema: search steps, solver queries, per-rule
+        // accept/reject tallies, and zeroed timer timings with live counts.
+        assert_eq!(counts.counter("core.steps"), 800, "{backend:?}");
+        assert!(counts.counter("bitsmt.queries") > 0, "{backend:?}");
+        assert!(
+            counts
+                .counters
+                .iter()
+                .any(|(name, v)| name.starts_with("core.rule.") && *v > 0),
+            "{backend:?}: no per-rule counters in {counts:?}"
+        );
+        let check = counts
+            .timer("equiv.check")
+            .expect("equiv.check timer present");
+        assert!(check.count > 0, "{backend:?}");
+        assert_eq!(check.total_us, 0, "{backend:?}: timings must be masked");
+    }
+}
+
+#[test]
+fn telemetry_on_off_and_dumping_never_change_results() {
+    let _lock = env_lock();
+    let _env = EnvGuard::set(&[
+        ("K2_CONFIG", None),
+        ("K2_TELEMETRY", None),
+        ("K2_TELEMETRY_JSON", None),
+    ]);
+    let mut request = OptimizeRequest::from_asm(SHRINKABLE);
+    request.id = Some("t".into());
+    request.iterations = Some(300);
+    request.seed = Some(17);
+
+    let session = |builder: fn(k2::api::K2SessionBuilder) -> k2::api::K2SessionBuilder| {
+        builder(
+            K2Session::builder()
+                .num_tests(8)
+                .params(SearchParams::table8().into_iter().take(2).collect()),
+        )
+        .build()
+        .unwrap()
+    };
+    let off = session(|b| b.telemetry(false));
+    let on = session(|b| b.telemetry(true));
+    let dump_path = std::env::temp_dir().join(format!("k2-telemetry-{}.json", std::process::id()));
+    let dump_path_str = dump_path.to_str().unwrap().to_string();
+    let dumping = K2Session::builder()
+        .num_tests(8)
+        .params(SearchParams::table8().into_iter().take(2).collect())
+        .telemetry_json(dump_path_str)
+        .build()
+        .unwrap();
+
+    // Same seed ⇒ bit-identical serialized responses with telemetry off,
+    // on, and dumping — telemetry never feeds back into the search.
+    let baseline = off.optimize(&request).to_json_string();
+    assert_eq!(on.optimize(&request).to_json_string(), baseline);
+    assert_eq!(dumping.optimize(&request).to_json_string(), baseline);
+
+    // The off session collected nothing; the on session has a snapshot.
+    assert!(off.telemetry_snapshot().is_none());
+    let snapshot = on.telemetry_snapshot().expect("telemetry collected");
+    assert!(snapshot.counter("bitsmt.queries") > 0);
+
+    // The dump path implies collection and the dump lands on disk as JSON.
+    let written = dumping
+        .dump_telemetry()
+        .expect("dump writes")
+        .expect("dump path configured");
+    let text = std::fs::read_to_string(&written).unwrap();
+    assert!(
+        text.contains("bitsmt.queries") && text.contains("timers"),
+        "unexpected dump: {text}"
+    );
+    std::fs::remove_file(written).ok();
 }
