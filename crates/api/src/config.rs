@@ -85,6 +85,17 @@ pub struct K2Config {
     /// full program pair. A pure solver-work knob: results are bit-identical
     /// either way.
     pub window_verification: bool,
+    /// Size of the pre-SMT refutation batch (`K2_REFUTE_INPUTS`, file key
+    /// `refute_inputs`; 0 = off). Cache-miss candidates are first run on
+    /// this many deterministic random inputs on the fast execution backend
+    /// and refuted without a solver query when any output diverges.
+    /// Refutation never flips a verdict the solver would have reached.
+    pub refute_inputs: usize,
+    /// Incremental SAT solving for full-program equivalence queries
+    /// (`K2_INCREMENTAL_SAT`, file key `incremental_sat`). Keeps the source
+    /// CNF and learned clauses warm in a per-source solver context. A pure
+    /// solver-work knob: results are bit-identical either way.
+    pub incremental_sat: bool,
     /// Engine knobs: epochs/sharing/convergence/budget/workers
     /// (`K2_EPOCHS`, `K2_SHARED_CACHE`, `K2_EXCHANGE_CEX`,
     /// `K2_RESTART_FROM_BEST`, `K2_STALL_EPOCHS`, `K2_TIME_BUDGET_MS`,
@@ -115,6 +126,8 @@ impl Default for K2Config {
             parallel: base.parallel,
             backend: base.backend,
             window_verification: base.window_verification,
+            refute_inputs: base.refute_inputs,
+            incremental_sat: base.incremental_sat,
             engine: base.engine,
             telemetry: false,
             telemetry_json: None,
@@ -214,6 +227,14 @@ impl K2Config {
                 Some(v) => self.window_verification = v,
                 None => return bad("a boolean"),
             },
+            "refute_inputs" => match value.as_u64() {
+                Some(v) => self.refute_inputs = v as usize,
+                None => return bad("an unsigned integer (0 = off)"),
+            },
+            "incremental_sat" => match value.as_bool() {
+                Some(v) => self.incremental_sat = v,
+                None => return bad("a boolean"),
+            },
             "epochs" => match value.as_u64() {
                 Some(v) if v > 0 => self.engine.num_epochs = v,
                 _ => return bad("a positive integer"),
@@ -292,6 +313,14 @@ impl K2Config {
         if let Some(v) = env::flag("K2_WINDOW") {
             self.window_verification = v;
         }
+        // No `.max(1)`: zero is meaningful — it turns the refutation stage
+        // off entirely (the cold-parity configuration CI exercises).
+        if let Some(v) = env::usize("K2_REFUTE_INPUTS") {
+            self.refute_inputs = v;
+        }
+        if let Some(v) = env::flag("K2_INCREMENTAL_SAT") {
+            self.incremental_sat = v;
+        }
         if let Some(v) = env::u64("K2_EPOCHS") {
             self.engine.num_epochs = v.max(1);
         }
@@ -351,6 +380,8 @@ impl K2Config {
             parallel: self.parallel,
             backend: self.backend,
             window_verification: self.window_verification,
+            refute_inputs: self.refute_inputs,
+            incremental_sat: self.incremental_sat,
             engine: self.engine,
             ..CompilerOptions::default()
         }
@@ -397,6 +428,29 @@ mod tests {
             r#"{"no_such_knob": 1}"#,
             r#"[1, 2]"#,
         ] {
+            let mut c = K2Config::default();
+            assert!(
+                c.apply_json(&Json::parse(bad).unwrap()).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_pipeline_keys_layer() {
+        let mut config = K2Config::default();
+        assert_eq!(config.refute_inputs, 64);
+        assert!(config.incremental_sat);
+        config
+            .apply_json(&Json::parse(r#"{"refute_inputs": 0, "incremental_sat": false}"#).unwrap())
+            .unwrap();
+        assert_eq!(config.refute_inputs, 0, "zero must mean off, not clamp");
+        assert!(!config.incremental_sat);
+        let opts = config.options();
+        assert_eq!(opts.refute_inputs, 0);
+        assert!(!opts.incremental_sat);
+
+        for bad in [r#"{"refute_inputs": true}"#, r#"{"incremental_sat": 2}"#] {
             let mut c = K2Config::default();
             assert!(
                 c.apply_json(&Json::parse(bad).unwrap()).is_err(),

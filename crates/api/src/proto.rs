@@ -327,6 +327,12 @@ pub struct ReportSummary {
     pub window_hits: u64,
     /// Windowed checks that fell back to the full program pair.
     pub window_fallbacks: u64,
+    /// Cache-miss candidates refuted by concrete execution before any
+    /// solver query was built (the pre-SMT refutation stage).
+    pub refuted_by_testing: u64,
+    /// Cache-miss candidates the refutation batch could not decide, so they
+    /// escalated to the SMT solver.
+    pub smt_escalations: u64,
     /// Entries in the shared cache at the end of the run.
     pub shared_cache_entries: u64,
     /// Counterexamples pulled from the cross-chain pool into test suites.
@@ -402,6 +408,8 @@ impl OptimizeResponse {
                 cache_misses: 0,
                 window_hits: 0,
                 window_fallbacks: 0,
+                refuted_by_testing: 0,
+                smt_escalations: 0,
                 shared_cache_entries: 0,
                 counterexamples_exchanged: 0,
             },
@@ -454,6 +462,8 @@ impl OptimizeResponse {
                 cache_misses: report.equiv.cache_misses,
                 window_hits: report.equiv.window_hits,
                 window_fallbacks: report.equiv.window_fallbacks,
+                refuted_by_testing: report.equiv.refuted_by_testing,
+                smt_escalations: report.equiv.smt_escalations,
                 shared_cache_entries: report.shared_cache_entries as u64,
                 counterexamples_exchanged: report.counterexamples_exchanged,
             },
@@ -544,6 +554,14 @@ impl OptimizeResponse {
                 (
                     "window_fallbacks".into(),
                     Json::Int(r.window_fallbacks as i64),
+                ),
+                (
+                    "refuted_by_testing".into(),
+                    Json::Int(r.refuted_by_testing as i64),
+                ),
+                (
+                    "smt_escalations".into(),
+                    Json::Int(r.smt_escalations as i64),
                 ),
                 (
                     "shared_cache_entries".into(),
@@ -700,6 +718,16 @@ impl OptimizeResponse {
                     .get("window_fallbacks")
                     .and_then(Json::as_u64)
                     .unwrap_or(0),
+                // Added within v:1 (pre-SMT refutation): same zero-defaulting
+                // contract as the window counters.
+                refuted_by_testing: report_json
+                    .get("refuted_by_testing")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                smt_escalations: report_json
+                    .get("smt_escalations")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 shared_cache_entries: rfield("shared_cache_entries")?,
                 counterexamples_exchanged: rfield("counterexamples_exchanged")?,
             },
@@ -785,6 +813,36 @@ mod tests {
         let reparsed = OptimizeResponse::from_json_str(&extended.to_json_string()).unwrap();
         assert_eq!(reparsed.report.window_hits, 7);
         assert_eq!(reparsed.report.window_fallbacks, 2);
+    }
+
+    #[test]
+    fn pre_refutation_v1_responses_still_parse() {
+        // Responses serialized before the refutation counters were added to
+        // the v:1 report (they carry window counters but not refutation
+        // ones) must keep parsing, with the new fields defaulting to zero.
+        let legacy = r#"{"v": 1, "id": null, "ok": true, "prog_type": "xdp",
+            "asm": "mov64 r0, 2\nexit\n", "insns_hex": "", "insns_before": 2,
+            "insns_after": 2, "cost": 2.0, "improved": false,
+            "rejected_by_kernel_checker": 0, "top": [], "chains": [],
+            "report": {"epochs_planned": 1, "epochs_run": 1,
+                "early_exit": false, "solver_queries": 3, "cache_hits": 0,
+                "shared_cache_hits": 0, "cache_misses": 3, "window_hits": 4,
+                "window_fallbacks": 1, "shared_cache_entries": 0,
+                "counterexamples_exchanged": 0}}"#;
+        let parsed = OptimizeResponse::from_json_str(legacy).expect("legacy v:1 parses");
+        assert_eq!(parsed.report.refuted_by_testing, 0);
+        assert_eq!(parsed.report.smt_escalations, 0);
+        assert_eq!(parsed.report.window_hits, 4);
+        // Round trip of the extended form keeps the counters.
+        let mut extended = parsed.clone();
+        extended.report.refuted_by_testing = 9;
+        extended.report.smt_escalations = 5;
+        let line = extended.to_json_string();
+        assert!(line.contains("\"refuted_by_testing\": 9"));
+        assert!(line.contains("\"smt_escalations\": 5"));
+        let reparsed = OptimizeResponse::from_json_str(&line).unwrap();
+        assert_eq!(reparsed.report.refuted_by_testing, 9);
+        assert_eq!(reparsed.report.smt_escalations, 5);
     }
 
     #[test]

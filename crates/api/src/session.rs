@@ -188,6 +188,8 @@ pub struct K2SessionBuilder {
     parallel: Option<bool>,
     backend: Option<BackendKind>,
     window_verification: Option<bool>,
+    refute_inputs: Option<usize>,
+    incremental_sat: Option<bool>,
     epochs: Option<u64>,
     shared_cache: Option<bool>,
     exchange_counterexamples: Option<bool>,
@@ -262,6 +264,19 @@ impl K2SessionBuilder {
     /// Override window-based (modular) equivalence verification.
     pub fn window_verification(mut self, enabled: bool) -> Self {
         self.window_verification = Some(enabled);
+        self
+    }
+
+    /// Override the pre-SMT refutation batch size (`0` disables the stage).
+    pub fn refute_inputs(mut self, inputs: usize) -> Self {
+        self.refute_inputs = Some(inputs);
+        self
+    }
+
+    /// Override incremental SAT solving for equivalence queries. A pure
+    /// solver-work knob: results are bit-identical either way.
+    pub fn incremental_sat(mut self, enabled: bool) -> Self {
+        self.incremental_sat = Some(enabled);
         self
     }
 
@@ -369,6 +384,12 @@ impl K2SessionBuilder {
         if let Some(enabled) = self.window_verification {
             config.window_verification = enabled;
         }
+        if let Some(inputs) = self.refute_inputs {
+            config.refute_inputs = inputs;
+        }
+        if let Some(enabled) = self.incremental_sat {
+            config.incremental_sat = enabled;
+        }
         if let Some(epochs) = self.epochs {
             config.engine.num_epochs = epochs;
         }
@@ -443,6 +464,8 @@ mod tests {
             .stall_epochs(0)
             .time_budget_ms(0)
             .batch_workers(3)
+            .refute_inputs(0)
+            .incremental_sat(false)
             .build()
             .unwrap();
         let options = session.options();
@@ -453,6 +476,8 @@ mod tests {
         assert_eq!(options.engine.stall_epochs, None);
         assert_eq!(options.engine.time_budget_ms, None);
         assert_eq!(options.engine.batch_workers, 3);
+        assert_eq!(options.refute_inputs, 0);
+        assert!(!options.incremental_sat);
     }
 
     #[test]

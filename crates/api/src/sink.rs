@@ -200,13 +200,16 @@ impl EventSink for StderrProgress {
                 cache_misses,
                 window_hits,
                 window_fallbacks,
+                refuted_by_testing,
+                smt_escalations,
                 ..
             } => {
                 let _ = writeln!(
                     out,
                     "{p}: epoch {epoch}: {queries} solver queries, cache {cache_hits}+\
                      {shared_cache_hits} hits / {cache_misses} misses, windows \
-                     {window_hits} hits / {window_fallbacks} fallbacks"
+                     {window_hits} hits / {window_fallbacks} fallbacks, refuted \
+                     {refuted_by_testing} / escalated {smt_escalations}"
                 );
             }
             SearchEvent::EpochBarrier {

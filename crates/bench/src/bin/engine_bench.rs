@@ -7,32 +7,59 @@
 //! benchmark and in aggregate: compression, total solver queries, verdict
 //! cache hit rates (including the shared layer's cross-chain hit rate), and
 //! time-to-best. A same-seed re-run of the shared configuration checks
-//! reproducibility, and a third sweep with window-based (modular)
-//! verification disabled measures optimization IV: the run asserts that
-//! windows change no result bit and that full-program solver queries do not
-//! increase with windows on (they should strictly decrease). The numbers —
-//! including the window-hit rate and the solver-query delta — land in
-//! `BENCH_engine.json` at the repository root so the gain is tracked
-//! in-tree.
+//! reproducibility, and ablation sweeps isolate each solver-pipeline stage:
+//! windows off (optimization IV), incremental SAT off, and a cold
+//! configuration with both pre-SMT refutation and incremental solving off —
+//! the pre-pipeline cost every full-program query used to pay. The run
+//! asserts that windows and incremental SAT change no result bit, that
+//! solver queries do not increase with windows on, and — via a per-benchmark
+//! proposal-stream replay — that concrete-execution refutation never flips a
+//! verdict against the solver-only checker (CI gates on this run). The
+//! numbers — window-hit rate, refutation counts, and the solver-time deltas
+//! of each stage — land in `BENCH_engine.json` at the repository root so the
+//! gains are tracked in-tree.
 
 use bpf_bench_suite::Benchmark;
-use bpf_equiv::CacheStats;
+use bpf_equiv::{CacheStats, EquivChecker, EquivOptions, Refuter, Window};
+use bpf_interp::BackendKind;
 use bpf_isa::Program;
 use k2_api::CountingSink;
 use k2_bench::{
     batch_workers, bench_options, default_iterations, render_table, selected_benchmarks,
 };
 use k2_core::engine::{run_batch, BatchJob};
-use k2_core::{EngineConfig, EngineReport, EventSinkRef, K2Result, SearchParams, TelemetryRef};
+use k2_core::proposals::RuleProbabilities;
+use k2_core::{
+    EngineConfig, EngineReport, EventSinkRef, K2Result, ProposalGenerator, SearchParams,
+    TelemetryRef,
+};
 use std::sync::Arc;
 
 struct ConfigRun {
     rows: Vec<K2Result>,
 }
 
+/// Which solver-pipeline stages a configuration runs with.
+#[derive(Clone, Copy)]
+struct Pipeline {
+    windows: bool,
+    refute: bool,
+    incremental: bool,
+}
+
+impl Pipeline {
+    fn full() -> Pipeline {
+        Pipeline {
+            windows: true,
+            refute: true,
+            incremental: true,
+        }
+    }
+}
+
 fn run_config(
     engine: EngineConfig,
-    windows: bool,
+    pipeline: Pipeline,
     iterations: u64,
     benches: &[Benchmark],
     baselines: &[Program],
@@ -46,7 +73,9 @@ fn run_config(
         .map(|(bench, baseline)| {
             let mut options = bench_options(bench, iterations, params.clone());
             options.engine = engine;
-            options.window_verification = windows;
+            options.window_verification = pipeline.windows;
+            options.refute_inputs = if pipeline.refute { 64 } else { 0 };
+            options.incremental_sat = pipeline.incremental;
             // One shared counting sink observes every job of the sweep: the
             // streamed event totals land in the summary below.
             options.sink = EventSinkRef::new(sink.clone());
@@ -145,6 +174,81 @@ fn total_solver_time_s(run: &ConfigRun) -> f64 {
         / 1e6
 }
 
+fn total_refuted(run: &ConfigRun) -> u64 {
+    run.rows
+        .iter()
+        .map(|r| r.report.equiv.refuted_by_testing)
+        .sum()
+}
+
+fn total_escalations(run: &ConfigRun) -> u64 {
+    run.rows
+        .iter()
+        .map(|r| r.report.equiv.smt_escalations)
+        .sum()
+}
+
+fn total_refute_time_s(run: &ConfigRun) -> f64 {
+    run.rows
+        .iter()
+        .map(|r| r.report.equiv.refute_time_us)
+        .sum::<u64>() as f64
+        / 1e6
+}
+
+/// The refutation gate: replay one proposal stream per benchmark through a
+/// refuting checker and a solver-only checker and require identical verdicts
+/// candidate by candidate. Refutation answers from concrete execution, so a
+/// flip here is exactly the bug class where the interpreter/JIT's view of a
+/// program disagrees with the SMT encoding's. Returns the refuted/escalated
+/// totals of the refuting side so the summary can show the gate had teeth.
+fn assert_refutation_verdict_parity(benches: &[Benchmark], baselines: &[Program]) -> (u64, u64) {
+    let mut refuted = 0u64;
+    let mut escalated = 0u64;
+    for (bench, baseline) in benches.iter().zip(baselines) {
+        let mut generator = ProposalGenerator::new(
+            baseline,
+            RuleProbabilities::default(),
+            0x5eed + bench.row as u64,
+        );
+        let opts = EquivOptions {
+            enable_cache: false,
+            ..EquivOptions::default()
+        };
+        let mut refuting = EquivChecker::new(opts);
+        refuting.set_refuter(Refuter::new(
+            baseline,
+            BackendKind::Auto,
+            64,
+            0xbead + bench.row as u64,
+        ));
+        let mut solver_only = EquivChecker::new(opts);
+        let mut current = baseline.insns.clone();
+        for step in 0..16 {
+            let (proposal, _rule, region) = generator.propose(&current);
+            let cand = baseline.with_insns(proposal.clone());
+            let window = Some(Window {
+                start: region.start,
+                end: region.end,
+            });
+            let a = refuting.check_in_window(baseline, &cand, window);
+            let b = solver_only.check_in_window(baseline, &cand, window);
+            assert_eq!(
+                a.is_equivalent(),
+                b.is_equivalent(),
+                "refutation flipped a verdict on {} step {step}: {a:?} vs solver-only {b:?}",
+                bench.name
+            );
+            if step % 3 == 0 {
+                current = proposal;
+            }
+        }
+        refuted += refuting.stats.refuted_by_testing;
+        escalated += refuting.stats.smt_escalations;
+    }
+    (refuted, escalated)
+}
+
 fn window_hit_rate_pct(run: &ConfigRun) -> f64 {
     let hits = total_window_hits(run);
     let total = hits + total_window_fallbacks(run);
@@ -189,11 +293,15 @@ fn main() {
         .iter()
         .map(|b| k2_baseline::best_baseline(&b.prog).1)
         .collect();
+    // The refutation verdict-parity gate runs first: it is cheap, and a flip
+    // means every refuting sweep below would be optimizing against a lie.
+    let (replay_refuted, replay_escalated) = assert_refutation_verdict_parity(&benches, &baselines);
+
     let events = Arc::new(CountingSink::new());
     let telemetry = TelemetryRef::collector();
     let shared = run_config(
         EngineConfig::default(),
-        true,
+        Pipeline::full(),
         iterations,
         &benches,
         &baselines,
@@ -202,7 +310,7 @@ fn main() {
     );
     let isolated = run_config(
         EngineConfig::isolated(),
-        true,
+        Pipeline::full(),
         iterations,
         &benches,
         &baselines,
@@ -212,7 +320,7 @@ fn main() {
     // Same-seed reproducibility of the shared-state engine.
     let rerun = run_config(
         EngineConfig::default(),
-        true,
+        Pipeline::full(),
         iterations,
         &benches,
         &baselines,
@@ -222,7 +330,41 @@ fn main() {
     // Optimization IV ablation: identical configuration, windows off.
     let nowin = run_config(
         EngineConfig::default(),
-        false,
+        Pipeline {
+            windows: false,
+            ..Pipeline::full()
+        },
+        iterations,
+        &benches,
+        &baselines,
+        &events,
+        &telemetry,
+    );
+    // Incremental-SAT ablation: every escalated query pays a one-shot solve.
+    // Must be bit-identical to `shared` — incremental solving re-derives SAT
+    // models through the cold path precisely so this holds.
+    let noinc = run_config(
+        EngineConfig::default(),
+        Pipeline {
+            incremental: false,
+            ..Pipeline::full()
+        },
+        iterations,
+        &benches,
+        &baselines,
+        &events,
+        &telemetry,
+    );
+    // Cold configuration: refutation and incremental SAT both off — the
+    // pre-pipeline solver cost, kept in the sweep so BENCH_engine.json
+    // tracks the before/after of the pre-SMT stages.
+    let cold = run_config(
+        EngineConfig::default(),
+        Pipeline {
+            refute: false,
+            incremental: false,
+            ..Pipeline::full()
+        },
         iterations,
         &benches,
         &baselines,
@@ -287,6 +429,66 @@ fn main() {
         total_queries(&nowin)
     );
 
+    // Incremental SAT purity: same seed, incremental on vs. off, bit-identical
+    // runs. Unlike refutation (which substitutes its own counterexample
+    // inputs for SMT models), the incremental context re-derives every SAT
+    // verdict's model through the cold path, so nothing — not even the query
+    // count — may differ.
+    for ((bench, s), c) in benches.iter().zip(&shared.rows).zip(&noinc.rows) {
+        assert_eq!(
+            s.best.insns, c.best.insns,
+            "incremental SAT changed the result on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.best_cost, c.best_cost,
+            "incremental SAT changed the cost on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.report.equiv.queries, c.report.equiv.queries,
+            "incremental SAT changed the query count on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.report.equiv.refuted_by_testing, c.report.equiv.refuted_by_testing,
+            "incremental SAT changed the refutation count on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.report.counterexamples_exchanged, c.report.counterexamples_exchanged,
+            "incremental SAT changed the counterexample flow on {}",
+            bench.name
+        );
+        assert_eq!(
+            s.report.equiv.cache_misses, c.report.equiv.cache_misses,
+            "incremental SAT changed the verdict-cache behaviour on {}",
+            bench.name
+        );
+        for ((id_s, cost_s, st_s), (id_c, cost_c, st_c)) in s.chains.iter().zip(&c.chains) {
+            assert_eq!(id_s, id_c);
+            assert_eq!(
+                (cost_s, st_s.iterations, st_s.accepted, st_s.best_found_at),
+                (cost_c, st_c.iterations, st_c.accepted, st_c.best_found_at),
+                "incremental SAT changed chain {id_s}'s trajectory on {}",
+                bench.name
+            );
+        }
+    }
+
+    // The cold configuration must not have run either pre-SMT stage.
+    for (bench, c) in benches.iter().zip(&cold.rows) {
+        assert_eq!(
+            (
+                c.report.equiv.refuted_by_testing,
+                c.report.equiv.smt_escalations
+            ),
+            (0, 0),
+            "the refutation stage ran in the cold configuration on {}",
+            bench.name
+        );
+    }
+
     let mut table = Vec::new();
     for (((bench, s), i), n) in benches
         .iter()
@@ -303,6 +505,7 @@ fn main() {
             i.report.equiv.queries.to_string(),
             format!("{:.0}%", 100.0 * s.report.equiv.cache_hit_rate()),
             s.report.equiv.window_hits.to_string(),
+            s.report.equiv.refuted_by_testing.to_string(),
             s.report.shared_cache.hits.to_string(),
             s.report.counterexamples_exchanged.to_string(),
         ]);
@@ -319,6 +522,7 @@ fn main() {
                 "queries(isolated)",
                 "hit rate",
                 "win hits",
+                "refuted",
                 "x-chain hits",
                 "cex exchanged"
             ],
@@ -400,6 +604,20 @@ fn main() {
         total_solver_time_s(&shared),
         total_solver_time_s(&nowin),
     );
+    println!(
+        "pre-SMT refutation: {} refuted / {} escalated in {:.2}s of concrete execution \
+         (replay gate: {replay_refuted} refuted / {replay_escalated} escalated, no verdict flips)",
+        total_refuted(&shared),
+        total_escalations(&shared),
+        total_refute_time_s(&shared),
+    );
+    println!(
+        "solver pipeline: {:.2}s full-check time vs {:.2}s one-shot SAT (incremental off, \
+         bit-identical run) vs {:.2}s cold (refutation + incremental off)",
+        total_solver_time_s(&shared),
+        total_solver_time_s(&noinc),
+        total_solver_time_s(&cold),
+    );
     let counts = events.counts();
     println!(
         "streamed events: {} runs, {} epoch barriers, {} new global bests, {} solver-stat frames",
@@ -418,6 +636,7 @@ fn main() {
             "    {{\"benchmark\": \"{}\", \"k2_shared\": {}, \"k2_isolated\": {}, \
              \"queries_shared\": {}, \"queries_window_off\": {}, \"queries_isolated\": {}, \
              \"cache_hit_rate_pct\": {:.2}, \"window_hits\": {}, \"window_fallbacks\": {}, \
+             \"refuted_by_testing\": {}, \"smt_escalations\": {}, \
              \"shared_layer_hits\": {}, \"cex_exchanged\": {}, \"time_to_best_s\": {:.3}, \
              \"encode_s\": {:.3}, \"solve_s\": {:.3}, \"p99_query_us\": {}, \
              \"top_rules\": \"{}\"}}",
@@ -430,6 +649,8 @@ fn main() {
             100.0 * s.report.equiv.cache_hit_rate(),
             s.report.equiv.window_hits,
             s.report.equiv.window_fallbacks,
+            s.report.equiv.refuted_by_testing,
+            s.report.equiv.smt_escalations,
             s.report.shared_cache.hits,
             s.report.counterexamples_exchanged,
             s.report.time_to_best_us as f64 / 1e6,
@@ -449,6 +670,10 @@ fn main() {
          \"window_hit_rate_pct\": {:.2},\n  \"solver_queries_saved_by_windows\": {},\n  \
          \"window_time_s\": {:.3},\n  \"solver_time_shared_s\": {:.3},\n  \
          \"solver_time_window_off_s\": {:.3},\n  \
+         \"solver_time_incremental_off_s\": {:.3},\n  \"solver_time_cold_s\": {:.3},\n  \
+         \"mean_compression_cold_pct\": {:.2},\n  \
+         \"refuted_by_testing\": {},\n  \"smt_escalations\": {},\n  \
+         \"refute_time_s\": {:.3},\n  \"refute_verdict_parity\": true,\n  \
          \"cache_hit_rate_shared_pct\": {:.2},\n  \"cache_hit_rate_isolated_pct\": {:.2},\n  \
          \"cross_chain_shared_layer_hit_rate_pct\": {:.2},\n  \
          \"mean_time_to_best_shared_s\": {:.3},\n  \"mean_time_to_best_isolated_s\": {:.3},\n  \
@@ -466,6 +691,12 @@ fn main() {
         total_window_time_s(&shared),
         total_solver_time_s(&shared),
         total_solver_time_s(&nowin),
+        total_solver_time_s(&noinc),
+        total_solver_time_s(&cold),
+        mean_compression(&cold, &baselines),
+        total_refuted(&shared),
+        total_escalations(&shared),
+        total_refute_time_s(&shared),
         cache_hit_rate(&shared),
         cache_hit_rate(&isolated),
         shared_hit_rate(&shared),
@@ -479,11 +710,11 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
     }
 
-    // Sweep-wide telemetry: every job of all four configurations folded into
+    // Sweep-wide telemetry: every job of all six configurations folded into
     // one snapshot, printed as the standard stats table and optionally
     // dumped as JSON (K2_TELEMETRY_JSON=<path>).
     if let Some(snapshot) = telemetry.snapshot() {
-        println!("\nsweep telemetry (all four configurations):");
+        println!("\nsweep telemetry (all six configurations):");
         println!("{}", snapshot.render_table());
         if let Some(path) = k2_api::env::string("K2_TELEMETRY_JSON") {
             match std::fs::write(&path, snapshot.to_json_string()) {

@@ -42,6 +42,13 @@ impl CnfBuilder {
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
     }
+
+    /// Drain the accumulated clauses, leaving the variable universe intact.
+    /// Incremental solving uses this to feed each query's newly generated
+    /// clauses to a persistent SAT solver without re-sending old ones.
+    pub fn take_clauses(&mut self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut self.clauses)
+    }
 }
 
 #[cfg(test)]

@@ -2,11 +2,21 @@
 //!
 //! Features: two-watched-literal unit propagation, VSIDS-style variable
 //! activities with exponential decay, phase saving, first-UIP conflict
-//! analysis with non-chronological backjumping, and Luby-sequence restarts.
-//! Clause deletion is deliberately omitted — the formulas produced by K2's
-//! equivalence queries are small enough (thousands to a few hundred thousand
-//! clauses) that the database stays manageable, and keeping every learned
-//! clause simplifies the implementation considerably.
+//! analysis with non-chronological backjumping, Luby-sequence restarts, and
+//! assumption-based incremental solving ([`SatSolver::solve_under_assumptions`]).
+//!
+//! The solver runs in one of two modes. The one-shot constructor
+//! ([`SatSolver::new`]) keeps the historical policy — linear-scan decision
+//! picking and no clause deletion — so that cold-path models are
+//! byte-for-byte reproducible across releases (K2's search trajectories
+//! depend on the exact counterexamples the solver produces). The incremental
+//! constructor ([`SatSolver::new_incremental`]) is built for long-lived
+//! instances that answer many queries: decisions come from an
+//! activity-ordered heap (a linear scan over an ever-growing variable set
+//! would dominate), clauses may be added between `solve` calls (simplified
+//! against the level-0 assignment so the watch invariants stay sound), and
+//! the learned-clause database is periodically reduced by activity so it
+//! stays bounded across queries.
 
 /// Outcome of solving.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +50,17 @@ pub struct SatSolver {
     /// All clauses (original and learned). Clauses are literal vectors with
     /// the two watched literals kept in positions 0 and 1.
     clauses: Vec<Vec<i32>>,
+    /// Parallel to `clauses`: whether each clause was learned (and is thus
+    /// eligible for activity-based deletion).
+    clause_learned: Vec<bool>,
+    /// Parallel to `clauses`: bump-on-use activity (the deletion heuristic).
+    clause_act: Vec<f64>,
+    cla_inc: f64,
+    /// Learned clauses currently in the database.
+    num_learned: usize,
+    /// Learned-clause budget: when exceeded (checked at restarts in
+    /// incremental mode), the lowest-activity half is dropped.
+    max_learned: usize,
     /// `watches[lit_index]` — indices of clauses currently watching `lit`.
     watches: Vec<Vec<usize>>,
     values: Vec<Value>,
@@ -58,14 +79,27 @@ pub struct SatSolver {
     var_inc: f64,
     /// Saved phases for phase-saving.
     phase: Vec<bool>,
-    /// Set when the formula is trivially unsatisfiable (empty clause).
+    /// Set when the formula is unsatisfiable regardless of assumptions.
     unsat: bool,
+    /// Incremental mode (see the module docs): heap-ordered decisions,
+    /// between-solve clause additions, learned-clause DB reduction.
+    incremental: bool,
+    /// Binary max-heap of variables ordered by activity (incremental mode).
+    /// Lazily maintained: it may contain assigned variables, but always
+    /// contains every unassigned one.
+    heap: Vec<usize>,
+    /// Position of each variable in `heap` (`usize::MAX` = absent).
+    heap_pos: Vec<usize>,
     /// Statistics: number of conflicts seen.
     pub conflicts: u64,
     /// Statistics: number of decisions made.
     pub decisions: u64,
     /// Statistics: number of literal propagations.
     pub propagations: u64,
+    /// Statistics: learned-clause database reductions performed.
+    pub db_reductions: u64,
+    /// Statistics: learned clauses dropped by database reductions.
+    pub learned_dropped: u64,
 }
 
 fn lit_index(lit: i32) -> usize {
@@ -74,12 +108,19 @@ fn lit_index(lit: i32) -> usize {
 }
 
 impl SatSolver {
-    /// Create a solver for `num_vars` variables and the given clauses.
+    /// Create a one-shot solver for `num_vars` variables and the given
+    /// clauses (linear-scan decisions, no clause deletion — see the module
+    /// docs on reproducibility).
     pub fn new(num_vars: u32, clauses: Vec<Vec<i32>>) -> SatSolver {
         let n = num_vars as usize;
         let mut solver = SatSolver {
             num_vars: n,
             clauses: Vec::with_capacity(clauses.len()),
+            clause_learned: Vec::with_capacity(clauses.len()),
+            clause_act: Vec::with_capacity(clauses.len()),
+            cla_inc: 1.0,
+            num_learned: 0,
+            max_learned: 10_000,
             watches: vec![Vec::new(); 2 * (n + 1)],
             values: vec![Value::Unassigned; n + 1],
             level: vec![0; n + 1],
@@ -91,9 +132,14 @@ impl SatSolver {
             var_inc: 1.0,
             phase: vec![false; n + 1],
             unsat: false,
+            incremental: false,
+            heap: Vec::new(),
+            heap_pos: vec![usize::MAX; n + 1],
             conflicts: 0,
             decisions: 0,
             propagations: 0,
+            db_reductions: 0,
+            learned_dropped: 0,
         };
         for clause in clauses {
             solver.add_clause(clause);
@@ -101,8 +147,54 @@ impl SatSolver {
         solver
     }
 
-    /// Add one clause (sanitizing duplicates and tautologies).
-    fn add_clause(&mut self, mut lits: Vec<i32>) {
+    /// Create an empty incremental solver: variables are added with
+    /// [`SatSolver::ensure_vars`], clauses with [`SatSolver::add_clause`]
+    /// (also between [`SatSolver::solve_under_assumptions`] calls), and the
+    /// learned-clause database persists — warm — across queries.
+    pub fn new_incremental() -> SatSolver {
+        let mut solver = SatSolver::new(0, Vec::new());
+        solver.incremental = true;
+        solver
+    }
+
+    /// Grow the variable universe to `num_vars` (no-op if already larger).
+    pub fn ensure_vars(&mut self, num_vars: u32) {
+        let n = num_vars as usize;
+        if n <= self.num_vars {
+            return;
+        }
+        self.watches.resize(2 * (n + 1), Vec::new());
+        self.values.resize(n + 1, Value::Unassigned);
+        self.level.resize(n + 1, 0);
+        self.reason.resize(n + 1, None);
+        self.activity.resize(n + 1, 0.0);
+        self.phase.resize(n + 1, false);
+        self.heap_pos.resize(n + 1, usize::MAX);
+        let old = self.num_vars;
+        self.num_vars = n;
+        if self.incremental {
+            for var in old + 1..=n {
+                self.heap_insert(var);
+            }
+        }
+    }
+
+    /// Number of clauses currently in the database (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Learned clauses currently in the database.
+    pub fn num_learned(&self) -> usize {
+        self.num_learned
+    }
+
+    /// Add one clause (sanitizing duplicates and tautologies). On an
+    /// incremental solver this may be called between solves: the clause is
+    /// first simplified against the level-0 assignment — a clause that
+    /// watched two already-false literals would never be woken by
+    /// propagation, which is unsound once solving has happened.
+    pub fn add_clause(&mut self, mut lits: Vec<i32>) {
         if self.unsat {
             return;
         }
@@ -111,6 +203,13 @@ impl SatSolver {
         // Tautology (x ∨ ¬x) — trivially satisfied, drop it.
         if lits.iter().any(|&l| lits.contains(&-l)) {
             return;
+        }
+        if self.incremental {
+            self.backtrack_to(0);
+            if lits.iter().any(|&l| self.value_of(l) == Value::True) {
+                return;
+            }
+            lits.retain(|&l| self.value_of(l) != Value::False);
         }
         match lits.len() {
             0 => self.unsat = true,
@@ -128,6 +227,8 @@ impl SatSolver {
                 self.watches[lit_index(lits[0])].push(idx);
                 self.watches[lit_index(lits[1])].push(idx);
                 self.clauses.push(lits);
+                self.clause_learned.push(false);
+                self.clause_act.push(0.0);
             }
         }
     }
@@ -216,11 +317,88 @@ impl SatSolver {
             }
             self.var_inc *= 1e-100;
         }
+        if self.incremental && self.heap_pos[var] != usize::MAX {
+            self.heap_sift_up(self.heap_pos[var]);
+        }
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        self.clause_act[ci] += self.cla_inc;
+        if self.clause_act[ci] > 1e100 {
+            for a in &mut self.clause_act {
+                *a *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
     }
 
     fn decay_activities(&mut self) {
         self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
     }
+
+    // ----- activity heap (incremental mode) --------------------------------
+
+    /// Max-heap order: does variable `a` rank above variable `b`?
+    fn heap_before(&self, a: usize, b: usize) -> bool {
+        self.activity[a] > self.activity[b]
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let (va, vp) = (self.heap[i], self.heap[parent]);
+            if !self.heap_before(va, vp) {
+                break;
+            }
+            self.heap.swap(i, parent);
+            self.heap_pos[va] = parent;
+            self.heap_pos[vp] = i;
+            i = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut best = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len() && self.heap_before(self.heap[child], self.heap[best]) {
+                    best = child;
+                }
+            }
+            if best == i {
+                break;
+            }
+            let (va, vb) = (self.heap[i], self.heap[best]);
+            self.heap.swap(i, best);
+            self.heap_pos[va] = best;
+            self.heap_pos[vb] = i;
+            i = best;
+        }
+    }
+
+    fn heap_insert(&mut self, var: usize) {
+        if self.heap_pos[var] != usize::MAX {
+            return;
+        }
+        self.heap_pos[var] = self.heap.len();
+        self.heap.push(var);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<usize> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    // ----- conflict analysis -----------------------------------------------
 
     /// First-UIP conflict analysis. Returns (learned clause, backjump level).
     fn analyze(&mut self, conflict: usize) -> (Vec<i32>, u32) {
@@ -234,6 +412,7 @@ impl SatSolver {
 
         loop {
             if let Some(ci) = clause_idx {
+                self.bump_clause(ci);
                 let clause = self.clauses[ci].clone();
                 for &q in &clause {
                     // Skip the literal we are currently resolving on.
@@ -292,22 +471,41 @@ impl SatSolver {
                 let var = lit.unsigned_abs() as usize;
                 self.values[var] = Value::Unassigned;
                 self.reason[var] = None;
+                if self.incremental {
+                    self.heap_insert(var);
+                }
             }
         }
-        // Propagation restarts from the end of the shortened trail.
-        self.qhead = self.trail.len();
+        // Propagation restarts from the end of the shortened trail. (The
+        // `min` matters for the incremental entry path: backtracking to the
+        // level we are already at must not skip unpropagated units.)
+        self.qhead = self.qhead.min(self.trail.len());
     }
 
     fn decide(&mut self) -> bool {
-        // Pick the unassigned variable with the highest activity.
-        let mut best: Option<usize> = None;
-        let mut best_act = -1.0f64;
-        for var in 1..=self.num_vars {
-            if self.values[var] == Value::Unassigned && self.activity[var] > best_act {
-                best = Some(var);
-                best_act = self.activity[var];
+        // Pick the unassigned variable with the highest activity: from the
+        // lazy heap in incremental mode (assigned entries are skipped), by
+        // linear scan in one-shot mode (the historical, trajectory-stable
+        // policy).
+        let best = if self.incremental {
+            loop {
+                match self.heap_pop() {
+                    None => break None,
+                    Some(var) if self.values[var] == Value::Unassigned => break Some(var),
+                    Some(_) => continue,
+                }
             }
-        }
+        } else {
+            let mut best: Option<usize> = None;
+            let mut best_act = -1.0f64;
+            for var in 1..=self.num_vars {
+                if self.values[var] == Value::Unassigned && self.activity[var] > best_act {
+                    best = Some(var);
+                    best_act = self.activity[var];
+                }
+            }
+            best
+        };
         match best {
             None => false,
             Some(var) => {
@@ -324,13 +522,89 @@ impl SatSolver {
         }
     }
 
+    /// Shrink the learned-clause database (incremental mode, at level 0):
+    /// drop the lowest-activity half of the non-binary learned clauses,
+    /// garbage-collect every clause already satisfied at level 0 (including
+    /// retired activation-literal queries), strip false level-0 literals
+    /// from the rest, and rebuild the watch lists.
+    fn reduce_db(&mut self) {
+        debug_assert!(self.trail_lim.is_empty());
+        self.db_reductions += 1;
+        let learned_before = self.num_learned;
+        // Level-0 implications never feed conflict analysis (analyze skips
+        // level-0 variables), so their reason indices — about to be
+        // invalidated by compaction — can be dropped.
+        for r in &mut self.reason {
+            *r = None;
+        }
+        let mut order: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clause_learned[i] && self.clauses[i].len() > 2)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.clause_act[a]
+                .total_cmp(&self.clause_act[b])
+                .then(a.cmp(&b))
+        });
+        let mut drop = vec![false; self.clauses.len()];
+        for &i in order.iter().take(order.len() / 2) {
+            drop[i] = true;
+        }
+        let old_clauses = std::mem::take(&mut self.clauses);
+        let old_learned = std::mem::take(&mut self.clause_learned);
+        let old_act = std::mem::take(&mut self.clause_act);
+        for watch in &mut self.watches {
+            watch.clear();
+        }
+        self.num_learned = 0;
+        for (i, mut lits) in old_clauses.into_iter().enumerate() {
+            if drop[i] {
+                continue;
+            }
+            if lits.iter().any(|&l| self.value_of(l) == Value::True) {
+                continue;
+            }
+            lits.retain(|&l| self.value_of(l) != Value::False);
+            match lits.len() {
+                0 => self.unsat = true,
+                1 => self.enqueue(lits[0], None),
+                _ => {
+                    let idx = self.clauses.len();
+                    self.watches[lit_index(lits[0])].push(idx);
+                    self.watches[lit_index(lits[1])].push(idx);
+                    self.clauses.push(lits);
+                    self.clause_learned.push(old_learned[i]);
+                    self.clause_act.push(old_act[i]);
+                    if old_learned[i] {
+                        self.num_learned += 1;
+                    }
+                }
+            }
+        }
+        self.learned_dropped += (learned_before - self.num_learned) as u64;
+        // Let the database grow before the next reduction.
+        self.max_learned += self.max_learned / 10;
+    }
+
     /// Solve the formula.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Solve under the given assumption literals (minisat-style): each
+    /// assumption is asserted as a pseudo-decision before ordinary
+    /// decisions. `Unsat` means "unsatisfiable under these assumptions" —
+    /// unless a level-0 conflict proves the formula itself unsatisfiable,
+    /// later calls with other assumptions may still be SAT. The solver
+    /// state (assignment trail, learned clauses, activities) stays warm
+    /// across calls.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[i32]) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
+        self.backtrack_to(0);
         // Propagate the initial units.
         if self.propagate().is_some() {
+            self.unsat = true;
             return SatResult::Unsat;
         }
 
@@ -343,7 +617,13 @@ impl SatSolver {
                 Some(conflict) => {
                     self.conflicts += 1;
                     conflicts_since_restart += 1;
-                    if self.trail_lim.is_empty() {
+                    if self.trail_lim.len() <= assumptions.len() {
+                        // Every open decision is an assumption: the conflict
+                        // is implied by them (or, at level 0, by the formula
+                        // itself — record that globally).
+                        if self.trail_lim.is_empty() {
+                            self.unsat = true;
+                        }
                         return SatResult::Unsat;
                     }
                     let (learned, backjump) = self.analyze(conflict);
@@ -351,6 +631,7 @@ impl SatSolver {
                     self.decay_activities();
                     if learned.len() == 1 {
                         if self.value_of(learned[0]) == Value::False {
+                            self.unsat = true;
                             return SatResult::Unsat;
                         }
                         if self.value_of(learned[0]) == Value::Unassigned {
@@ -362,6 +643,9 @@ impl SatSolver {
                         self.watches[lit_index(learned[1])].push(idx);
                         let asserting = learned[0];
                         self.clauses.push(learned);
+                        self.clause_learned.push(true);
+                        self.clause_act.push(self.cla_inc);
+                        self.num_learned += 1;
                         self.enqueue(asserting, Some(idx));
                     }
                 }
@@ -371,6 +655,27 @@ impl SatSolver {
                         luby_index += 1;
                         restart_threshold = 100 * luby(luby_index);
                         self.backtrack_to(0);
+                        if self.incremental && self.num_learned > self.max_learned {
+                            self.reduce_db();
+                        }
+                        continue;
+                    }
+                    // Re-assert the next pending assumption (restarts and
+                    // deep backjumps retract them; they are replayed here
+                    // one per propagation round).
+                    if self.trail_lim.len() < assumptions.len() {
+                        let a = assumptions[self.trail_lim.len()];
+                        match self.value_of(a) {
+                            // Already implied: open an empty pseudo-level so
+                            // the level/assumption correspondence holds.
+                            Value::True => self.trail_lim.push(self.trail.len()),
+                            Value::False => return SatResult::Unsat,
+                            Value::Unassigned => {
+                                self.decisions += 1;
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, None);
+                            }
+                        }
                         continue;
                     }
                     if !self.decide() {
@@ -453,8 +758,7 @@ mod tests {
         assert_eq!(s.solve(), SatResult::Unsat);
     }
 
-    #[test]
-    fn small_pigeonhole_is_unsat() {
+    fn pigeonhole_clauses() -> Vec<Vec<i32>> {
         // 3 pigeons, 2 holes. Variables p_{i,j} = pigeon i in hole j.
         // p11=1 p12=2 p21=3 p22=4 p31=5 p32=6
         let mut clauses = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
@@ -467,7 +771,12 @@ mod tests {
                 }
             }
         }
-        let mut s = SatSolver::new(6, clauses);
+        clauses
+    }
+
+    #[test]
+    fn small_pigeonhole_is_unsat() {
+        let mut s = SatSolver::new(6, pigeonhole_clauses());
         assert_eq!(s.solve(), SatResult::Unsat);
     }
 
@@ -527,6 +836,227 @@ mod tests {
         let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         for (i, &e) in expected.iter().enumerate() {
             assert_eq!(luby(i as u32 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    // ----- incremental / assumption tests ---------------------------------
+
+    #[test]
+    fn assumptions_flip_satisfiability_without_poisoning_state() {
+        // (1 ∨ 2) ∧ (¬1 ∨ 2): under ¬2 the formula is UNSAT, but only under
+        // that assumption — the same warm solver must then prove SAT under 2
+        // and with no assumptions at all.
+        let mut s = SatSolver::new_incremental();
+        s.ensure_vars(2);
+        s.add_clause(vec![1, 2]);
+        s.add_clause(vec![-1, 2]);
+        assert_eq!(s.solve_under_assumptions(&[-2]), SatResult::Unsat);
+        match s.solve_under_assumptions(&[2]) {
+            SatResult::Sat(model) => assert!(model[2]),
+            SatResult::Unsat => panic!("sat under 2"),
+        }
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_already_implied_and_conflicting() {
+        // Unit clause 1 makes assumption [1] a no-op pseudo-level and
+        // assumption [-1] immediately unsat (but not globally).
+        let mut s = SatSolver::new_incremental();
+        s.ensure_vars(2);
+        s.add_clause(vec![1]);
+        s.add_clause(vec![-1, 2]);
+        assert!(s.solve_under_assumptions(&[1]).is_sat());
+        assert_eq!(s.solve_under_assumptions(&[-1]), SatResult::Unsat);
+        assert!(s.solve().is_sat(), "global state must stay satisfiable");
+    }
+
+    #[test]
+    fn clauses_added_between_solves_take_effect() {
+        let mut s = SatSolver::new_incremental();
+        s.ensure_vars(3);
+        s.add_clause(vec![1, 2]);
+        assert!(s.solve().is_sat());
+        // Constrain further after a solve: the new clauses must be
+        // propagated even though the old trail was already processed.
+        s.add_clause(vec![-1]);
+        s.add_clause(vec![-2, 3]);
+        match s.solve() {
+            SatResult::Sat(model) => {
+                assert!(!model[1]);
+                assert!(model[2]);
+                assert!(model[3]);
+            }
+            SatResult::Unsat => panic!("still satisfiable"),
+        }
+        s.add_clause(vec![-3]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        // Globally unsat now: stays unsat under any assumptions.
+        assert_eq!(s.solve_under_assumptions(&[2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn activation_literals_retire_queries() {
+        // The IncrementalSolver usage pattern: per-query clauses guarded by
+        // an activation literal, retired with a ¬act unit afterwards.
+        let mut s = SatSolver::new_incremental();
+        s.ensure_vars(4);
+        s.add_clause(vec![1, 2]); // permanent
+        let act1 = 3;
+        s.add_clause(vec![-act1, -1]);
+        s.add_clause(vec![-act1, -2]);
+        // Under act1 the permanent clause is violated.
+        assert_eq!(s.solve_under_assumptions(&[act1]), SatResult::Unsat);
+        s.add_clause(vec![-act1]); // retire query 1
+        let act2 = 4;
+        s.add_clause(vec![-act2, 1]);
+        match s.solve_under_assumptions(&[act2]) {
+            SatResult::Sat(model) => assert!(model[1]),
+            SatResult::Unsat => panic!("query 2 is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn incremental_pigeonhole_under_assumptions() {
+        // A guarded pigeonhole: UNSAT under the activation literal, then SAT
+        // again once the query is retired — exercises conflict analysis
+        // with assumption pseudo-levels in play.
+        let mut s = SatSolver::new_incremental();
+        s.ensure_vars(7);
+        let act = 7;
+        for mut clause in pigeonhole_clauses() {
+            clause.push(-act);
+            s.add_clause(clause);
+        }
+        assert_eq!(s.solve_under_assumptions(&[act]), SatResult::Unsat);
+        s.add_clause(vec![-act]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn incremental_and_oneshot_verdicts_agree() {
+        // A deterministic pseudo-random stream of 3-SAT queries over a
+        // shared prefix: the warm incremental solver and a cold one-shot
+        // solver must return the same verdict for every query.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 12u32;
+        let mut rand_clause = |width: u64| -> Vec<i32> {
+            let mut lits = Vec::new();
+            for _ in 0..width {
+                let var = (next() % n as u64) as i32 + 1;
+                let sign = if next() & 1 == 0 { 1 } else { -1 };
+                lits.push(sign * var);
+            }
+            lits
+        };
+        let mut permanent: Vec<Vec<i32>> = Vec::new();
+        for _ in 0..6 {
+            permanent.push(rand_clause(3));
+        }
+        let mut inc = SatSolver::new_incremental();
+        inc.ensure_vars(n);
+        for clause in &permanent {
+            inc.add_clause(clause.clone());
+        }
+        for query in 0..40 {
+            let extra: Vec<Vec<i32>> = (0..4).map(|_| rand_clause(2)).collect();
+            // Incremental: guard the query clauses with an activation var.
+            let act = n as i32 + 1 + query;
+            inc.ensure_vars(act as u32);
+            for clause in &extra {
+                let mut guarded = clause.clone();
+                guarded.push(-act);
+                inc.add_clause(guarded);
+            }
+            let warm = inc.solve_under_assumptions(&[act]).is_sat();
+            inc.add_clause(vec![-act]);
+            // Cold: one-shot solve of permanent + extra.
+            let mut all = permanent.clone();
+            all.extend(extra);
+            let cold = SatSolver::new(n, all).solve().is_sat();
+            assert_eq!(warm, cold, "verdict drift on query {query}");
+            // Also grow the permanent set occasionally.
+            if query % 5 == 0 {
+                let grown = rand_clause(3);
+                permanent.push(grown.clone());
+                inc.add_clause(grown);
+            }
+        }
+    }
+
+    #[test]
+    fn db_reduction_preserves_correctness() {
+        // Run queries, force a database reduction in between, and confirm
+        // verdicts stay right on both sides of the reduction.
+        let mut s = SatSolver::new_incremental();
+        let n = 10i32;
+        s.ensure_vars(n as u32 + 1);
+        // An XOR ladder (forces some clause learning under assumptions).
+        for i in 1..n {
+            s.add_clause(vec![i, i + 1]);
+            s.add_clause(vec![-i, -(i + 1)]);
+        }
+        let act = n + 1;
+        s.add_clause(vec![-act, 1]);
+        assert!(s.solve_under_assumptions(&[act]).is_sat());
+        // Reduce the database directly (the solve loop only triggers this at
+        // restarts, which these tiny instances never reach).
+        s.backtrack_to(0);
+        s.reduce_db();
+        assert_eq!(s.db_reductions, 1);
+        // Contradict the ladder under the same assumption: x1 and x2 both
+        // true is impossible.
+        s.add_clause(vec![-act, 2]);
+        assert_eq!(s.solve_under_assumptions(&[act]), SatResult::Unsat);
+        s.backtrack_to(0);
+        s.reduce_db();
+        s.add_clause(vec![-act]);
+        match s.solve() {
+            SatResult::Sat(model) => {
+                for i in 1..n as usize {
+                    assert_ne!(model[i], model[i + 1], "xor ladder violated at {i}");
+                }
+            }
+            SatResult::Unsat => panic!("ladder alone is satisfiable"),
+        }
+        assert_eq!(s.db_reductions, 2);
+    }
+
+    #[test]
+    fn heap_decisions_find_models_on_oneshot_instances() {
+        // The incremental solver must solve the same instances the one-shot
+        // solver does (different decision order, same verdicts).
+        let instances: Vec<(u32, Vec<Vec<i32>>)> = vec![
+            (6, pigeonhole_clauses()),
+            (
+                3,
+                vec![vec![1, 2], vec![-1, -2], vec![2, 3], vec![-2, -3], vec![1]],
+            ),
+            (
+                4,
+                vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3, 4], vec![-4]],
+            ),
+        ];
+        for (n, clauses) in instances {
+            let verdict = SatSolver::new(n, clauses.clone()).solve().is_sat();
+            let mut inc = SatSolver::new_incremental();
+            inc.ensure_vars(n);
+            for clause in clauses.clone() {
+                inc.add_clause(clause);
+            }
+            match inc.solve() {
+                SatResult::Sat(model) => {
+                    assert!(verdict, "one-shot disagreed");
+                    assert!(check_model(&clauses, &model));
+                }
+                SatResult::Unsat => assert!(!verdict, "one-shot disagreed"),
+            }
         }
     }
 }

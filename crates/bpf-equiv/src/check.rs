@@ -3,8 +3,9 @@
 use crate::cache::{CachedVerdict, EquivCache};
 use crate::counterexample::input_from_model;
 use crate::encode::{EncodeError, EncodeOptions, Encoder};
+use crate::refute::Refuter;
 use crate::window::{check_window_with, Window, WindowContext};
-use bitsmt::{CheckResult, Solver, TermPool};
+use bitsmt::{CheckResult, IncrementalSolver, Solver, TermPool};
 use bpf_interp::ProgramInput;
 use bpf_isa::Program;
 use k2_telemetry::TelemetryRef;
@@ -33,6 +34,13 @@ pub struct EquivOptions {
     pub window_verification: bool,
     /// Optimization V: cache verdicts keyed by canonicalized candidates.
     pub enable_cache: bool,
+    /// Incremental SAT solving: keep a persistent per-source solver context
+    /// (bit-blasted CNF, learned clauses) warm across queries, deciding each
+    /// candidate's constraints under a fresh activation literal. A pure
+    /// solver-work optimization: a SAT (not-equivalent) incremental verdict
+    /// is re-derived by the cold path so counterexample models — and
+    /// therefore search trajectories — stay bit-identical with it on or off.
+    pub incremental_solving: bool,
 }
 
 impl Default for EquivOptions {
@@ -43,6 +51,7 @@ impl Default for EquivOptions {
             offset_concretization: true,
             window_verification: true,
             enable_cache: true,
+            incremental_solving: true,
         }
     }
 }
@@ -56,6 +65,7 @@ impl EquivOptions {
             offset_concretization: false,
             window_verification: false,
             enable_cache: false,
+            incremental_solving: false,
         }
     }
 
@@ -107,6 +117,14 @@ pub struct EquivStats {
     pub window_fallbacks: u64,
     /// Microseconds spent inside window-local checks (hits and fallbacks).
     pub window_time_us: u64,
+    /// Checks refuted by the pre-SMT concrete-execution stage: a divergent
+    /// input was found in microseconds, so no solver query was built.
+    pub refuted_by_testing: u64,
+    /// Checks the refutation stage could not decide, escalated to the SMT
+    /// solver (only counted while a refuter is installed).
+    pub smt_escalations: u64,
+    /// Microseconds spent inside the pre-SMT refutation stage.
+    pub refute_time_us: u64,
     /// Total time spent building formulas and solving, in microseconds.
     pub total_time_us: u64,
     /// Microseconds spent in the most recent query.
@@ -128,6 +146,9 @@ impl EquivStats {
         self.window_hits += other.window_hits;
         self.window_fallbacks += other.window_fallbacks;
         self.window_time_us += other.window_time_us;
+        self.refuted_by_testing += other.refuted_by_testing;
+        self.smt_escalations += other.smt_escalations;
+        self.refute_time_us += other.refute_time_us;
         self.total_time_us += other.total_time_us;
         self.last_time_us = 0;
         self.last_cnf_vars = 0;
@@ -203,9 +224,27 @@ pub struct EquivChecker {
     /// panic or misprove a window, so the fingerprint is checked on every
     /// use and the context rebuilt when the source changes.
     window_ctx: Option<(u64, Option<WindowContext>)>,
+    /// Pre-SMT refutation stage (see [`Refuter`]). Installed by the search
+    /// loop via [`EquivChecker::set_refuter`] with a seed drawn from the
+    /// chain's RNG stream; absent by default so plain checkers behave
+    /// exactly as before.
+    refuter: Option<Refuter>,
+    /// Persistent incremental-solver context bound to one source program
+    /// (fingerprint-checked and rebuilt on source change, like
+    /// `window_ctx`). Holds the hash-consed term pool — so re-encoding the
+    /// source yields identical terms and zero new CNF — and the warm SAT
+    /// solver with its learned clauses.
+    inc_ctx: Option<IncrementalCtx>,
     /// Statistics accumulated across `check` calls.
     pub stats: EquivStats,
     telemetry: TelemetryRef,
+}
+
+#[derive(Debug)]
+struct IncrementalCtx {
+    fingerprint: u64,
+    pool: TermPool,
+    solver: IncrementalSolver,
 }
 
 impl EquivChecker {
@@ -216,9 +255,27 @@ impl EquivChecker {
             cache: EquivCache::new(),
             shared: None,
             window_ctx: None,
+            refuter: None,
+            inc_ctx: None,
             stats: EquivStats::default(),
             telemetry: TelemetryRef::none(),
         }
+    }
+
+    /// Install a pre-SMT refutation stage: cache-miss candidates that the
+    /// windowed path cannot resolve are first blasted with the refuter's
+    /// concrete input batch, and only the survivors escalate to the solver.
+    /// Divergent inputs are returned as counterexamples exactly like SMT
+    /// models. Refutation never flips a verdict (the refuter only refutes
+    /// when both programs run successfully and observably differ — such a
+    /// candidate could never be proven equivalent).
+    pub fn set_refuter(&mut self, refuter: Refuter) {
+        self.refuter = Some(refuter);
+    }
+
+    /// The installed refutation stage, if any.
+    pub fn refuter(&self) -> Option<&Refuter> {
+        self.refuter.as_ref()
     }
 
     /// Attach a telemetry recorder. Every [`EquivChecker::check_in_window`]
@@ -228,6 +285,9 @@ impl EquivChecker {
     /// recorder is also threaded into the underlying [`Solver`]. Recording
     /// is write-only — verdicts are identical with or without it.
     pub fn set_telemetry(&mut self, telemetry: TelemetryRef) {
+        if let Some(ctx) = &mut self.inc_ctx {
+            ctx.solver.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -316,6 +376,8 @@ impl EquivChecker {
             "equiv.check.shared_hit"
         } else if self.stats.window_hits > before.window_hits {
             "equiv.check.window_hit"
+        } else if self.stats.refuted_by_testing > before.refuted_by_testing {
+            "equiv.check.refuted"
         } else {
             "equiv.check.full"
         };
@@ -364,6 +426,26 @@ impl EquivChecker {
                 }
                 return outcome;
             }
+        }
+        // Pre-SMT refutation: try to dismiss the candidate by concrete
+        // execution before paying for a solver query. A divergent input is
+        // a whole-program counterexample, cached and returned exactly like
+        // an SMT model (refuted checks bypass `finish`, so `queries` and
+        // `total_time_us` keep meaning "solver work").
+        if let Some(refuter) = &self.refuter {
+            let refute_start = Instant::now();
+            let divergent = refuter.refute(cand);
+            let us = refute_start.elapsed().as_micros() as u64;
+            self.stats.refute_time_us += us;
+            self.telemetry.time_us("equiv.refute", us);
+            if let Some(input) = divergent {
+                self.stats.refuted_by_testing += 1;
+                if let Some(key) = key {
+                    self.cache.insert_key(key, CachedVerdict::NotEquivalent);
+                }
+                return EquivOutcome::NotEquivalent(Some(Box::new(input)));
+            }
+            self.stats.smt_escalations += 1;
         }
         let outcome = self.check_uncached(src, cand);
         if let Some(key) = key {
@@ -470,9 +552,113 @@ impl EquivChecker {
     }
 
     /// Check without consulting the cache (used directly by benchmarks).
+    ///
+    /// With [`EquivOptions::incremental_solving`] on, the query first goes
+    /// to the warm per-source incremental solver; an UNSAT there is final
+    /// (`Equivalent`), while SAT — and anything the incremental path cannot
+    /// express — escalates to the cold solve below, which re-derives the
+    /// verdict and the canonical counterexample model. The cold path is
+    /// byte-for-byte today's behaviour, so incremental-off runs reproduce
+    /// historical verdict streams exactly, and incremental-on runs produce
+    /// the same verdicts *and the same counterexamples*.
     pub fn check_uncached(&mut self, src: &Program, cand: &Program) -> EquivOutcome {
-        let telemetry = self.telemetry.clone();
         let start = Instant::now();
+        if self.options.incremental_solving {
+            if let Some(outcome) = self.check_incremental(src, cand, start) {
+                return outcome;
+            }
+        }
+        self.check_cold(src, cand, start)
+    }
+
+    /// Number of clauses currently held by the persistent incremental-solver
+    /// context, if one is live. Diagnostics: retired queries are
+    /// garbage-collected at database reductions, so this should plateau
+    /// rather than grow with the query count.
+    pub fn inc_clauses_in_db(&self) -> Option<usize> {
+        self.inc_ctx.as_ref().map(|c| c.solver.clauses_in_db())
+    }
+
+    /// Try to discharge the query on the persistent incremental solver.
+    /// Returns `None` to escalate to the cold path: on SAT (the cold solve
+    /// produces the canonical model), on encode failure, and on trivial
+    /// call-log mismatch (both re-derived identically by the cold path).
+    fn check_incremental(
+        &mut self,
+        src: &Program,
+        cand: &Program,
+        start: Instant,
+    ) -> Option<EquivOutcome> {
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            src.insns.hash(&mut hasher);
+            hasher.finish()
+        };
+        if !matches!(&self.inc_ctx, Some(ctx) if ctx.fingerprint == fingerprint) {
+            let mut solver = IncrementalSolver::new();
+            solver.set_telemetry(self.telemetry.clone());
+            self.inc_ctx = Some(IncrementalCtx {
+                fingerprint,
+                pool: TermPool::new(),
+                solver,
+            });
+        }
+        let encode_options = self.options.encode_options();
+        let telemetry = self.telemetry.clone();
+        let ctx = self.inc_ctx.as_mut().expect("just ensured");
+
+        // Encode both programs into the persistent hash-consed pool. The
+        // source re-encodes to the exact same terms every query (so its
+        // constraints dedup to zero new work); the candidate's terms are
+        // new, but shared subterms hit the blaster memo.
+        let encode_span = telemetry.span("equiv.encode");
+        let mut encoder = Encoder::new(&mut ctx.pool, encode_options);
+        let enc_src = encoder.encode_program(src, 0).ok()?;
+        let n_src = encoder.constraints.len();
+        let enc_cand = encoder.encode_program(cand, 1).ok()?;
+        let call_compat = encoder.call_logs_compatible(&enc_src, &enc_cand)?;
+        let out_diff = encoder.output_difference(&enc_src, &enc_cand);
+        let calls_differ = {
+            let p = encoder.pool();
+            p.not(call_compat)
+        };
+        let differ = {
+            let p = encoder.pool();
+            p.or(out_diff, calls_differ)
+        };
+        let constraints = encoder.constraints.clone();
+        drop(encoder);
+        encode_span.finish();
+
+        // Source-side constraints are facts about every query: assert them
+        // permanently (deduplicated by term identity — only the first query
+        // generates CNF). Candidate-side constraints and the difference
+        // goal are query-local, guarded behind this query's activation
+        // literal inside `check_assuming`.
+        for &c in &constraints[..n_src] {
+            ctx.solver.assert_permanent(&ctx.pool, c);
+        }
+        let mut goals = constraints[n_src..].to_vec();
+        goals.push(differ);
+        let result = ctx.solver.check_assuming(&ctx.pool, &goals);
+        let (cnf_vars, cnf_clauses) = (ctx.solver.stats.cnf_vars, ctx.solver.stats.cnf_clauses);
+        match result {
+            CheckResult::Unsat => {
+                self.stats.last_cnf_vars = cnf_vars;
+                self.stats.last_cnf_clauses = cnf_clauses;
+                Some(self.finish(EquivOutcome::Equivalent, start))
+            }
+            // SAT: the programs differ, but the incremental model is
+            // history-dependent — escalate so the cold solve derives the
+            // canonical counterexample (same one as with incremental off).
+            CheckResult::Sat(_) => None,
+        }
+    }
+
+    /// The cold one-shot check: fresh pool, fresh solver.
+    fn check_cold(&mut self, src: &Program, cand: &Program, start: Instant) -> EquivOutcome {
+        let telemetry = self.telemetry.clone();
         let mut pool = TermPool::new();
         let mut encoder = Encoder::new(&mut pool, self.options.encode_options());
 
@@ -813,8 +999,13 @@ mod tests {
         assert_eq!(snap.counter("equiv.verdict.equivalent"), 2);
         assert_eq!(snap.counter("equiv.verdict.not_equivalent"), 1);
         assert_eq!(snap.timer("equiv.check").unwrap().count, 3);
-        assert_eq!(snap.timer("equiv.encode").unwrap().count, 2);
-        assert_eq!(snap.timer("bitsmt.solve").unwrap().count, 2);
+        // Two cache misses reach the solver. The `good` query is settled by
+        // the incremental path (one encode, one solve); the `bad` query is
+        // SAT on the incremental solver and escalates to the cold path for
+        // its canonical counterexample — a second encode+solve pair.
+        assert_eq!(snap.timer("equiv.encode").unwrap().count, 3);
+        assert_eq!(snap.timer("bitsmt.solve").unwrap().count, 3);
+        assert_eq!(snap.counter("bitsmt.inc.queries"), 2);
         assert!(snap.counter("bitsmt.cnf_clauses") > 0);
         assert_eq!(snap.distinct, vec![("equiv.fingerprint".to_string(), 2)]);
 
@@ -880,6 +1071,76 @@ mod tests {
             checker.check(&src, &cand),
             EquivOutcome::Unknown(_)
         ));
+    }
+
+    #[test]
+    fn refuter_short_circuits_not_equivalent_candidates() {
+        use crate::refute::Refuter;
+        // The source computes the packet length (data_end - data); the
+        // candidate hard-codes 64. The refuter's varied-length batch
+        // refutes this in microseconds — no solver query is built.
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
+        let cand = xdp("mov64 r0, 64\nexit");
+        let mut checker = EquivChecker::new(EquivOptions::default());
+        checker.set_refuter(Refuter::new(
+            &src,
+            bpf_interp::BackendKind::Auto,
+            32,
+            0xbeef,
+        ));
+        match checker.check(&src, &cand) {
+            EquivOutcome::NotEquivalent(Some(input)) => {
+                let a = run(&src, &input).expect("src runs");
+                let b = run(&cand, &input).expect("cand runs");
+                assert_ne!(a.output, b.output, "witness must distinguish");
+            }
+            other => panic!("expected a refutation counterexample, got {other:?}"),
+        }
+        assert_eq!(checker.stats.refuted_by_testing, 1);
+        assert_eq!(checker.stats.smt_escalations, 0);
+        assert_eq!(checker.stats.queries, 0, "no solver query was built");
+        // The refuted verdict entered the layered cache like any other.
+        assert!(!checker.check(&src, &cand).is_equivalent());
+        assert_eq!(checker.stats.cache_hits, 1);
+
+        // A candidate the batch cannot refute escalates to the solver.
+        let subtle = xdp(
+            "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nadd64 r0, 0\nexit",
+        );
+        assert!(checker.check(&src, &subtle).is_equivalent());
+        assert_eq!(checker.stats.smt_escalations, 1);
+        assert_eq!(checker.stats.queries, 1);
+    }
+
+    #[test]
+    fn incremental_and_cold_checks_agree_including_counterexamples() {
+        // Incremental solving must not change outcomes at all: SAT verdicts
+        // escalate to the cold path, so even the counterexample inputs are
+        // identical to an incremental-off checker's.
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
+        let candidates = [
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit"),
+            xdp("mov64 r0, 64\nexit"),
+            xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nadd64 r0, r2\nexit"),
+            xdp(
+                "ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nadd64 r0, 0\nexit",
+            ),
+            xdp("mov64 r0, 0\nexit"),
+        ];
+        let mut inc = EquivChecker::new(EquivOptions {
+            enable_cache: false,
+            ..EquivOptions::default()
+        });
+        let mut cold = EquivChecker::new(EquivOptions {
+            enable_cache: false,
+            incremental_solving: false,
+            ..EquivOptions::default()
+        });
+        for cand in &candidates {
+            let a = inc.check(&src, cand);
+            let b = cold.check(&src, cand);
+            assert_eq!(a, b, "outcome drift on {cand}");
+        }
     }
 
     #[test]

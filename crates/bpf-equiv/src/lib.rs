@@ -43,6 +43,12 @@
 //!    comparisons when the pointer offsets are statically known,
 //! 4. modular (window) verification — [`window::check_window`],
 //! 5. caching — [`cache::EquivCache`] keyed by canonicalized programs.
+//!
+//! On top of these, the checker runs a pre-SMT refutation stage
+//! ([`refute::Refuter`]): cache-miss candidates are first blasted with a
+//! deterministic batch of concrete inputs on the fast execution backend, and
+//! only the survivors escalate to the solver. See [`check::EquivChecker`]
+//! for the full verdict pipeline (cache → window → refute → SMT).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,9 +57,11 @@ pub mod cache;
 pub mod check;
 pub mod counterexample;
 pub mod encode;
+pub mod refute;
 pub mod window;
 
 pub use cache::{CacheStats, CachedVerdict, EquivCache};
 pub use check::{check_equivalence, EquivChecker, EquivOptions, EquivOutcome, EquivStats};
 pub use encode::{EncodeError, Encoder, ProgramEncoding};
+pub use refute::Refuter;
 pub use window::{check_window, check_window_with, Window, WindowContext};

@@ -50,6 +50,21 @@ pub struct CompilerOptions {
     /// results are bit-identical with it on or off. The `K2_WINDOW`
     /// environment override is applied by the `k2::api` layering.
     pub window_verification: bool,
+    /// Size of the pre-SMT refutation batch, threaded into every chain's
+    /// [`crate::cost::CostSettings`]: cache-miss candidates are first run on
+    /// this many deterministic random inputs on the fast execution backend
+    /// and refuted without a solver query when any output diverges. `0`
+    /// disables the stage; refutation never flips a verdict the solver would
+    /// have reached. The `K2_REFUTE_INPUTS` environment override is applied
+    /// by the `k2::api` layering.
+    pub refute_inputs: usize,
+    /// Incremental SAT solving for full-program equivalence queries,
+    /// threaded into every chain's [`crate::cost::CostSettings`]: the source
+    /// CNF and learned clauses stay warm in a per-source solver context. A
+    /// pure solver-work optimization: verdicts and counterexamples are
+    /// bit-identical with it on or off. The `K2_INCREMENTAL_SAT` environment
+    /// override is applied by the `k2::api` layering.
+    pub incremental_sat: bool,
     /// Engine-level knobs: epochs, cross-chain sharing, convergence, the
     /// wall-clock budget, and the batch worker pool. Values are taken as
     /// given; the `K2_*` environment overrides are resolved by `k2::api`.
@@ -81,6 +96,8 @@ impl Default for CompilerOptions {
             parallel: true,
             backend: BackendKind::Auto,
             window_verification: true,
+            refute_inputs: 64,
+            incremental_sat: true,
             engine: EngineConfig::default(),
             sink: EventSinkRef::none(),
             telemetry: TelemetryRef::none(),

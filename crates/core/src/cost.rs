@@ -3,7 +3,9 @@
 //! cost.
 
 use crate::compiler::OptimizationGoal;
-use bpf_equiv::{CacheStats, EquivCache, EquivChecker, EquivOptions, EquivOutcome, EquivStats};
+use bpf_equiv::{
+    CacheStats, EquivCache, EquivChecker, EquivOptions, EquivOutcome, EquivStats, Refuter,
+};
 use bpf_interp::{
     BackendKind, CostModel, ExecBackend, InputGenerator, ProgramInput, ProgramOutput,
 };
@@ -74,6 +76,23 @@ pub struct CostSettings {
     /// way. The `K2_WINDOW` environment override is resolved by the
     /// `k2::api` configuration layering.
     pub window_verification: bool,
+    /// Size of the pre-SMT refutation batch: cache-miss candidates are first
+    /// run on this many deterministic random inputs (fast backend, JIT where
+    /// available) and refuted without a solver query when any output
+    /// diverges. `0` disables the stage. Refutation is conservative — it
+    /// never flips a verdict the solver would have reached — and the batch
+    /// seed is drawn from the chain's RNG stream so same-seed runs stay
+    /// bit-identical. The `K2_REFUTE_INPUTS` environment override is
+    /// resolved by the `k2::api` configuration layering.
+    pub refute_inputs: usize,
+    /// Solve full-program equivalence queries incrementally: the source
+    /// program's CNF and the learned clauses stay warm in a persistent
+    /// per-source solver context, and each candidate is checked under an
+    /// activation-literal assumption. Pure optimization: verdicts and
+    /// counterexample models are identical either way. The
+    /// `K2_INCREMENTAL_SAT` environment override is resolved by the
+    /// `k2::api` configuration layering.
+    pub incremental_sat: bool,
 }
 
 impl Default for CostSettings {
@@ -87,6 +106,8 @@ impl Default for CostSettings {
             gamma: 1.0,
             backend: BackendKind::Auto,
             window_verification: true,
+            refute_inputs: 64,
+            incremental_sat: true,
         }
     }
 }
@@ -206,6 +227,7 @@ impl CostFunction {
         };
         let equiv_options = EquivOptions {
             window_verification: settings.window_verification,
+            incremental_solving: settings.incremental_sat,
             ..EquivOptions::default()
         };
         let equiv = match shared_cache {
@@ -241,6 +263,19 @@ impl CostFunction {
     /// The telemetry handle in effect (the no-op handle by default).
     pub fn telemetry(&self) -> &TelemetryRef {
         &self.telemetry
+    }
+
+    /// Install the pre-SMT refutation stage: build a batch of
+    /// [`CostSettings::refute_inputs`] deterministic inputs from `seed`
+    /// (drawn by the caller from the chain's RNG stream) together with the
+    /// source's outputs on them, and hand it to the equivalence checker.
+    /// No-op when `refute_inputs` is zero.
+    pub fn install_refuter(&mut self, seed: u64) {
+        if self.settings.refute_inputs == 0 {
+            return;
+        }
+        let refuter = Refuter::new(&self.src, self.backend, self.settings.refute_inputs, seed);
+        self.equiv.set_refuter(refuter);
     }
 
     /// The backend selection policy this cost function was built with.
@@ -524,6 +559,28 @@ mod tests {
         let v = f.evaluate(&cand);
         assert!(!v.equivalent);
         assert!(f.num_tests() > before || v.error > 0.0);
+    }
+
+    #[test]
+    fn refuter_counterexamples_feed_the_test_suite_without_solver_queries() {
+        // The candidate agrees with the source on every generated test (the
+        // suite uses fixed 64-byte packets) but not on other packet lengths.
+        // With a refuter installed the divergence is found by execution: the
+        // verdict is NotEquivalent, the witness grows the suite, and the
+        // solver is never consulted.
+        let src = xdp("ldxdw r2, [r1+0]\nldxdw r3, [r1+8]\nmov64 r0, r3\nsub64 r0, r2\nexit");
+        let cand = xdp("mov64 r0, 64\nexit");
+        let mut f = cost_fn(&src);
+        f.install_refuter(0xbeef);
+        let before = f.num_tests();
+        let v = f.evaluate(&cand);
+        assert!(!v.equivalent);
+        let stats = f.equiv_stats();
+        assert_eq!(stats.refuted_by_testing, 1);
+        assert_eq!(stats.smt_escalations, 0);
+        assert_eq!(stats.queries, 0, "refuted without a solver query");
+        assert_eq!(f.num_tests(), before + 1, "witness joined the suite");
+        assert_eq!(f.stats.counterexamples, 1);
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub enum SearchEvent {
         window_hits: u64,
         /// Windowed checks that fell back to the full program pair so far.
         window_fallbacks: u64,
+        /// Cache-miss candidates refuted by concrete execution so far (the
+        /// pre-SMT refutation stage: no solver query was built for them).
+        refuted_by_testing: u64,
+        /// Cache-miss candidates the refutation batch could not decide, so
+        /// they escalated to the SMT solver.
+        smt_escalations: u64,
         /// Entries in the shared cache after the barrier's publish step.
         shared_cache_entries: usize,
         /// Counterexamples in the merged cross-chain pool.

@@ -168,6 +168,8 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
                 cost_settings.backend = opts.backend;
             }
             cost_settings.window_verification = opts.window_verification;
+            cost_settings.refute_inputs = opts.refute_inputs;
+            cost_settings.incremental_sat = opts.incremental_sat;
             let shared = cfg.shared_cache.then(|| Arc::clone(ctx.cache()));
             let mut cost = CostFunction::with_shared_cache(
                 src,
@@ -286,6 +288,8 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
                 cache_misses: equiv.cache_misses,
                 window_hits: equiv.window_hits,
                 window_fallbacks: equiv.window_fallbacks,
+                refuted_by_testing: equiv.refuted_by_testing,
+                smt_escalations: equiv.smt_escalations,
                 shared_cache_entries: ctx.cache().len(),
                 counterexample_pool: ctx.pool().len(),
             });

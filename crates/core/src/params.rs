@@ -112,6 +112,8 @@ impl SearchParams {
                     gamma: 1.0,
                     backend: BackendKind::Auto,
                     window_verification: true,
+                    refute_inputs: 64,
+                    incremental_sat: true,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -126,6 +128,8 @@ impl SearchParams {
                     gamma: 1.0,
                     backend: BackendKind::Auto,
                     window_verification: true,
+                    refute_inputs: 64,
+                    incremental_sat: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.17, 0.0, 0.18),
             },
@@ -140,6 +144,8 @@ impl SearchParams {
                     gamma: 1.0,
                     backend: BackendKind::Auto,
                     window_verification: true,
+                    refute_inputs: 64,
+                    incremental_sat: true,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -154,6 +160,8 @@ impl SearchParams {
                     gamma: 1.0,
                     backend: BackendKind::Auto,
                     window_verification: true,
+                    refute_inputs: 64,
+                    incremental_sat: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -168,6 +176,8 @@ impl SearchParams {
                     gamma: 1.0,
                     backend: BackendKind::Auto,
                     window_verification: true,
+                    refute_inputs: 64,
+                    incremental_sat: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -205,6 +215,8 @@ impl SearchParams {
                                 gamma: 1.0,
                                 backend: BackendKind::Auto,
                                 window_verification: true,
+                                refute_inputs: 64,
+                                incremental_sat: true,
                             },
                             rules,
                         });

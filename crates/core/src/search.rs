@@ -79,6 +79,15 @@ impl MarkovChain {
     /// Create a chain starting from the source program of `cost`.
     pub fn new(cost: CostFunction, generator: ProposalGenerator, seed: u64) -> MarkovChain {
         let mut cost = cost;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        // The refutation batch is seeded from the chain's own RNG stream so
+        // same-seed runs stay bit-identical. The draw happens only when the
+        // stage is enabled: with `refute_inputs = 0` the acceptance-decision
+        // stream is exactly the pre-refuter one.
+        if cost.settings.refute_inputs > 0 {
+            let refute_seed = rng.gen::<u64>();
+            cost.install_refuter(refute_seed);
+        }
         let src = cost.source().clone();
         let current_cost = cost.evaluate(&src);
         let src_perf = cost.perf_cost(&src);
@@ -86,7 +95,7 @@ impl MarkovChain {
             temperature_beta: 1.0,
             generator,
             cost,
-            rng: StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+            rng,
             current: src.insns.clone(),
             current_cost,
             best: Some((src, src_perf)),

@@ -35,9 +35,13 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Number of log buckets: bucket `b` holds microsecond values with exactly
-/// `b` significant bits, i.e. `[2^(b-1), 2^b - 1]`; bucket 0 holds `0`.
-const BUCKETS: usize = 65;
+/// Number of histogram buckets. The scale is log-linear: buckets `0..16`
+/// hold the exact microsecond values `0..16`, and every power-of-two octave
+/// `[2^e, 2^(e+1))` past that is split into 8 equal sub-buckets, so
+/// quantile estimates stay within ~12.5% of the true value across the whole
+/// `u64` range — multi-second solver queries included (a pure log2 scale
+/// would report an 8.2 s query as "somewhere in [4.2 s, 8.4 s)").
+const BUCKETS: usize = 16 + 60 * 8;
 
 /// A metrics consumer. Implementations must be `Send + Sync`: parallel
 /// Markov chains and concurrent batch jobs record into one shared recorder.
@@ -113,20 +117,28 @@ impl Histogram {
     }
 }
 
-/// Bucket index for a microsecond value: its number of significant bits.
+/// Bucket index for a microsecond value on the log-linear scale: values
+/// below 16 map to themselves; a larger value with top set bit `2^e` lands
+/// in one of 8 sub-buckets selected by its next three bits.
 fn bucket_of(us: u64) -> usize {
-    (64 - us.leading_zeros()) as usize
+    if us < 16 {
+        return us as usize;
+    }
+    let e = (63 - us.leading_zeros()) as usize; // >= 4
+    let sub = ((us >> (e - 3)) & 7) as usize;
+    16 + (e - 4) * 8 + sub
 }
 
 /// Inclusive upper bound of a bucket, i.e. the largest value it can hold.
 fn bucket_upper_bound(bucket: usize) -> u64 {
-    if bucket == 0 {
-        0
-    } else if bucket >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << bucket) - 1
+    if bucket < 16 {
+        return bucket as u64;
     }
+    let k = bucket - 16;
+    let (e, sub) = (k / 8 + 4, (k % 8) as u128);
+    // The last sub-bucket of the top octave would overflow u64 by one.
+    let bound = (1u128 << e) + (sub + 1) * (1u128 << (e - 3)) - 1;
+    bound.min(u64::MAX as u128) as u64
 }
 
 #[derive(Debug, Default)]
@@ -251,7 +263,7 @@ impl Recorder for Telemetry {
                                 .iter()
                                 .enumerate()
                                 .filter(|(_, count)| **count > 0)
-                                .map(|(bucket, count)| (bucket as u8, *count))
+                                .map(|(bucket, count)| (bucket as u16, *count))
                                 .collect(),
                         },
                     )
@@ -400,9 +412,12 @@ pub struct TimerSummary {
     pub total_us: u64,
     /// Largest observation, microseconds.
     pub max_us: u64,
-    /// Sparse log buckets: `(significant-bit count, observations)`. Bucket
-    /// `b > 0` holds values in `[2^(b-1), 2^b - 1]` µs; bucket 0 holds 0.
-    pub buckets: Vec<(u8, u64)>,
+    /// Sparse log-linear buckets: `(bucket index, observations)`. Buckets
+    /// `0..16` hold the exact microsecond values `0..16`; past that each
+    /// power-of-two octave `[2^e, 2^(e+1))` µs splits into 8 equal
+    /// sub-buckets, keeping quantile estimates within ~12.5% all the way up
+    /// through multi-second observations.
+    pub buckets: Vec<(u16, u64)>,
 }
 
 impl TimerSummary {
@@ -727,16 +742,57 @@ mod tests {
 
     #[test]
     fn zero_duration_lands_in_bucket_zero() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_upper_bound(0), 0);
-        assert_eq!(bucket_upper_bound(2), 3);
+        // Sub-16 µs values bucket exactly.
+        for us in 0..16u64 {
+            assert_eq!(bucket_of(us), us as usize);
+            assert_eq!(bucket_upper_bound(us as usize), us);
+        }
+        // First octave bucket: [16, 17].
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(17), 16);
+        assert_eq!(bucket_of(18), 17);
+        assert_eq!(bucket_upper_bound(16), 17);
         let telemetry = Telemetry::new();
         telemetry.time_us("z", 0);
         assert_eq!(telemetry.snapshot().timer("z").unwrap().p99_us(), 0);
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range_monotonically() {
+        // Every value maps to a bucket whose bounds contain it, bucket
+        // upper bounds strictly increase, and the top bucket is in range.
+        let mut prev = None;
+        for bucket in 0..BUCKETS {
+            let hi = bucket_upper_bound(bucket);
+            if let Some(prev) = prev {
+                assert!(hi > prev, "bucket {bucket} bound not increasing");
+                assert_eq!(bucket_of(prev + 1), bucket, "gap below bucket {bucket}");
+            }
+            assert_eq!(bucket_of(hi), bucket, "bound of {bucket} maps elsewhere");
+            prev = Some(hi);
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn multi_second_observations_do_not_saturate() {
+        // Regression: with 65 log2 buckets, everything above ~1 s collapsed
+        // into one bucket and p99 reported 1_048_575 µs for an 8.2 s query.
+        let telemetry = Telemetry::new();
+        for _ in 0..50 {
+            telemetry.time_us("q", 5_000_000);
+        }
+        for _ in 0..50 {
+            telemetry.time_us("q", 8_200_000);
+        }
+        let snap = telemetry.snapshot();
+        let timer = snap.timer("q").unwrap();
+        assert_ne!(timer.p99_us(), 1_048_575, "log2 saturation is back");
+        // Log-linear buckets are at worst 12.5% wide.
+        assert!(timer.p50_us() >= 5_000_000 && timer.p50_us() <= 5_625_000);
+        assert!(timer.p99_us() >= 8_200_000 && timer.p99_us() <= 9_225_000);
+        assert_eq!(timer.quantile_us(1.0), 8_200_000);
     }
 
     #[test]

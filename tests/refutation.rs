@@ -1,0 +1,155 @@
+//! Integration tests of the pre-SMT solver pipeline: concrete-execution
+//! refutation and incremental SAT solving.
+//!
+//! Both stages share one contract: they are *pure* solver-work
+//! optimizations. A refuter may answer NotEquivalent before a formula is
+//! ever built, and the incremental context may answer Equivalent from a warm
+//! solver, but neither may ever flip a verdict (or change a counterexample)
+//! relative to the cold full-program solve. The tests here enforce that
+//! candidate by candidate, on real benchmark proposal streams and on
+//! randomly generated program pairs.
+
+use bpf_equiv::{EquivChecker, EquivOptions, Refuter, Window};
+use bpf_interp::BackendKind;
+use bpf_isa::{AluOp, Insn, Program, ProgramType, Reg};
+use k2_core::proposals::RuleProbabilities;
+use k2_core::ProposalGenerator;
+use proptest::prelude::*;
+
+#[test]
+fn refutation_never_flips_a_verdict_on_benchmark_proposal_streams() {
+    // Replay the same proposal stream on every benchmark baseline through a
+    // refuting checker and a solver-only checker, and require identical
+    // verdicts on every candidate. A flip here is exactly the bug class
+    // where the refuter's view of execution disagrees with the SMT
+    // encoding's (e.g. treating a candidate trap as a divergence).
+    let steps = if cfg!(debug_assertions) { 4 } else { 16 };
+    let mut refuted_total = 0u64;
+    let mut escalated_total = 0u64;
+    for bench in bpf_bench_suite::all() {
+        let (_, baseline) = k2::baseline::best_baseline(&bench.prog);
+        let mut generator = ProposalGenerator::new(
+            &baseline,
+            RuleProbabilities::default(),
+            0x5eed + bench.row as u64,
+        );
+        let opts = EquivOptions {
+            enable_cache: false,
+            ..EquivOptions::default()
+        };
+        let mut refuting = EquivChecker::new(opts);
+        refuting.set_refuter(Refuter::new(
+            &baseline,
+            BackendKind::Auto,
+            64,
+            0xbead + bench.row as u64,
+        ));
+        let mut solver_only = EquivChecker::new(opts);
+        let mut current = baseline.insns.clone();
+        for step in 0..steps {
+            let (proposal, _rule, region) = generator.propose(&current);
+            let cand = baseline.with_insns(proposal.clone());
+            let window = Some(Window {
+                start: region.start,
+                end: region.end,
+            });
+            let a = refuting.check_in_window(&baseline, &cand, window);
+            let b = solver_only.check_in_window(&baseline, &cand, window);
+            assert_eq!(
+                a.is_equivalent(),
+                b.is_equivalent(),
+                "verdict flip on {} step {step}: refuting {a:?} vs solver-only {b:?}",
+                bench.name
+            );
+            // Walk to diversify the candidates the stream produces.
+            if step % 3 == 0 {
+                current = proposal;
+            }
+        }
+        refuted_total += refuting.stats.refuted_by_testing;
+        escalated_total += refuting.stats.smt_escalations;
+        assert_eq!(solver_only.stats.refuted_by_testing, 0);
+    }
+    assert!(
+        refuted_total > 0,
+        "the refutation stage never refuted anything (escalated {escalated_total})"
+    );
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+/// A random straight-line computation over r0, r2..r5 (same shape as the
+/// `differential_smt` sweep), paired with a one-instruction mutation of it —
+/// sometimes equivalent (the mutation lands on dead code), usually not.
+fn arb_pair() -> impl Strategy<Value = (Program, Program)> {
+    let regs = [Reg::R0, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+    let step = (
+        arb_alu_op(),
+        0usize..regs.len(),
+        0usize..regs.len(),
+        any::<i32>(),
+        any::<bool>(),
+    )
+        .prop_map(move |(op, d, s, imm, use_imm)| {
+            if use_imm || op == AluOp::Neg {
+                Insn::alu64_imm(op, regs[d], imm)
+            } else {
+                Insn::alu64(op, regs[d], regs[s])
+            }
+        });
+    (
+        prop::collection::vec(any::<i32>(), 5),
+        prop::collection::vec(step, 1..12),
+        any::<u8>(),
+        0usize..regs.len(),
+        any::<i32>(),
+    )
+        .prop_map(move |(seeds, body, pos, mreg, mimm)| {
+            let mut insns: Vec<Insn> = regs
+                .iter()
+                .zip(&seeds)
+                .map(|(&r, &imm)| Insn::mov64_imm(r, imm))
+                .collect();
+            insns.extend(body);
+            insns.push(Insn::Exit);
+            let prog = Program::new(ProgramType::Xdp, insns);
+            let mut cand = prog.clone();
+            // Mutate one non-exit instruction into a fresh mov.
+            let idx = pos as usize % (cand.insns.len() - 1);
+            cand.insns[idx] = Insn::mov64_imm(regs[mreg], mimm);
+            (prog, cand)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental SAT verdicts equal cold-solve verdicts — including the
+    /// counterexample, since a SAT incremental query re-derives its model
+    /// through the cold path.
+    #[test]
+    fn incremental_and_cold_solves_agree((prog, cand) in arb_pair()) {
+        let opts = EquivOptions {
+            enable_cache: false,
+            window_verification: false,
+            ..EquivOptions::default()
+        };
+        let mut incremental = EquivChecker::new(opts);
+        let mut cold = EquivChecker::new(EquivOptions {
+            incremental_solving: false,
+            ..opts
+        });
+        let a = incremental.check(&prog, &cand);
+        let b = cold.check(&prog, &cand);
+        prop_assert_eq!(
+            &a, &b,
+            "incremental/cold divergence on:\n{}\nvs\n{}", prog, cand
+        );
+        // Checking the pair again keeps the incremental context warm and
+        // must not change the verdict either.
+        let again = incremental.check(&prog, &cand);
+        prop_assert_eq!(&again, &b);
+    }
+}
