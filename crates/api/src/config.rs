@@ -96,6 +96,12 @@ pub struct K2Config {
     /// CNF and learned clauses warm in a per-source solver context. A pure
     /// solver-work knob: results are bit-identical either way.
     pub incremental_sat: bool,
+    /// Kernel-conformant abstract interpretation (tnum + range analysis) as
+    /// a screening pass ahead of the safety walk and a solver-pruning oracle
+    /// for equivalence checking (`K2_STATIC_ANALYSIS`, file key
+    /// `static_analysis`). Verdict-preserving by construction: search
+    /// trajectories are bit-identical either way.
+    pub static_analysis: bool,
     /// Engine knobs: epochs/sharing/convergence/budget/workers
     /// (`K2_EPOCHS`, `K2_SHARED_CACHE`, `K2_EXCHANGE_CEX`,
     /// `K2_RESTART_FROM_BEST`, `K2_STALL_EPOCHS`, `K2_TIME_BUDGET_MS`,
@@ -128,6 +134,7 @@ impl Default for K2Config {
             window_verification: base.window_verification,
             refute_inputs: base.refute_inputs,
             incremental_sat: base.incremental_sat,
+            static_analysis: base.static_analysis,
             engine: base.engine,
             telemetry: false,
             telemetry_json: None,
@@ -235,6 +242,10 @@ impl K2Config {
                 Some(v) => self.incremental_sat = v,
                 None => return bad("a boolean"),
             },
+            "static_analysis" => match value.as_bool() {
+                Some(v) => self.static_analysis = v,
+                None => return bad("a boolean"),
+            },
             "epochs" => match value.as_u64() {
                 Some(v) if v > 0 => self.engine.num_epochs = v,
                 _ => return bad("a positive integer"),
@@ -321,6 +332,9 @@ impl K2Config {
         if let Some(v) = env::flag("K2_INCREMENTAL_SAT") {
             self.incremental_sat = v;
         }
+        if let Some(v) = env::flag("K2_STATIC_ANALYSIS") {
+            self.static_analysis = v;
+        }
         if let Some(v) = env::u64("K2_EPOCHS") {
             self.engine.num_epochs = v.max(1);
         }
@@ -382,6 +396,7 @@ impl K2Config {
             window_verification: self.window_verification,
             refute_inputs: self.refute_inputs,
             incremental_sat: self.incremental_sat,
+            static_analysis: self.static_analysis,
             engine: self.engine,
             ..CompilerOptions::default()
         }
@@ -441,16 +456,28 @@ mod tests {
         let mut config = K2Config::default();
         assert_eq!(config.refute_inputs, 64);
         assert!(config.incremental_sat);
+        assert!(config.static_analysis);
         config
-            .apply_json(&Json::parse(r#"{"refute_inputs": 0, "incremental_sat": false}"#).unwrap())
+            .apply_json(
+                &Json::parse(
+                    r#"{"refute_inputs": 0, "incremental_sat": false, "static_analysis": false}"#,
+                )
+                .unwrap(),
+            )
             .unwrap();
         assert_eq!(config.refute_inputs, 0, "zero must mean off, not clamp");
         assert!(!config.incremental_sat);
+        assert!(!config.static_analysis);
         let opts = config.options();
         assert_eq!(opts.refute_inputs, 0);
         assert!(!opts.incremental_sat);
+        assert!(!opts.static_analysis);
 
-        for bad in [r#"{"refute_inputs": true}"#, r#"{"incremental_sat": 2}"#] {
+        for bad in [
+            r#"{"refute_inputs": true}"#,
+            r#"{"incremental_sat": 2}"#,
+            r#"{"static_analysis": "yes"}"#,
+        ] {
             let mut c = K2Config::default();
             assert!(
                 c.apply_json(&Json::parse(bad).unwrap()).is_err(),

@@ -190,6 +190,7 @@ pub struct K2SessionBuilder {
     window_verification: Option<bool>,
     refute_inputs: Option<usize>,
     incremental_sat: Option<bool>,
+    static_analysis: Option<bool>,
     epochs: Option<u64>,
     shared_cache: Option<bool>,
     exchange_counterexamples: Option<bool>,
@@ -277,6 +278,14 @@ impl K2SessionBuilder {
     /// solver-work knob: results are bit-identical either way.
     pub fn incremental_sat(mut self, enabled: bool) -> Self {
         self.incremental_sat = Some(enabled);
+        self
+    }
+
+    /// Override the kernel-conformant abstract-interpretation pass (safety
+    /// screening plus solver pruning). Verdict-preserving: search
+    /// trajectories are bit-identical either way.
+    pub fn static_analysis(mut self, enabled: bool) -> Self {
+        self.static_analysis = Some(enabled);
         self
     }
 
@@ -390,6 +399,9 @@ impl K2SessionBuilder {
         if let Some(enabled) = self.incremental_sat {
             config.incremental_sat = enabled;
         }
+        if let Some(enabled) = self.static_analysis {
+            config.static_analysis = enabled;
+        }
         if let Some(epochs) = self.epochs {
             config.engine.num_epochs = epochs;
         }
@@ -466,6 +478,7 @@ mod tests {
             .batch_workers(3)
             .refute_inputs(0)
             .incremental_sat(false)
+            .static_analysis(false)
             .build()
             .unwrap();
         let options = session.options();
@@ -478,6 +491,7 @@ mod tests {
         assert_eq!(options.engine.batch_workers, 3);
         assert_eq!(options.refute_inputs, 0);
         assert!(!options.incremental_sat);
+        assert!(!options.static_analysis);
     }
 
     #[test]

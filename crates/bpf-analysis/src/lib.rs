@@ -17,17 +17,30 @@
 //!   checker's bounds and alignment reasoning (§6),
 //! * [`dce`] — nop stripping, unreachable-code removal, dead-code
 //!   elimination and program canonicalization (used by the equivalence-cache
-//!   and to clean up synthesized outputs).
+//!   and to clean up synthesized outputs),
+//! * [`tnum`] — the kernel's tristate-number (known-bits) domain with the
+//!   `kernel/bpf/tnum.c` transfer functions,
+//! * [`absint`] — the kernel-conformant abstract interpreter combining
+//!   tnums, signed/unsigned value ranges and pointer provenance with
+//!   bounded offsets; the engine behind the `K2_STATIC_ANALYSIS` screening
+//!   constraint and the solver-pruning facts fed to `bpf-equiv`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cfg;
 pub mod dce;
 pub mod liveness;
+pub mod tnum;
 pub mod types;
 
+pub use absint::{
+    analyze, AbsError, AbsReg, AbsVerdict, AbsintConfig, AbsintResult, AbsintStats, ProgramFacts,
+    ScalarRange,
+};
 pub use cfg::{BasicBlock, Cfg, CfgError};
 pub use dce::{canonicalize, dead_code_elim, strip_nops};
 pub use liveness::{LiveMap, Liveness, RegSet};
+pub use tnum::Tnum;
 pub use types::{AbsVal, MemRegion, TypeState, Types};

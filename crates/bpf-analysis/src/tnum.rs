@@ -1,0 +1,458 @@
+//! Tristate numbers: the Linux verifier's known-bits abstract domain.
+//!
+//! A [`Tnum`] `{value, mask}` describes the set of 64-bit words that agree
+//! with `value` on every bit *not* set in `mask`; bits set in `mask` are
+//! unknown. The representation invariant is `value & mask == 0` (unknown
+//! bits carry no value). The transfer functions below mirror
+//! `kernel/bpf/tnum.c`: each one is a sound over-approximation — the
+//! abstract result contains every concrete result of applying the operation
+//! to members of the operands — which the exhaustive 8-bit enumeration in
+//! the test module checks op by op.
+
+use std::fmt;
+
+/// A tristate number: partially known 64-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tnum {
+    /// Value of the known bits.
+    pub value: u64,
+    /// Mask of unknown bits (`1` = unknown). Disjoint from `value`.
+    pub mask: u64,
+}
+
+impl Tnum {
+    /// The fully known constant `v`.
+    pub const fn constant(v: u64) -> Tnum {
+        Tnum { value: v, mask: 0 }
+    }
+
+    /// The completely unknown value.
+    pub const fn unknown() -> Tnum {
+        Tnum {
+            value: 0,
+            mask: u64::MAX,
+        }
+    }
+
+    /// Construct from raw parts, re-establishing the invariant.
+    pub const fn new(value: u64, mask: u64) -> Tnum {
+        Tnum {
+            value: value & !mask,
+            mask,
+        }
+    }
+
+    /// Whether every bit is known.
+    pub const fn is_const(self) -> bool {
+        self.mask == 0
+    }
+
+    /// The constant, when fully known.
+    pub fn as_const(self) -> Option<u64> {
+        if self.is_const() {
+            Some(self.value)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the concrete value `v` is a member of this tnum.
+    pub const fn contains(self, v: u64) -> bool {
+        (v & !self.mask) == self.value
+    }
+
+    /// Whether every member of `other` is a member of `self`.
+    pub const fn subsumes(self, other: Tnum) -> bool {
+        // Every bit unknown in `other` must be unknown in `self`, and the
+        // bits known in both must agree.
+        (other.mask & !self.mask) == 0 && (other.value & !self.mask) == self.value
+    }
+
+    /// Least upper bound: the smallest tnum containing both operands.
+    pub const fn join(self, other: Tnum) -> Tnum {
+        let differ = self.value ^ other.value;
+        let mask = self.mask | other.mask | differ;
+        Tnum::new(self.value, mask)
+    }
+
+    /// Intersection refinement: a tnum containing the values present in both
+    /// operands. Returns `None` when the known bits contradict (empty set).
+    pub fn intersect(self, other: Tnum) -> Option<Tnum> {
+        let known_both = !self.mask & !other.mask;
+        if (self.value ^ other.value) & known_both != 0 {
+            return None;
+        }
+        let value = self.value | other.value;
+        let mask = self.mask & other.mask;
+        Some(Tnum::new(value, mask))
+    }
+
+    /// Addition (`kernel tnum_add`).
+    pub const fn add(self, other: Tnum) -> Tnum {
+        let sm = self.mask.wrapping_add(other.mask);
+        let sv = self.value.wrapping_add(other.value);
+        let sigma = sm.wrapping_add(sv);
+        let chi = sigma ^ sv;
+        let mu = chi | self.mask | other.mask;
+        Tnum::new(sv, mu)
+    }
+
+    /// Subtraction (`kernel tnum_sub`).
+    pub const fn sub(self, other: Tnum) -> Tnum {
+        let dv = self.value.wrapping_sub(other.value);
+        let alpha = dv.wrapping_add(self.mask);
+        let beta = dv.wrapping_sub(other.mask);
+        let chi = alpha ^ beta;
+        let mu = chi | self.mask | other.mask;
+        Tnum::new(dv, mu)
+    }
+
+    /// Bitwise AND (`kernel tnum_and`).
+    pub const fn and(self, other: Tnum) -> Tnum {
+        let alpha = self.value | self.mask;
+        let beta = other.value | other.mask;
+        let v = self.value & other.value;
+        Tnum::new(v, alpha & beta & !v)
+    }
+
+    /// Bitwise OR (`kernel tnum_or`).
+    pub const fn or(self, other: Tnum) -> Tnum {
+        let v = self.value | other.value;
+        let mu = self.mask | other.mask;
+        Tnum::new(v, mu & !v)
+    }
+
+    /// Bitwise XOR (`kernel tnum_xor`).
+    pub const fn xor(self, other: Tnum) -> Tnum {
+        let v = self.value ^ other.value;
+        let mu = self.mask | other.mask;
+        Tnum::new(v & !mu, mu)
+    }
+
+    /// Multiplication (`kernel tnum_mul`): decompose `self` into known bits
+    /// and unknown bits, accumulating partial products.
+    // Named after the kernel's `tnum_mul`, like `add`/`sub` above; not the
+    // `std::ops` trait on purpose — tnum arithmetic is approximate.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Tnum) -> Tnum {
+        let acc_v = self.value.wrapping_mul(other.value);
+        let mut acc_m = Tnum::constant(0);
+        let mut a = self;
+        let mut b = other;
+        while a.value != 0 || a.mask != 0 {
+            if a.value & 1 != 0 {
+                // Known-set LSB: contributes b's uncertainty.
+                acc_m = acc_m.add(Tnum::new(0, b.mask));
+            } else if a.mask & 1 != 0 {
+                // Unknown LSB: contributes b's whole footprint as unknown.
+                acc_m = acc_m.add(Tnum::new(0, b.value | b.mask));
+            }
+            a = a.rsh_const(1);
+            b = b.lsh_const(1);
+        }
+        Tnum::new(acc_v, 0).add(acc_m)
+    }
+
+    /// Left shift by a known amount.
+    pub const fn lsh_const(self, shift: u32) -> Tnum {
+        if shift >= 64 {
+            return Tnum::constant(0);
+        }
+        Tnum::new(self.value << shift, self.mask << shift)
+    }
+
+    /// Logical right shift by a known amount.
+    pub const fn rsh_const(self, shift: u32) -> Tnum {
+        if shift >= 64 {
+            return Tnum::constant(0);
+        }
+        Tnum::new(self.value >> shift, self.mask >> shift)
+    }
+
+    /// Arithmetic right shift by a known amount, at the given operand width
+    /// (32 or 64): the sign bit of the width is replicated.
+    pub fn arsh_const(self, shift: u32, width: u32) -> Tnum {
+        if width == 32 {
+            let v = self.value as u32;
+            let m = self.mask as u32;
+            let shift = shift.min(31);
+            let sv = ((v as i32) >> shift) as u32;
+            // An unknown sign bit smears unknownness into the shifted-in
+            // positions, so arithmetic-shift the mask as if its sign bit
+            // were set whenever it is unknown.
+            let sm = if m & 0x8000_0000 != 0 {
+                ((m as i32) >> shift) as u32
+            } else {
+                m >> shift
+            };
+            return Tnum::new(sv as u64, sm as u64);
+        }
+        let shift = shift.min(63);
+        let sv = ((self.value as i64) >> shift) as u64;
+        let sm = if self.mask & (1 << 63) != 0 {
+            ((self.mask as i64) >> shift) as u64
+        } else {
+            self.mask >> shift
+        };
+        Tnum::new(sv, sm)
+    }
+
+    /// Shift left by a possibly-unknown amount: join over the feasible
+    /// shift counts when few bits of the count are unknown, else top.
+    pub fn lsh(self, count: Tnum) -> Tnum {
+        shift_join(self, count, Tnum::lsh_const)
+    }
+
+    /// Logical shift right by a possibly-unknown amount.
+    pub fn rsh(self, count: Tnum) -> Tnum {
+        shift_join(self, count, Tnum::rsh_const)
+    }
+
+    /// Arithmetic shift right by a possibly-unknown amount, at `width`.
+    pub fn arsh(self, count: Tnum, width: u32) -> Tnum {
+        shift_join(self, count, |t, s| t.arsh_const(s, width))
+    }
+
+    /// Truncate to the low 32 bits and zero-extend (ALU32 result semantics).
+    pub const fn cast32(self) -> Tnum {
+        Tnum::new(self.value & 0xffff_ffff, self.mask & 0xffff_ffff)
+    }
+
+    /// Minimum unsigned value contained in this tnum.
+    pub const fn umin(self) -> u64 {
+        self.value
+    }
+
+    /// Maximum unsigned value contained in this tnum.
+    pub const fn umax(self) -> u64 {
+        self.value | self.mask
+    }
+}
+
+/// Join `op(value, s)` over every feasible shift count `s & 63`. The count
+/// tnum usually has few unknown low bits; bail to a conservative join over
+/// the masked range when more than 6 bits are unknown (cannot happen after
+/// `& 63`, kept for safety).
+fn shift_join(value: Tnum, count: Tnum, op: impl Fn(Tnum, u32) -> Tnum) -> Tnum {
+    // BPF masks shift counts to the operand width before shifting; the
+    // callers pass counts already reduced mod 64 (or 32). Reduce again so
+    // unknown high bits of the count do not explode the enumeration.
+    let count = count.and(Tnum::constant(63));
+    let unknown = count.mask;
+    if unknown.count_ones() > 6 {
+        return Tnum::unknown();
+    }
+    let mut acc: Option<Tnum> = None;
+    // Enumerate the unknown bits of the count.
+    let mut subset = 0u64;
+    loop {
+        let s = (count.value | subset) as u32;
+        let shifted = op(value, s);
+        acc = Some(match acc {
+            None => shifted,
+            Some(a) => a.join(shifted),
+        });
+        // Next subset of `unknown` (standard subset-enumeration trick).
+        subset = subset.wrapping_sub(unknown) & unknown;
+        if subset == 0 {
+            break;
+        }
+    }
+    acc.unwrap_or_else(Tnum::unknown)
+}
+
+impl fmt::Display for Tnum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(c) = self.as_const() {
+            write!(f, "{c:#x}")
+        } else {
+            write!(f, "(v={:#x},m={:#x})", self.value, self.mask)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every tnum over the low 8 bits (with all high bits known-zero):
+    /// value/mask pairs with disjoint bits.
+    fn all_tnums8() -> Vec<Tnum> {
+        let mut out = Vec::new();
+        for mask in 0u64..256 {
+            let mut value = 0u64;
+            loop {
+                out.push(Tnum { value, mask });
+                value = value.wrapping_sub(!mask & 0xff) & (!mask & 0xff);
+                if value == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The concrete members of an 8-bit tnum.
+    fn members8(t: Tnum) -> Vec<u64> {
+        (0u64..256).filter(|&v| t.contains(v)).collect()
+    }
+
+    /// Abstraction granularities: for each concrete operand pair the check
+    /// abstracts both sides with every mask in this set, covering fully
+    /// known, nibble-unknown, interleaved-unknown and fully unknown shapes.
+    const MASKS: [u64; 4] = [0x00, 0x0f, 0x55, 0xff];
+
+    /// Check a binary transfer function against exhaustive 8-bit concrete
+    /// enumeration: for every pair of concrete operands and every
+    /// abstraction of them, the abstract output must contain the concrete
+    /// result.
+    fn check_binary(name: &str, abs: impl Fn(Tnum, Tnum) -> Tnum, conc: impl Fn(u64, u64) -> u64) {
+        for x in 0u64..256 {
+            for y in 0u64..256 {
+                let c = conc(x, y);
+                for am in MASKS {
+                    for bm in MASKS {
+                        let a = Tnum::new(x, am);
+                        let b = Tnum::new(y, bm);
+                        debug_assert!(a.contains(x) && b.contains(y));
+                        let r = abs(a, b);
+                        assert!(
+                            r.contains(c),
+                            "{name}: {a} op {b} = {r} misses concrete {x} op {y} = {c:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_contains_all_concrete_results() {
+        check_binary("add", Tnum::add, |x, y| x.wrapping_add(y));
+    }
+
+    #[test]
+    fn sub_contains_all_concrete_results() {
+        check_binary("sub", Tnum::sub, |x, y| x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn mul_contains_all_concrete_results() {
+        check_binary("mul", Tnum::mul, |x, y| x.wrapping_mul(y));
+    }
+
+    #[test]
+    fn and_contains_all_concrete_results() {
+        check_binary("and", Tnum::and, |x, y| x & y);
+    }
+
+    #[test]
+    fn or_contains_all_concrete_results() {
+        check_binary("or", Tnum::or, |x, y| x | y);
+    }
+
+    #[test]
+    fn xor_contains_all_concrete_results() {
+        check_binary("xor", Tnum::xor, |x, y| x ^ y);
+    }
+
+    #[test]
+    fn lsh_contains_all_concrete_results() {
+        check_binary("lsh", Tnum::lsh, |x, y| x.wrapping_shl((y & 63) as u32));
+    }
+
+    #[test]
+    fn rsh_contains_all_concrete_results() {
+        check_binary("rsh", Tnum::rsh, |x, y| x.wrapping_shr((y & 63) as u32));
+    }
+
+    #[test]
+    fn arsh64_contains_all_concrete_results() {
+        // Sign-extend the 8-bit member into 64 bits so the arithmetic shift
+        // has a real sign bit to replicate, then compare in 64-bit space.
+        let tnums = all_tnums8();
+        let sample: Vec<Tnum> = tnums
+            .iter()
+            .copied()
+            .filter(|t| t.mask == 0 || t.value == 0 || t.value == (!t.mask & 0xff))
+            .collect();
+        for &a in &sample {
+            for shift in 0u32..12 {
+                let r = a.arsh_const(shift, 64);
+                for &x in &members8(a) {
+                    let c = ((x as i64) >> shift.min(63)) as u64;
+                    assert!(
+                        r.contains(c),
+                        "arsh64: {a} >>s {shift} = {r} misses {x} -> {c:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arsh32_replicates_the_32bit_sign() {
+        // 0xffff_ff00 has a known-set 32-bit sign; shifting right by 8 must
+        // keep the high bits set.
+        let t = Tnum::constant(0xffff_ff00);
+        assert_eq!(t.arsh_const(8, 32).as_const(), Some(0xffff_ffff));
+        // Unknown sign bit: the shifted-in bits become unknown.
+        let u = Tnum::new(0, 0x8000_0000);
+        let r = u.arsh_const(4, 32);
+        assert!(r.contains(0));
+        assert!(r.contains(0xf800_0000));
+    }
+
+    #[test]
+    fn join_contains_both_and_subsumption_holds() {
+        let tnums = all_tnums8();
+        let sample: Vec<Tnum> = tnums.iter().copied().step_by(41).collect();
+        for &a in &sample {
+            for &b in &sample {
+                let j = a.join(b);
+                assert!(j.subsumes(a), "join {j} must subsume {a}");
+                assert!(j.subsumes(b), "join {j} must subsume {b}");
+                for &x in &members8(a) {
+                    assert!(j.contains(x));
+                }
+                for &x in &members8(b) {
+                    assert!(j.contains(x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_refines_membership() {
+        let a = Tnum::new(0b1000, 0b0111); // 8..=15
+        let b = Tnum::new(0b0001, 0b1110); // odd numbers 1..=15
+        let i = a.intersect(b).unwrap();
+        for v in 0u64..16 {
+            assert_eq!(i.contains(v), a.contains(v) && b.contains(v), "{v}");
+        }
+        // Contradicting constants have an empty intersection.
+        assert_eq!(
+            Tnum::constant(3).intersect(Tnum::constant(4)),
+            None,
+            "3 /\\ 4 must be empty"
+        );
+    }
+
+    #[test]
+    fn constants_and_bounds() {
+        let c = Tnum::constant(0xdead);
+        assert!(c.is_const());
+        assert_eq!(c.as_const(), Some(0xdead));
+        assert_eq!(c.umin(), 0xdead);
+        assert_eq!(c.umax(), 0xdead);
+        let u = Tnum::new(0x10, 0x0f);
+        assert_eq!(u.umin(), 0x10);
+        assert_eq!(u.umax(), 0x1f);
+        assert!(Tnum::unknown().contains(u64::MAX));
+        assert_eq!(u.cast32(), u);
+        assert_eq!(
+            Tnum::new(0xffff_ffff_0000_0000, 0xf).cast32(),
+            Tnum::new(0, 0xf)
+        );
+    }
+}

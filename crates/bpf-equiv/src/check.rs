@@ -41,6 +41,19 @@ pub struct EquivOptions {
     /// is re-derived by the cold path so counterexample models — and
     /// therefore search trajectories — stay bit-identical with it on or off.
     pub incremental_solving: bool,
+    /// Use the kernel-conformant abstract interpreter
+    /// ([`bpf_analysis::absint`]) as a solver-pruning oracle. When the
+    /// analysis accepts the source program, its derived facts are used two
+    /// ways: (1) range/known-bits facts at a window's entry strengthen the
+    /// windowed check's precondition, converting window fallbacks into
+    /// window hits (full-program queries can only decrease); (2) branch
+    /// edges proven dead are encoded under a `false` condition on the
+    /// incremental-solver path, shrinking the source-side formula. Both are
+    /// verdict-preserving — and the cold path (which produces counterexample
+    /// models) is untouched — so search trajectories are bit-identical with
+    /// the knob on or off. The `K2_STATIC_ANALYSIS` environment override is
+    /// resolved by the `k2::api` configuration layering.
+    pub static_analysis: bool,
 }
 
 impl Default for EquivOptions {
@@ -52,6 +65,7 @@ impl Default for EquivOptions {
             window_verification: true,
             enable_cache: true,
             incremental_solving: true,
+            static_analysis: true,
         }
     }
 }
@@ -66,6 +80,7 @@ impl EquivOptions {
             window_verification: false,
             enable_cache: false,
             incremental_solving: false,
+            static_analysis: false,
         }
     }
 
@@ -117,6 +132,14 @@ pub struct EquivStats {
     pub window_fallbacks: u64,
     /// Microseconds spent inside window-local checks (hits and fallbacks).
     pub window_time_us: u64,
+    /// Precondition constraints asserted from abstract-interpretation facts
+    /// across windowed checks (range/known-bits bounds on free entry
+    /// registers).
+    pub static_window_facts: u64,
+    /// Branch edges encoded under a `false` condition because the abstract
+    /// interpreter proved them dead (counted per source encoding on the
+    /// incremental-solver path).
+    pub static_pruned_branches: u64,
     /// Checks refuted by the pre-SMT concrete-execution stage: a divergent
     /// input was found in microseconds, so no solver query was built.
     pub refuted_by_testing: u64,
@@ -146,6 +169,8 @@ impl EquivStats {
         self.window_hits += other.window_hits;
         self.window_fallbacks += other.window_fallbacks;
         self.window_time_us += other.window_time_us;
+        self.static_window_facts += other.static_window_facts;
+        self.static_pruned_branches += other.static_pruned_branches;
         self.refuted_by_testing += other.refuted_by_testing;
         self.smt_escalations += other.smt_escalations;
         self.refute_time_us += other.refute_time_us;
@@ -199,6 +224,16 @@ fn outcome_of_error(e: EncodeError) -> EquivOutcome {
     EquivOutcome::Unknown(e.to_string())
 }
 
+/// Fingerprint of a source program's instructions, used to key the
+/// per-source caches (window analysis, incremental-solver context, absint
+/// facts) so each is rebuilt exactly when the source changes.
+fn fingerprint_of(insns: &[bpf_isa::Insn]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    insns.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// A stateful checker bound to one source program: caches verdicts for the
 /// candidates it sees and accumulates statistics. This is the object the K2
 /// search loop holds for the duration of one compilation.
@@ -235,6 +270,11 @@ pub struct EquivChecker {
     /// source yields identical terms and zero new CNF — and the warm SAT
     /// solver with its learned clauses.
     inc_ctx: Option<IncrementalCtx>,
+    /// Lazily computed abstract-interpretation facts for the source program
+    /// (fingerprint-checked like `window_ctx`). `Some((_, None))` = the
+    /// analysis did not accept that source, so no facts apply. Only
+    /// consulted when [`EquivOptions::static_analysis`] is on.
+    facts_ctx: Option<(u64, Option<Arc<bpf_analysis::ProgramFacts>>)>,
     /// Statistics accumulated across `check` calls.
     pub stats: EquivStats,
     telemetry: TelemetryRef,
@@ -257,6 +297,7 @@ impl EquivChecker {
             window_ctx: None,
             refuter: None,
             inc_ctx: None,
+            facts_ctx: None,
             stats: EquivStats::default(),
             telemetry: TelemetryRef::none(),
         }
@@ -503,28 +544,26 @@ impl EquivChecker {
         if jumps_inside {
             return None;
         }
-        let fingerprint = {
-            use std::hash::{Hash, Hasher};
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            src.insns.hash(&mut hasher);
-            hasher.finish()
-        };
+        let fingerprint = fingerprint_of(&src.insns);
         if !matches!(&self.window_ctx, Some((fp, _)) if *fp == fingerprint) {
             self.window_ctx = Some((fingerprint, WindowContext::new(src)));
         }
+        let facts = self.source_facts(src);
         let ctx = self
             .window_ctx
             .as_ref()
             .expect("just inserted")
             .1
             .as_ref()?;
-        let (outcome, us) = check_window_with(
+        let (outcome, us, fact_constraints) = check_window_with(
             ctx,
             src,
             window,
             &cand.insns[window.start..window.end],
             &self.options.encode_options(),
+            facts.as_deref(),
         );
+        self.stats.static_window_facts += fact_constraints;
         self.stats.window_time_us += us;
         self.telemetry.time_us("equiv.window", us);
         match outcome {
@@ -541,6 +580,25 @@ impl EquivChecker {
                 None
             }
         }
+    }
+
+    /// Abstract-interpretation facts for the source program, computed once
+    /// per source (fingerprint-checked) and only when
+    /// [`EquivOptions::static_analysis`] is on. `None` when the knob is off
+    /// or the analysis did not accept the source — facts from a
+    /// non-accepting run would not be sound to assume.
+    fn source_facts(&mut self, src: &Program) -> Option<Arc<bpf_analysis::ProgramFacts>> {
+        if !self.options.static_analysis {
+            return None;
+        }
+        let fingerprint = fingerprint_of(&src.insns);
+        if !matches!(&self.facts_ctx, Some((fp, _)) if *fp == fingerprint) {
+            let result = bpf_analysis::analyze(src, &bpf_analysis::AbsintConfig::default());
+            let facts = matches!(result.verdict, bpf_analysis::AbsVerdict::Accept)
+                .then(|| Arc::new(result.facts));
+            self.facts_ctx = Some((fingerprint, facts));
+        }
+        self.facts_ctx.as_ref().expect("just ensured").1.clone()
     }
 
     fn cached_outcome(verdict: CachedVerdict) -> EquivOutcome {
@@ -589,12 +647,7 @@ impl EquivChecker {
         cand: &Program,
         start: Instant,
     ) -> Option<EquivOutcome> {
-        let fingerprint = {
-            use std::hash::{Hash, Hasher};
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            src.insns.hash(&mut hasher);
-            hasher.finish()
-        };
+        let fingerprint = fingerprint_of(&src.insns);
         if !matches!(&self.inc_ctx, Some(ctx) if ctx.fingerprint == fingerprint) {
             let mut solver = IncrementalSolver::new();
             solver.set_telemetry(self.telemetry.clone());
@@ -605,16 +658,28 @@ impl EquivChecker {
             });
         }
         let encode_options = self.options.encode_options();
+        // Dead-edge pruning is safe here and only here: the incremental
+        // path's decisions are UNSAT-only (SAT escalates to the cold solve,
+        // which re-derives the canonical counterexample model from an
+        // unpruned encoding), and pruning preserves the formula's
+        // satisfying-assignment set exactly (see `Encoder::set_branch_facts`).
+        let facts = self.source_facts(src);
         let telemetry = self.telemetry.clone();
         let ctx = self.inc_ctx.as_mut().expect("just ensured");
 
         // Encode both programs into the persistent hash-consed pool. The
         // source re-encodes to the exact same terms every query (so its
-        // constraints dedup to zero new work); the candidate's terms are
-        // new, but shared subterms hit the blaster memo.
+        // constraints dedup to zero new work; the facts are deterministic
+        // per source, so pruned encodings dedup the same way); the
+        // candidate's terms are new, but shared subterms hit the blaster
+        // memo.
         let encode_span = telemetry.span("equiv.encode");
         let mut encoder = Encoder::new(&mut ctx.pool, encode_options);
+        if let Some(facts) = &facts {
+            encoder.set_branch_facts(0, facts.clone());
+        }
         let enc_src = encoder.encode_program(src, 0).ok()?;
+        let pruned_edges = encoder.pruned_edges();
         let n_src = encoder.constraints.len();
         let enc_cand = encoder.encode_program(cand, 1).ok()?;
         let call_compat = encoder.call_logs_compatible(&enc_src, &enc_cand)?;
@@ -643,6 +708,7 @@ impl EquivChecker {
         goals.push(differ);
         let result = ctx.solver.check_assuming(&ctx.pool, &goals);
         let (cnf_vars, cnf_clauses) = (ctx.solver.stats.cnf_vars, ctx.solver.stats.cnf_clauses);
+        self.stats.static_pruned_branches += pruned_edges;
         match result {
             CheckResult::Unsat => {
                 self.stats.last_cnf_vars = cnf_vars;
@@ -1150,5 +1216,100 @@ mod tests {
         let (outcome, us) = check_equivalence(&src, &cand, &EquivOptions::default());
         assert!(outcome.is_equivalent());
         assert!(us > 0);
+    }
+
+    #[test]
+    fn window_facts_convert_fallbacks_into_hits() {
+        // The window entry register r6 is unknown to the type analysis (it
+        // comes from a helper), but the abstract interpreter bounds it to
+        // [0, 7]; under that fact the rewrite `r6 >>= 3` -> `r6 = 0` is
+        // window-provable, so the full-program solver query disappears.
+        let src =
+            xdp("call get_prandom_u32\nmov64 r6, r0\nand64 r6, 7\nrsh64 r6, 3\nmov64 r0, r6\nexit");
+        let mut cand = src.clone();
+        cand.insns[3] = asm::assemble("mov64 r6, 0").unwrap()[0];
+        let region = Some(crate::window::Window { start: 3, end: 4 });
+
+        let mut with = EquivChecker::new(EquivOptions::default());
+        let with_outcome = with.check_in_window(&src, &cand, region);
+        assert!(with_outcome.is_equivalent(), "{with_outcome:?}");
+        assert_eq!(with.stats.window_hits, 1);
+        assert_eq!(with.stats.window_fallbacks, 0);
+        assert_eq!(with.stats.queries, 0, "window hit needs no solver query");
+        assert!(with.stats.static_window_facts > 0);
+
+        let mut without = EquivChecker::new(EquivOptions {
+            static_analysis: false,
+            ..EquivOptions::default()
+        });
+        let without_outcome = without.check_in_window(&src, &cand, region);
+        assert_eq!(with_outcome, without_outcome, "verdicts must not change");
+        assert_eq!(without.stats.window_hits, 0);
+        assert_eq!(without.stats.window_fallbacks, 1);
+        assert_eq!(without.stats.queries, 1, "fallback pays a full query");
+        assert_eq!(without.stats.static_window_facts, 0);
+    }
+
+    #[test]
+    fn dead_edge_pruning_preserves_verdicts() {
+        // `jgt r6, 10` with r6 == 5 is never taken; the dead code differs
+        // between source and the first candidate, which is therefore
+        // equivalent. The abstract interpreter proves the edge dead and the
+        // incremental encoding replaces its condition with `false` — without
+        // changing any verdict.
+        let src = xdp("mov64 r6, 5\njgt r6, 10, +2\nmov64 r0, 1\nexit\nmov64 r0, 2\nexit");
+        let equiv_cand = xdp("mov64 r6, 5\njgt r6, 10, +2\nmov64 r0, 1\nexit\nmov64 r0, 3\nexit");
+        let diff_cand = xdp("mov64 r6, 5\njgt r6, 10, +2\nmov64 r0, 7\nexit\nmov64 r0, 2\nexit");
+
+        let mut with = EquivChecker::new(EquivOptions {
+            enable_cache: false,
+            ..EquivOptions::default()
+        });
+        let mut without = EquivChecker::new(EquivOptions {
+            enable_cache: false,
+            static_analysis: false,
+            ..EquivOptions::default()
+        });
+        for cand in [&equiv_cand, &diff_cand] {
+            let a = with.check(&src, cand);
+            let b = without.check(&src, cand);
+            assert_eq!(a, b, "outcome drift on {cand}");
+        }
+        assert!(
+            with.stats.static_pruned_branches > 0,
+            "the dead taken edge should be pruned at least once"
+        );
+        assert_eq!(without.stats.static_pruned_branches, 0);
+    }
+
+    #[test]
+    fn static_analysis_is_query_neutral_or_better() {
+        // Across a corpus spanning window hits, fallbacks, and full checks,
+        // the knob must preserve every verdict and never add solver queries.
+        let src =
+            xdp("call get_prandom_u32\nmov64 r6, r0\nand64 r6, 7\nrsh64 r6, 3\nmov64 r0, r6\nexit");
+        let mut shifted = src.clone();
+        shifted.insns[3] = asm::assemble("mov64 r6, 0").unwrap()[0];
+        let mut wrong = src.clone();
+        wrong.insns[3] = asm::assemble("mov64 r6, 1").unwrap()[0];
+        let region = Some(crate::window::Window { start: 3, end: 4 });
+        let cases = [(&shifted, region), (&wrong, region), (&shifted, None)];
+
+        let mut with = EquivChecker::new(EquivOptions::default());
+        let mut without = EquivChecker::new(EquivOptions {
+            static_analysis: false,
+            ..EquivOptions::default()
+        });
+        for (cand, region) in cases {
+            let a = with.check_in_window(&src, cand, region);
+            let b = without.check_in_window(&src, cand, region);
+            assert_eq!(a, b, "outcome drift on {cand}");
+        }
+        assert!(
+            with.stats.queries <= without.stats.queries,
+            "static analysis must not add solver queries ({} > {})",
+            with.stats.queries,
+            without.stats.queries
+        );
     }
 }

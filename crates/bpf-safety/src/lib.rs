@@ -22,6 +22,14 @@
 //! each register whether it holds a scalar, a bounded scalar, or a pointer
 //! with a known region and offset range, plus which stack bytes have been
 //! initialized, and which packet length has been proven by bounds checks.
+//!
+//! Both entry points can additionally run the kernel-conformant abstract
+//! interpreter ([`bpf_analysis::absint`]: tnums, signed/unsigned ranges,
+//! bounded pointer offsets) as a *screening pass* ahead of the walk
+//! (`static_analysis` knob, on by default). The screen's reject conditions
+//! mirror the walk's, so verdicts are bit-identical with the knob off; a
+//! screen rejection merely short-circuits the walk, and a screen that runs
+//! out of its state budget reports [`ScreenOutcome::Unknown`] and defers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +39,5 @@ pub mod safety;
 pub mod verifier;
 
 pub use linux::{LinuxVerifier, LinuxVerifierConfig};
-pub use safety::{SafetyChecker, SafetyConfig};
-pub use verifier::{Verdict, VerifierError, VerifierStats};
+pub use safety::{SafetyChecker, SafetyConfig, SafetyStats};
+pub use verifier::{ScreenOutcome, Verdict, VerifierError, VerifierStats};

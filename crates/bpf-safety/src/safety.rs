@@ -1,6 +1,8 @@
 //! The K2-side safety checker used inside the stochastic search (paper §6).
 
-use crate::verifier::{verify, Verdict, VerifierConfig, VerifierError, VerifierStats};
+use crate::verifier::{
+    screen, verify, ScreenOutcome, Verdict, VerifierConfig, VerifierError, VerifierStats,
+};
 use bpf_isa::Program;
 
 /// Configuration of the K2 safety checker.
@@ -16,6 +18,18 @@ pub struct SafetyConfig {
     pub max_insns: usize,
     /// Enforce size-aligned stack accesses.
     pub enforce_stack_alignment: bool,
+    /// Screen candidates with the kernel-conformant abstract interpreter
+    /// (tnum + range analysis) before the authoritative path walk. The
+    /// screen's rejections mirror the walk's, so verdicts — and therefore
+    /// search trajectories — are bit-identical either way; only where the
+    /// work happens changes. The `K2_STATIC_ANALYSIS` environment override
+    /// is resolved by the `k2::api` configuration layering.
+    pub static_analysis: bool,
+    /// State budget of the screening pass: instructions examined across all
+    /// abstract paths before the screen gives up with a clean
+    /// [`ScreenOutcome::Unknown`] (bounded iteration instead of an
+    /// open-ended walk).
+    pub state_budget: usize,
 }
 
 impl Default for SafetyConfig {
@@ -24,6 +38,8 @@ impl Default for SafetyConfig {
             complexity_limit: 100_000,
             max_insns: 4096,
             enforce_stack_alignment: true,
+            static_analysis: true,
+            state_budget: 16_384,
         }
     }
 }
@@ -36,6 +52,9 @@ pub struct SafetyChecker {
     pub config: SafetyConfig,
     /// Accumulated statistics.
     pub stats: SafetyStats,
+    /// Engine configuration, resolved once at construction and reused for
+    /// every check (the checker itself is constructed once per chain).
+    engine_config: VerifierConfig,
 }
 
 /// Accumulated statistics of a [`SafetyChecker`].
@@ -49,6 +68,26 @@ pub struct SafetyStats {
     pub unsafe_found: u64,
     /// Total instructions examined by the underlying verifier.
     pub insns_examined: u64,
+    /// Candidates screened by the abstract interpreter.
+    pub screens: u64,
+    /// Candidates the screen rejected (the path walk was skipped).
+    pub screen_rejects: u64,
+    /// Screens that ran out of state budget (the path walk decided).
+    pub screen_unknowns: u64,
+}
+
+impl SafetyStats {
+    /// Fold another checker's counters into this one (used when aggregating
+    /// per-chain statistics into an engine-level report).
+    pub fn absorb(&mut self, other: &SafetyStats) {
+        self.checked += other.checked;
+        self.safe += other.safe;
+        self.unsafe_found += other.unsafe_found;
+        self.insns_examined += other.insns_examined;
+        self.screens += other.screens;
+        self.screen_rejects += other.screen_rejects;
+        self.screen_unknowns += other.screen_unknowns;
+    }
 }
 
 impl SafetyChecker {
@@ -57,23 +96,44 @@ impl SafetyChecker {
         SafetyChecker {
             config,
             stats: SafetyStats::default(),
+            engine_config: VerifierConfig {
+                max_insns: config.max_insns,
+                complexity_limit: config.complexity_limit,
+                enforce_stack_alignment: config.enforce_stack_alignment,
+                forbid_ctx_store_imm: true,
+                forbid_pointer_alu: true,
+                forbid_unreachable: true,
+            },
         }
     }
 
     /// Check one candidate. `Ok(())` means safe; `Err` carries the first
     /// violated property (which the search turns into the `ERR_MAX` safety
     /// cost of §3.2).
+    ///
+    /// With [`SafetyConfig::static_analysis`] on, the abstract interpreter
+    /// screens the candidate first: a screen rejection short-circuits the
+    /// path walk (the walk would reject too — the screen's reject conditions
+    /// are a mirror of the walk's); a pass or budget-exhausted screen falls
+    /// through to the authoritative walk. The safe/unsafe verdict is
+    /// identical with the knob off.
     pub fn check(&mut self, prog: &Program) -> Result<VerifierStats, VerifierError> {
-        let config = VerifierConfig {
-            max_insns: self.config.max_insns,
-            complexity_limit: self.config.complexity_limit,
-            enforce_stack_alignment: self.config.enforce_stack_alignment,
-            forbid_ctx_store_imm: true,
-            forbid_pointer_alu: true,
-            forbid_unreachable: true,
-        };
-        let (verdict, stats) = verify(prog, &config);
         self.stats.checked += 1;
+        if self.config.static_analysis {
+            self.stats.screens += 1;
+            let (outcome, abs_stats) = screen(prog, &self.engine_config, self.config.state_budget);
+            self.stats.insns_examined += abs_stats.insns_examined as u64;
+            match outcome {
+                ScreenOutcome::Reject(e) => {
+                    self.stats.screen_rejects += 1;
+                    self.stats.unsafe_found += 1;
+                    return Err(e);
+                }
+                ScreenOutcome::Unknown => self.stats.screen_unknowns += 1,
+                ScreenOutcome::Pass => {}
+            }
+        }
+        let (verdict, stats) = verify(prog, &self.engine_config);
         self.stats.insns_examined += stats.insns_examined as u64;
         match verdict {
             Verdict::Accept => {
@@ -98,23 +158,23 @@ mod tests {
     use super::*;
     use bpf_isa::{asm, ProgramType};
 
+    fn xdp(text: &str) -> Program {
+        Program::new(ProgramType::Xdp, asm::assemble(text).unwrap())
+    }
+
     #[test]
     fn stats_accumulate() {
         let mut checker = SafetyChecker::new(SafetyConfig::default());
-        let safe = Program::new(
-            ProgramType::Xdp,
-            asm::assemble("mov64 r0, 0\nexit").unwrap(),
-        );
-        let unsafe_p = Program::new(
-            ProgramType::Xdp,
-            asm::assemble("ldxdw r0, [r10-8]\nexit").unwrap(),
-        );
+        let safe = xdp("mov64 r0, 0\nexit");
+        let unsafe_p = xdp("ldxdw r0, [r10-8]\nexit");
         assert!(checker.is_safe(&safe));
         assert!(!checker.is_safe(&unsafe_p));
         assert_eq!(checker.stats.checked, 2);
         assert_eq!(checker.stats.safe, 1);
         assert_eq!(checker.stats.unsafe_found, 1);
         assert!(checker.stats.insns_examined > 0);
+        assert_eq!(checker.stats.screens, 2);
+        assert_eq!(checker.stats.screen_rejects, 1);
     }
 
     #[test]
@@ -122,5 +182,53 @@ mod tests {
         let cfg = SafetyConfig::default();
         assert_eq!(cfg.max_insns, 4096);
         assert!(cfg.enforce_stack_alignment);
+        assert!(cfg.static_analysis);
+    }
+
+    #[test]
+    fn screening_never_flips_the_verdict() {
+        // Probe corpus spanning accepts and every major rejection family:
+        // the screened checker must agree with the screen-off checker on
+        // every program (the trajectory-preservation contract).
+        let probes = [
+            "mov64 r0, 0\nexit",
+            "ldxdw r0, [r10-8]\nexit",
+            "mov64 r0, r5\nexit",
+            "ldxdw r2, [r1+0]\nldxb r0, [r2+0]\nexit",
+            "stdw [r10-8], 1\nldxdw r0, [r10-8]\nexit",
+            "mov64 r2, r10\nmul64 r2, 4\nmov64 r0, 0\nexit",
+            "mov64 r0, 0\nexit\nmov64 r0, 1\nexit",
+            "stdw [r10-520], 1\nmov64 r0, 0\nexit",
+        ];
+        let mut screened = SafetyChecker::new(SafetyConfig::default());
+        let mut plain = SafetyChecker::new(SafetyConfig {
+            static_analysis: false,
+            ..SafetyConfig::default()
+        });
+        for text in probes {
+            let prog = xdp(text);
+            assert_eq!(
+                screened.is_safe(&prog),
+                plain.is_safe(&prog),
+                "verdict diverged on: {text}"
+            );
+        }
+        assert_eq!(screened.stats.screens, probes.len() as u64);
+        assert_eq!(plain.stats.screens, 0);
+        assert!(screened.stats.screen_rejects > 0);
+    }
+
+    #[test]
+    fn screen_budget_falls_back_to_the_walk() {
+        // A tiny state budget forces ScreenOutcome::Unknown; the path walk
+        // still resolves the verdict.
+        let mut checker = SafetyChecker::new(SafetyConfig {
+            state_budget: 1,
+            ..SafetyConfig::default()
+        });
+        assert!(checker.is_safe(&xdp("mov64 r0, 0\nexit")));
+        assert_eq!(checker.stats.screen_unknowns, 1);
+        assert_eq!(checker.stats.screen_rejects, 0);
+        assert_eq!(checker.stats.safe, 1);
     }
 }

@@ -247,6 +247,83 @@ impl Default for VerifierConfig {
     }
 }
 
+/// Outcome of the static screening pass: the kernel-conformant abstract
+/// interpreter ([`bpf_analysis::absint`]) run ahead of the authoritative
+/// path walk.
+///
+/// The screen is conservative by construction — every condition it rejects
+/// on mirrors a condition the path walk rejects on — so a [`ScreenOutcome::Reject`]
+/// can short-circuit the walk without changing any safe/unsafe verdict.
+/// [`ScreenOutcome::Unknown`] is the bounded-iteration outcome: the
+/// interpreter's state budget ran out before a fixpoint, so the walk must
+/// decide (the clean alternative to unbounded exploration the kernel solves
+/// with its own `states_equal` pruning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScreenOutcome {
+    /// The abstract interpreter accepted the program. The path walk remains
+    /// authoritative (the screen is allowed to accept more than the walk).
+    Pass,
+    /// The abstract interpreter proved a safety violation; the path walk
+    /// would reject too.
+    Reject(VerifierError),
+    /// The state budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Map a screening rejection onto the engine's error type. The two enums
+/// mirror each other variant-for-variant (the screen has no complexity
+/// limit; its budget outcome is [`ScreenOutcome::Unknown`], not an error).
+fn screen_error(e: bpf_analysis::AbsError) -> VerifierError {
+    use bpf_analysis::AbsError as A;
+    match e {
+        A::Loop => VerifierError::Loop,
+        A::JumpOutOfRange { at } => VerifierError::JumpOutOfRange { at },
+        A::UnreachableCode { at } => VerifierError::UnreachableCode { at },
+        A::FallOffEnd => VerifierError::FallOffEnd,
+        A::UninitRegister { reg, at } => VerifierError::UninitRegister { reg, at },
+        A::FramePointerWrite { at } => VerifierError::FramePointerWrite { at },
+        A::StackOutOfBounds { off, at } => VerifierError::StackOutOfBounds { off, at },
+        A::StackReadBeforeWrite { off, at } => VerifierError::StackReadBeforeWrite { off, at },
+        A::Misaligned { off, size, at } => VerifierError::Misaligned { off, size, at },
+        A::PacketOutOfBounds { at } => VerifierError::PacketOutOfBounds { at },
+        A::CtxOutOfBounds { at } => VerifierError::CtxOutOfBounds { at },
+        A::CtxStoreImm { at } => VerifierError::CtxStoreImm { at },
+        A::CtxWrite { at } => VerifierError::CtxWrite { at },
+        A::MapValueOutOfBounds { at } => VerifierError::MapValueOutOfBounds { at },
+        A::PossibleNullDeref { at } => VerifierError::PossibleNullDeref { at },
+        A::PointerArithmetic { at } => VerifierError::PointerArithmetic { at },
+        A::UnknownPointerDeref { at } => VerifierError::UnknownPointerDeref { at },
+        A::BadHelperArgument { at, what } => VerifierError::BadHelperArgument { at, what },
+        A::UnknownHelper { at } => VerifierError::UnknownHelper { at },
+        A::TooManyInstructions { len, limit } => VerifierError::TooManyInstructions { len, limit },
+    }
+}
+
+/// Run the kernel-conformant abstract interpreter as a screening pass under
+/// the engine configuration. Shared by [`crate::SafetyChecker`] and
+/// [`crate::LinuxVerifier`] when their `static_analysis` knob is on.
+pub fn screen(
+    prog: &Program,
+    config: &VerifierConfig,
+    state_budget: usize,
+) -> (ScreenOutcome, bpf_analysis::AbsintStats) {
+    let abs_config = bpf_analysis::AbsintConfig {
+        max_insns: config.max_insns,
+        state_budget,
+        enforce_stack_alignment: config.enforce_stack_alignment,
+        forbid_ctx_store_imm: config.forbid_ctx_store_imm,
+        forbid_pointer_alu: config.forbid_pointer_alu,
+        forbid_unreachable: config.forbid_unreachable,
+    };
+    let result = bpf_analysis::analyze(prog, &abs_config);
+    let outcome = match result.verdict {
+        bpf_analysis::AbsVerdict::Accept => ScreenOutcome::Pass,
+        bpf_analysis::AbsVerdict::Reject(e) => ScreenOutcome::Reject(screen_error(e)),
+        bpf_analysis::AbsVerdict::Unknown => ScreenOutcome::Unknown,
+    };
+    (outcome, result.stats)
+}
+
 /// Abstract value of a register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RV {

@@ -65,6 +65,15 @@ pub struct CompilerOptions {
     /// bit-identical with it on or off. The `K2_INCREMENTAL_SAT` environment
     /// override is applied by the `k2::api` layering.
     pub incremental_sat: bool,
+    /// Kernel-conformant abstract interpretation (tnum + range analysis) as
+    /// a search constraint and solver-pruning oracle, threaded into every
+    /// chain's [`crate::cost::CostSettings`]: candidates are screened before
+    /// the safety walk, and source-program facts strengthen window
+    /// preconditions and prune dead branches from incremental encodings.
+    /// Verdict-preserving by construction, so search trajectories are
+    /// bit-identical with it on or off. The `K2_STATIC_ANALYSIS` environment
+    /// override is applied by the `k2::api` layering.
+    pub static_analysis: bool,
     /// Engine-level knobs: epochs, cross-chain sharing, convergence, the
     /// wall-clock budget, and the batch worker pool. Values are taken as
     /// given; the `K2_*` environment overrides are resolved by `k2::api`.
@@ -98,6 +107,7 @@ impl Default for CompilerOptions {
             window_verification: true,
             refute_inputs: 64,
             incremental_sat: true,
+            static_analysis: true,
             engine: EngineConfig::default(),
             sink: EventSinkRef::none(),
             telemetry: TelemetryRef::none(),

@@ -93,6 +93,14 @@ pub struct CostSettings {
     /// `K2_INCREMENTAL_SAT` environment override is resolved by the
     /// `k2::api` configuration layering.
     pub incremental_sat: bool,
+    /// Screen candidates with the kernel-conformant abstract interpreter
+    /// (tnum + range analysis) before the authoritative safety walk, and
+    /// feed its derived facts to the window-based equivalence checker as
+    /// solver-pruning hints. The screen's rejections mirror the walk's, so
+    /// safety verdicts — and search trajectories — are bit-identical with
+    /// the knob off. The `K2_STATIC_ANALYSIS` environment override is
+    /// resolved by the `k2::api` configuration layering.
+    pub static_analysis: bool,
 }
 
 impl Default for CostSettings {
@@ -108,6 +116,7 @@ impl Default for CostSettings {
             window_verification: true,
             refute_inputs: 64,
             incremental_sat: true,
+            static_analysis: true,
         }
     }
 }
@@ -228,6 +237,7 @@ impl CostFunction {
         let equiv_options = EquivOptions {
             window_verification: settings.window_verification,
             incremental_solving: settings.incremental_sat,
+            static_analysis: settings.static_analysis,
             ..EquivOptions::default()
         };
         let equiv = match shared_cache {
@@ -241,7 +251,10 @@ impl CostFunction {
             tests,
             expected,
             equiv,
-            safety: SafetyChecker::new(SafetyConfig::default()),
+            safety: SafetyChecker::new(SafetyConfig {
+                static_analysis: settings.static_analysis,
+                ..SafetyConfig::default()
+            }),
             cost_model,
             src_perf,
             backend,
@@ -301,6 +314,20 @@ impl CostFunction {
     /// Access the equivalence checker (for cache statistics).
     pub fn equivalence_checker(&self) -> &EquivChecker {
         &self.equiv
+    }
+
+    /// Accumulated statistics of the per-chain safety checker (screens,
+    /// screen rejections, budget-exhausted screens).
+    pub fn safety_stats(&self) -> bpf_safety::SafetyStats {
+        self.safety.stats
+    }
+
+    /// Mutable access to the per-chain safety checker. The checker is
+    /// constructed once with the cost function and reused for every
+    /// candidate — callers wanting a safety verdict should borrow it here
+    /// rather than constructing a fresh one.
+    pub fn safety_checker_mut(&mut self) -> &mut SafetyChecker {
+        &mut self.safety
     }
 
     /// Accumulated equivalence-checker statistics (solver queries, cache

@@ -58,6 +58,9 @@ pub struct EngineReport {
     /// Equivalence statistics summed over all chains (solver queries, cache
     /// hits per layer, solver time).
     pub equiv: EquivStats,
+    /// Safety-checker statistics summed over all chains (candidates checked,
+    /// abstract-interpreter screens and screen rejects).
+    pub safety: bpf_safety::SafetyStats,
     /// Combined verdict-cache statistics: hits through either layer vs.
     /// checks that had to query the solver.
     pub cache: CacheStats,
@@ -170,6 +173,7 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
             cost_settings.window_verification = opts.window_verification;
             cost_settings.refute_inputs = opts.refute_inputs;
             cost_settings.incremental_sat = opts.incremental_sat;
+            cost_settings.static_analysis = opts.static_analysis;
             let shared = cfg.shared_cache.then(|| Arc::clone(ctx.cache()));
             let mut cost = CostFunction::with_shared_cache(
                 src,
@@ -277,8 +281,10 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
         }
         if sink.is_set() {
             let mut equiv = EquivStats::default();
+            let mut safety = bpf_safety::SafetyStats::default();
             for chain in chains.iter() {
                 equiv.absorb(&chain.cost_function().equiv_stats());
+                safety.absorb(&chain.cost_function().safety_stats());
             }
             sink.emit(SearchEvent::SolverStats {
                 epoch,
@@ -292,6 +298,10 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
                 smt_escalations: equiv.smt_escalations,
                 shared_cache_entries: ctx.cache().len(),
                 counterexample_pool: ctx.pool().len(),
+                safety_screens: safety.screens,
+                safety_screen_rejects: safety.screen_rejects,
+                static_window_facts: equiv.static_window_facts,
+                static_pruned_branches: equiv.static_pruned_branches,
             });
         }
         sink.emit(SearchEvent::EpochBarrier {
@@ -363,6 +373,7 @@ pub fn run_search(src: &Program, opts: &CompilerOptions) -> EngineOutcome {
         .map(|(chain, param_id)| {
             let equiv = chain.cost_function().equiv_stats();
             report.equiv.absorb(&equiv);
+            report.safety.absorb(&chain.cost_function().safety_stats());
             ChainOutcome {
                 param_id,
                 best: chain.best().cloned(),

@@ -114,6 +114,7 @@ impl SearchParams {
                     window_verification: true,
                     refute_inputs: 64,
                     incremental_sat: true,
+                    static_analysis: true,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -130,6 +131,7 @@ impl SearchParams {
                     window_verification: true,
                     refute_inputs: 64,
                     incremental_sat: true,
+                    static_analysis: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.17, 0.0, 0.18),
             },
@@ -146,6 +148,7 @@ impl SearchParams {
                     window_verification: true,
                     refute_inputs: 64,
                     incremental_sat: true,
+                    static_analysis: true,
                 },
                 rules: base_rules(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
             },
@@ -162,6 +165,7 @@ impl SearchParams {
                     window_verification: true,
                     refute_inputs: 64,
                     incremental_sat: true,
+                    static_analysis: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -178,6 +182,7 @@ impl SearchParams {
                     window_verification: true,
                     refute_inputs: 64,
                     incremental_sat: true,
+                    static_analysis: true,
                 },
                 rules: base_rules(0.17, 0.33, 0.15, 0.0, 0.17, 0.18),
             },
@@ -217,6 +222,7 @@ impl SearchParams {
                                 window_verification: true,
                                 refute_inputs: 64,
                                 incremental_sat: true,
+                                static_analysis: true,
                             },
                             rules,
                         });

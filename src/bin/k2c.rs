@@ -53,8 +53,9 @@ enum Slot {
     /// A `{"op": "stats"}` request; answered after the batch completes so
     /// the snapshot covers every compilation of this invocation.
     Stats { id: Option<String> },
-    /// A malformed line, answered in place.
-    Error(OptimizeResponse),
+    /// A malformed line, answered in place. Boxed: an error response carries
+    /// a full (empty) report summary, dwarfing the other variants.
+    Error(Box<OptimizeResponse>),
 }
 
 /// Compact (single-line-safe) JSON form of a telemetry snapshot, mirroring
@@ -203,10 +204,10 @@ fn main() {
             // Echo the request id even when the envelope is unusable (wrong
             // version, missing program, ...), so clients matching responses
             // by id — not just by position — see which request failed.
-            Err(e) => Slot::Error(OptimizeResponse::from_error(
+            Err(e) => Slot::Error(Box::new(OptimizeResponse::from_error(
                 id,
                 format!("line {}: {e}", lineno + 1),
-            )),
+            ))),
         });
     }
 

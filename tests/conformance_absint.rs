@@ -1,0 +1,322 @@
+//! Kernel-verifier conformance of the abstract interpreter (`bpf-analysis`).
+//!
+//! Three layers pin the tnum + range analysis to observable behaviour:
+//!
+//! * **Dynamic soundness** — a program the abstract interpreter accepts must
+//!   never trap in the reference interpreter, on the full benchmark suite and
+//!   on a deterministic sweep of ≥ 1000 generated programs. Where the
+//!   analysis exports a scalar fact for `r0` at an `exit`, the observed
+//!   return value must be a member of that fact (tnum and both ranges).
+//! * **Screen conformance** — turning the screen on
+//!   ([`SafetyConfig::static_analysis`]) must not flip a single safety
+//!   verdict: the screened checker and the legacy path walker return
+//!   identical results on every generated program.
+//! * **Must-reject corpus** — a fixed corpus of unsafe probes, with the
+//!   legacy checker's verdict recorded next to each, that the abstract
+//!   interpreter must also reject (with the mirrored error).
+
+use bpf_analysis::{analyze, AbsVerdict, AbsintConfig, ScalarRange};
+use bpf_interp::{run, InputGenerator};
+use bpf_isa::{asm, AluOp, Insn, JmpOp, MemSize, Program, ProgramType, Reg, Src};
+use bpf_safety::verifier::{screen, VerifierConfig};
+use bpf_safety::{SafetyChecker, SafetyConfig, ScreenOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Whether the concrete value `v` is a member of the abstract scalar.
+fn fact_contains(f: &ScalarRange, v: u64) -> bool {
+    f.umin <= v && v <= f.umax && f.smin <= v as i64 && (v as i64) <= f.smax && f.tnum.contains(v)
+}
+
+/// Run `prog` on `n` generated inputs and assert it never traps; where the
+/// analysis has an `r0` fact at every `exit`, the return value must satisfy
+/// at least one of them (the executed path went through *some* exit).
+fn assert_dynamically_sound(name: &str, prog: &Program, seed: u64, n: usize) {
+    let result = analyze(prog, &AbsintConfig::default());
+    assert!(
+        result.verdict.is_accept(),
+        "{name}: expected accept, got {:?}",
+        result.verdict
+    );
+    let exit_facts: Vec<Option<ScalarRange>> = prog
+        .insns
+        .iter()
+        .enumerate()
+        .filter(|(_, insn)| matches!(insn, Insn::Exit))
+        .map(|(pc, _)| result.facts.fact(pc, Reg::R0))
+        .collect();
+    let all_exits_have_facts = !exit_facts.is_empty() && exit_facts.iter().all(Option::is_some);
+    let mut generator = InputGenerator::new(seed);
+    for input in generator.generate_suite(prog, n) {
+        let output = run(prog, &input)
+            .unwrap_or_else(|e| panic!("{name} trapped despite absint accept: {e}"));
+        if all_exits_have_facts {
+            assert!(
+                exit_facts
+                    .iter()
+                    .flatten()
+                    .any(|f| fact_contains(f, output.output.ret)),
+                "{name}: return value {:#x} outside every exit fact {exit_facts:?}",
+                output.output.ret
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_suite_is_dynamically_sound() {
+    for bench in bpf_bench_suite::all() {
+        assert_dynamically_sound(bench.name, &bench.prog, 17 + bench.row as u64, 6);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic ≥1000-program sweep: dynamic soundness of accepts, verdict
+// identity of the screened checker, reject conformance against the walker.
+// ---------------------------------------------------------------------------
+
+const SCALARS: [Reg; 6] = [Reg::R0, Reg::R2, Reg::R3, Reg::R6, Reg::R7, Reg::R8];
+
+/// A random program biased toward — but not restricted to — verifier-safe
+/// shapes: initialized scalars, a store prefix feeding aligned stack loads,
+/// in-range forward branches. Roughly a quarter still get rejected (wild
+/// stack offsets, reads of registers a helper call clobbered), so the sweep
+/// exercises both sides of every verdict.
+fn random_program(rng: &mut StdRng) -> Program {
+    let mut insns: Vec<Insn> = Vec::new();
+    for &r in &SCALARS {
+        insns.push(Insn::mov64_imm(r, rng.gen_range(-64..1024)));
+    }
+    // Store prefix: aligned dword slots the body may load from.
+    let mut stored: Vec<i16> = Vec::new();
+    for _ in 0..rng.gen_range(0..3) {
+        let off = -8 * rng.gen_range(1i16..64);
+        let src = SCALARS[rng.gen_range(0..SCALARS.len())];
+        insns.push(Insn::store(MemSize::Dword, Reg::R10, off, src));
+        stored.push(off);
+    }
+    let body_len = rng.gen_range(1usize..16);
+    let base = insns.len();
+    for i in 0..body_len {
+        let dst = SCALARS[rng.gen_range(0..SCALARS.len())];
+        let src_reg = SCALARS[rng.gen_range(0..SCALARS.len())];
+        let imm: i32 = match rng.gen_range(0..4) {
+            0 => 0,
+            1 => rng.gen_range(-16..16),
+            2 => rng.gen_range(0..4096),
+            _ => rng.gen(),
+        };
+        let src = if rng.gen_bool(0.5) {
+            Src::Reg(src_reg)
+        } else {
+            Src::Imm(imm)
+        };
+        // `neg` has no source operand; keep the canonical immediate form
+        // (the assembler cannot produce a register-sourced `neg` either).
+        let alu = |op: AluOp, src: Src| {
+            if op == AluOp::Neg {
+                (op, Src::Imm(0))
+            } else {
+                (op, src)
+            }
+        };
+        insns.push(match rng.gen_range(0..10) {
+            0..=4 => {
+                let (op, src) = alu(AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())], src);
+                Insn::Alu64 { op, dst, src }
+            }
+            5 => {
+                let (op, src) = alu(AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())], src);
+                Insn::Alu32 { op, dst, src }
+            }
+            6..=7 => {
+                // Forward conditional jump whose target stays inside the
+                // program (the final `exit` included).
+                let room = (body_len - 1 - i) as i16;
+                Insn::Jmp {
+                    op: JmpOp::ALL[rng.gen_range(0..JmpOp::ALL.len())],
+                    dst,
+                    src,
+                    off: rng.gen_range(0..=room.max(0)),
+                }
+            }
+            8 => {
+                // Mostly reloads of stored slots; occasionally a wild offset
+                // the checker must reject (uninitialized or out of bounds).
+                let off = if !stored.is_empty() && rng.gen_bool(0.8) {
+                    stored[rng.gen_range(0..stored.len())]
+                } else {
+                    -rng.gen_range(-8i16..526)
+                };
+                Insn::load(MemSize::Dword, dst, Reg::R10, off)
+            }
+            _ => Insn::Call {
+                helper: bpf_isa::HelperId::GetPrandomU32,
+            },
+        });
+    }
+    let _ = base;
+    insns.push(Insn::Exit);
+    Program::new(ProgramType::Xdp, insns)
+}
+
+#[test]
+fn random_sweep_is_sound_and_screen_conformant() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_ab51);
+    let mut generator = InputGenerator::new(0xab51);
+    let legacy_config = SafetyConfig {
+        static_analysis: false,
+        ..SafetyConfig::default()
+    };
+    let screened_config = SafetyConfig {
+        static_analysis: true,
+        ..SafetyConfig::default()
+    };
+    let mut legacy = SafetyChecker::new(legacy_config);
+    let mut screened = SafetyChecker::new(screened_config);
+    let (mut accepted, mut rejected) = (0usize, 0usize);
+    for case in 0..1_000usize {
+        let prog = random_program(&mut rng);
+
+        // Verdict identity: the screen must not flip a single safe/unsafe
+        // bit (the search consumes only the bit; the *first* error reported
+        // may legitimately differ when exploration order does).
+        let walker_verdict = legacy.check(&prog).map(|_| ());
+        let screened_verdict = screened.check(&prog).map(|_| ());
+        assert_eq!(
+            walker_verdict.is_ok(),
+            screened_verdict.is_ok(),
+            "case {case}: screen flipped the safety verdict for:\n{prog}"
+        );
+
+        let result = analyze(&prog, &AbsintConfig::default());
+        match result.verdict {
+            AbsVerdict::Accept => {
+                accepted += 1;
+                // Dynamic soundness: accepted programs never trap.
+                for input in generator.generate_suite(&prog, 3) {
+                    run(&prog, &input).unwrap_or_else(|e| {
+                        panic!("case {case} trapped despite absint accept: {e}\n{prog}")
+                    });
+                }
+            }
+            AbsVerdict::Reject(_) => {
+                rejected += 1;
+                // Reject conformance: the authoritative walker agrees.
+                assert!(
+                    walker_verdict.is_err(),
+                    "case {case}: absint rejected a program the walker accepts:\n{prog}"
+                );
+            }
+            AbsVerdict::Unknown => {}
+        }
+    }
+    // The sweep must be non-vacuous on both sides.
+    assert!(accepted >= 100, "only {accepted} accepted programs");
+    assert!(rejected >= 100, "only {rejected} rejected programs");
+    // The screened checker did screen (and its rejects skipped path walks).
+    assert_eq!(screened.stats.screens, 1_000);
+    assert!(screened.stats.screen_rejects > 0);
+    assert_eq!(legacy.stats.screens, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Must-reject corpus: unsafe probes with the legacy checker's verdict
+// recorded verbatim; the abstract interpreter must reject each one with the
+// mirrored error.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn must_reject_corpus_matches_the_legacy_checker() {
+    // (label, program text, legacy checker verdict as recorded at the time
+    // the corpus was frozen). `Display` of `VerifierError`.
+    let corpus: Vec<(&str, &str, &str)> = vec![
+        (
+            "read of never-written register",
+            "mov64 r0, r2\nexit",
+            "read of uninitialized r2 at 0",
+        ),
+        (
+            "read of caller-saved register after helper call",
+            "mov64 r0, 0\ncall get_prandom_u32\nmov64 r0, r3\nexit",
+            "read of uninitialized r3 at 2",
+        ),
+        (
+            "read of uninitialized stack slot",
+            "ldxdw r0, [r10-16]\nexit",
+            "stack offset -16 read before write (insn 0)",
+        ),
+        (
+            "stack access below the frame",
+            "mov64 r2, 1\nstxdw [r10-520], r2\nmov64 r0, 0\nexit",
+            "stack access at offset -520 out of bounds (insn 1)",
+        ),
+        (
+            "misaligned stack store",
+            "mov64 r2, 1\nstxdw [r10-12], r2\nmov64 r0, 0\nexit",
+            "misaligned 8-byte stack access at offset -12 (insn 1)",
+        ),
+        (
+            "fall off the end without exit",
+            "mov64 r0, 0",
+            "control may fall off the end of the program",
+        ),
+        (
+            "jump past the end",
+            "mov64 r0, 0\njgt r0, 2, +5\nexit",
+            "jump out of range at 1",
+        ),
+        (
+            "unreachable tail",
+            "mov64 r0, 0\nexit\nmov64 r0, 1\nexit",
+            "unreachable instruction at 2",
+        ),
+        (
+            "self loop",
+            "mov64 r0, 0\nja -1\nexit",
+            "back-edge detected (program may loop)",
+        ),
+        (
+            "multiplication on a stack pointer",
+            "mov64 r2, r10\nmul64 r2, 4\nldxdw r0, [r2-8]\nexit",
+            "disallowed arithmetic on a pointer at 1",
+        ),
+        (
+            "immediate store through the context pointer",
+            "stdw [r1+0], 42\nmov64 r0, 0\nexit",
+            "immediate store into PTR_TO_CTX at 0",
+        ),
+    ];
+
+    let mut legacy = SafetyChecker::new(SafetyConfig {
+        static_analysis: false,
+        ..SafetyConfig::default()
+    });
+    let mut screened = SafetyChecker::new(SafetyConfig::default());
+    for (label, text, recorded) in corpus {
+        let prog = Program::new(ProgramType::Xdp, asm::assemble(text).unwrap());
+
+        // The legacy walker still produces the recorded verdict.
+        let err = legacy
+            .check(&prog)
+            .expect_err(&format!("{label}: legacy checker must reject"));
+        assert_eq!(err.to_string(), recorded, "{label}: legacy verdict drifted");
+
+        // The screened checker rejects with the identical error.
+        let screened_err = screened
+            .check(&prog)
+            .expect_err(&format!("{label}: screened checker must reject"));
+        assert_eq!(screened_err, err, "{label}: screen changed the error");
+
+        // And the screen itself (not the walker fallback) caught it.
+        let (outcome, _) = screen(&prog, &VerifierConfig::default(), 16_384);
+        match outcome {
+            ScreenOutcome::Reject(e) => {
+                assert_eq!(e, err, "{label}: screen error does not mirror the walker")
+            }
+            other => panic!("{label}: screen returned {other:?}, expected a rejection"),
+        }
+    }
+    // Every corpus rejection above short-circuited the path walk.
+    assert_eq!(screened.stats.screens, screened.stats.screen_rejects);
+}
